@@ -1,0 +1,52 @@
+// Figure 3: energy consumption rate of a pure EV over (speed, acceleration),
+// flat road. Reproduces the surface the paper plots from Eq. (3): consumption
+// rises steeply with acceleration and is negative under deceleration
+// (regenerative braking).
+#include "experiment_common.hpp"
+
+namespace evvo::bench {
+namespace {
+
+int run() {
+  const ExperimentWorld world;
+  const ev::EnergyModel& model = world.energy;
+
+  print_header("Fig. 3 - energy consumption rate zeta(v, a), theta = 0");
+  std::cout << "rows: acceleration [m/s^2]; columns: speed [km/h]; cells: pack current [A]\n\n";
+
+  const std::vector<double> speeds_kmh = {10, 20, 30, 40, 50, 60, 70, 80};
+  const std::vector<double> accels = {-1.5, -1.0, -0.5, 0.0, 0.5, 1.0, 1.5, 2.0, 2.5};
+
+  std::vector<std::string> headers{"a\\v"};
+  for (const double v : speeds_kmh) headers.push_back(format_double(v, 0));
+  TextTable table(headers);
+  CsvTable csv;
+  csv.columns = {"speed_kmh", "accel_ms2", "current_a", "rate_mah_per_s"};
+  for (const double a : accels) {
+    std::vector<std::string> row{format_double(a, 1)};
+    for (const double v_kmh : speeds_kmh) {
+      const double amps = model.traction_current_a(kmh_to_ms(v_kmh), a);
+      row.push_back(format_double(amps, 1));
+      csv.add_row({v_kmh, a, amps, ah_to_mah(as_to_ah(amps))});
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  save_csv("fig3_energy_map.csv", csv);
+
+  // The paper's two qualitative observations.
+  print_header("Fig. 3 - checks");
+  const double accel_rate = model.traction_current_a(kmh_to_ms(40), 2.0);
+  const double cruise_rate = model.traction_current_a(kmh_to_ms(40), 0.0);
+  const double decel_rate = model.traction_current_a(kmh_to_ms(40), -1.5);
+  std::cout << "consumption under acceleration  (40 km/h, +2.0): " << format_double(accel_rate, 1)
+            << " A  (>> cruise " << format_double(cruise_rate, 1) << " A)\n";
+  std::cout << "consumption under deceleration  (40 km/h, -1.5): " << format_double(decel_rate, 1)
+            << " A  (negative: braking energy regeneration)\n";
+  return accel_rate > cruise_rate && decel_rate < 0.0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace evvo::bench
+
+int main() { return evvo::bench::run(); }

@@ -1,0 +1,121 @@
+// Figure 5: traffic dynamics over one signal cycle at the second US-25 light.
+//  (a) vehicle leaving rate: our VM model (with the acceleration phase) vs the
+//      prior method [9] (instant v_min discharge) vs the arrival rate V_in.
+//  (b) queue length: our QL model vs the prior QL model vs the "real"
+//      (microsimulator-measured) queue, plus RMSE of each model against it.
+// Probe parameters follow Sec. III-B2: d = 8.5 m, gamma = 76.36 %,
+// V_in = 1530 veh/h, t_red = t_green = 30 s.
+#include "experiment_common.hpp"
+#include "common/math_util.hpp"
+#include "traffic/queue_model.hpp"
+
+namespace evvo::bench {
+namespace {
+
+void figure_5a() {
+  print_header("Fig. 5(a) - vehicle leaving rate over one cycle [veh/h]");
+  const traffic::VmParams paper_params{};  // d = 8.5, gamma = 0.7636
+  const traffic::VmModel vm(paper_params);
+  const traffic::CyclePhases phases{30.0, 30.0};
+  const double v_in_veh_s = per_hour_to_per_second(1530.0);
+
+  const traffic::QueueModel ours(paper_params, traffic::DischargeModel::kVmAcceleration);
+  const traffic::QueueModel prior(paper_params, traffic::DischargeModel::kInstantMinSpeed);
+  const double clear_ours = ours.clear_time(phases, v_in_veh_s).value_or(phases.cycle());
+  const double clear_prior = prior.clear_time(phases, v_in_veh_s).value_or(phases.cycle());
+
+  TextTable table({"t [s]", "VM model", "method [9]", "V_in"});
+  CsvTable csv;
+  csv.columns = {"t_s", "vm_out_veh_h", "prior_out_veh_h", "v_in_veh_h"};
+  for (double t = 0.0; t <= phases.cycle() + 1e-9; t += 2.0) {
+    const double vm_rate = per_second_to_per_hour(vm.leaving_rate(t, phases, v_in_veh_s, clear_ours));
+    const double prior_rate =
+        per_second_to_per_hour(vm.baseline_leaving_rate(t, phases, v_in_veh_s, clear_prior));
+    table.add_row({format_double(t, 0), format_double(vm_rate, 0), format_double(prior_rate, 0),
+                   format_double(1530.0, 0)});
+    csv.add_row({t, vm_rate, prior_rate, 1530.0});
+  }
+  table.print(std::cout);
+  save_csv("fig5a_leaving_rate.csv", csv);
+  std::cout << "\nqueue clears (V_out falls back to V_in) at t* = " << format_double(clear_ours, 1)
+            << " s (VM) vs " << format_double(clear_prior, 1)
+            << " s (method [9]): modeling the acceleration phase delays t*\n";
+}
+
+void figure_5b() {
+  print_header("Fig. 5(b) - queue length over one cycle [vehicles]");
+  const ExperimentWorld world;
+  // The paper probes an isolated signal with Poisson arrivals; on our
+  // corridor that is the first light (the second receives platooned arrivals
+  // released by the first, which suppresses standing queues).
+  const auto& light = world.corridor.lights[0];
+  const traffic::CyclePhases phases{light.red_duration(), light.green_duration()};
+  const double lane_v_in =
+      per_hour_to_per_second(world.demand_veh_h / world.sim_config.lane_equivalent_count);
+
+  // "Real data": measured queue in the microsimulator, averaged per
+  // time-into-cycle bin across many cycles.
+  const double bin_s = 2.0;
+  const auto n_bins = static_cast<std::size_t>(phases.cycle() / bin_s) + 1;
+  std::vector<double> measured(n_bins, 0.0);
+  std::vector<int> counts(n_bins, 0);
+  {
+    sim::Microsim simulator(world.corridor, world.sim_config, world.demand());
+    simulator.run_until(600.0);  // warm up
+    const double t_end = simulator.time() + 30.0 * phases.cycle();
+    while (simulator.time() < t_end) {
+      simulator.step();
+      const double tau = light.time_into_cycle(simulator.time());
+      const auto bin = std::min(static_cast<std::size_t>(tau / bin_s), n_bins - 1);
+      // Count vehicles that have not yet discharged (speed below ~v_min),
+      // the QL model's queue definition.
+      measured[bin] += simulator.measured_queue(0, 12.0).first;
+      ++counts[bin];
+    }
+    for (std::size_t b = 0; b < n_bins; ++b) {
+      if (counts[b] > 0) measured[b] /= counts[b];
+    }
+  }
+
+  // Model predictions with the paper's field parameters (d = 8.5 m measured
+  // standstill spacing); the prior QL model [9] differs by assuming the
+  // platoon discharges at v_min from the instant the light turns green.
+  const traffic::VmParams vm{};  // paper Sec. III-B2 values
+  const traffic::QueueModel ours(vm, traffic::DischargeModel::kVmAcceleration);
+  const traffic::QueueModel prior(vm, traffic::DischargeModel::kInstantMinSpeed);
+
+  TextTable table({"tau [s]", "our QL", "QL of [9]", "measured"});
+  CsvTable csv;
+  csv.columns = {"tau_s", "our_ql_veh", "prior_ql_veh", "measured_veh"};
+  std::vector<double> ours_series;
+  std::vector<double> prior_series;
+  for (std::size_t b = 0; b < n_bins; ++b) {
+    const double tau = b * bin_s;
+    const double q_ours = ours.queue_vehicles(tau, phases, lane_v_in);
+    const double q_prior = prior.queue_vehicles(tau, phases, lane_v_in);
+    ours_series.push_back(q_ours);
+    prior_series.push_back(q_prior);
+    table.add_row({format_double(tau, 0), format_double(q_ours, 1), format_double(q_prior, 1),
+                   format_double(measured[b], 1)});
+    csv.add_row({tau, q_ours, q_prior, measured[b]});
+  }
+  table.print(std::cout);
+  save_csv("fig5b_queue_length.csv", csv);
+
+  const double rmse_ours = rmse(ours_series, measured);
+  const double rmse_prior = rmse(prior_series, measured);
+  std::cout << "\nRMSE vs measured queue: our QL " << format_double(rmse_ours, 2)
+            << " vehicles, QL of [9] " << format_double(rmse_prior, 2) << " vehicles  ->  "
+            << (rmse_ours < rmse_prior ? "our model is closer (paper's Fig. 5(b) claim)"
+                                       : "NOT reproduced")
+            << "\n";
+}
+
+}  // namespace
+}  // namespace evvo::bench
+
+int main() {
+  evvo::bench::figure_5a();
+  evvo::bench::figure_5b();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 8: total driving time of the different velocity profiles, rendered
+// as cumulative distance over time (zero-slope regions are stops).
+//  (a) collected profiles: mild and fast driving.
+//  (b) optimized profiles: proposed vs the current DP method.
+// Paper claims: the proposed method needs no more time than fast driving and
+// less than the current DP method (which loses time to the queue).
+#include "experiment_common.hpp"
+
+namespace evvo::bench {
+namespace {
+
+int run() {
+  const ExperimentWorld world;
+
+  const data::TraceResult mild = world.human_trace(data::mild_driver());
+  const data::TraceResult fast = world.human_trace(data::fast_driver());
+  const auto ours_exec = world.execute(world.plan(core::SignalPolicy::kQueueAware));
+  const auto base_exec = world.execute(world.plan(core::SignalPolicy::kGreenWindow));
+
+  const auto distance_at = [](const ev::DriveCycle& cycle, double t) {
+    return cycle.distance_at(t);
+  };
+
+  print_header("Fig. 8(a) - collected profiles: cumulative distance [m] vs time [s]");
+  {
+    TextTable table({"t [s]", "mild", "fast"});
+    CsvTable csv;
+    csv.columns = {"t_s", "mild_m", "fast_m"};
+    const double t_max = std::max(mild.cycle.duration(), fast.cycle.duration());
+    for (double t = 0.0; t <= t_max + 1e-9; t += 20.0) {
+      table.add_row({format_double(t, 0), format_double(distance_at(mild.cycle, t), 0),
+                     format_double(distance_at(fast.cycle, t), 0)});
+      csv.add_row({t, distance_at(mild.cycle, t), distance_at(fast.cycle, t)});
+    }
+    table.print(std::cout);
+    save_csv("fig8a_collected_distance_time.csv", csv);
+  }
+
+  print_header("Fig. 8(b) - optimized profiles: cumulative distance [m] vs time [s]");
+  {
+    TextTable table({"t [s]", "proposed", "current DP"});
+    CsvTable csv;
+    csv.columns = {"t_s", "proposed_m", "current_dp_m"};
+    const double t_max = std::max(ours_exec.cycle.duration(), base_exec.cycle.duration());
+    for (double t = 0.0; t <= t_max + 1e-9; t += 20.0) {
+      table.add_row({format_double(t, 0), format_double(distance_at(ours_exec.cycle, t), 0),
+                     format_double(distance_at(base_exec.cycle, t), 0)});
+      csv.add_row({t, distance_at(ours_exec.cycle, t), distance_at(base_exec.cycle, t)});
+    }
+    table.print(std::cout);
+    save_csv("fig8b_optimized_distance_time.csv", csv);
+  }
+
+  print_header("Fig. 8 - trip-time summary");
+  TextTable table({"profile", "trip time [s]", "time stopped [s]", "executed vs planned [s]"});
+  table.add_row({"mild driving", format_double(mild.cycle.duration(), 1),
+                 format_double(mild.cycle.stopped_time(), 1), "-"});
+  table.add_row({"fast driving", format_double(fast.cycle.duration(), 1),
+                 format_double(fast.cycle.stopped_time(), 1), "-"});
+  const core::PlannedProfile base_plan = world.plan(core::SignalPolicy::kGreenWindow);
+  const core::PlannedProfile ours_plan = world.plan(core::SignalPolicy::kQueueAware);
+  table.add_row({"current DP (executed)", format_double(base_exec.cycle.duration(), 1),
+                 format_double(base_exec.cycle.stopped_time(), 1),
+                 format_double(base_exec.cycle.duration() - base_plan.trip_time(), 1)});
+  table.add_row({"proposed (executed)", format_double(ours_exec.cycle.duration(), 1),
+                 format_double(ours_exec.cycle.stopped_time(), 1),
+                 format_double(ours_exec.cycle.duration() - ours_plan.trip_time(), 1)});
+  table.print(std::cout);
+
+  std::cout << "\nqueue delay suffered by the queue-oblivious plan: "
+            << format_double(base_exec.cycle.duration() - base_plan.trip_time(), 1)
+            << " s beyond its own schedule; the proposed plan runs on schedule ("
+            << format_double(ours_exec.cycle.duration() - ours_plan.trip_time(), 1) << " s drift)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace evvo::bench
+
+int main() { return evvo::bench::run(); }

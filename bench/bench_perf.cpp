@@ -1,0 +1,130 @@
+// Microbenchmarks (google-benchmark): solver, simulator, predictor, and
+// model hot paths. These size the system: a full queue-aware plan for the
+// 4.2 km corridor, SAE training epochs, and microsim step throughput.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cloud/plan_service.hpp"
+#include "core/planner.hpp"
+#include "data/synthetic_volume.hpp"
+#include "ev/energy_model.hpp"
+#include "road/corridor.hpp"
+#include "sim/calibration.hpp"
+#include "sim/microsim.hpp"
+#include "traffic/queue_predictor.hpp"
+#include "traffic/traffic_predictor.hpp"
+
+namespace evvo {
+namespace {
+
+void BM_EnergyRate(benchmark::State& state) {
+  const ev::EnergyModel model;
+  double v = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.current_a(v, 0.5, 0.01));
+    v = v < 30.0 ? v + 0.01 : 1.0;
+  }
+}
+BENCHMARK(BM_EnergyRate);
+
+void BM_QueueWindows(benchmark::State& state) {
+  const road::TrafficLight light(1820.0, 30.0, 30.0);
+  const traffic::QueuePredictor predictor(
+      light, traffic::QueueModel(traffic::VmParams{}),
+      std::make_shared<traffic::ConstantArrivalRate>(765.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.zero_queue_windows(0.0, 600.0));
+  }
+}
+BENCHMARK(BM_QueueWindows);
+
+void BM_DpSolveCorridor(benchmark::State& state) {
+  const road::Corridor corridor = road::make_us25_corridor();
+  const ev::EnergyModel energy;
+  core::PlannerConfig cfg;
+  cfg.policy = core::SignalPolicy::kQueueAware;
+  cfg.resolution.ds_m = static_cast<double>(state.range(0));
+  const core::VelocityPlanner planner(corridor, energy, cfg);
+  const auto arrivals = std::make_shared<traffic::ConstantArrivalRate>(765.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(0.0, arrivals));
+  }
+  state.SetLabel("ds=" + std::to_string(state.range(0)) + "m");
+}
+BENCHMARK(BM_DpSolveCorridor)->Arg(10)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_MicrosimStep(benchmark::State& state) {
+  sim::MicrosimConfig cfg;
+  cfg.seed = 3;
+  sim::Microsim simulator(road::make_us25_corridor(), cfg,
+                          std::make_shared<traffic::ConstantArrivalRate>(
+                              static_cast<double>(state.range(0))));
+  simulator.run_until(600.0);  // populate
+  for (auto _ : state) {
+    simulator.step();
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " veh/h, ~" +
+                 std::to_string(simulator.vehicles().size()) + " vehicles");
+}
+BENCHMARK(BM_MicrosimStep)->Arg(800)->Arg(1530)->Arg(2400);
+
+void BM_SaeTrainEpoch(benchmark::State& state) {
+  const auto ds = data::make_us25_dataset(data::VolumePatternConfig{}, 4, 1);
+  traffic::PredictorConfig cfg;
+  cfg.sae.pretrain_epochs = 0;
+  cfg.sae.finetune_epochs = 1;
+  for (auto _ : state) {
+    traffic::SaeVolumePredictor predictor(cfg);
+    predictor.fit(ds.train);
+    benchmark::DoNotOptimize(predictor);
+  }
+  state.SetLabel("1 finetune epoch over 4 weeks hourly");
+}
+BENCHMARK(BM_SaeTrainEpoch)->Unit(benchmark::kMillisecond);
+
+void BM_SaePredict(benchmark::State& state) {
+  const auto ds = data::make_us25_dataset(data::VolumePatternConfig{}, 4, 1);
+  traffic::PredictorConfig cfg;
+  cfg.sae.pretrain_epochs = 2;
+  cfg.sae.finetune_epochs = 5;
+  traffic::SaeVolumePredictor predictor(cfg);
+  predictor.fit(ds.train);
+  std::vector<double> window(cfg.window_hours, 700.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.predict_next(window, 8, 2));
+  }
+}
+BENCHMARK(BM_SaePredict);
+
+void BM_QueueClearTime(benchmark::State& state) {
+  const traffic::QueueModel model{traffic::VmParams{}};
+  const traffic::CyclePhases phases{30.0, 30.0};
+  double rate = 0.05;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.clear_time(phases, rate));
+    rate = rate < 1.5 ? rate + 0.001 : 0.05;
+  }
+}
+BENCHMARK(BM_QueueClearTime);
+
+void BM_PlanServiceCachedRequest(benchmark::State& state) {
+  sim::MicrosimConfig sim_cfg;
+  core::PlannerConfig cfg;
+  cfg.vm = sim::calibrated_vm_params(sim_cfg.background_driver, 13.4, sim_cfg.straight_ratio);
+  cloud::PlanService service(
+      core::VelocityPlanner(road::make_us25_corridor(), ev::EnergyModel{}, cfg),
+      std::make_shared<traffic::ConstantArrivalRate>(765.0));
+  service.request_plan({0, 600.0});  // warm the cache
+  long depart = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.request_plan({1, 600.0 + 60.0 * (++depart)}));
+  }
+  state.SetLabel("phase-congruent departures served from cache");
+}
+BENCHMARK(BM_PlanServiceCachedRequest);
+
+}  // namespace
+}  // namespace evvo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Shared setup for the figure-reproduction benches: the US-25 world, the
+// paper's probed traffic demand, planner construction, plan execution in the
+// microsimulator, and CSV export of every printed series.
+#pragma once
+
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/planner.hpp"
+#include "core/profile_eval.hpp"
+#include "data/synthetic_volume.hpp"
+#include "data/trace_generator.hpp"
+#include "ev/energy_model.hpp"
+#include "road/corridor.hpp"
+#include "sim/calibration.hpp"
+#include "sim/detectors.hpp"
+#include "sim/traci.hpp"
+
+namespace evvo::bench {
+
+/// The paper's evaluation world: US-25 corridor, Spark EV, 1530 veh/h probed
+/// demand, ego departing into warmed-up traffic.
+struct ExperimentWorld {
+  road::Corridor corridor = road::make_us25_corridor();
+  ev::EnergyModel energy{};
+  sim::MicrosimConfig sim_config{};
+  double demand_veh_h = 1530.0;
+  double depart_s = 600.0;
+  std::uint64_t seed = 7;
+
+  std::shared_ptr<traffic::ConstantArrivalRate> demand() const {
+    return std::make_shared<traffic::ConstantArrivalRate>(demand_veh_h);
+  }
+  std::shared_ptr<traffic::ConstantArrivalRate> lane_demand() const {
+    return std::make_shared<traffic::ConstantArrivalRate>(demand_veh_h /
+                                                          sim_config.lane_equivalent_count);
+  }
+
+  core::PlannerConfig planner_config(core::SignalPolicy policy) const {
+    core::PlannerConfig cfg;
+    cfg.policy = policy;
+    cfg.vm = sim::calibrated_vm_params(sim_config.background_driver, 13.4,
+                                       sim_config.straight_ratio);
+    return cfg;
+  }
+
+  core::PlannedProfile plan(core::SignalPolicy policy) const {
+    const core::VelocityPlanner planner(corridor, energy, planner_config(policy));
+    return planner.plan(depart_s, lane_demand());
+  }
+
+  /// Executes a plan among background traffic; the returned profile is the
+  /// "derived velocity profile from SUMO" of Fig. 6.
+  sim::ExecutionResult execute(const core::PlannedProfile& plan,
+                               std::uint64_t seed_override = 0) const {
+    sim::MicrosimConfig cfg = sim_config;
+    cfg.seed = seed_override ? seed_override : seed;
+    sim::Microsim simulator(corridor, cfg, demand());
+    simulator.run_until(plan.depart_time());
+    sim::DriverParams ego;
+    ego.accel_ms2 = energy.params().max_acceleration;
+    ego.decel_ms2 = -energy.params().min_acceleration * 2.0;
+    return sim::execute_planned_profile(simulator, plan.target_speed_fn(), 0.0, corridor.length(),
+                                        600.0, ego);
+  }
+
+  data::TraceResult human_trace(const sim::DriverParams& driver) const {
+    sim::MicrosimConfig cfg = sim_config;
+    cfg.seed = seed;
+    return data::record_human_trace(corridor, cfg, demand(), driver, depart_s);
+  }
+
+  core::ProfileEvaluation evaluate(const ev::DriveCycle& cycle) const {
+    return core::evaluate_cycle(energy, corridor.route, cycle);
+  }
+};
+
+/// Output directory for bench CSVs (./bench_out next to the cwd).
+inline std::filesystem::path output_dir() { return std::filesystem::path("bench_out"); }
+
+inline void save_csv(const std::string& name, const CsvTable& table) {
+  const auto path = output_dir() / name;
+  write_csv(path, table);
+  std::cout << "[csv] wrote " << path.string() << "\n";
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace evvo::bench

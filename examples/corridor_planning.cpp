@@ -1,0 +1,80 @@
+// Full corridor study: plan the US-25 trip under all three signal policies,
+// execute each plan among simulated traffic, and compare against human
+// driving - the complete Sec. III evaluation in one program.
+#include <iostream>
+#include <memory>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/planner.hpp"
+#include "core/profile_eval.hpp"
+#include "data/trace_generator.hpp"
+#include "ev/energy_model.hpp"
+#include "road/corridor.hpp"
+#include "sim/calibration.hpp"
+#include "sim/traci.hpp"
+
+int main() {
+  using namespace evvo;
+
+  const road::Corridor corridor = road::make_us25_corridor();
+  const ev::EnergyModel energy;
+  const double demand_veh_h = 1530.0;  // the paper's probed demand
+  const double depart = 600.0;         // enter warmed-up traffic
+
+  sim::MicrosimConfig sim_config;
+  const auto demand = std::make_shared<traffic::ConstantArrivalRate>(demand_veh_h);
+  const auto lane_demand = std::make_shared<traffic::ConstantArrivalRate>(
+      demand_veh_h / sim_config.lane_equivalent_count);
+
+  const auto execute = [&](const core::PlannedProfile& plan) {
+    sim::Microsim simulator(corridor, sim_config, demand);
+    simulator.run_until(plan.depart_time());
+    sim::DriverParams ego;
+    ego.accel_ms2 = energy.params().max_acceleration;
+    ego.decel_ms2 = -energy.params().min_acceleration * 2.0;
+    return sim::execute_planned_profile(simulator, plan.target_speed_fn(), 0.0, corridor.length(),
+                                        600.0, ego);
+  };
+  const auto evaluate = [&](const ev::DriveCycle& cycle) {
+    return core::evaluate_cycle(energy, corridor.route, cycle);
+  };
+
+  TextTable table({"profile", "energy [mAh]", "trip [s]", "stops", "regen [mAh]", "mAh/km"});
+  const auto add_row = [&](const std::string& name, const core::ProfileEvaluation& e) {
+    table.add_row({name, format_double(e.energy.charge_mah, 1), format_double(e.trip_time_s, 1),
+                   std::to_string(e.stops), format_double(e.energy.regenerated_mah, 1),
+                   format_double(e.energy.mah_per_km(), 1)});
+  };
+
+  // Human references driving in the same traffic.
+  for (const auto& [name, driver] :
+       {std::pair{"mild driving", data::mild_driver()}, {"fast driving", data::fast_driver()}}) {
+    const auto trace = data::record_human_trace(corridor, sim_config, demand, driver, depart);
+    add_row(name, evaluate(trace.cycle));
+  }
+
+  // The three planners.
+  for (const auto policy : {core::SignalPolicy::kIgnoreSignals, core::SignalPolicy::kGreenWindow,
+                            core::SignalPolicy::kQueueAware}) {
+    core::PlannerConfig cfg;
+    cfg.policy = policy;
+    cfg.vm = sim::calibrated_vm_params(sim_config.background_driver, 13.4,
+                                       sim_config.straight_ratio);
+    const core::VelocityPlanner planner(corridor, energy, cfg);
+    const core::PlannedProfile plan =
+        planner.plan(depart, policy == core::SignalPolicy::kQueueAware ? lane_demand : nullptr);
+    const auto exec = execute(plan);
+    if (!exec.completed) {
+      std::cout << core::signal_policy_name(policy) << ": execution timed out\n";
+      continue;
+    }
+    add_row(std::string(core::signal_policy_name(policy)) + " (executed)", evaluate(exec.cycle));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nNote: the signal-oblivious plan ignores lights entirely, so the simulator\n"
+               "stops it at reds; the green-window plan hits green phases but meets the\n"
+               "queues; the queue-aware plan crosses inside the zero-queue windows T_q.\n";
+  return 0;
+}

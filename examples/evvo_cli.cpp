@@ -1,0 +1,146 @@
+// evvo_cli: command-line driver for the velocity-optimization stack.
+//
+//   evvo_cli [--policy queue|green|none] [--demand VEH_PER_H] [--depart S]
+//            [--corridor us25|random:SEED] [--coordinate SPEED_MS]
+//            [--lambda MAH_PER_S] [--execute] [--csv PATH]
+//
+// Plans a trip over the chosen corridor, optionally executes it among
+// simulated traffic, prints a summary, and can export the planned profile as
+// a time,speed CSV (loadable with ev::load_cycle_csv).
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/planner.hpp"
+#include "core/profile_eval.hpp"
+#include "ev/cycle_io.hpp"
+#include "road/coordination.hpp"
+#include "road/corridor.hpp"
+#include "sim/calibration.hpp"
+#include "sim/traci.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--policy queue|green|none] [--demand VEH_PER_H] [--depart S]\n"
+               "        [--corridor us25|random:SEED] [--coordinate SPEED_MS]\n"
+               "        [--lambda MAH_PER_S] [--execute] [--csv PATH]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace evvo;
+
+  core::SignalPolicy policy = core::SignalPolicy::kQueueAware;
+  double demand_veh_h = 1530.0;
+  double depart_s = 600.0;
+  std::string corridor_spec = "us25";
+  double coordinate_speed = 0.0;
+  double lambda = -1.0;
+  bool execute = false;
+  std::string csv_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--policy") {
+      const std::string p = next();
+      if (p == "queue") {
+        policy = core::SignalPolicy::kQueueAware;
+      } else if (p == "green") {
+        policy = core::SignalPolicy::kGreenWindow;
+      } else if (p == "none") {
+        policy = core::SignalPolicy::kIgnoreSignals;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--demand") {
+      demand_veh_h = std::stod(next());
+    } else if (arg == "--depart") {
+      depart_s = std::stod(next());
+    } else if (arg == "--corridor") {
+      corridor_spec = next();
+    } else if (arg == "--coordinate") {
+      coordinate_speed = std::stod(next());
+    } else if (arg == "--lambda") {
+      lambda = std::stod(next());
+    } else if (arg == "--execute") {
+      execute = true;
+    } else if (arg == "--csv") {
+      csv_path = next();
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  road::Corridor corridor = road::make_us25_corridor();
+  if (corridor_spec.rfind("random:", 0) == 0) {
+    corridor = road::make_random_corridor(std::stoull(corridor_spec.substr(7)));
+  } else if (corridor_spec != "us25") {
+    usage(argv[0]);
+  }
+  if (coordinate_speed > 0.0) {
+    corridor = road::coordinate_for_progression(corridor, coordinate_speed, depart_s);
+  }
+
+  const ev::EnergyModel energy;
+  sim::MicrosimConfig sim_config;
+  core::PlannerConfig cfg;
+  cfg.policy = policy;
+  cfg.vm = sim::calibrated_vm_params(sim_config.background_driver, 13.4,
+                                     sim_config.straight_ratio);
+  cfg.resolution.horizon_s = std::max(450.0, corridor.length() / 8.0);
+  if (lambda >= 0.0) cfg.time_weight_mah_per_s = lambda;
+
+  const core::VelocityPlanner planner(corridor, energy, cfg);
+  const auto lane_demand = std::make_shared<traffic::ConstantArrivalRate>(
+      demand_veh_h / sim_config.lane_equivalent_count);
+
+  std::cout << "corridor: " << corridor_spec << " (" << corridor.length() << " m, "
+            << corridor.lights.size() << " lights, " << corridor.stop_signs.size()
+            << " stop signs)\npolicy: " << core::signal_policy_name(policy) << ", demand "
+            << demand_veh_h << " veh/h, depart " << depart_s << " s\n\n";
+
+  const core::PlannedProfile plan = planner.plan(depart_s, lane_demand);
+  const auto plan_eval = core::evaluate_cycle(energy, corridor.route, plan.to_drive_cycle(0.5));
+
+  TextTable table({"stage", "energy [mAh]", "trip [s]", "stops", "max speed [km/h]"});
+  table.add_row({"plan", format_double(plan_eval.energy.charge_mah, 1),
+                 format_double(plan.trip_time(), 1), std::to_string(plan.planned_stops()),
+                 format_double(ms_to_kmh(plan_eval.max_speed_ms), 1)});
+
+  if (execute) {
+    sim::Microsim simulator(corridor, sim_config,
+                            std::make_shared<traffic::ConstantArrivalRate>(demand_veh_h));
+    simulator.run_until(depart_s);
+    sim::DriverParams ego;
+    ego.accel_ms2 = energy.params().max_acceleration;
+    ego.decel_ms2 = -energy.params().min_acceleration * 2.0;
+    const auto result = sim::execute_planned_profile(simulator, plan.target_speed_fn(), 0.0,
+                                                     corridor.length(), 900.0, ego);
+    if (result.completed) {
+      const auto exec_eval = core::evaluate_cycle(energy, corridor.route, result.cycle);
+      table.add_row({"executed", format_double(exec_eval.energy.charge_mah, 1),
+                     format_double(result.cycle.duration(), 1), std::to_string(exec_eval.stops),
+                     format_double(ms_to_kmh(exec_eval.max_speed_ms), 1)});
+    } else {
+      table.add_row({"executed", "timeout", "-", "-", "-"});
+    }
+  }
+  table.print(std::cout);
+
+  if (!csv_path.empty()) {
+    ev::save_cycle_csv(csv_path, plan.to_drive_cycle(0.5));
+    std::cout << "\nplanned profile written to " << csv_path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Queue prediction walkthrough: train the SAE traffic-volume predictor on
+// synthetic detector data, feed its hourly forecasts into the QL model, and
+// print the zero-queue windows T_q an approaching EV should aim for.
+//
+// Pipeline (paper Sec. II-B): SAE arrival forecast -> VM discharge model ->
+// QL queue dynamics -> T_q windows.
+#include <iostream>
+#include <memory>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "data/synthetic_volume.hpp"
+#include "road/corridor.hpp"
+#include "traffic/queue_predictor.hpp"
+#include "traffic/traffic_predictor.hpp"
+
+int main() {
+  using namespace evvo;
+
+  // 1. Thirteen weeks of hourly volumes to learn from, one week held out.
+  const data::VolumeDataset ds = data::make_us25_dataset();
+
+  // 2. Train the SAE predictor (smaller config than the Fig. 4 bench for a
+  //    snappy example; see bench_fig4_sae_prediction for the full protocol).
+  traffic::PredictorConfig cfg;
+  cfg.sae.pretrain_epochs = 10;
+  cfg.sae.finetune_epochs = 80;
+  traffic::SaeVolumePredictor sae(cfg);
+  std::cout << "training SAE on " << ds.train.size() << " hourly samples...\n";
+  sae.fit(ds.train);
+
+  // 3. One-step-ahead forecasts over the Monday of the test week.
+  const auto forecast = traffic::predict_series(sae, ds.train, ds.test);
+  TextTable volumes({"hour", "actual [veh/h]", "SAE forecast [veh/h]"});
+  for (int h = 6; h <= 20; h += 2) {
+    volumes.add_row({std::to_string(h) + ":00", format_double(ds.test.at(h), 0),
+                     format_double(forecast[h], 0)});
+  }
+  volumes.print(std::cout);
+
+  // 4. Zero-queue windows at the first US-25 signal during the morning peak,
+  //    driven by the forecast series. Demand is split per lane.
+  const road::Corridor corridor = road::make_us25_corridor();
+  std::vector<double> lane_forecast;
+  for (const double v : forecast) lane_forecast.push_back(v / 2.0);
+  const auto arrivals = std::make_shared<traffic::SeriesArrivalRate>(
+      traffic::HourlyVolumeSeries(lane_forecast, ds.test.start_hour_of_week()));
+  const traffic::QueuePredictor predictor(corridor.lights[0],
+                                          traffic::QueueModel(traffic::VmParams{}), arrivals);
+
+  const double am_peak = 7.5 * 3600.0;  // 07:30
+  std::cout << "\nzero-queue windows at light 1 around 07:30 (morning peak):\n";
+  TextTable windows({"window start", "window end", "usable [s]"});
+  for (const auto& w : predictor.zero_queue_windows(am_peak, am_peak + 5.0 * 60.0)) {
+    windows.add_row({format_double(w.start_s - am_peak, 1) + " s",
+                     format_double(w.end_s - am_peak, 1) + " s", format_double(w.duration(), 1)});
+  }
+  windows.print(std::cout);
+
+  const double night = 3.0 * 3600.0;  // 03:00
+  double peak_usable = 0.0;
+  double night_usable = 0.0;
+  for (const auto& w : predictor.zero_queue_windows(am_peak, am_peak + 600.0))
+    peak_usable += w.duration();
+  for (const auto& w : predictor.zero_queue_windows(night, night + 600.0))
+    night_usable += w.duration();
+  std::cout << "\nusable crossing time per 10 min: " << format_double(night_usable, 0)
+            << " s at 03:00 vs " << format_double(peak_usable, 0)
+            << " s at 07:30 - queues eat into the green time as demand rises.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "cloud/plan_service.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include <numeric>
+#include <stdexcept>
+
+namespace evvo::cloud {
+
+double signal_hyperperiod(const std::vector<road::TrafficLight>& lights) {
+  long lcm_ds = 0;  // deciseconds
+  for (const auto& light : lights) {
+    const long cycle_ds = std::lround(light.cycle_duration() * 10.0);
+    if (cycle_ds <= 0) throw std::invalid_argument("signal_hyperperiod: non-positive cycle");
+    lcm_ds = lcm_ds == 0 ? cycle_ds : std::lcm(lcm_ds, cycle_ds);
+  }
+  return static_cast<double>(lcm_ds) / 10.0;
+}
+
+PlanService::PlanService(core::VelocityPlanner planner,
+                         std::shared_ptr<const traffic::ArrivalRateProvider> arrivals,
+                         CacheConfig cache)
+    : planner_(std::move(planner)), arrivals_(std::move(arrivals)), cache_config_(cache),
+      hyperperiod_s_(signal_hyperperiod(planner_.corridor().lights)) {
+  if (cache_config_.capacity == 0) throw std::invalid_argument("PlanService: zero cache capacity");
+  if (cache_config_.phase_quantum_s <= 0.0 || cache_config_.demand_quantum_veh_h <= 0.0)
+    throw std::invalid_argument("PlanService: quanta must be positive");
+  if (planner_.config().policy == core::SignalPolicy::kQueueAware && !arrivals_)
+    throw std::invalid_argument("PlanService: queue-aware planning needs arrival rates");
+}
+
+PlanService::CacheKey PlanService::key_for(double depart_time_s) const {
+  double phase = 0.0;
+  if (hyperperiod_s_ > 0.0) {
+    phase = std::fmod(depart_time_s, hyperperiod_s_);
+    if (phase < 0.0) phase += hyperperiod_s_;
+  }
+  const double demand = arrivals_ ? arrivals_->arrival_rate_veh_h(depart_time_s) : 0.0;
+  return CacheKey{std::lround(phase / cache_config_.phase_quantum_s),
+                  std::lround(demand / cache_config_.demand_quantum_veh_h)};
+}
+
+PlanResponse PlanService::request_plan(const PlanRequest& request) {
+  const CacheKey key = key_for(request.depart_time_s);
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.requests;
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++stats_.cache_hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      const double shift = request.depart_time_s - it->second.reference_depart;
+      return PlanResponse{request.vehicle_id, it->second.profile.time_shifted(shift), true};
+    }
+  }
+
+  // Solve outside the lock: planning dominates and requests for distinct keys
+  // should proceed in parallel. A duplicate solve for the same key under
+  // contention is tolerated (last writer wins).
+  core::PlannedProfile profile = planner_.plan(request.depart_time_s, arrivals_);
+
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.solver_runs;
+    if (cache_.find(key) == cache_.end()) {
+      lru_.push_front(key);
+      cache_.emplace(key, CacheEntry{profile, request.depart_time_s, lru_.begin()});
+      if (cache_.size() > cache_config_.capacity) {
+        const CacheKey victim = lru_.back();
+        lru_.pop_back();
+        cache_.erase(victim);
+        ++stats_.evictions;
+        EVVO_LOG(kDebug, "plan-service") << "evicted phase bin " << victim.phase_bin;
+      }
+    }
+  }
+  return PlanResponse{request.vehicle_id, std::move(profile), false};
+}
+
+ServiceStats PlanService::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace evvo::cloud

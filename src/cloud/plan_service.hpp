@@ -1,0 +1,95 @@
+// Vehicular-cloud planning service (paper Sec. I, refs [6][7]): vehicles
+// upload their state (departure time) and the cloud returns the optimal
+// velocity profile, amortizing the DP across the fleet.
+//
+// Caching exploits the structure of the problem: with fixed-time signals the
+// whole constraint set repeats with the signals' hyperperiod H (the lcm of
+// the cycle durations), and the queue predictions depend on demand only
+// through the (slowly varying) arrival rate. Two requests whose departure
+// times are congruent mod H and whose demand falls in the same bin therefore
+// receive the *same* plan, shifted in time. The cache key is
+// (policy, departure phase bin, demand bin); hits are served by time-shifting
+// the cached profile.
+#pragma once
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "core/planner.hpp"
+
+namespace evvo::cloud {
+
+struct CacheConfig {
+  std::size_t capacity = 256;        ///< cached plans (LRU eviction)
+  double phase_quantum_s = 1.0;      ///< departure-phase bin width
+  double demand_quantum_veh_h = 50.0;///< arrival-rate bin width
+};
+
+struct PlanRequest {
+  int vehicle_id = 0;
+  double depart_time_s = 0.0;
+};
+
+struct PlanResponse {
+  int vehicle_id = 0;
+  core::PlannedProfile profile;
+  bool cache_hit = false;
+};
+
+struct ServiceStats {
+  long requests = 0;
+  long cache_hits = 0;
+  long solver_runs = 0;
+  long evictions = 0;
+};
+
+class PlanService {
+ public:
+  /// The service owns a planner (route + policy + energy model) and a demand
+  /// source shared with the queue predictor.
+  PlanService(core::VelocityPlanner planner,
+              std::shared_ptr<const traffic::ArrivalRateProvider> arrivals,
+              CacheConfig cache = {});
+
+  /// Computes or serves a plan. Thread-safe.
+  PlanResponse request_plan(const PlanRequest& request);
+
+  /// Signals' hyperperiod H [s]; 0 when the corridor has no lights (every
+  /// departure is then equivalent and one plan serves all).
+  double hyperperiod() const { return hyperperiod_s_; }
+
+  ServiceStats stats() const;
+
+ private:
+  struct CacheKey {
+    long phase_bin;
+    long demand_bin;
+    auto operator<=>(const CacheKey&) const = default;
+  };
+  struct CacheEntry {
+    core::PlannedProfile profile;          // planned at reference_depart
+    double reference_depart;
+    std::list<CacheKey>::iterator lru_pos;
+  };
+
+  CacheKey key_for(double depart_time_s) const;
+
+  core::VelocityPlanner planner_;
+  std::shared_ptr<const traffic::ArrivalRateProvider> arrivals_;
+  CacheConfig cache_config_;
+  double hyperperiod_s_;
+
+  mutable std::mutex mutex_;
+  std::map<CacheKey, CacheEntry> cache_;
+  std::list<CacheKey> lru_;  // front = most recent
+  ServiceStats stats_;
+};
+
+/// lcm of the signal cycle durations [s] (integer deciseconds internally);
+/// returns 0 for an empty light set.
+double signal_hyperperiod(const std::vector<road::TrafficLight>& lights);
+
+}  // namespace evvo::cloud

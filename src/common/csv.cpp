@@ -1,0 +1,76 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace evvo {
+
+std::size_t CsvTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return i;
+  }
+  throw std::out_of_range("CsvTable: no column named '" + name + "'");
+}
+
+std::vector<double> CsvTable::column(const std::string& name) const {
+  const std::size_t idx = column_index(name);
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(row.at(idx));
+  return out;
+}
+
+void CsvTable::add_row(std::vector<double> row) {
+  if (row.size() != columns.size()) throw std::invalid_argument("CsvTable::add_row: width mismatch");
+  rows.push_back(std::move(row));
+}
+
+void write_csv(const std::filesystem::path& path, const CsvTable& table) {
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv: cannot open " + path.string());
+  for (std::size_t i = 0; i < table.columns.size(); ++i) {
+    if (i > 0) out << ',';
+    out << table.columns[i];
+  }
+  out << '\n';
+  out.precision(10);
+  for (const auto& row : table.rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+}
+
+CsvTable read_csv(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path.string());
+  CsvTable table;
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("read_csv: empty file " + path.string());
+  {
+    std::stringstream header(line);
+    std::string cell;
+    while (std::getline(header, cell, ',')) table.columns.push_back(cell);
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string cell;
+    std::vector<double> row;
+    while (std::getline(ss, cell, ',')) {
+      try {
+        row.push_back(std::stod(cell));
+      } catch (const std::exception&) {
+        throw std::runtime_error("read_csv: non-numeric cell '" + cell + "' in " + path.string());
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace evvo

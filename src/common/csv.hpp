@@ -1,0 +1,30 @@
+// Minimal CSV reading/writing for experiment outputs and cached datasets.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace evvo {
+
+/// A rectangular table of doubles with named columns.
+struct CsvTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> rows;  // each row has columns.size() entries
+
+  /// Index of a named column; throws std::out_of_range if absent.
+  std::size_t column_index(const std::string& name) const;
+
+  /// All values of one named column.
+  std::vector<double> column(const std::string& name) const;
+
+  void add_row(std::vector<double> row);
+};
+
+/// Writes the table to `path` (parent directories are created).
+void write_csv(const std::filesystem::path& path, const CsvTable& table);
+
+/// Reads a numeric CSV with a header line. Throws std::runtime_error on parse failure.
+CsvTable read_csv(const std::filesystem::path& path);
+
+}  // namespace evvo

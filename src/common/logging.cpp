@@ -1,0 +1,56 @@
+#include "common/logging.hpp"
+
+#include <iostream>
+#include <mutex>
+
+namespace evvo {
+
+namespace {
+std::mutex g_mutex;
+LogLevel g_level = LogLevel::kWarn;
+std::function<void(const std::string&)> g_sink;
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void set_log_level(LogLevel level) {
+  std::lock_guard lock(g_mutex);
+  g_level = level;
+}
+
+LogLevel log_level() {
+  std::lock_guard lock(g_mutex);
+  return g_level;
+}
+
+void set_log_sink(std::function<void(const std::string&)> sink) {
+  std::lock_guard lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void log_message(LogLevel level, const std::string& component, const std::string& message) {
+  std::lock_guard lock(g_mutex);
+  if (level < g_level || g_level == LogLevel::kOff) return;
+  const std::string line = std::string("[") + log_level_name(level) + "] " + component + ": " + message;
+  if (g_sink) {
+    g_sink(line);
+  } else {
+    std::cerr << line << '\n';
+  }
+}
+
+}  // namespace evvo

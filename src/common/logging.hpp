@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// Long-running components (the cloud service, the adaptive pilot, multi-hour
+// simulations) want progress visibility without std::cout sprinkled through
+// library code. One global sink, level-filtered, timestamped with sim-agnostic
+// wall time; silent at kWarn by default so tests stay quiet.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace evvo {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+const char* log_level_name(LogLevel level);
+
+/// Global minimum level; messages below it are discarded cheaply.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Redirects log output (default: stderr). Pass nullptr to restore stderr.
+/// The sink receives fully formatted lines without the trailing newline.
+void set_log_sink(std::function<void(const std::string&)> sink);
+
+/// Emits one formatted line: "[LEVEL] component: message".
+void log_message(LogLevel level, const std::string& component, const std::string& message);
+
+/// Stream-style helper: EVVO_LOG(kInfo, "pilot") << "replanned at " << pos;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { log_message(level_, component_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace evvo
+
+#define EVVO_LOG(level, component) ::evvo::LogStream(::evvo::LogLevel::level, component)

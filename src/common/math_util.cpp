@@ -1,0 +1,108 @@
+#include "common/math_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace evvo {
+
+double clamp(double x, double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("clamp: lo > hi");
+  return std::min(std::max(x, lo), hi);
+}
+
+double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+bool nearly_equal(double a, double b, double tol) { return std::abs(a - b) <= tol; }
+
+double quantize(double x, double step) {
+  if (step <= 0.0) throw std::invalid_argument("quantize: step must be positive");
+  return std::round(x / step) * step;
+}
+
+std::size_t nearest_index(double x, double step) {
+  if (step <= 0.0) throw std::invalid_argument("nearest_index: step must be positive");
+  const double idx = std::round(x / step);
+  return idx <= 0.0 ? 0 : static_cast<std::size_t>(idx);
+}
+
+double trapezoid(std::span<const double> y, double dt) {
+  if (y.size() < 2) return 0.0;
+  double sum = 0.5 * (y.front() + y.back());
+  for (std::size_t i = 1; i + 1 < y.size(); ++i) sum += y[i];
+  return sum * dt;
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double mu = mean(values);
+  double sq = 0.0;
+  for (const double v : values) sq += (v - mu) * (v - mu);
+  return std::sqrt(sq / static_cast<double>(values.size()));
+}
+
+namespace {
+void require_same_size(std::span<const double> a, std::span<const double> b, const char* who) {
+  if (a.size() != b.size() || a.empty()) throw std::invalid_argument(std::string(who) + ": size mismatch or empty");
+}
+}  // namespace
+
+double rmse(std::span<const double> predicted, std::span<const double> actual) {
+  require_same_size(predicted, actual, "rmse");
+  double sq = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double d = predicted[i] - actual[i];
+    sq += d * d;
+  }
+  return std::sqrt(sq / static_cast<double>(predicted.size()));
+}
+
+double mean_relative_error(std::span<const double> predicted, std::span<const double> actual,
+                           double denominator_floor) {
+  require_same_size(predicted, actual, "mean_relative_error");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double denom = std::max(std::abs(actual[i]), denominator_floor);
+    sum += std::abs(predicted[i] - actual[i]) / denom;
+  }
+  return sum / static_cast<double>(predicted.size());
+}
+
+double mean_absolute_error(std::span<const double> predicted, std::span<const double> actual) {
+  require_same_size(predicted, actual, "mean_absolute_error");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) sum += std::abs(predicted[i] - actual[i]);
+  return sum / static_cast<double>(predicted.size());
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  if (count < 2) throw std::invalid_argument("linspace: count must be >= 2");
+  std::vector<double> out(count);
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) out[i] = lo + step * static_cast<double>(i);
+  out.back() = hi;
+  return out;
+}
+
+bool largest_real_root(double a, double b, double c, double& root) {
+  constexpr double kTiny = 1e-12;
+  if (std::abs(a) < kTiny) {
+    if (std::abs(b) < kTiny) return false;
+    root = -c / b;
+    return true;
+  }
+  const double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) return false;
+  const double sq = std::sqrt(disc);
+  root = std::max((-b + sq) / (2.0 * a), (-b - sq) / (2.0 * a));
+  return true;
+}
+
+}  // namespace evvo

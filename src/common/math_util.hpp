@@ -1,0 +1,50 @@
+// Small numeric helpers shared by every module.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace evvo {
+
+/// Clamps `x` into [lo, hi]. Requires lo <= hi.
+double clamp(double x, double lo, double hi);
+
+/// Linear interpolation between a and b at fraction t in [0, 1].
+double lerp(double a, double b, double t);
+
+/// True if |a - b| <= tol (absolute tolerance).
+bool nearly_equal(double a, double b, double tol = 1e-9);
+
+/// Rounds `x` to the nearest multiple of `step` (step > 0).
+double quantize(double x, double step);
+
+/// Index of the grid cell nearest to x on {0, step, 2*step, ...}.
+std::size_t nearest_index(double x, double step);
+
+/// Trapezoidal integral of samples y spaced dt apart.
+double trapezoid(std::span<const double> y, double dt);
+
+/// Arithmetic mean. Returns 0 for an empty span.
+double mean(std::span<const double> values);
+
+/// Population standard deviation. Returns 0 for fewer than 2 samples.
+double stddev(std::span<const double> values);
+
+/// Root-mean-square error between two equal-length spans.
+double rmse(std::span<const double> predicted, std::span<const double> actual);
+
+/// Mean relative error sum(|p-a|/max(|a|, floor)) / n, guarding tiny actuals.
+double mean_relative_error(std::span<const double> predicted, std::span<const double> actual,
+                           double denominator_floor = 1.0);
+
+/// Mean absolute error.
+double mean_absolute_error(std::span<const double> predicted, std::span<const double> actual);
+
+/// Evenly spaced values from lo to hi inclusive (count >= 2).
+std::vector<double> linspace(double lo, double hi, std::size_t count);
+
+/// Solves a*x^2 + b*x + c = 0 for the largest real root; returns false if none.
+bool largest_real_root(double a, double b, double c, double& root);
+
+}  // namespace evvo

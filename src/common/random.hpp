@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation for simulations and training.
+//
+// Every stochastic component in evvo takes an explicit seed so experiments
+// are reproducible run-to-run; nothing reads global entropy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace evvo {
+
+/// Small, fast, seedable PRNG (xoshiro256** core) with the distributions the
+/// simulator and the learner need. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi);
+
+  /// Standard normal via Box-Muller (no cached spare: stateless per call pair).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Poisson-distributed count with given mean (Knuth for small, normal approx for large).
+  int poisson(double mean);
+
+  /// Exponentially distributed inter-arrival time with given rate (events/s).
+  double exponential(double rate);
+
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle of an index vector [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace evvo

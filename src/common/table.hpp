@@ -1,0 +1,40 @@
+// ASCII table rendering for benchmark harness output.
+//
+// The figure-reproduction binaries print paper series as aligned text tables
+// so "the same rows/series the paper reports" are readable in a terminal.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace evvo {
+
+/// Collects rows of formatted cells and renders them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row of already-formatted cells (must match header count).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with fixed precision.
+  void add_numeric_row(const std::vector<double>& values, int precision = 3);
+
+  /// Renders the table with a rule under the header.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+std::string format_double(double value, int precision = 3);
+
+/// Renders a compact horizontal bar (for quick-look terminal "plots").
+std::string ascii_bar(double value, double max_value, int width = 40);
+
+}  // namespace evvo

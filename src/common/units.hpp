@@ -1,0 +1,49 @@
+// Physical constants and unit conversions used throughout evvo.
+//
+// Convention: every quantity inside the library is SI unless the name says
+// otherwise (meters, seconds, kilograms, m/s, m/s^2, watts, volts, amperes).
+// Charge is tracked in ampere-hours (Ah) because the paper reports EV energy
+// consumption as electrical charge (Eq. (3) yields a current).
+#pragma once
+
+namespace evvo {
+
+/// Standard gravity [m/s^2].
+inline constexpr double kGravity = 9.80665;
+
+/// Average air density at sea level, 15 C [kg/m^3].
+inline constexpr double kAirDensity = 1.225;
+
+/// Seconds per hour.
+inline constexpr double kSecondsPerHour = 3600.0;
+
+/// Hours per day / days per week, for calendar-indexed series.
+inline constexpr int kHoursPerDay = 24;
+inline constexpr int kDaysPerWeek = 7;
+inline constexpr int kHoursPerWeek = kHoursPerDay * kDaysPerWeek;
+
+/// Converts kilometers per hour to meters per second.
+constexpr double kmh_to_ms(double kmh) { return kmh / 3.6; }
+
+/// Converts meters per second to kilometers per hour.
+constexpr double ms_to_kmh(double ms) { return ms * 3.6; }
+
+/// Converts miles per hour to meters per second.
+constexpr double mph_to_ms(double mph) { return mph * 0.44704; }
+
+/// Converts vehicles-per-hour flow to vehicles-per-second.
+constexpr double per_hour_to_per_second(double per_hour) { return per_hour / kSecondsPerHour; }
+
+/// Converts vehicles-per-second flow to vehicles-per-hour.
+constexpr double per_second_to_per_hour(double per_second) { return per_second * kSecondsPerHour; }
+
+/// Converts ampere-seconds (coulombs) to ampere-hours.
+constexpr double as_to_ah(double ampere_seconds) { return ampere_seconds / kSecondsPerHour; }
+
+/// Converts ampere-hours to milliampere-hours.
+constexpr double ah_to_mah(double ah) { return ah * 1000.0; }
+
+/// Converts watt-seconds (joules) to kilowatt-hours.
+constexpr double joule_to_kwh(double joules) { return joules / 3.6e6; }
+
+}  // namespace evvo

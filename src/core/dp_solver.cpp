@@ -1,0 +1,316 @@
+#include "core/dp_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace evvo::core {
+
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/// Backpointer packing: predecessor (j, k) plus a flag for same-layer dwells.
+constexpr std::uint32_t kDwellFlag = 0x8000'0000u;
+constexpr std::uint32_t kNoPred = 0xFFFF'FFFFu;
+
+std::uint32_t pack_pred(std::size_t j, std::size_t k, bool dwell) {
+  return static_cast<std::uint32_t>(j << 20) | static_cast<std::uint32_t>(k) |
+         (dwell ? kDwellFlag : 0u);
+}
+std::size_t pred_j(std::uint32_t p) { return (p & ~kDwellFlag) >> 20; }
+std::size_t pred_k(std::uint32_t p) { return p & 0x000F'FFFFu; }
+bool pred_is_dwell(std::uint32_t p) { return (p & kDwellFlag) != 0u && p != kNoPred; }
+
+/// Kinematics of one velocity transition over a fixed distance step.
+struct Hop {
+  std::size_t j_to = 0;
+  float dt = 0.0f;     ///< travel time
+  float accel = 0.0f;  ///< constant acceleration
+};
+
+}  // namespace
+
+void DpResolution::validate() const {
+  if (ds_m <= 0.0 || dv_ms <= 0.0 || dt_s <= 0.0 || horizon_s <= 0.0)
+    throw std::invalid_argument("DpResolution: all steps must be positive");
+  if (horizon_s / dt_s > 1e6) throw std::invalid_argument("DpResolution: too many time bins");
+}
+
+void DpProblem::validate() const {
+  if (!route || !energy) throw std::invalid_argument("DpProblem: route and energy model required");
+  resolution.validate();
+  penalty.validate();
+}
+
+std::optional<DpSolution> solve_dp(const DpProblem& problem) {
+  problem.validate();
+  const road::Route& route = *problem.route;
+  const ev::EnergyModel& energy = *problem.energy;
+  const ev::VehicleParams& vp = energy.params();
+  const DpResolution& res = problem.resolution;
+
+  // Grid geometry. The distance step is adjusted so layers divide the route
+  // length exactly.
+  const auto n_hops = static_cast<std::size_t>(std::max(1.0, std::round(route.length() / res.ds_m)));
+  const double ds = route.length() / static_cast<double>(n_hops);
+  const std::size_t n_layers = n_hops + 1;
+  const auto n_v = static_cast<std::size_t>(std::floor(route.max_speed_limit() / res.dv_ms)) + 1;
+  const auto n_t = static_cast<std::size_t>(std::ceil(res.horizon_s / res.dt_s)) + 1;
+  if (n_v >= (1u << 11) || n_t >= (1u << 20))
+    throw std::invalid_argument("solve_dp: grid too large for backpointer packing");
+
+  // Per-layer event lookup.
+  std::vector<const LayerEvent*> event_at(n_layers, nullptr);
+  for (const LayerEvent& e : problem.events) {
+    if (e.layer >= n_layers) throw std::invalid_argument("solve_dp: event layer out of range");
+    event_at[e.layer] = &e;
+  }
+
+  // Feasible hops per source velocity level (kinematics are layer-independent).
+  const double a_min = vp.min_acceleration;
+  const double a_max = vp.max_acceleration;
+  std::vector<std::vector<Hop>> hops(n_v);
+  for (std::size_t j = 0; j < n_v; ++j) {
+    const double v = static_cast<double>(j) * res.dv_ms;
+    for (std::size_t j2 = 0; j2 < n_v; ++j2) {
+      const double v2 = static_cast<double>(j2) * res.dv_ms;
+      const double v_mid = 0.5 * (v + v2);
+      if (v_mid <= 1e-9) continue;  // no movement; dwells handle waiting
+      const double a = (v2 * v2 - v * v) / (2.0 * ds);
+      if (a < a_min - 1e-9 || a > a_max + 1e-9) continue;
+      hops[j].push_back(Hop{j2, static_cast<float>(ds / v_mid), static_cast<float>(a)});
+    }
+  }
+
+  // Transition energy cost [mAh] per (grade class, j, j2). Few grade values
+  // exist along a route, so tables are cached per class.
+  std::map<long, std::vector<float>> cost_by_grade;
+  std::vector<const std::vector<float>*> layer_cost(n_layers - 1, nullptr);
+  for (std::size_t i = 0; i + 1 < n_layers; ++i) {
+    const double s_mid = (static_cast<double>(i) + 0.5) * ds;
+    const double grade = route.grade_at(s_mid);
+    const long key = std::lround(grade * 1e9);
+    auto [it, inserted] = cost_by_grade.try_emplace(key);
+    if (inserted) {
+      std::vector<float>& table = it->second;
+      table.assign(n_v * n_v, kInf);
+      for (std::size_t j = 0; j < n_v; ++j) {
+        const double v = static_cast<double>(j) * res.dv_ms;
+        for (const Hop& hop : hops[j]) {
+          const double v2 = static_cast<double>(hop.j_to) * res.dv_ms;
+          const double v_mid = 0.5 * (v + v2);
+          const double mah =
+              ah_to_mah(as_to_ah(energy.current_a(v_mid, hop.accel, grade) * hop.dt));
+          table[j * n_v + hop.j_to] = static_cast<float>(mah);
+        }
+      }
+    }
+    layer_cost[i] = &it->second;
+  }
+
+  // Per-layer speed cap (posted limit at the layer's position).
+  std::vector<double> layer_limit(n_layers);
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    layer_limit[i] = route.speed_limit_at(static_cast<double>(i) * ds);
+  }
+
+  // State tables.
+  const std::size_t layer_size = n_v * n_t;
+  std::vector<float> cost(n_layers * layer_size, kInf);
+  std::vector<float> time(n_layers * layer_size, 0.0f);
+  std::vector<std::uint32_t> back(n_layers * layer_size, kNoPred);
+  const auto idx = [&](std::size_t i, std::size_t j, std::size_t k) {
+    return i * layer_size + j * n_t + k;
+  };
+
+  // Idle cost plus the explicit value of time (see DpProblem); both apply to
+  // every second whether driving or waiting.
+  const double lambda = problem.time_weight_mah_per_s;
+  const double idle_mah_s = ah_to_mah(as_to_ah(energy.accessory_current_a())) + lambda;
+
+  // Boundary velocity levels (Eq. 7d by default; replans may start moving).
+  const auto snap_level = [&](double v) {
+    const auto j = static_cast<std::size_t>(std::lround(v / res.dv_ms));
+    if (j >= n_v) throw std::invalid_argument("solve_dp: boundary speed above the velocity grid");
+    return j;
+  };
+  const std::size_t j_source = snap_level(problem.initial_speed_ms);
+  const std::size_t j_dest = snap_level(problem.final_speed_ms);
+
+  // Source state at the departure time.
+  cost[idx(0, j_source, 0)] = 0.0f;
+  time[idx(0, j_source, 0)] = static_cast<float>(problem.depart_time_s);
+
+  DpStats stats;
+  stats.layers = n_layers;
+  stats.velocity_levels = n_v;
+  stats.time_bins = n_t;
+
+  for (std::size_t i = 0; i + 1 < n_layers; ++i) {
+    const LayerEvent* event = event_at[i];
+    const bool is_sign = event && event->type == LayerEvent::Type::kStopSign;
+    const bool is_signal = event && event->type == LayerEvent::Type::kSignal;
+
+    // Dwell expansion: waiting in place at v = 0 (time bins ascending so
+    // chains of waits propagate within the layer).
+    for (std::size_t k = 0; k + 1 < n_t; ++k) {
+      const std::size_t from = idx(i, 0, k);
+      if (cost[from] >= kInf) continue;
+      const float new_cost = cost[from] + static_cast<float>(idle_mah_s * res.dt_s);
+      const std::size_t to = idx(i, 0, k + 1);
+      if (new_cost < cost[to]) {
+        cost[to] = new_cost;
+        time[to] = time[from] + static_cast<float>(res.dt_s);
+        back[to] = pack_pred(0, k, /*dwell=*/true);
+      }
+    }
+
+    // Forward hops to layer i+1.
+    const std::vector<float>& costs = *layer_cost[i];
+    const double next_limit = layer_limit[i + 1];
+    const LayerEvent* next_event = event_at[i + 1];
+    const bool next_is_sign = next_event && next_event->type == LayerEvent::Type::kStopSign;
+    const bool next_is_dest = (i + 1 == n_layers - 1);
+    for (std::size_t j = 0; j < n_v; ++j) {
+      if (is_sign && j != 0) continue;  // stop signs are left from standstill
+      for (std::size_t k = 0; k < n_t; ++k) {
+        const std::size_t from = idx(i, j, k);
+        const float c0 = cost[from];
+        if (c0 >= kInf) continue;
+        float t0 = time[from];
+        float extra_cost = 0.0f;
+        if (is_sign) {
+          // Mandatory standstill before proceeding (Eq. 7c + dwell).
+          t0 += static_cast<float>(event->dwell_s);
+          extra_cost += static_cast<float>(idle_mah_s * event->dwell_s);
+        }
+        // Signal crossing happens when leaving the signal's layer.
+        bool inside_window = true;
+        if (is_signal && event->enforce_windows) {
+          inside_window = in_any_window(event->windows, static_cast<double>(t0));
+        }
+        for (const Hop& hop : hops[j]) {
+          const double v2 = static_cast<double>(hop.j_to) * res.dv_ms;
+          if (v2 > next_limit + 1e-9) continue;
+          if (next_is_sign && hop.j_to != 0) continue;      // stop signs: arrive stopped
+          if (next_is_dest && hop.j_to != j_dest) continue;  // terminal speed constraint
+          const float arrive_t = t0 + hop.dt;
+          const double elapsed = static_cast<double>(arrive_t) - problem.depart_time_s;
+          if (elapsed >= res.horizon_s) continue;
+          const auto k2 = static_cast<std::size_t>(elapsed / res.dt_s);
+          float hop_cost = costs[j * n_v + hop.j_to];
+          if (is_signal && event->enforce_windows) {
+            hop_cost = static_cast<float>(
+                penalized_cost(problem.penalty, static_cast<double>(hop_cost), inside_window));
+            if (!std::isfinite(hop_cost)) continue;
+          }
+          hop_cost += static_cast<float>(lambda * hop.dt);
+          hop_cost += static_cast<float>(problem.smoothness_weight_mah_per_ms *
+                                         std::abs(static_cast<double>(hop.j_to) - static_cast<double>(j)) *
+                                         res.dv_ms);
+          const float new_cost = c0 + extra_cost + hop_cost;
+          const std::size_t to = idx(i + 1, hop.j_to, k2);
+          ++stats.relaxations;
+          if (new_cost < cost[to]) {
+            cost[to] = new_cost;
+            time[to] = arrive_t;
+            back[to] = pack_pred(j, k, /*dwell=*/false);
+          }
+        }
+      }
+    }
+  }
+
+  // Destination at the terminal speed; among optima prefer the earliest arrival.
+  std::size_t best_k = n_t;
+  float best_cost = kInf;
+  for (std::size_t k = 0; k < n_t; ++k) {
+    const std::size_t id = idx(n_layers - 1, j_dest, k);
+    if (cost[id] < best_cost - 1e-9f ||
+        (std::abs(cost[id] - best_cost) <= 1e-9f && best_k < n_t &&
+         time[id] < time[idx(n_layers - 1, j_dest, best_k)])) {
+      if (cost[id] < kInf) {
+        best_cost = cost[id];
+        best_k = k;
+      }
+    }
+  }
+  if (best_k == n_t) return std::nullopt;
+  stats.best_cost_mah = static_cast<double>(best_cost);
+
+  // Backtrack.
+  struct RawNode {
+    std::size_t i, j, k;
+  };
+  std::vector<RawNode> chain;
+  std::size_t ci = n_layers - 1;
+  std::size_t cj = j_dest;
+  std::size_t ck = best_k;
+  while (true) {
+    chain.push_back(RawNode{ci, cj, ck});
+    const std::uint32_t p = back[idx(ci, cj, ck)];
+    if (p == kNoPred) break;
+    const bool dwell = pred_is_dwell(p);
+    const std::size_t pj = pred_j(p);
+    const std::size_t pk = pred_k(p);
+    if (!dwell) {
+      if (ci == 0) break;
+      --ci;
+    }
+    cj = pj;
+    ck = pk;
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  std::vector<PlanNode> nodes;
+  nodes.reserve(chain.size() + problem.events.size());
+  for (std::size_t n = 0; n < chain.size(); ++n) {
+    const RawNode& r = chain[n];
+    PlanNode node;
+    node.position_m = static_cast<double>(r.i) * ds;
+    node.speed_ms = static_cast<double>(r.j) * res.dv_ms;
+    node.time_s = static_cast<double>(time[idx(r.i, r.j, r.k)]);
+    // Materialize the mandatory stop-sign dwell as an explicit node so the
+    // time-domain expansion shows the standstill.
+    if (n > 0 && !nodes.empty()) {
+      const RawNode& prev = chain[n - 1];
+      const LayerEvent* pe = event_at[prev.i];
+      if (pe && pe->type == LayerEvent::Type::kStopSign && prev.i != r.i && pe->dwell_s > 0.0) {
+        PlanNode wait = nodes.back();
+        wait.time_s += pe->dwell_s;
+        nodes.push_back(wait);
+      }
+    }
+    nodes.push_back(node);
+  }
+
+  // Annotate cumulative *physical* charge along the plan (the solver's state
+  // cost additionally carries the time-value term and penalties, which are
+  // optimizer-internal).
+  const double phys_idle_mah_s = ah_to_mah(as_to_ah(energy.accessory_current_a()));
+  for (std::size_t n = 1; n < nodes.size(); ++n) {
+    PlanNode& cur = nodes[n];
+    const PlanNode& prev = nodes[n - 1];
+    const double dt = cur.time_s - prev.time_s;
+    const double dist = cur.position_m - prev.position_m;
+    double delta = 0.0;
+    if (dist < 1e-9) {
+      delta = phys_idle_mah_s * dt;  // dwell
+    } else {
+      const double v_mid = 0.5 * (prev.speed_ms + cur.speed_ms);
+      const double a = (cur.speed_ms * cur.speed_ms - prev.speed_ms * prev.speed_ms) / (2.0 * dist);
+      const double grade = route.grade_at(prev.position_m + 0.5 * dist);
+      delta = ah_to_mah(as_to_ah(energy.current_a(v_mid, a, grade) * dt));
+    }
+    cur.energy_mah = prev.energy_mah + delta;
+  }
+
+  return DpSolution{PlannedProfile(std::move(nodes)), stats};
+}
+
+}  // namespace evvo::core

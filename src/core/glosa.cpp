@@ -1,0 +1,64 @@
+#include "core/glosa.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace evvo::core {
+
+GlosaAdvisor::GlosaAdvisor(road::Corridor corridor, GlosaConfig config,
+                           std::shared_ptr<const traffic::ArrivalRateProvider> arrivals)
+    : corridor_(std::move(corridor)), config_(config), arrivals_(std::move(arrivals)) {
+  if (config_.min_advisory_ms <= 0.0)
+    throw std::invalid_argument("GlosaAdvisor: min advisory speed must be positive");
+  if (config_.cruise_factor <= 0.0 || config_.cruise_factor > 1.0)
+    throw std::invalid_argument("GlosaAdvisor: cruise factor must be in (0, 1]");
+  if (config_.queue_aware && !arrivals_)
+    throw std::invalid_argument("GlosaAdvisor: queue-aware mode needs arrival rates");
+}
+
+const road::TrafficLight* GlosaAdvisor::next_light(double position_m) const {
+  for (const auto& light : corridor_.lights) {
+    if (light.position() > position_m + 1.0) return &light;
+  }
+  return nullptr;
+}
+
+std::vector<road::TimeWindow> GlosaAdvisor::windows_for(const road::TrafficLight& light, double t0,
+                                                        double t1) const {
+  if (!config_.queue_aware) return light.green_windows(t0, t1);
+  const traffic::QueuePredictor predictor(light, traffic::QueueModel(config_.vm), arrivals_);
+  return predictor.zero_queue_windows(t0, t1);
+}
+
+double GlosaAdvisor::advise(double position_m, double time_s) const {
+  const double cruise =
+      config_.cruise_factor * corridor_.route.speed_limit_at(std::max(0.0, position_m));
+  const road::TrafficLight* light = next_light(position_m);
+  if (!light) return cruise;
+
+  const double distance = light->position() - position_m;
+  const double earliest_arrival = time_s + distance / cruise;
+  // Consider windows from the earliest physically attainable arrival onward.
+  const auto windows = windows_for(*light, earliest_arrival, earliest_arrival + 300.0);
+  if (windows.empty()) return cruise;  // saturated: no advice beats cruising
+
+  for (const auto& w : windows) {
+    // Can we arrive inside this window at a reasonable speed?
+    const double latest_start = std::max(w.start_s, earliest_arrival);
+    if (latest_start >= w.end_s) continue;
+    const double needed = distance / (latest_start - time_s);
+    if (needed >= config_.min_advisory_ms && needed <= cruise + 1e-9) {
+      return std::max(needed, config_.min_advisory_ms);
+    }
+  }
+  // Every attainable window needs a speed below the floor: crawl at the floor
+  // (the simulator's red-light logic will hold the vehicle if needed).
+  return config_.min_advisory_ms;
+}
+
+std::function<double(double, double)> GlosaAdvisor::target_speed_fn() const {
+  const auto self = std::make_shared<GlosaAdvisor>(*this);
+  return [self](double position, double time) { return self->advise(position, time); };
+}
+
+}  // namespace evvo::core

@@ -1,0 +1,56 @@
+// Heuristic GLOSA (Green-Light Optimal Speed Advisory) baseline.
+//
+// The paper's related work compares against GLOSA-style advisories
+// (Seredynski et al. [17]): instead of a global DP, the vehicle continuously
+// adjusts a target speed so it arrives at the *next* signal inside a green
+// window (optionally a queue-aware window). This is the classic reactive
+// advisory; comparing it against the DP planner quantifies what global
+// optimization buys over per-light greedy advice.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "road/corridor.hpp"
+#include "traffic/queue_model.hpp"
+#include "traffic/queue_predictor.hpp"
+
+namespace evvo::core {
+
+struct GlosaConfig {
+  double min_advisory_ms = 4.0;   ///< never advise crawling below this
+  double cruise_factor = 0.95;    ///< free-flow advisory as a fraction of the limit
+  /// When true, the advisor targets zero-queue windows (queue-aware GLOSA);
+  /// when false, raw green phases (classic GLOSA).
+  bool queue_aware = false;
+  traffic::VmParams vm{};
+};
+
+/// Stateless per-step advisory speed: given the vehicle's position and the
+/// current time, the speed that reaches the next signal inside the next
+/// attainable window. Usable directly as a sim::TargetSpeedFn.
+class GlosaAdvisor {
+ public:
+  GlosaAdvisor(road::Corridor corridor, GlosaConfig config,
+               std::shared_ptr<const traffic::ArrivalRateProvider> arrivals = nullptr);
+
+  /// Advisory speed [m/s] at (position, time).
+  double advise(double position_m, double time_s) const;
+
+  /// Adapter for sim::execute_planned_profile.
+  std::function<double(double, double)> target_speed_fn() const;
+
+ private:
+  /// The next light strictly ahead of `position`, or nullptr.
+  const road::TrafficLight* next_light(double position_m) const;
+
+  /// Windows for one light over [t0, t1] under the configured mode.
+  std::vector<road::TimeWindow> windows_for(const road::TrafficLight& light, double t0,
+                                            double t1) const;
+
+  road::Corridor corridor_;
+  GlosaConfig config_;
+  std::shared_ptr<const traffic::ArrivalRateProvider> arrivals_;
+};
+
+}  // namespace evvo::core

@@ -1,0 +1,36 @@
+#include "core/penalty.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace evvo::core {
+
+void PenaltyConfig::validate() const {
+  if (m <= 1.0) throw std::invalid_argument("PenaltyConfig: M must exceed 1");
+  if (additive_mah <= 0.0) throw std::invalid_argument("PenaltyConfig: additive penalty must be positive");
+  if (min_cost_mah < 0.0) throw std::invalid_argument("PenaltyConfig: penalty floor must be >= 0");
+}
+
+double penalized_cost(const PenaltyConfig& config, double cost_mah, bool inside_window) {
+  if (inside_window) return cost_mah;
+  switch (config.mode) {
+    case PenaltyMode::kMultiplicative:
+      // |cost| keeps regenerative (negative) transitions from being rewarded;
+      // the floor keeps near-zero-energy crossings from dodging the penalty.
+      return config.m * std::max(std::abs(cost_mah), config.min_cost_mah);
+    case PenaltyMode::kAdditive:
+      return cost_mah + config.additive_mah;
+    case PenaltyMode::kHard:
+      return std::numeric_limits<double>::infinity();
+  }
+  return cost_mah;  // unreachable
+}
+
+bool in_any_window(const std::vector<road::TimeWindow>& windows, double t) {
+  return std::any_of(windows.begin(), windows.end(),
+                     [t](const road::TimeWindow& w) { return w.contains(t); });
+}
+
+}  // namespace evvo::core

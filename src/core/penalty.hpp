@@ -1,0 +1,45 @@
+// The zero-queue arrival penalty of paper Eq. (11)-(12).
+//
+// The paper multiplies the transition energy by a large constant M when the
+// arrival time at a signal misses the zero-queue window T_q. A literal
+// multiplication misbehaves when the transition energy is negative (regen):
+// M * zeta would then *reward* missing the window. The default mode therefore
+// multiplies the magnitude; additive and hard-constraint modes are provided
+// for the ablation bench.
+#pragma once
+
+#include <vector>
+
+#include "road/signals.hpp"
+
+namespace evvo::core {
+
+enum class PenaltyMode {
+  kMultiplicative,  ///< paper Eq. (12), applied to |cost|
+  kAdditive,        ///< fixed charge added per out-of-window crossing
+  kHard,            ///< out-of-window crossings are infeasible (+inf)
+};
+
+struct PenaltyConfig {
+  PenaltyMode mode = PenaltyMode::kMultiplicative;
+  double m = 1000.0;            ///< the paper's large constant M
+  double additive_mah = 500.0;  ///< used by kAdditive
+  /// Floor on the magnitude the multiplicative penalty scales. Without it the
+  /// optimizer can "game" M * |zeta| by crossing with a transition whose
+  /// traction energy cancels the accessory draw (net ~0), making the penalty
+  /// vanish; the floor makes every out-of-window crossing cost at least
+  /// m * min_cost_mah.
+  double min_cost_mah = 1.0;
+
+  void validate() const;
+};
+
+/// Eq. (11)-(12): cost of a signal-crossing transition with base energy
+/// `cost_mah`, given whether the crossing time lies in T_q. Returns +inf in
+/// hard mode when outside.
+double penalized_cost(const PenaltyConfig& config, double cost_mah, bool inside_window);
+
+/// Is t inside any window of the set? (T_q membership test.)
+bool in_any_window(const std::vector<road::TimeWindow>& windows, double t);
+
+}  // namespace evvo::core

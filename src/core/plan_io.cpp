@@ -1,0 +1,36 @@
+#include "core/plan_io.hpp"
+
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace evvo::core {
+
+void save_plan_csv(const std::filesystem::path& path, const PlannedProfile& profile) {
+  CsvTable table;
+  table.columns = {"position_m", "speed_ms", "time_s", "energy_mah"};
+  for (const PlanNode& node : profile.nodes()) {
+    table.add_row({node.position_m, node.speed_ms, node.time_s, node.energy_mah});
+  }
+  write_csv(path, table);
+}
+
+PlannedProfile load_plan_csv(const std::filesystem::path& path) {
+  const CsvTable table = read_csv(path);
+  const auto positions = table.column("position_m");
+  const auto speeds = table.column("speed_ms");
+  const auto times = table.column("time_s");
+  const auto energies = table.column("energy_mah");
+  std::vector<PlanNode> nodes;
+  nodes.reserve(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    nodes.push_back(PlanNode{positions[i], speeds[i], times[i], energies[i]});
+  }
+  try {
+    return PlannedProfile(std::move(nodes));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("load_plan_csv: invalid profile: ") + e.what());
+  }
+}
+
+}  // namespace evvo::core

@@ -1,0 +1,19 @@
+// Planned-profile serialization: the wire/disk format for shipping optimal
+// profiles between the cloud planner and vehicles (position, speed, time,
+// cumulative energy per node).
+#pragma once
+
+#include <filesystem>
+
+#include "core/planned_profile.hpp"
+
+namespace evvo::core {
+
+/// Writes `position_m,speed_ms,time_s,energy_mah` rows, one per plan node.
+void save_plan_csv(const std::filesystem::path& path, const PlannedProfile& profile);
+
+/// Loads a profile saved by save_plan_csv. Throws std::runtime_error on
+/// malformed files (PlannedProfile's own monotonicity validation applies).
+PlannedProfile load_plan_csv(const std::filesystem::path& path);
+
+}  // namespace evvo::core

@@ -1,0 +1,126 @@
+#include "core/planned_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "common/math_util.hpp"
+
+namespace evvo::core {
+
+PlannedProfile::PlannedProfile(std::vector<PlanNode> nodes) : nodes_(std::move(nodes)) {
+  if (nodes_.size() < 2) throw std::invalid_argument("PlannedProfile: needs at least two nodes");
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i].position_m < nodes_[i - 1].position_m - 1e-9)
+      throw std::invalid_argument("PlannedProfile: positions must be nondecreasing");
+    if (nodes_[i].time_s < nodes_[i - 1].time_s - 1e-9)
+      throw std::invalid_argument("PlannedProfile: times must be nondecreasing");
+  }
+}
+
+double PlannedProfile::speed_at_position(double s) const {
+  if (s <= nodes_.front().position_m) return nodes_.front().speed_ms;
+  if (s >= nodes_.back().position_m) return nodes_.back().speed_ms;
+  // Find the first node at or beyond s; interpolate on the moving segment
+  // ending there (dwell nodes share a position, so use the last node at the
+  // segment's start).
+  std::size_t hi = 1;
+  while (hi < nodes_.size() && nodes_[hi].position_m < s) ++hi;
+  const PlanNode& b = nodes_[hi];
+  const PlanNode& a = nodes_[hi - 1];  // last node at the segment start (dwells share positions)
+  const double ds = b.position_m - a.position_m;
+  if (ds <= 1e-12) return b.speed_ms;
+  // Constant acceleration over distance: v(s)^2 = v_a^2 + (v_b^2 - v_a^2) * x.
+  const double x = (s - a.position_m) / ds;
+  const double v2 = a.speed_ms * a.speed_ms + (b.speed_ms * b.speed_ms - a.speed_ms * a.speed_ms) * x;
+  return std::sqrt(std::max(0.0, v2));
+}
+
+double PlannedProfile::time_at_position(double s) const {
+  if (s <= nodes_.front().position_m) return nodes_.front().time_s;
+  if (s >= nodes_.back().position_m) return nodes_.back().time_s;
+  std::size_t hi = 1;
+  while (hi < nodes_.size() && nodes_[hi].position_m < s) ++hi;
+  const PlanNode& a = nodes_[hi - 1];
+  const PlanNode& b = nodes_[hi];
+  const double ds = b.position_m - a.position_m;
+  if (ds <= 1e-12) return a.time_s;
+  const double v_mid = 0.5 * (a.speed_ms + speed_at_position(s));
+  if (v_mid <= 1e-9) return a.time_s;
+  return a.time_s + (s - a.position_m) / std::max(v_mid, 0.1);
+}
+
+double PlannedProfile::departure_time_at(double s) const {
+  // The last node lying at (or within a whisker of) position s marks the end
+  // of any dwell there.
+  double depart = -1.0;
+  for (const PlanNode& node : nodes_) {
+    if (std::abs(node.position_m - s) <= 1e-6) depart = node.time_s;
+    if (node.position_m > s + 1e-6) break;
+  }
+  return depart >= 0.0 ? depart : time_at_position(s);
+}
+
+double PlannedProfile::dwell_time() const {
+  double total = 0.0;
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i].position_m - nodes_[i - 1].position_m < 1e-9) {
+      total += nodes_[i].time_s - nodes_[i - 1].time_s;
+    }
+  }
+  return total;
+}
+
+int PlannedProfile::planned_stops() const {
+  int stops = 0;
+  bool in_dwell = false;
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    const bool dwell = nodes_[i].position_m - nodes_[i - 1].position_m < 1e-9 &&
+                       nodes_[i].time_s > nodes_[i - 1].time_s + 1e-9;
+    if (dwell && !in_dwell && i > 1) ++stops;  // leading dwell at the source is departure idling
+    in_dwell = dwell;
+  }
+  return stops;
+}
+
+ev::DriveCycle PlannedProfile::to_drive_cycle(double dt_s) const {
+  if (dt_s <= 0.0) throw std::invalid_argument("PlannedProfile::to_drive_cycle: dt must be positive");
+  std::vector<double> speeds;
+  const double t0 = depart_time();
+  const double t1 = arrival_time();
+  std::size_t seg = 0;
+  for (double t = t0; t <= t1 + 1e-9; t += dt_s) {
+    while (seg + 1 < nodes_.size() && nodes_[seg + 1].time_s < t) ++seg;
+    if (seg + 1 >= nodes_.size()) {
+      speeds.push_back(nodes_.back().speed_ms);
+      continue;
+    }
+    const PlanNode& a = nodes_[seg];
+    const PlanNode& b = nodes_[seg + 1];
+    const double span = b.time_s - a.time_s;
+    const double frac = span > 1e-12 ? clamp((t - a.time_s) / span, 0.0, 1.0) : 1.0;
+    speeds.push_back(lerp(a.speed_ms, b.speed_ms, frac));
+  }
+  return ev::DriveCycle(std::move(speeds), dt_s);
+}
+
+PlannedProfile PlannedProfile::shifted(double position_offset_m) const {
+  std::vector<PlanNode> nodes = nodes_;
+  for (PlanNode& node : nodes) node.position_m += position_offset_m;
+  return PlannedProfile(std::move(nodes));
+}
+
+PlannedProfile PlannedProfile::time_shifted(double time_offset_s) const {
+  std::vector<PlanNode> nodes = nodes_;
+  for (PlanNode& node : nodes) node.time_s += time_offset_s;
+  return PlannedProfile(std::move(nodes));
+}
+
+std::function<double(double, double)> PlannedProfile::target_speed_fn() const {
+  // Copy the nodes so the callable outlives the profile if needed.
+  const auto self = std::make_shared<PlannedProfile>(*this);
+  return [self](double position, double /*time*/) { return self->speed_at_position(position); };
+}
+
+}  // namespace evvo::core

@@ -1,0 +1,72 @@
+// The optimizer's output: an optimal velocity profile over a route,
+// v*(s_i) with arrival times and per-transition energy (paper Eq. 8).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ev/drive_cycle.hpp"
+
+namespace evvo::core {
+
+/// One grid point of the plan. Consecutive nodes with the same position and
+/// zero velocity represent waiting (dwell) at that point.
+struct PlanNode {
+  double position_m = 0.0;
+  double speed_ms = 0.0;
+  double time_s = 0.0;        ///< absolute arrival time at this node
+  double energy_mah = 0.0;    ///< cumulative charge consumed up to this node
+};
+
+/// A planned velocity profile: monotone in time, piecewise-constant
+/// acceleration between nodes, possibly with dwells at stop points.
+class PlannedProfile {
+ public:
+  explicit PlannedProfile(std::vector<PlanNode> nodes);
+
+  const std::vector<PlanNode>& nodes() const { return nodes_; }
+  bool empty() const { return nodes_.empty(); }
+
+  double depart_time() const { return nodes_.front().time_s; }
+  double arrival_time() const { return nodes_.back().time_s; }
+  double trip_time() const { return arrival_time() - depart_time(); }
+  double total_energy_mah() const { return nodes_.back().energy_mah; }
+  double length() const { return nodes_.back().position_m - nodes_.front().position_m; }
+
+  /// Planned speed at position s [m/s] (within-dwell positions report 0).
+  double speed_at_position(double s) const;
+
+  /// Absolute time at which the plan reaches position s (first arrival).
+  double time_at_position(double s) const;
+
+  /// Absolute time at which the plan *leaves* position s: equals
+  /// time_at_position(s) except at dwell points (stop lines), where it is the
+  /// end of the wait - the signal-crossing time the Eq. (11) windows test.
+  double departure_time_at(double s) const;
+
+  /// Total time spent dwelling (v = 0 while position holds still) [s].
+  double dwell_time() const;
+
+  /// Number of planned stops (dwell episodes).
+  int planned_stops() const;
+
+  /// Expands the plan into a fixed-step time-domain cycle (for the energy
+  /// evaluator and the Fig. 6-8 series). Sampling starts at depart_time().
+  ev::DriveCycle to_drive_cycle(double dt_s) const;
+
+  /// Callable (position, time) -> target speed for the TraCI executor.
+  std::function<double(double, double)> target_speed_fn() const;
+
+  /// A copy with every position shifted by `position_offset_m` (used to map a
+  /// replanned suffix back into the original corridor's coordinates).
+  PlannedProfile shifted(double position_offset_m) const;
+
+  /// A copy with every node time shifted by `time_offset_s` (serving a cached
+  /// plan at a departure time congruent modulo the signals' hyperperiod).
+  PlannedProfile time_shifted(double time_offset_s) const;
+
+ private:
+  std::vector<PlanNode> nodes_;
+};
+
+}  // namespace evvo::core

@@ -1,0 +1,89 @@
+// High-level velocity-optimization facade: corridor + energy model +
+// signal policy -> optimal velocity profile.
+//
+// Three signal policies implement the paper's three planners:
+//  - kQueueAware   : the proposed method (T_q from the QL model, Eq. 11-12)
+//  - kGreenWindow  : the "current DP" baseline [2] (green phases assumed
+//                    queue-free, i.e. vehicles pass the instant the light is
+//                    green)
+//  - kIgnoreSignals: classic stop-sign-only DP (lower bound / ablation)
+#pragma once
+
+#include <memory>
+
+#include "core/dp_solver.hpp"
+#include "ev/energy_model.hpp"
+#include "road/corridor.hpp"
+#include "traffic/queue_model.hpp"
+#include "traffic/queue_predictor.hpp"
+
+namespace evvo::core {
+
+enum class SignalPolicy {
+  kQueueAware,
+  kGreenWindow,
+  kIgnoreSignals,
+};
+
+const char* signal_policy_name(SignalPolicy policy);
+
+struct PlannerConfig {
+  DpResolution resolution{};
+  PenaltyConfig penalty{};
+  SignalPolicy policy = SignalPolicy::kQueueAware;
+  traffic::VmParams vm{};  ///< QL/VM parameters for queue-aware planning
+  traffic::DischargeModel discharge = traffic::DischargeModel::kVmAcceleration;
+  /// Value of trip time (see DpProblem::time_weight_mah_per_s). The default
+  /// is calibrated so the optimal profile's trip time matches the paper's
+  /// fast-driving trip time on the US-25 corridor; 0 = pure energy.
+  double time_weight_mah_per_s = 5.0;
+  /// Safety margin carved off each predicted window: the start is pushed
+  /// later (queue-clearance prediction error) and the end pulled earlier
+  /// (don't cross at the instant the light flips). Windows that vanish are
+  /// dropped.
+  double window_start_margin_s = 2.0;
+  double window_end_margin_s = 4.0;
+  /// Smoothness tie-breaker (see DpProblem::smoothness_weight_mah_per_ms).
+  double smoothness_weight_mah_per_ms = 0.3;
+};
+
+class VelocityPlanner {
+ public:
+  VelocityPlanner(road::Corridor corridor, ev::EnergyModel energy, PlannerConfig config = {});
+
+  const road::Corridor& corridor() const { return corridor_; }
+  const ev::EnergyModel& energy_model() const { return energy_; }
+  const PlannerConfig& config() const { return config_; }
+
+  /// The regulatory events (with predicted T_q windows under the configured
+  /// policy) for a trip departing at `depart_time_s`. Exposed so experiments
+  /// can inspect the windows the optimizer targets. `arrivals` feeds the QL
+  /// model and is required for kQueueAware.
+  std::vector<LayerEvent> build_events(
+      double depart_time_s, std::shared_ptr<const traffic::ArrivalRateProvider> arrivals) const;
+
+  /// Plans the full trip (source and destination at rest, Eq. 7d). Throws
+  /// std::runtime_error if no feasible trajectory exists within the horizon.
+  PlannedProfile plan(double depart_time_s,
+                      std::shared_ptr<const traffic::ArrivalRateProvider> arrivals = nullptr) const;
+
+  /// plan() plus solver diagnostics.
+  DpSolution plan_with_stats(
+      double depart_time_s,
+      std::shared_ptr<const traffic::ArrivalRateProvider> arrivals = nullptr) const;
+
+  /// Replans the remaining trip from a mid-route state: current position on
+  /// the corridor, current speed (snapped to the velocity grid), current
+  /// time. The returned profile is expressed in the original corridor
+  /// coordinates (it starts at `position_m`). Regulatory elements within one
+  /// grid step of the position are treated as already passed.
+  PlannedProfile replan(double position_m, double speed_ms, double time_s,
+                        std::shared_ptr<const traffic::ArrivalRateProvider> arrivals = nullptr) const;
+
+ private:
+  road::Corridor corridor_;
+  ev::EnergyModel energy_;
+  PlannerConfig config_;
+};
+
+}  // namespace evvo::core

@@ -1,0 +1,23 @@
+#include "core/profile_eval.hpp"
+
+#include <stdexcept>
+
+namespace evvo::core {
+
+ProfileEvaluation evaluate_cycle(const ev::EnergyModel& model, const road::Route& route,
+                                 const ev::DriveCycle& cycle) {
+  ProfileEvaluation eval;
+  eval.energy = model.trip(cycle, [&route](double s) { return route.grade_at(s); });
+  eval.trip_time_s = cycle.duration();
+  eval.distance_m = cycle.distance();
+  eval.max_speed_ms = cycle.max_speed();
+  eval.stops = cycle.stop_count();
+  return eval;
+}
+
+double percent_saving(double baseline, double candidate) {
+  if (baseline == 0.0) throw std::invalid_argument("percent_saving: zero baseline");
+  return (baseline - candidate) / baseline * 100.0;
+}
+
+}  // namespace evvo::core

@@ -1,0 +1,27 @@
+// Uniform evaluation of velocity profiles (planned, human, or simulator-
+// derived) so every bar in Fig. 7(b) and every curve in Fig. 8 is accounted
+// with the same energy model over the same road.
+#pragma once
+
+#include "ev/drive_cycle.hpp"
+#include "ev/energy_model.hpp"
+#include "road/route.hpp"
+
+namespace evvo::core {
+
+struct ProfileEvaluation {
+  ev::TripEnergy energy;
+  double trip_time_s = 0.0;
+  double distance_m = 0.0;
+  double max_speed_ms = 0.0;
+  int stops = 0;
+};
+
+/// Evaluates a time-domain cycle over a route (grade-aware).
+ProfileEvaluation evaluate_cycle(const ev::EnergyModel& model, const road::Route& route,
+                                 const ev::DriveCycle& cycle);
+
+/// Percentage saving of `candidate` relative to `baseline` (positive = candidate better).
+double percent_saving(double baseline, double candidate);
+
+}  // namespace evvo::core

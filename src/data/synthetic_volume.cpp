@@ -1,0 +1,68 @@
+#include "data/synthetic_volume.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/random.hpp"
+#include "common/units.hpp"
+
+namespace evvo::data {
+
+namespace {
+/// Gaussian bump centered at `center` hours with width `sigma` hours.
+double bump(double hour, double center, double sigma) {
+  const double d = (hour - center) / sigma;
+  return std::exp(-0.5 * d * d);
+}
+}  // namespace
+
+double expected_volume(const VolumePatternConfig& c, int hour_of_day, int day_of_week) {
+  if (hour_of_day < 0 || hour_of_day >= kHoursPerDay)
+    throw std::invalid_argument("expected_volume: hour out of range");
+  if (day_of_week < 0 || day_of_week >= kDaysPerWeek)
+    throw std::invalid_argument("expected_volume: day out of range");
+  const double h = hour_of_day + 0.5;  // bucket midpoint
+  const bool weekend = day_of_week >= 5;
+  if (weekend) {
+    // Single broad midday hump.
+    const double peak = c.weekend_scale * 0.5 * (c.morning_peak_veh_h + c.evening_peak_veh_h);
+    return c.night_base_veh_h + (peak - c.night_base_veh_h) * bump(h, 14.0, 4.5);
+  }
+  const double am = (c.morning_peak_veh_h - c.night_base_veh_h) * bump(h, 7.5, 1.6);
+  const double pm = (c.evening_peak_veh_h - c.night_base_veh_h) * bump(h, 17.5, 1.9);
+  const double midday = (c.midday_veh_h - c.night_base_veh_h) * bump(h, 12.5, 3.5);
+  // Peaks dominate where they overlap the midday plateau.
+  return c.night_base_veh_h + std::max({am, pm, midday});
+}
+
+traffic::HourlyVolumeSeries generate_hourly_volumes(const VolumePatternConfig& c, int weeks) {
+  if (weeks <= 0) throw std::invalid_argument("generate_hourly_volumes: weeks must be positive");
+  if (c.noise_fraction < 0.0) throw std::invalid_argument("generate_hourly_volumes: negative noise");
+  Rng rng(c.seed);
+  std::vector<double> volumes;
+  volumes.reserve(static_cast<std::size_t>(weeks) * kHoursPerWeek);
+  for (int week = 0; week < weeks; ++week) {
+    for (int day = 0; day < kDaysPerWeek; ++day) {
+      const bool incident = rng.bernoulli(c.incident_probability_per_day);
+      const double day_scale =
+          incident ? rng.uniform(c.incident_scale_low, c.incident_scale_high) : 1.0;
+      for (int hour = 0; hour < kHoursPerDay; ++hour) {
+        const double mean = expected_volume(c, hour, day) * day_scale;
+        const double noisy = mean * (1.0 + c.noise_fraction * rng.normal());
+        volumes.push_back(std::max(0.0, noisy));
+      }
+    }
+  }
+  return traffic::HourlyVolumeSeries(std::move(volumes), 0);
+}
+
+VolumeDataset make_us25_dataset(const VolumePatternConfig& config, int train_weeks, int test_weeks) {
+  if (train_weeks <= 0 || test_weeks <= 0)
+    throw std::invalid_argument("make_us25_dataset: week counts must be positive");
+  const traffic::HourlyVolumeSeries all = generate_hourly_volumes(config, train_weeks + test_weeks);
+  auto [train, test] = all.split(static_cast<std::size_t>(train_weeks) * kHoursPerWeek);
+  return VolumeDataset{std::move(train), std::move(test)};
+}
+
+}  // namespace evvo::data

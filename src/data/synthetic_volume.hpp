@@ -1,0 +1,46 @@
+// Synthetic hourly traffic volumes standing in for the SCDoT loop-detector
+// feed the paper trains its SAE on (3 months train + 1 week test).
+//
+// The generator produces a realistic weekly demand pattern: weekday AM/PM
+// commute peaks, a midday plateau, low overnight volumes, a flatter weekend
+// hump, multiplicative sampling noise, and occasional incident days with
+// globally perturbed demand. All stochastic draws are seeded.
+#pragma once
+
+#include <cstdint>
+
+#include "traffic/volume_series.hpp"
+
+namespace evvo::data {
+
+struct VolumePatternConfig {
+  double night_base_veh_h = 120.0;
+  double morning_peak_veh_h = 1400.0;
+  double evening_peak_veh_h = 1600.0;
+  double midday_veh_h = 850.0;
+  double weekend_scale = 0.7;
+  double noise_fraction = 0.05;             ///< stddev of multiplicative noise
+  double incident_probability_per_day = 0.04;
+  double incident_scale_low = 0.6;          ///< incident days scale demand by U(low, high)
+  double incident_scale_high = 1.35;
+  std::uint64_t seed = 7;
+};
+
+/// Deterministic expected volume [veh/h] for a calendar slot (the noiseless
+/// component; exposed so tests can check the sampled series tracks it).
+double expected_volume(const VolumePatternConfig& config, int hour_of_day, int day_of_week);
+
+/// Generates `weeks` whole weeks of hourly volumes starting Monday 00:00.
+traffic::HourlyVolumeSeries generate_hourly_volumes(const VolumePatternConfig& config, int weeks);
+
+/// The paper's experimental protocol: 13 training weeks (~3 months,
+/// 3/1-5/31/2016) + 1 test week (June 6-12, 2016).
+struct VolumeDataset {
+  traffic::HourlyVolumeSeries train;
+  traffic::HourlyVolumeSeries test;
+};
+
+VolumeDataset make_us25_dataset(const VolumePatternConfig& config = {}, int train_weeks = 13,
+                                int test_weeks = 1);
+
+}  // namespace evvo::data

@@ -1,0 +1,59 @@
+#include "data/trace_generator.hpp"
+
+#include <stdexcept>
+
+namespace evvo::data {
+
+sim::DriverParams mild_driver() {
+  sim::DriverParams d;
+  d.desired_speed_ms = 19.0;
+  d.speed_factor = 0.9;   // sits below the limit
+  d.accel_ms2 = 0.9;      // gradual acceleration
+  d.decel_ms2 = 2.0;
+  d.reaction_time_s = 1.1;
+  d.sigma = 0.15;
+  return d;
+}
+
+sim::DriverParams fast_driver() {
+  sim::DriverParams d;
+  d.desired_speed_ms = 25.0;  // capped by the limit via speed_factor
+  d.speed_factor = 1.0;       // at the limit, "without breaking traffic rules"
+  d.accel_ms2 = 2.4;          // accelerates quickly
+  d.decel_ms2 = 3.5;          // brakes late and hard
+  d.reaction_time_s = 0.8;
+  d.sigma = 0.05;
+  return d;
+}
+
+TraceResult record_human_trace(const road::Corridor& corridor, const sim::MicrosimConfig& sim_config,
+                               std::shared_ptr<const traffic::ArrivalRateProvider> demand,
+                               const sim::DriverParams& human, double depart_time_s,
+                               double timeout_s) {
+  sim::Microsim simulator(corridor, sim_config, std::move(demand));
+  simulator.run_until(depart_time_s);
+  const int ego_id = simulator.spawn_ego(0.0, human);
+  TraceResult result;
+  result.depart_time_s = simulator.time();
+  std::vector<double> speeds{0.0};
+  result.positions.push_back(0.0);
+  const double end = corridor.length();
+  const double deadline = simulator.time() + timeout_s;
+  while (simulator.time() < deadline) {
+    simulator.step();
+    const sim::SimVehicle* ego = simulator.find(ego_id);
+    if (!ego) throw std::logic_error("record_human_trace: ego vanished");
+    speeds.push_back(ego->speed_ms);
+    result.positions.push_back(ego->position_m);
+    if (ego->position_m >= end) {
+      result.completed = true;
+      break;
+    }
+  }
+  result.trip_time_s = simulator.time() - result.depart_time_s;
+  result.cycle = ev::DriveCycle(std::move(speeds), sim_config.step_s);
+  simulator.remove_ego();
+  return result;
+}
+
+}  // namespace evvo::data

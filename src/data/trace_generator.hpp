@@ -1,0 +1,40 @@
+// Human driving trace synthesis: the "mild" and "fast" collected velocity
+// profiles of paper Fig. 7(a), reproduced by driving a human-parameterized
+// vehicle through the microsimulator (so stops at signals, queues, and the
+// stop sign emerge naturally rather than being scripted).
+#pragma once
+
+#include <memory>
+
+#include "ev/drive_cycle.hpp"
+#include "road/corridor.hpp"
+#include "sim/microsim.hpp"
+
+namespace evvo::data {
+
+/// A recorded human-style drive over a corridor.
+struct TraceResult {
+  ev::DriveCycle cycle{std::vector<double>{}, 1.0};
+  std::vector<double> positions;
+  double depart_time_s = 0.0;
+  double trip_time_s = 0.0;
+  bool completed = false;
+};
+
+/// "Mild driving": follows limits conservatively, accelerates gently
+/// (paper: "follow minimum velocity limit and accelerate gradually").
+sim::DriverParams mild_driver();
+
+/// "Fast driving": drives at the limit without breaking rules, accelerates
+/// and brakes hard.
+sim::DriverParams fast_driver();
+
+/// Drives a human-parameterized ego through the corridor with background
+/// traffic; records the resulting velocity profile. The simulator is warmed
+/// up until `depart_time_s` before the ego enters at position 0.
+TraceResult record_human_trace(const road::Corridor& corridor, const sim::MicrosimConfig& sim_config,
+                               std::shared_ptr<const traffic::ArrivalRateProvider> demand,
+                               const sim::DriverParams& human, double depart_time_s,
+                               double timeout_s = 1200.0);
+
+}  // namespace evvo::data

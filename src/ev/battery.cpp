@@ -1,0 +1,37 @@
+#include "ev/battery.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace evvo::ev {
+
+BatteryPack::BatteryPack(CellSpec cell, PackLayout layout)
+    : capacity_ah_(cell.capacity_ah * static_cast<double>(layout.parallel_strings)),
+      max_voltage_(cell.max_voltage * static_cast<double>(layout.series_cells)),
+      nominal_voltage_(cell.nominal_voltage * static_cast<double>(layout.series_cells)),
+      cell_count_(layout.series_cells * layout.parallel_strings) {
+  if (layout.series_cells == 0 || layout.parallel_strings == 0)
+    throw std::invalid_argument("BatteryPack: layout must have at least one cell");
+  if (cell.capacity_ah <= 0.0 || cell.max_voltage <= 0.0 || cell.nominal_voltage <= 0.0)
+    throw std::invalid_argument("BatteryPack: cell spec must be positive");
+}
+
+BatteryPack::BatteryPack() : BatteryPack(CellSpec{}, PackLayout{}) {}
+
+double BatteryPack::nominal_energy_kwh() const {
+  return nominal_voltage_ * capacity_ah_ / 1000.0;
+}
+
+void BatteryPack::reset(double soc) {
+  if (soc < 0.0 || soc > 1.0) throw std::invalid_argument("BatteryPack::reset: soc out of [0,1]");
+  soc_ = soc;
+}
+
+double BatteryPack::discharge_ah(double ah) {
+  const double before = soc_ * capacity_ah_;
+  const double after = std::clamp(before - ah, 0.0, capacity_ah_);
+  soc_ = after / capacity_ah_;
+  return before - after;
+}
+
+}  // namespace evvo::ev

@@ -1,0 +1,61 @@
+// Battery pack model: pack sizing from cells and charge bookkeeping (Eq. 2).
+#pragma once
+
+#include <cstddef>
+
+namespace evvo::ev {
+
+/// A single lithium-ion cell. Default: Sony US18650 VTC4 (2.1 Ah, 4.2 V max,
+/// 3.6 V nominal), the cell the paper builds its pack from.
+struct CellSpec {
+  double capacity_ah = 2.1;
+  double max_voltage = 4.2;
+  double nominal_voltage = 3.6;
+};
+
+/// Series/parallel pack layout. Default: the paper's 22P95S Spark-EV-like pack
+/// (95 series x 22 parallel = 2090 cells, 46.2 Ah, 399 V max).
+struct PackLayout {
+  std::size_t series_cells = 95;
+  std::size_t parallel_strings = 22;
+};
+
+/// Battery pack with state-of-charge tracking in ampere-hours.
+///
+/// Charge is the paper's accounting unit for EV energy consumption: Eq. (3)
+/// produces a pack current, and total consumption is reported in mAh.
+class BatteryPack {
+ public:
+  BatteryPack(CellSpec cell, PackLayout layout);
+  BatteryPack();  ///< paper-default pack
+
+  double capacity_ah() const { return capacity_ah_; }
+  double max_voltage() const { return max_voltage_; }
+  double nominal_voltage() const { return nominal_voltage_; }
+  std::size_t cell_count() const { return cell_count_; }
+
+  /// Pack energy content at nominal voltage [kWh].
+  double nominal_energy_kwh() const;
+
+  /// Current state of charge as a fraction in [0, 1].
+  double state_of_charge() const { return soc_; }
+
+  /// Remaining charge [Ah].
+  double remaining_ah() const { return soc_ * capacity_ah_; }
+
+  /// Resets SoC (fraction in [0, 1]).
+  void reset(double soc = 1.0);
+
+  /// Applies a discharge of `ah` ampere-hours (negative = regeneration).
+  /// SoC saturates at [0, 1]; returns the charge actually moved.
+  double discharge_ah(double ah);
+
+ private:
+  double capacity_ah_;
+  double max_voltage_;
+  double nominal_voltage_;
+  std::size_t cell_count_;
+  double soc_ = 1.0;
+};
+
+}  // namespace evvo::ev

@@ -1,0 +1,34 @@
+#include "ev/cycle_io.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace evvo::ev {
+
+void save_cycle_csv(const std::filesystem::path& path, const DriveCycle& cycle) {
+  CsvTable table;
+  table.columns = {"time_s", "speed_ms"};
+  const auto speeds = cycle.speeds();
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    table.add_row({static_cast<double>(i) * cycle.dt(), speeds[i]});
+  }
+  write_csv(path, table);
+}
+
+DriveCycle load_cycle_csv(const std::filesystem::path& path) {
+  const CsvTable table = read_csv(path);
+  const std::vector<double> times = table.column("time_s");
+  std::vector<double> speeds = table.column("speed_ms");
+  if (times.size() < 2) throw std::runtime_error("load_cycle_csv: need at least two samples");
+  const double dt = times[1] - times[0];
+  if (dt <= 0.0) throw std::runtime_error("load_cycle_csv: non-increasing time column");
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    if (std::abs(times[i] - times[i - 1] - dt) > 1e-6)
+      throw std::runtime_error("load_cycle_csv: time column is not uniformly spaced");
+  }
+  return DriveCycle(std::move(speeds), dt);
+}
+
+}  // namespace evvo::ev

@@ -1,0 +1,19 @@
+// Drive-cycle CSV import/export: persist recorded or planned profiles (the
+// format the Fig. 6-8 CSVs use: time,speed rows) and load external traces.
+#pragma once
+
+#include <filesystem>
+
+#include "ev/drive_cycle.hpp"
+
+namespace evvo::ev {
+
+/// Writes `time_s,speed_ms` rows.
+void save_cycle_csv(const std::filesystem::path& path, const DriveCycle& cycle);
+
+/// Loads a cycle saved by save_cycle_csv (or any CSV with those two columns).
+/// The time column must be uniformly spaced; throws std::runtime_error
+/// otherwise.
+DriveCycle load_cycle_csv(const std::filesystem::path& path);
+
+}  // namespace evvo::ev

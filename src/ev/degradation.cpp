@@ -1,0 +1,38 @@
+#include "ev/degradation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace evvo::ev {
+
+BatteryStress battery_stress(const EnergyModel& model, const BatteryPack& pack,
+                             const DriveCycle& cycle, const GradeFn& grade) {
+  BatteryStress stress;
+  if (cycle.size() < 2) return stress;
+  const double dt = cycle.dt();
+  const std::vector<double> cum = cycle.cumulative_distance();
+  const auto speeds = cycle.speeds();
+  double sq_sum = 0.0;
+  int prev_sign = 0;
+  for (std::size_t i = 0; i + 1 < speeds.size(); ++i) {
+    const double v_mid = 0.5 * (speeds[i] + speeds[i + 1]);
+    const double a = (speeds[i + 1] - speeds[i]) / dt;
+    const double theta = grade ? grade(0.5 * (cum[i] + cum[i + 1])) : 0.0;
+    const double amps = model.current_a(v_mid, a, theta);
+    stress.ah_throughput += as_to_ah(std::abs(amps) * dt);
+    sq_sum += amps * amps * dt;
+    stress.peak_discharge_a = std::max(stress.peak_discharge_a, amps);
+    stress.peak_regen_a = std::max(stress.peak_regen_a, -amps);
+    const int sign = amps > 1e-9 ? 1 : amps < -1e-9 ? -1 : 0;
+    if (sign != 0 && prev_sign != 0 && sign != prev_sign) ++stress.direction_reversals;
+    if (sign != 0) prev_sign = sign;
+  }
+  const double duration = cycle.duration();
+  stress.rms_current_a = duration > 0.0 ? std::sqrt(sq_sum / duration) : 0.0;
+  stress.equivalent_full_cycles = stress.ah_throughput / (2.0 * pack.capacity_ah());
+  return stress;
+}
+
+}  // namespace evvo::ev

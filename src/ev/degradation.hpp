@@ -1,0 +1,35 @@
+// Battery stress metrics over a trip.
+//
+// The paper motivates velocity optimization partly by battery lifetime:
+// "frequent charging/discharging reduces battery lifetime" (Sec. I). These
+// metrics quantify that channel: charge throughput (each ampere-hour cycled
+// through the pack ages it), RMS and peak currents (C-rate stress), and the
+// count of charge-direction reversals (micro-cycles caused by stop-and-go).
+#pragma once
+
+#include "ev/battery.hpp"
+#include "ev/drive_cycle.hpp"
+#include "ev/energy_model.hpp"
+
+namespace evvo::ev {
+
+struct BatteryStress {
+  double ah_throughput = 0.0;        ///< integral of |I| dt (charge cycled)
+  double rms_current_a = 0.0;
+  double peak_discharge_a = 0.0;     ///< largest positive pack current
+  double peak_regen_a = 0.0;         ///< largest magnitude charging current
+  int direction_reversals = 0;       ///< discharge<->charge sign flips
+  double equivalent_full_cycles = 0.0;  ///< throughput / (2 * pack capacity)
+
+  /// Peak C-rate relative to the pack capacity.
+  double peak_c_rate(const BatteryPack& pack) const {
+    return peak_discharge_a / pack.capacity_ah();
+  }
+};
+
+/// Integrates the stress metrics of driving `cycle` under `model` over a pack
+/// of the given capacity. `grade` maps position to gradient (default flat).
+BatteryStress battery_stress(const EnergyModel& model, const BatteryPack& pack,
+                             const DriveCycle& cycle, const GradeFn& grade = {});
+
+}  // namespace evvo::ev

@@ -1,0 +1,134 @@
+#include "ev/drive_cycle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math_util.hpp"
+
+namespace evvo::ev {
+
+DriveCycle::DriveCycle(std::vector<double> speeds_ms, double dt_s)
+    : speeds_(std::move(speeds_ms)), dt_(dt_s) {
+  if (dt_ <= 0.0) throw std::invalid_argument("DriveCycle: dt must be positive");
+  for (const double v : speeds_) {
+    if (v < 0.0 || !std::isfinite(v)) throw std::invalid_argument("DriveCycle: speeds must be finite and >= 0");
+  }
+}
+
+double DriveCycle::duration() const {
+  return speeds_.size() < 2 ? 0.0 : dt_ * static_cast<double>(speeds_.size() - 1);
+}
+
+double DriveCycle::distance() const { return trapezoid(speeds_, dt_); }
+
+double DriveCycle::speed_at(double t) const {
+  if (speeds_.empty()) return 0.0;
+  if (t <= 0.0) return speeds_.front();
+  const double pos = t / dt_;
+  const auto idx = static_cast<std::size_t>(pos);
+  if (idx + 1 >= speeds_.size()) return speeds_.back();
+  return lerp(speeds_[idx], speeds_[idx + 1], pos - static_cast<double>(idx));
+}
+
+double DriveCycle::distance_at(double t) const {
+  if (speeds_.size() < 2 || t <= 0.0) return 0.0;
+  double dist = 0.0;
+  double elapsed = 0.0;
+  for (std::size_t i = 0; i + 1 < speeds_.size(); ++i) {
+    const double step = std::min(dt_, t - elapsed);
+    if (step <= 0.0) break;
+    const double v_end = lerp(speeds_[i], speeds_[i + 1], step / dt_);
+    dist += 0.5 * (speeds_[i] + v_end) * step;
+    elapsed += step;
+  }
+  return dist;
+}
+
+std::vector<double> DriveCycle::cumulative_distance() const {
+  std::vector<double> out(speeds_.size(), 0.0);
+  for (std::size_t i = 1; i < speeds_.size(); ++i) {
+    out[i] = out[i - 1] + 0.5 * (speeds_[i - 1] + speeds_[i]) * dt_;
+  }
+  return out;
+}
+
+std::vector<double> DriveCycle::accelerations() const {
+  std::vector<double> out(speeds_.size(), 0.0);
+  if (speeds_.size() < 2) return out;
+  out.front() = (speeds_[1] - speeds_[0]) / dt_;
+  out.back() = (speeds_[speeds_.size() - 1] - speeds_[speeds_.size() - 2]) / dt_;
+  for (std::size_t i = 1; i + 1 < speeds_.size(); ++i) {
+    out[i] = (speeds_[i + 1] - speeds_[i - 1]) / (2.0 * dt_);
+  }
+  return out;
+}
+
+std::vector<double> DriveCycle::speed_by_distance(double ds) const {
+  if (ds <= 0.0) throw std::invalid_argument("DriveCycle::speed_by_distance: ds must be positive");
+  const std::vector<double> cum = cumulative_distance();
+  std::vector<double> out;
+  if (cum.empty()) return out;
+  const double total = cum.back();
+  std::size_t seg = 0;
+  for (double s = 0.0; s <= total + 1e-9; s += ds) {
+    while (seg + 1 < cum.size() && cum[seg + 1] < s) ++seg;
+    if (seg + 1 >= cum.size()) {
+      out.push_back(speeds_.back());
+      continue;
+    }
+    const double span = cum[seg + 1] - cum[seg];
+    const double t = span > 1e-12 ? (s - cum[seg]) / span : 0.0;
+    out.push_back(lerp(speeds_[seg], speeds_[seg + 1], clamp(t, 0.0, 1.0)));
+  }
+  return out;
+}
+
+double DriveCycle::max_speed() const {
+  return speeds_.empty() ? 0.0 : *std::max_element(speeds_.begin(), speeds_.end());
+}
+
+int DriveCycle::stop_count(double threshold_ms, double min_duration_s) const {
+  const auto min_samples = static_cast<std::size_t>(std::ceil(min_duration_s / dt_));
+  int stops = 0;
+  std::size_t i = 0;
+  // Skip the leading standstill (vehicles start parked).
+  while (i < speeds_.size() && speeds_[i] < threshold_ms) ++i;
+  while (i < speeds_.size()) {
+    if (speeds_[i] < threshold_ms) {
+      std::size_t j = i;
+      while (j < speeds_.size() && speeds_[j] < threshold_ms) ++j;
+      if (j - i >= min_samples) ++stops;
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return stops;
+}
+
+double DriveCycle::stopped_time(double threshold_ms) const {
+  std::size_t i = 0;
+  while (i < speeds_.size() && speeds_[i] < threshold_ms) ++i;
+  std::size_t halted = 0;
+  for (; i < speeds_.size(); ++i) {
+    if (speeds_[i] < threshold_ms) ++halted;
+  }
+  return static_cast<double>(halted) * dt_;
+}
+
+DriveCycle DriveCycle::resampled(double new_dt) const {
+  if (new_dt <= 0.0) throw std::invalid_argument("DriveCycle::resampled: dt must be positive");
+  const double total = duration();
+  std::vector<double> out;
+  for (double t = 0.0; t <= total + 1e-9; t += new_dt) out.push_back(speed_at(t));
+  return DriveCycle(std::move(out), new_dt);
+}
+
+void DriveCycle::push_back(double speed_ms) {
+  if (speed_ms < 0.0 || !std::isfinite(speed_ms))
+    throw std::invalid_argument("DriveCycle::push_back: speed must be finite and >= 0");
+  speeds_.push_back(speed_ms);
+}
+
+}  // namespace evvo::ev

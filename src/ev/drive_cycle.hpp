@@ -1,0 +1,67 @@
+// Time-domain velocity profiles ("drive cycles") and their statistics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace evvo::ev {
+
+/// A velocity trace sampled on a fixed time step: v[k] = speed at t = k*dt.
+///
+/// This is the common currency between the trace generator, the traffic
+/// simulator (recorded ego trajectories), and the profile evaluator. The
+/// optimizer's distance-domain plans are converted to DriveCycle for
+/// energy/time accounting so that every profile in Fig. 6-8 is compared on
+/// identical footing.
+class DriveCycle {
+ public:
+  DriveCycle(std::vector<double> speeds_ms, double dt_s);
+
+  double dt() const { return dt_; }
+  std::size_t size() const { return speeds_.size(); }
+  bool empty() const { return speeds_.empty(); }
+  std::span<const double> speeds() const { return speeds_; }
+
+  /// Total duration [s]. A cycle with n samples spans (n-1)*dt.
+  double duration() const;
+
+  /// Total distance traveled [m] (trapezoidal integration of speed).
+  double distance() const;
+
+  /// Speed at time t [m/s], linearly interpolated; clamped to the ends.
+  double speed_at(double t) const;
+
+  /// Cumulative distance at time t [m].
+  double distance_at(double t) const;
+
+  /// Cumulative-distance series aligned with the speed samples (Fig. 8 series).
+  std::vector<double> cumulative_distance() const;
+
+  /// Central-difference acceleration series [m/s^2], same length as speeds.
+  std::vector<double> accelerations() const;
+
+  /// Speed as a function of distance, sampled every ds meters from 0 to distance().
+  std::vector<double> speed_by_distance(double ds) const;
+
+  double max_speed() const;
+
+  /// Number of stop events: entries into speed < threshold that last at least
+  /// min_duration seconds (the initial standstill at t=0 is not counted).
+  int stop_count(double threshold_ms = 0.3, double min_duration_s = 1.0) const;
+
+  /// Time spent at speed < threshold, excluding the leading standstill [s].
+  double stopped_time(double threshold_ms = 0.3) const;
+
+  /// Returns a copy resampled to a new time step (linear interpolation).
+  DriveCycle resampled(double new_dt) const;
+
+  /// Appends a sample (used by simulators that record step by step).
+  void push_back(double speed_ms);
+
+ private:
+  std::vector<double> speeds_;
+  double dt_;
+};
+
+}  // namespace evvo::ev

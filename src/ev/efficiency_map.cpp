@@ -1,0 +1,94 @@
+#include "ev/efficiency_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math_util.hpp"
+
+namespace evvo::ev {
+
+namespace {
+void require_increasing(const std::vector<double>& axis, const char* name) {
+  if (axis.size() < 2) throw std::invalid_argument(std::string("EfficiencyMap: ") + name + " needs >= 2 points");
+  for (std::size_t i = 1; i < axis.size(); ++i) {
+    if (axis[i] <= axis[i - 1])
+      throw std::invalid_argument(std::string("EfficiencyMap: ") + name + " must be strictly increasing");
+  }
+}
+
+/// Index of the cell such that axis[i] <= x < axis[i+1], clamped to the grid.
+std::size_t cell_index(const std::vector<double>& axis, double x) {
+  if (x <= axis.front()) return 0;
+  if (x >= axis[axis.size() - 2]) return axis.size() - 2;
+  std::size_t lo = 0;
+  std::size_t hi = axis.size() - 2;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (axis[mid] <= x) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+}  // namespace
+
+EfficiencyMap::EfficiencyMap(std::vector<double> speed_axis_ms, std::vector<double> power_axis_w,
+                             std::vector<std::vector<double>> efficiency)
+    : speeds_(std::move(speed_axis_ms)), powers_(std::move(power_axis_w)), eta_(std::move(efficiency)) {
+  require_increasing(speeds_, "speed axis");
+  require_increasing(powers_, "power axis");
+  if (eta_.size() != speeds_.size())
+    throw std::invalid_argument("EfficiencyMap: efficiency rows must match the speed axis");
+  for (const auto& row : eta_) {
+    if (row.size() != powers_.size())
+      throw std::invalid_argument("EfficiencyMap: efficiency columns must match the power axis");
+    for (const double e : row) {
+      if (e <= 0.0 || e > 1.0)
+        throw std::invalid_argument("EfficiencyMap: efficiencies must lie in (0, 1]");
+    }
+  }
+}
+
+EfficiencyMap EfficiencyMap::typical_ev_motor() {
+  // speed [m/s] x |power| [W]; values follow the familiar PMSM island shape.
+  const std::vector<double> speeds{0.5, 5.0, 10.0, 15.0, 20.0, 30.0};
+  const std::vector<double> powers{500.0, 2000.0, 5000.0, 10000.0, 20000.0, 40000.0, 80000.0};
+  const std::vector<std::vector<double>> eta{
+      {0.70, 0.72, 0.74, 0.73, 0.70, 0.66, 0.60},
+      {0.76, 0.84, 0.88, 0.88, 0.85, 0.80, 0.74},
+      {0.78, 0.88, 0.92, 0.93, 0.91, 0.87, 0.82},
+      {0.78, 0.88, 0.93, 0.93, 0.92, 0.89, 0.85},
+      {0.77, 0.87, 0.92, 0.93, 0.92, 0.90, 0.86},
+      {0.75, 0.85, 0.90, 0.92, 0.91, 0.89, 0.85},
+  };
+  return EfficiencyMap(speeds, powers, eta);
+}
+
+double EfficiencyMap::at(double speed_ms, double power_w) const {
+  const double v = std::abs(speed_ms);
+  const double p = std::abs(power_w);
+  const std::size_t i = cell_index(speeds_, v);
+  const std::size_t j = cell_index(powers_, p);
+  const double tv = clamp((v - speeds_[i]) / (speeds_[i + 1] - speeds_[i]), 0.0, 1.0);
+  const double tp = clamp((p - powers_[j]) / (powers_[j + 1] - powers_[j]), 0.0, 1.0);
+  const double low = lerp(eta_[i][j], eta_[i][j + 1], tp);
+  const double high = lerp(eta_[i + 1][j], eta_[i + 1][j + 1], tp);
+  return lerp(low, high, tv);
+}
+
+double EfficiencyMap::min_efficiency() const {
+  double best = 1.0;
+  for (const auto& row : eta_) best = std::min(best, *std::min_element(row.begin(), row.end()));
+  return best;
+}
+
+double EfficiencyMap::max_efficiency() const {
+  double best = 0.0;
+  for (const auto& row : eta_) best = std::max(best, *std::max_element(row.begin(), row.end()));
+  return best;
+}
+
+}  // namespace evvo::ev

@@ -1,0 +1,40 @@
+// Speed/power-dependent powertrain efficiency map.
+//
+// The paper treats the powertrain efficiency eta_2 as a constant (Eq. 2-3);
+// real drives traverse a motor efficiency map that sags at low speed / low
+// load and near peak power. This optional extension replaces the constant
+// with a bilinear lookup so the optimizer sees the realistic sweet spot;
+// the constant-eta paper model remains the default.
+#pragma once
+
+#include <vector>
+
+namespace evvo::ev {
+
+/// Bilinear efficiency lookup over (speed [m/s], |mechanical power| [W]).
+class EfficiencyMap {
+ public:
+  /// Grid axes must be strictly increasing; efficiency[i][j] pairs
+  /// speed_axis[i] with power_axis[j] and must lie in (0, 1].
+  EfficiencyMap(std::vector<double> speed_axis_ms, std::vector<double> power_axis_w,
+                std::vector<std::vector<double>> efficiency);
+
+  /// A representative permanent-magnet traction-motor map for a Spark-EV
+  /// class machine: ~0.70 at crawl/low load, ~0.93 plateau at mid speed and
+  /// mid power, falling toward 0.85 at peak power.
+  static EfficiencyMap typical_ev_motor();
+
+  /// Efficiency at (speed, |power|), bilinear inside the grid, clamped at the
+  /// edges.
+  double at(double speed_ms, double power_w) const;
+
+  double min_efficiency() const;
+  double max_efficiency() const;
+
+ private:
+  std::vector<double> speeds_;
+  std::vector<double> powers_;
+  std::vector<std::vector<double>> eta_;
+};
+
+}  // namespace evvo::ev

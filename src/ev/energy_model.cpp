@@ -1,0 +1,87 @@
+#include "ev/energy_model.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "ev/longitudinal.hpp"
+
+namespace evvo::ev {
+
+EnergyModel::EnergyModel(VehicleParams params, double pack_voltage, RegenConvention regen)
+    : params_(params), voltage_(pack_voltage), regen_(regen) {
+  params_.validate();
+  if (voltage_ <= 0.0) throw std::invalid_argument("EnergyModel: pack voltage must be positive");
+}
+
+EnergyModel::EnergyModel() : EnergyModel(VehicleParams{}, BatteryPack{}.max_voltage()) {}
+
+double EnergyModel::traction_current_a(double speed_ms, double accel_ms2, double grade_rad) const {
+  const double power_w = wheel_power(params_, speed_ms, accel_ms2, grade_rad);
+  const double eta_powertrain =
+      map_ ? map_->at(speed_ms, power_w) : params_.powertrain_efficiency;
+  const double eta = params_.battery_efficiency * eta_powertrain;
+  if (power_w >= 0.0) return power_w / (voltage_ * eta);
+  switch (regen_) {
+    case RegenConvention::kPaperEq3:
+      return params_.regen_efficiency * power_w / (voltage_ * eta);
+    case RegenConvention::kPhysical:
+      return params_.regen_efficiency * power_w * eta / voltage_;
+  }
+  return 0.0;  // unreachable
+}
+
+double EnergyModel::accessory_current_a() const {
+  return params_.accessory_power_w / (voltage_ * params_.battery_efficiency);
+}
+
+double EnergyModel::current_a(double speed_ms, double accel_ms2, double grade_rad) const {
+  return traction_current_a(speed_ms, accel_ms2, grade_rad) + accessory_current_a();
+}
+
+double EnergyModel::charge_ah(double speed_ms, double accel_ms2, double dt_s, double grade_rad) const {
+  return as_to_ah(current_a(speed_ms, accel_ms2, grade_rad) * dt_s);
+}
+
+TripEnergy EnergyModel::trip(const DriveCycle& cycle, const GradeFn& grade) const {
+  TripEnergy e;
+  if (cycle.size() < 2) return e;
+  const double dt = cycle.dt();
+  const std::vector<double> cum = cycle.cumulative_distance();
+  const auto speeds = cycle.speeds();
+  for (std::size_t i = 0; i + 1 < speeds.size(); ++i) {
+    const double v_mid = 0.5 * (speeds[i] + speeds[i + 1]);
+    const double a = (speeds[i + 1] - speeds[i]) / dt;
+    const double s_mid = 0.5 * (cum[i] + cum[i + 1]);
+    const double theta = grade ? grade(s_mid) : 0.0;
+    const double traction = traction_current_a(v_mid, a, theta);
+    const double traction_mah = ah_to_mah(as_to_ah(traction * dt));
+    if (traction >= 0.0) {
+      e.driving_mah += traction_mah;
+    } else {
+      e.regenerated_mah += -traction_mah;
+    }
+    e.accessory_mah += ah_to_mah(as_to_ah(accessory_current_a() * dt));
+  }
+  e.charge_mah = e.driving_mah - e.regenerated_mah + e.accessory_mah;
+  e.duration_s = cycle.duration();
+  e.distance_m = cycle.distance();
+  return e;
+}
+
+double EnergyModel::most_efficient_cruise_speed(double v_lo, double v_hi, double step) const {
+  if (v_lo <= 0.0 || v_hi < v_lo || step <= 0.0)
+    throw std::invalid_argument("most_efficient_cruise_speed: bad range");
+  double best_v = v_lo;
+  double best_rate = std::numeric_limits<double>::infinity();
+  for (double v = v_lo; v <= v_hi + 1e-9; v += step) {
+    const double per_meter = current_a(v, 0.0) / v;  // A*s per meter
+    if (per_meter < best_rate) {
+      best_rate = per_meter;
+      best_v = v;
+    }
+  }
+  return best_v;
+}
+
+}  // namespace evvo::ev

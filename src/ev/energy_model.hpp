@@ -1,0 +1,93 @@
+// EV energy consumption model: paper Eq. (2)-(3).
+//
+// The paper accounts energy as electrical charge: Eq. (3) converts wheel power
+// into a pack current zeta = F_drive * v / (U * eta1 * eta2), and trip totals
+// are reported in mAh. This module provides the instantaneous rate and trip
+// integration over drive cycles and planned profiles.
+#pragma once
+
+#include <functional>
+
+#include <memory>
+
+#include "ev/battery.hpp"
+#include "ev/efficiency_map.hpp"
+#include "ev/drive_cycle.hpp"
+#include "ev/vehicle_params.hpp"
+
+namespace evvo::ev {
+
+/// How negative wheel power (deceleration) is converted into pack current.
+enum class RegenConvention {
+  /// Paper Eq. (3) verbatim: zeta = P / (U*eta1*eta2) for all P, scaled by
+  /// regen_efficiency when P < 0. With regen_efficiency = 1 this reproduces
+  /// the fully symmetric negative rates of Fig. 3.
+  kPaperEq3,
+  /// Physical direction-aware conversion: discharging divides by the
+  /// efficiencies, charging multiplies by them (and by regen_efficiency).
+  kPhysical,
+};
+
+/// Grade profile: road gradient [rad] as a function of position [m].
+using GradeFn = std::function<double(double)>;
+
+/// Energy accounting for a trip, in the units the paper reports.
+struct TripEnergy {
+  double charge_mah = 0.0;       ///< net pack charge consumed (regen credited)
+  double driving_mah = 0.0;      ///< charge consumed while wheel power >= 0
+  double regenerated_mah = 0.0;  ///< charge recovered while wheel power < 0
+  double accessory_mah = 0.0;    ///< charge drawn by the constant auxiliary load
+  double duration_s = 0.0;
+  double distance_m = 0.0;
+
+  /// Consumption per distance [mAh/km]; 0 for a zero-length trip.
+  double mah_per_km() const { return distance_m > 0.0 ? charge_mah / (distance_m / 1000.0) : 0.0; }
+};
+
+/// The paper's EV energy model over a given pack voltage.
+class EnergyModel {
+ public:
+  EnergyModel(VehicleParams params, double pack_voltage,
+              RegenConvention regen = RegenConvention::kPaperEq3);
+
+  /// Paper-default model: Spark-EV params over the 399 V 22P95S pack.
+  EnergyModel();
+
+  /// Replaces the constant powertrain efficiency eta_2 with a speed/power
+  /// efficiency map (extension; nullptr restores the paper's constant).
+  void set_powertrain_map(std::shared_ptr<const EfficiencyMap> map) { map_ = std::move(map); }
+  const EfficiencyMap* powertrain_map() const { return map_.get(); }
+
+  const VehicleParams& params() const { return params_; }
+  double pack_voltage() const { return voltage_; }
+  RegenConvention regen_convention() const { return regen_; }
+
+  /// Eq. (3): instantaneous pack current [A] to drive at speed v with
+  /// acceleration a on gradient theta. Includes the accessory load.
+  double current_a(double speed_ms, double accel_ms2, double grade_rad = 0.0) const;
+
+  /// Traction-only part of current_a (no accessory load) — the literal Eq. (3).
+  double traction_current_a(double speed_ms, double accel_ms2, double grade_rad = 0.0) const;
+
+  /// Accessory current [A], constant while the vehicle is on.
+  double accessory_current_a() const;
+
+  /// Charge [Ah] for holding (v, a, theta) during dt seconds.
+  double charge_ah(double speed_ms, double accel_ms2, double dt_s, double grade_rad = 0.0) const;
+
+  /// Integrates a time-domain cycle. `grade` maps position to gradient
+  /// (defaults to flat road).
+  TripEnergy trip(const DriveCycle& cycle, const GradeFn& grade = {}) const;
+
+  /// Speed that minimizes charge-per-meter on flat ground within [v_lo, v_hi];
+  /// the natural cruise point the optimizer gravitates to (test oracle).
+  double most_efficient_cruise_speed(double v_lo, double v_hi, double step = 0.1) const;
+
+ private:
+  VehicleParams params_;
+  double voltage_;
+  RegenConvention regen_;
+  std::shared_ptr<const EfficiencyMap> map_;
+};
+
+}  // namespace evvo::ev

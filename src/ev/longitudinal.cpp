@@ -1,0 +1,31 @@
+#include "ev/longitudinal.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace evvo::ev {
+
+ForceBreakdown drive_force_breakdown(const VehicleParams& p, double speed_ms, double accel_ms2,
+                                     double grade_rad) {
+  ForceBreakdown f;
+  f.inertial_n = p.mass_kg * accel_ms2;
+  f.aero_n = 0.5 * kAirDensity * p.frontal_area_m2 * p.drag_coefficient * speed_ms * speed_ms;
+  f.grade_n = p.mass_kg * kGravity * std::sin(grade_rad);
+  f.rolling_n = speed_ms > 0.0 ? p.rolling_resistance * p.mass_kg * kGravity * std::cos(grade_rad) : 0.0;
+  return f;
+}
+
+double drive_force(const VehicleParams& p, double speed_ms, double accel_ms2, double grade_rad) {
+  return drive_force_breakdown(p, speed_ms, accel_ms2, grade_rad).total();
+}
+
+double wheel_power(const VehicleParams& p, double speed_ms, double accel_ms2, double grade_rad) {
+  return drive_force(p, speed_ms, accel_ms2, grade_rad) * speed_ms;
+}
+
+double cruise_force(const VehicleParams& p, double speed_ms) {
+  return drive_force(p, speed_ms, 0.0, 0.0);
+}
+
+}  // namespace evvo::ev

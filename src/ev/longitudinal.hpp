@@ -1,0 +1,35 @@
+// Longitudinal vehicle dynamics: the required drive force of paper Eq. (1).
+#pragma once
+
+#include "ev/vehicle_params.hpp"
+
+namespace evvo::ev {
+
+/// Per-term breakdown of the drive force, useful for diagnostics and tests.
+struct ForceBreakdown {
+  double inertial_n = 0.0;   ///< m * dv/dt
+  double aero_n = 0.0;       ///< 0.5 * rho * A_f * C_d * v^2
+  double grade_n = 0.0;      ///< m * g * sin(theta)
+  double rolling_n = 0.0;    ///< mu * m * g * cos(theta)
+
+  double total() const { return inertial_n + aero_n + grade_n + rolling_n; }
+};
+
+/// Eq. (1): F_drive = m*a + 0.5*rho*A_f*C_d*v^2 + m*g*sin(theta) + mu*m*g*cos(theta).
+///
+/// `grade_rad` is the road gradient theta in radians (positive = uphill).
+/// Rolling resistance is applied only while moving (v > 0), so a parked
+/// vehicle needs no tractive force.
+double drive_force(const VehicleParams& p, double speed_ms, double accel_ms2, double grade_rad = 0.0);
+
+/// Same as drive_force but returns each term separately.
+ForceBreakdown drive_force_breakdown(const VehicleParams& p, double speed_ms, double accel_ms2,
+                                     double grade_rad = 0.0);
+
+/// Tractive power at the wheel, F_drive * v [W].
+double wheel_power(const VehicleParams& p, double speed_ms, double accel_ms2, double grade_rad = 0.0);
+
+/// Steady-state cruising force (a = 0) on flat ground; handy for tests.
+double cruise_force(const VehicleParams& p, double speed_ms);
+
+}  // namespace evvo::ev

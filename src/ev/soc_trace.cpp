@@ -1,0 +1,45 @@
+#include "ev/soc_trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace evvo::ev {
+
+SocTrace run_battery(const EnergyModel& model, BatteryPack& pack, const DriveCycle& cycle,
+                     const GradeFn& grade) {
+  SocTrace trace;
+  trace.soc.reserve(cycle.size());
+  trace.soc.push_back(pack.state_of_charge());
+  trace.min_soc = pack.state_of_charge();
+  if (cycle.size() < 2) return trace;
+
+  const double dt = cycle.dt();
+  const std::vector<double> cum = cycle.cumulative_distance();
+  const auto speeds = cycle.speeds();
+  for (std::size_t i = 0; i + 1 < speeds.size(); ++i) {
+    const double v_mid = 0.5 * (speeds[i] + speeds[i + 1]);
+    const double a = (speeds[i + 1] - speeds[i]) / dt;
+    const double theta = grade ? grade(0.5 * (cum[i] + cum[i + 1])) : 0.0;
+    const double ah = as_to_ah(model.current_a(v_mid, a, theta) * dt);
+    const double moved = pack.discharge_ah(ah);
+    trace.consumed_ah += moved;
+    if (ah > 0.0 && moved < ah - 1e-12) trace.depleted = true;
+    trace.soc.push_back(pack.state_of_charge());
+    trace.min_soc = std::min(trace.min_soc, pack.state_of_charge());
+  }
+  return trace;
+}
+
+double estimated_range_m(const EnergyModel& model, const BatteryPack& pack,
+                         double cruise_speed_ms) {
+  if (cruise_speed_ms <= 0.0)
+    throw std::invalid_argument("estimated_range_m: cruise speed must be positive");
+  const double amps = model.current_a(cruise_speed_ms, 0.0);
+  if (amps <= 0.0) return 0.0;
+  const double seconds = pack.remaining_ah() * kSecondsPerHour / amps;
+  return seconds * cruise_speed_ms;
+}
+
+}  // namespace evvo::ev

@@ -1,0 +1,36 @@
+// Battery state-of-charge tracking over a trip, and simple range estimation.
+//
+// Connects the Eq. (3) charge accounting to the pack model: integrates the
+// pack current over a drive cycle, yielding the SoC trajectory the driver
+// sees and the remaining-range estimate a navigation system would show.
+#pragma once
+
+#include <vector>
+
+#include "ev/battery.hpp"
+#include "ev/drive_cycle.hpp"
+#include "ev/energy_model.hpp"
+
+namespace evvo::ev {
+
+/// SoC trajectory over a cycle, one sample per cycle step.
+struct SocTrace {
+  std::vector<double> soc;        ///< fraction of capacity per sample
+  double consumed_ah = 0.0;       ///< net charge drawn over the trip
+  double min_soc = 1.0;
+  bool depleted = false;          ///< pack hit empty mid-trip
+
+  double final_soc() const { return soc.empty() ? 1.0 : soc.back(); }
+};
+
+/// Integrates the cycle against the model, mutating `pack`'s SoC.
+/// `grade` maps position to road gradient (defaults to flat).
+SocTrace run_battery(const EnergyModel& model, BatteryPack& pack, const DriveCycle& cycle,
+                     const GradeFn& grade = {});
+
+/// Remaining range [m] at the pack's current SoC, assuming steady cruising at
+/// `cruise_speed_ms` on flat ground (the dashboard "distance to empty").
+double estimated_range_m(const EnergyModel& model, const BatteryPack& pack,
+                         double cruise_speed_ms);
+
+}  // namespace evvo::ev

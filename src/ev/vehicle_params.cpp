@@ -1,0 +1,23 @@
+#include "ev/vehicle_params.hpp"
+
+#include <stdexcept>
+
+namespace evvo::ev {
+
+void VehicleParams::validate() const {
+  if (mass_kg <= 0.0) throw std::invalid_argument("VehicleParams: mass must be positive");
+  if (frontal_area_m2 <= 0.0) throw std::invalid_argument("VehicleParams: frontal area must be positive");
+  if (drag_coefficient < 0.0) throw std::invalid_argument("VehicleParams: drag coefficient must be >= 0");
+  if (rolling_resistance < 0.0) throw std::invalid_argument("VehicleParams: rolling resistance must be >= 0");
+  if (battery_efficiency <= 0.0 || battery_efficiency > 1.0)
+    throw std::invalid_argument("VehicleParams: battery efficiency must be in (0, 1]");
+  if (powertrain_efficiency <= 0.0 || powertrain_efficiency > 1.0)
+    throw std::invalid_argument("VehicleParams: powertrain efficiency must be in (0, 1]");
+  if (min_acceleration >= 0.0 || max_acceleration <= 0.0)
+    throw std::invalid_argument("VehicleParams: acceleration envelope must bracket zero");
+  if (accessory_power_w < 0.0) throw std::invalid_argument("VehicleParams: accessory power must be >= 0");
+  if (regen_efficiency < 0.0 || regen_efficiency > 1.0)
+    throw std::invalid_argument("VehicleParams: regen efficiency must be in [0, 1]");
+}
+
+}  // namespace evvo::ev

@@ -1,0 +1,40 @@
+// Vehicle and powertrain parameters for the pure-EV energy model (paper Sec. II-A).
+#pragma once
+
+namespace evvo::ev {
+
+/// Road-load and powertrain parameters entering Eq. (1) and Eq. (3).
+///
+/// Defaults reproduce the paper's experimental vehicle, a Chevrolet Spark EV:
+/// m = 1300 kg, A_f = 2.2 m^2, C_d = 0.33, mu = 0.018, eta1 = 0.95 (battery),
+/// eta2 = 0.85 (powertrain). The OCR of the paper garbles some digits; values
+/// here are the physically sensible restorations documented in DESIGN.md.
+struct VehicleParams {
+  double mass_kg = 1300.0;              ///< gross weight m
+  double frontal_area_m2 = 2.2;         ///< frontal area A_f
+  double drag_coefficient = 0.33;       ///< aerodynamic drag C_d
+  double rolling_resistance = 0.018;    ///< rolling resistance mu
+  double battery_efficiency = 0.95;     ///< eta_1, battery energy transforming efficiency
+  double powertrain_efficiency = 0.85;  ///< eta_2, powertrain working efficiency
+
+  /// Comfort/safety acceleration envelope used by the optimizer (paper Sec. III-A1).
+  double min_acceleration = -1.5;  ///< m/s^2
+  double max_acceleration = 2.5;   ///< m/s^2
+
+  /// Constant auxiliary electrical load (HVAC, electronics) drawn whenever the
+  /// vehicle is on. Not in the paper's Eq. (3); it gives idle time a nonzero
+  /// cost so the optimizer cannot "win" by crawling, matching the paper's
+  /// empirical observation that the optimal plan does not increase trip time.
+  double accessory_power_w = 500.0;
+
+  /// Fraction of regenerated power actually returned to the pack when the
+  /// wheel power is negative. 1.0 reproduces the paper's Eq. (3) exactly
+  /// (Fig. 3 shows fully symmetric negative rates); < 1 is the physical mode
+  /// explored by the ablation bench.
+  double regen_efficiency = 1.0;
+
+  /// Validates physical ranges; throws std::invalid_argument on nonsense.
+  void validate() const;
+};
+
+}  // namespace evvo::ev

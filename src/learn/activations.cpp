@@ -1,0 +1,53 @@
+#include "learn/activations.hpp"
+
+#include <cmath>
+
+namespace evvo::learn {
+
+double activate(Activation act, double x) {
+  switch (act) {
+    case Activation::kIdentity:
+      return x;
+    case Activation::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+    case Activation::kTanh:
+      return std::tanh(x);
+    case Activation::kRelu:
+      return x > 0.0 ? x : 0.0;
+  }
+  return x;  // unreachable
+}
+
+double activate_derivative_from_output(Activation act, double y) {
+  switch (act) {
+    case Activation::kIdentity:
+      return 1.0;
+    case Activation::kSigmoid:
+      return y * (1.0 - y);
+    case Activation::kTanh:
+      return 1.0 - y * y;
+    case Activation::kRelu:
+      return y > 0.0 ? 1.0 : 0.0;
+  }
+  return 1.0;  // unreachable
+}
+
+void activate_inplace(Activation act, Matrix& m) {
+  for (double& x : m.flat()) x = activate(act, x);
+}
+
+const char* activation_name(Activation act) {
+  switch (act) {
+    case Activation::kIdentity:
+      return "identity";
+    case Activation::kSigmoid:
+      return "sigmoid";
+    case Activation::kTanh:
+      return "tanh";
+    case Activation::kRelu:
+      return "relu";
+  }
+  return "?";
+}
+
+}  // namespace evvo::learn

@@ -1,0 +1,27 @@
+// Activation functions for the dense layers.
+#pragma once
+
+#include "learn/matrix.hpp"
+
+namespace evvo::learn {
+
+enum class Activation {
+  kIdentity,
+  kSigmoid,  ///< the paper's SAE reference uses logistic units
+  kTanh,
+  kRelu,
+};
+
+/// Applies the activation elementwise.
+double activate(Activation act, double x);
+
+/// Derivative expressed in terms of the *activated* output y = f(x); all four
+/// supported activations admit this form, which avoids caching pre-activations.
+double activate_derivative_from_output(Activation act, double y);
+
+/// Elementwise activation over a matrix (in place).
+void activate_inplace(Activation act, Matrix& m);
+
+const char* activation_name(Activation act);
+
+}  // namespace evvo::learn

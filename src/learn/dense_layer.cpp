@@ -1,0 +1,93 @@
+#include "learn/dense_layer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace evvo::learn {
+
+DenseLayer::DenseLayer(std::size_t in_dim, std::size_t out_dim, Activation act, Rng& rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      act_(act),
+      w_(out_dim, in_dim),
+      b_(1, out_dim),
+      grad_w_(out_dim, in_dim),
+      grad_b_(1, out_dim),
+      m_w_(out_dim, in_dim),
+      v_w_(out_dim, in_dim),
+      m_b_(1, out_dim),
+      v_b_(1, out_dim) {
+  if (in_dim == 0 || out_dim == 0) throw std::invalid_argument("DenseLayer: zero dimension");
+  // Glorot-uniform initialization.
+  const double limit = std::sqrt(6.0 / static_cast<double>(in_dim + out_dim));
+  for (double& w : w_.flat()) w = rng.uniform(-limit, limit);
+}
+
+Matrix DenseLayer::infer(const Matrix& x) const {
+  if (x.cols() != in_dim_) throw std::invalid_argument("DenseLayer: input width mismatch");
+  Matrix y = matmul_bt(x, w_);  // [n x out]
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    auto row = y.row(i);
+    for (std::size_t j = 0; j < out_dim_; ++j) row[j] = activate(act_, row[j] + b_(0, j));
+  }
+  return y;
+}
+
+Matrix DenseLayer::forward(const Matrix& x) {
+  cached_input_ = x;
+  cached_output_ = infer(x);
+  return cached_output_;
+}
+
+Matrix DenseLayer::backward(const Matrix& grad_output) {
+  if (grad_output.rows() != cached_output_.rows() || grad_output.cols() != out_dim_)
+    throw std::invalid_argument("DenseLayer::backward: gradient shape mismatch");
+  // dL/dz = dL/dy * f'(y)
+  Matrix grad_z(grad_output.rows(), out_dim_);
+  for (std::size_t i = 0; i < grad_output.rows(); ++i) {
+    for (std::size_t j = 0; j < out_dim_; ++j) {
+      grad_z(i, j) =
+          grad_output(i, j) * activate_derivative_from_output(act_, cached_output_(i, j));
+    }
+  }
+  // dL/dW = grad_z^T * X, dL/db = column sums of grad_z, dL/dX = grad_z * W.
+  axpy(grad_w_, matmul_at(grad_z, cached_input_));
+  for (std::size_t i = 0; i < grad_z.rows(); ++i) {
+    for (std::size_t j = 0; j < out_dim_; ++j) grad_b_(0, j) += grad_z(i, j);
+  }
+  return matmul(grad_z, w_);
+}
+
+namespace {
+void adam_update(Matrix& param, Matrix& grad, Matrix& m, Matrix& v, const AdamConfig& cfg,
+                 long step, double l2) {
+  auto p = param.flat();
+  auto g = grad.flat();
+  auto mf = m.flat();
+  auto vf = v.flat();
+  const double bc1 = 1.0 - std::pow(cfg.beta1, static_cast<double>(step));
+  const double bc2 = 1.0 - std::pow(cfg.beta2, static_cast<double>(step));
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double gi = g[i] + l2 * p[i];
+    mf[i] = cfg.beta1 * mf[i] + (1.0 - cfg.beta1) * gi;
+    vf[i] = cfg.beta2 * vf[i] + (1.0 - cfg.beta2) * gi * gi;
+    const double m_hat = mf[i] / bc1;
+    const double v_hat = vf[i] / bc2;
+    p[i] -= cfg.learning_rate * m_hat / (std::sqrt(v_hat) + cfg.epsilon);
+  }
+}
+}  // namespace
+
+void DenseLayer::adam_step(const AdamConfig& cfg, long step) {
+  if (step < 1) throw std::invalid_argument("DenseLayer::adam_step: step must be >= 1");
+  adam_update(w_, grad_w_, m_w_, v_w_, cfg, step, cfg.l2);
+  adam_update(b_, grad_b_, m_b_, v_b_, cfg, step, 0.0);
+  zero_grad();
+}
+
+void DenseLayer::zero_grad() {
+  grad_w_.fill(0.0);
+  grad_b_.fill(0.0);
+}
+
+}  // namespace evvo::learn

@@ -1,0 +1,73 @@
+// Fully connected layer with built-in Adam state.
+#pragma once
+
+#include "common/random.hpp"
+#include "learn/activations.hpp"
+#include "learn/matrix.hpp"
+
+namespace evvo::learn {
+
+/// Adam hyperparameters (defaults are the standard ones).
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double l2 = 0.0;  ///< weight decay applied to W (not b)
+};
+
+/// y = f(x W^T + b), with W of shape [out x in].
+///
+/// The layer caches the last forward batch so backward() can compute weight
+/// gradients; adam_step() then applies the update. One object is both the
+/// inference and training representation — adequate at this library's scale.
+class DenseLayer {
+ public:
+  DenseLayer(std::size_t in_dim, std::size_t out_dim, Activation act, Rng& rng);
+
+  std::size_t in_dim() const { return in_dim_; }
+  std::size_t out_dim() const { return out_dim_; }
+  Activation activation() const { return act_; }
+
+  const Matrix& weights() const { return w_; }
+  const Matrix& bias() const { return b_; }
+  Matrix& mutable_weights() { return w_; }
+  Matrix& mutable_bias() { return b_; }
+
+  /// Accumulated gradients since the last adam_step()/zero_grad() (exposed
+  /// for gradient-check tests and training diagnostics).
+  const Matrix& gradient_weights() const { return grad_w_; }
+  const Matrix& gradient_bias() const { return grad_b_; }
+
+  /// Forward pass over a batch X [n x in]; returns Y [n x out] and caches
+  /// X and Y for the next backward().
+  Matrix forward(const Matrix& x);
+
+  /// Inference-only forward (no caching).
+  Matrix infer(const Matrix& x) const;
+
+  /// Given dL/dY for the cached batch, accumulates dL/dW, dL/db and returns
+  /// dL/dX. Must follow a forward() with the matching batch.
+  Matrix backward(const Matrix& grad_output);
+
+  /// Applies the accumulated gradients with Adam and clears them.
+  /// `step` is the global 1-based Adam timestep (bias correction).
+  void adam_step(const AdamConfig& cfg, long step);
+
+  /// Clears accumulated gradients without applying them.
+  void zero_grad();
+
+ private:
+  std::size_t in_dim_;
+  std::size_t out_dim_;
+  Activation act_;
+  Matrix w_;       // [out x in]
+  Matrix b_;       // [1 x out]
+  Matrix grad_w_;  // accumulated
+  Matrix grad_b_;
+  Matrix m_w_, v_w_, m_b_, v_b_;  // Adam moments
+  Matrix cached_input_;
+  Matrix cached_output_;
+};
+
+}  // namespace evvo::learn

@@ -1,0 +1,127 @@
+#include "learn/matrix.hpp"
+
+#include <stdexcept>
+
+namespace evvo::learn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  if (data_.size() != rows * cols) throw std::invalid_argument("Matrix: data size mismatch");
+}
+
+Matrix Matrix::gather_rows(std::span<const std::size_t> indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= rows_) throw std::out_of_range("Matrix::gather_rows: index out of range");
+    const auto src = row(indices[i]);
+    auto dst = out.row(i);
+    for (std::size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+void Matrix::fill(double value) {
+  for (double& x : data_) x = value;
+}
+
+namespace {
+void require(bool ok, const char* msg) {
+  if (!ok) throw std::invalid_argument(msg);
+}
+}  // namespace
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.rows(), "matmul: dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const auto brow = b.row(k);
+      auto crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_bt(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.cols(), "matmul_bt: dimension mismatch");
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto arow = a.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const auto brow = b.row(j);
+      double sum = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
+      c(i, j) = sum;
+    }
+  }
+  return c;
+}
+
+Matrix matmul_at(const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows(), "matmul_at: dimension mismatch");
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const auto arow = a.row(k);
+    const auto brow = b.row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      auto crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix transpose(const Matrix& m) {
+  Matrix t(m.cols(), m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) t(j, i) = m(i, j);
+  }
+  return t;
+}
+
+void axpy(Matrix& a, const Matrix& b, double scale) {
+  require(a.rows() == b.rows() && a.cols() == b.cols(), "axpy: shape mismatch");
+  auto af = a.flat();
+  const auto bf = b.flat();
+  for (std::size_t i = 0; i < af.size(); ++i) af[i] += scale * bf[i];
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows() && a.cols() == b.cols(), "hadamard: shape mismatch");
+  Matrix c(a.rows(), a.cols());
+  auto cf = c.flat();
+  const auto af = a.flat();
+  const auto bf = b.flat();
+  for (std::size_t i = 0; i < af.size(); ++i) cf[i] = af[i] * bf[i];
+  return c;
+}
+
+double mean_squared(const Matrix& m) {
+  if (m.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : m.flat()) sum += x * x;
+  return sum / static_cast<double>(m.size());
+}
+
+double mse(const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows() && a.cols() == b.cols(), "mse: shape mismatch");
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  const auto af = a.flat();
+  const auto bf = b.flat();
+  for (std::size_t i = 0; i < af.size(); ++i) {
+    const double d = af[i] - bf[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(af.size());
+}
+
+}  // namespace evvo::learn

@@ -1,0 +1,67 @@
+// Dense row-major matrix used by the neural-network substrate.
+//
+// Deliberately small: just the operations needed to train the paper's
+// stacked-autoencoder traffic predictor on CPU.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace evvo::learn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<double> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const double> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+  std::span<double> flat() { return data_; }
+  std::span<const double> flat() const { return data_; }
+
+  /// Extracts a subset of rows (for minibatching).
+  Matrix gather_rows(std::span<const std::size_t> indices) const;
+
+  void fill(double value);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B. Throws on dimension mismatch.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T (common in backprop; avoids materializing the transpose).
+Matrix matmul_bt(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B.
+Matrix matmul_at(const Matrix& a, const Matrix& b);
+
+Matrix transpose(const Matrix& m);
+
+/// a += scale * b (elementwise, same shape).
+void axpy(Matrix& a, const Matrix& b, double scale = 1.0);
+
+/// Elementwise product, same shape.
+Matrix hadamard(const Matrix& a, const Matrix& b);
+
+/// Mean of squared elements (MSE against zero).
+double mean_squared(const Matrix& m);
+
+/// Frobenius-norm distance squared mean: mean((a-b)^2).
+double mse(const Matrix& a, const Matrix& b);
+
+}  // namespace evvo::learn

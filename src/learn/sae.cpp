@@ -1,0 +1,199 @@
+#include "learn/sae.hpp"
+
+#include <limits>
+#include <optional>
+#include <stdexcept>
+
+namespace evvo::learn {
+
+void SaeConfig::validate() const {
+  if (input_dim == 0) throw std::invalid_argument("SaeConfig: input_dim must be set");
+  if (hidden_dims.empty()) throw std::invalid_argument("SaeConfig: need at least one hidden layer");
+  for (const std::size_t d : hidden_dims) {
+    if (d == 0) throw std::invalid_argument("SaeConfig: hidden dims must be positive");
+  }
+  if (pretrain_epochs < 0 || finetune_epochs < 0)
+    throw std::invalid_argument("SaeConfig: epochs must be >= 0");
+  if (batch_size == 0) throw std::invalid_argument("SaeConfig: batch size must be positive");
+  if (denoise_probability < 0.0 || denoise_probability >= 1.0)
+    throw std::invalid_argument("SaeConfig: denoise probability must be in [0, 1)");
+  if (validation_fraction < 0.0 || validation_fraction >= 1.0)
+    throw std::invalid_argument("SaeConfig: validation fraction must be in [0, 1)");
+  if (patience <= 0) throw std::invalid_argument("SaeConfig: patience must be positive");
+}
+
+StackedAutoencoder::StackedAutoencoder(SaeConfig config) : config_(std::move(config)), rng_(config_.seed) {
+  config_.validate();
+  std::size_t in_dim = config_.input_dim;
+  encoders_.reserve(config_.hidden_dims.size());
+  for (const std::size_t out_dim : config_.hidden_dims) {
+    encoders_.emplace_back(in_dim, out_dim, config_.hidden_activation, rng_);
+    in_dim = out_dim;
+  }
+}
+
+namespace {
+
+/// Splits [0, n) into shuffled minibatches.
+std::vector<std::vector<std::size_t>> make_batches(Rng& rng, std::size_t n, std::size_t batch_size) {
+  const std::vector<std::size_t> order = rng.permutation(n);
+  std::vector<std::vector<std::size_t>> batches;
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t end = std::min(start + batch_size, n);
+    batches.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(start),
+                         order.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return batches;
+}
+
+/// MSE gradient: d(mean((p-t)^2))/dp = 2*(p-t)/count.
+Matrix mse_gradient(const Matrix& predicted, const Matrix& target) {
+  Matrix grad(predicted.rows(), predicted.cols());
+  const double scale = 2.0 / static_cast<double>(predicted.size());
+  for (std::size_t i = 0; i < predicted.rows(); ++i) {
+    for (std::size_t j = 0; j < predicted.cols(); ++j) {
+      grad(i, j) = scale * (predicted(i, j) - target(i, j));
+    }
+  }
+  return grad;
+}
+
+}  // namespace
+
+std::vector<TrainHistory> StackedAutoencoder::pretrain(const Matrix& x) {
+  if (x.cols() != config_.input_dim) throw std::invalid_argument("SAE::pretrain: input width mismatch");
+  std::vector<TrainHistory> histories;
+  Matrix representation = x;
+  for (DenseLayer& encoder : encoders_) {
+    // Temporary decoder reconstructs the layer input; sigmoid keeps outputs in
+    // (0,1), matching min-max-scaled inputs and sigmoid hidden codes alike.
+    DenseLayer decoder(encoder.out_dim(), encoder.in_dim(), Activation::kSigmoid, rng_);
+    TrainHistory history;
+    long step = 0;
+    for (int epoch = 0; epoch < config_.pretrain_epochs; ++epoch) {
+      double loss_sum = 0.0;
+      std::size_t batch_count = 0;
+      for (const auto& batch : make_batches(rng_, representation.rows(), config_.batch_size)) {
+        Matrix clean = representation.gather_rows(batch);
+        Matrix corrupted = clean;
+        if (config_.denoise_probability > 0.0) {
+          for (double& v : corrupted.flat()) {
+            if (rng_.bernoulli(config_.denoise_probability)) v = 0.0;
+          }
+        }
+        const Matrix code = encoder.forward(corrupted);
+        const Matrix recon = decoder.forward(code);
+        loss_sum += mse(recon, clean);
+        ++batch_count;
+        const Matrix grad_code = decoder.backward(mse_gradient(recon, clean));
+        encoder.backward(grad_code);
+        ++step;
+        decoder.adam_step(config_.adam, step);
+        encoder.adam_step(config_.adam, step);
+      }
+      history.epoch_loss.push_back(batch_count ? loss_sum / static_cast<double>(batch_count) : 0.0);
+    }
+    histories.push_back(std::move(history));
+    representation = encoder.infer(representation);
+  }
+  pretrained_ = true;
+  return histories;
+}
+
+Matrix StackedAutoencoder::forward_train(const Matrix& x) {
+  Matrix h = x;
+  for (DenseLayer& encoder : encoders_) h = encoder.forward(h);
+  return output_layer_->forward(h);
+}
+
+void StackedAutoencoder::backward_and_step(const Matrix& grad_out, long step) {
+  Matrix grad = output_layer_->backward(grad_out);
+  for (auto it = encoders_.rbegin(); it != encoders_.rend(); ++it) grad = it->backward(grad);
+  output_layer_->adam_step(config_.adam, step);
+  for (DenseLayer& encoder : encoders_) encoder.adam_step(config_.adam, step);
+}
+
+TrainHistory StackedAutoencoder::finetune(const Matrix& x, const Matrix& y, int epochs) {
+  if (x.cols() != config_.input_dim) throw std::invalid_argument("SAE::finetune: input width mismatch");
+  if (x.rows() != y.rows()) throw std::invalid_argument("SAE::finetune: row count mismatch");
+  if (!output_layer_) {
+    output_layer_.emplace(config_.hidden_dims.back(), y.cols(), Activation::kIdentity, rng_);
+  } else if (output_layer_->out_dim() != y.cols()) {
+    throw std::invalid_argument("SAE::finetune: target width changed between calls");
+  }
+  const int n_epochs = epochs >= 0 ? epochs : config_.finetune_epochs;
+  TrainHistory history;
+
+  // Optional validation split for early stopping.
+  Matrix train_x = x;
+  Matrix train_y = y;
+  Matrix val_x;
+  Matrix val_y;
+  const bool early_stopping = config_.validation_fraction > 0.0 && x.rows() >= 10;
+  if (early_stopping) {
+    const auto order = rng_.permutation(x.rows());
+    const auto n_val = std::max<std::size_t>(
+        1, static_cast<std::size_t>(config_.validation_fraction * static_cast<double>(x.rows())));
+    const std::vector<std::size_t> val_idx(order.begin(),
+                                           order.begin() + static_cast<std::ptrdiff_t>(n_val));
+    const std::vector<std::size_t> train_idx(order.begin() + static_cast<std::ptrdiff_t>(n_val),
+                                             order.end());
+    val_x = x.gather_rows(val_idx);
+    val_y = y.gather_rows(val_idx);
+    train_x = x.gather_rows(train_idx);
+    train_y = y.gather_rows(train_idx);
+  }
+
+  std::vector<DenseLayer> best_encoders;
+  std::optional<DenseLayer> best_output;
+  double best_val = std::numeric_limits<double>::infinity();
+  int since_best = 0;
+
+  long step = 0;
+  for (int epoch = 0; epoch < n_epochs; ++epoch) {
+    double loss_sum = 0.0;
+    std::size_t batch_count = 0;
+    for (const auto& batch : make_batches(rng_, train_x.rows(), config_.batch_size)) {
+      const Matrix bx = train_x.gather_rows(batch);
+      const Matrix by = train_y.gather_rows(batch);
+      const Matrix pred = forward_train(bx);
+      loss_sum += mse(pred, by);
+      ++batch_count;
+      ++step;
+      backward_and_step(mse_gradient(pred, by), step);
+    }
+    history.epoch_loss.push_back(batch_count ? loss_sum / static_cast<double>(batch_count) : 0.0);
+    if (early_stopping) {
+      const double val_loss = mse(predict(val_x), val_y);
+      history.validation_loss.push_back(val_loss);
+      if (val_loss < best_val - 1e-12) {
+        best_val = val_loss;
+        history.best_epoch = epoch;
+        best_encoders = encoders_;
+        best_output = output_layer_;
+        since_best = 0;
+      } else if (++since_best >= config_.patience) {
+        break;
+      }
+    }
+  }
+  if (early_stopping && history.best_epoch >= 0) {
+    encoders_ = std::move(best_encoders);
+    output_layer_ = std::move(best_output);
+  }
+  return history;
+}
+
+Matrix StackedAutoencoder::encode(const Matrix& x) const {
+  if (x.cols() != config_.input_dim) throw std::invalid_argument("SAE::encode: input width mismatch");
+  Matrix h = x;
+  for (const DenseLayer& encoder : encoders_) h = encoder.infer(h);
+  return h;
+}
+
+Matrix StackedAutoencoder::predict(const Matrix& x) const {
+  if (!output_layer_) throw std::logic_error("SAE::predict: model not fine-tuned yet");
+  return output_layer_->infer(encode(x));
+}
+
+}  // namespace evvo::learn

@@ -1,0 +1,85 @@
+// Stacked AutoEncoder regressor (paper Sec. II-B1, reference [10]).
+//
+// Training follows the classic recipe: greedy layer-wise unsupervised
+// pre-training of each encoder as a (denoising) autoencoder, then supervised
+// fine-tuning of the whole stack plus a linear output layer with Adam.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/random.hpp"
+#include "learn/dense_layer.hpp"
+#include "learn/matrix.hpp"
+
+namespace evvo::learn {
+
+struct SaeConfig {
+  std::size_t input_dim = 0;
+  std::vector<std::size_t> hidden_dims{32, 16};
+  Activation hidden_activation = Activation::kSigmoid;
+  int pretrain_epochs = 30;
+  int finetune_epochs = 150;
+  std::size_t batch_size = 32;
+  AdamConfig adam{};
+  /// Probability of masking an input to 0 during pre-training (denoising AE);
+  /// 0 disables corruption.
+  double denoise_probability = 0.1;
+  /// Fraction of the fine-tuning set held out for validation-based early
+  /// stopping (0 disables early stopping and trains all epochs).
+  double validation_fraction = 0.0;
+  /// Early stopping patience: stop after this many epochs without a new best
+  /// validation loss, restoring the best weights.
+  int patience = 10;
+  std::uint64_t seed = 42;
+
+  void validate() const;
+};
+
+/// Per-epoch training losses, for convergence tests and the perf bench.
+struct TrainHistory {
+  std::vector<double> epoch_loss;
+  std::vector<double> validation_loss;  ///< filled when early stopping is on
+  int best_epoch = -1;                  ///< epoch whose weights were kept
+
+  double final_loss() const { return epoch_loss.empty() ? 0.0 : epoch_loss.back(); }
+  double best_validation_loss() const {
+    return best_epoch >= 0 ? validation_loss[static_cast<std::size_t>(best_epoch)] : 0.0;
+  }
+};
+
+class StackedAutoencoder {
+ public:
+  explicit StackedAutoencoder(SaeConfig config);
+
+  const SaeConfig& config() const { return config_; }
+  bool pretrained() const { return pretrained_; }
+  bool trained() const { return output_layer_.has_value(); }
+  std::size_t depth() const { return encoders_.size(); }
+
+  /// Greedy layer-wise pre-training on (scaled) inputs X [n x input_dim].
+  /// Returns one history per layer.
+  std::vector<TrainHistory> pretrain(const Matrix& x);
+
+  /// Supervised fine-tuning toward targets Y [n x out_dim]. Creates the linear
+  /// output layer on first call. May be called without pretrain() (ablation).
+  TrainHistory finetune(const Matrix& x, const Matrix& y, int epochs = -1);
+
+  /// Deep feature representation (output of the top encoder).
+  Matrix encode(const Matrix& x) const;
+
+  /// Regression prediction; requires finetune() to have run.
+  Matrix predict(const Matrix& x) const;
+
+ private:
+  Matrix forward_train(const Matrix& x);
+  void backward_and_step(const Matrix& grad_out, long step);
+
+  SaeConfig config_;
+  Rng rng_;
+  std::vector<DenseLayer> encoders_;
+  std::optional<DenseLayer> output_layer_;
+  bool pretrained_ = false;
+};
+
+}  // namespace evvo::learn

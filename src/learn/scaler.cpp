@@ -1,0 +1,57 @@
+#include "learn/scaler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace evvo::learn {
+
+void MinMaxScaler::fit(const Matrix& x) {
+  if (x.rows() == 0) throw std::invalid_argument("MinMaxScaler::fit: empty matrix");
+  mins_.assign(x.cols(), 0.0);
+  ranges_.assign(x.cols(), 1.0);
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    double lo = x(0, c);
+    double hi = x(0, c);
+    for (std::size_t r = 1; r < x.rows(); ++r) {
+      lo = std::min(lo, x(r, c));
+      hi = std::max(hi, x(r, c));
+    }
+    mins_[c] = lo;
+    ranges_[c] = std::max(hi - lo, 1e-12);
+  }
+}
+
+namespace {
+void require_fitted_width(std::size_t dim, const Matrix& x, const char* who) {
+  if (dim == 0) throw std::logic_error(std::string(who) + ": scaler not fitted");
+  if (x.cols() != dim) throw std::invalid_argument(std::string(who) + ": width mismatch");
+}
+}  // namespace
+
+Matrix MinMaxScaler::transform(const Matrix& x) const {
+  require_fitted_width(dim(), x, "MinMaxScaler::transform");
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) out(r, c) = transform_value(x(r, c), c);
+  }
+  return out;
+}
+
+Matrix MinMaxScaler::inverse_transform(const Matrix& x) const {
+  require_fitted_width(dim(), x, "MinMaxScaler::inverse_transform");
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) out(r, c) = inverse_value(x(r, c), c);
+  }
+  return out;
+}
+
+double MinMaxScaler::transform_value(double v, std::size_t column) const {
+  return (v - mins_.at(column)) / ranges_.at(column);
+}
+
+double MinMaxScaler::inverse_value(double v, std::size_t column) const {
+  return v * ranges_.at(column) + mins_.at(column);
+}
+
+}  // namespace evvo::learn

@@ -1,0 +1,28 @@
+// Min-max feature scaling (the SAE reference scales traffic volumes to [0,1]).
+#pragma once
+
+#include "learn/matrix.hpp"
+
+namespace evvo::learn {
+
+/// Per-column min-max scaler mapping each feature into [0, 1].
+class MinMaxScaler {
+ public:
+  /// Learns per-column ranges from X. Constant columns map to 0.
+  void fit(const Matrix& x);
+
+  bool fitted() const { return !mins_.empty(); }
+  std::size_t dim() const { return mins_.size(); }
+
+  Matrix transform(const Matrix& x) const;
+  Matrix inverse_transform(const Matrix& x) const;
+
+  double transform_value(double v, std::size_t column) const;
+  double inverse_value(double v, std::size_t column) const;
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> ranges_;  // max - min, floored away from zero
+};
+
+}  // namespace evvo::learn

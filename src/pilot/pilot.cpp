@@ -1,0 +1,61 @@
+#include "pilot/pilot.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace evvo::pilot {
+
+namespace {
+constexpr double kCreepSpeed_ms = 0.4;  ///< floor so stop points are reached (see sim/traci)
+}
+
+PilotResult drive_with_replanning(sim::Microsim& simulator, const core::VelocityPlanner& planner,
+                                  std::shared_ptr<const traffic::ArrivalRateProvider> arrivals,
+                                  const PilotConfig& config) {
+  const double end = planner.corridor().length();
+  core::PlannedProfile plan = planner.plan(simulator.time(), arrivals);
+
+  const int ego_id = simulator.spawn_ego(0.0, config.ego);
+  PilotResult result;
+  result.start_time_s = simulator.time();
+  std::vector<double> speeds{0.0};
+  result.positions.push_back(0.0);
+
+  const double deadline = simulator.time() + config.timeout_s;
+  double next_check = simulator.time() + config.check_interval_s;
+  while (simulator.time() < deadline) {
+    const sim::SimVehicle* ego = simulator.find(ego_id);
+    if (!ego) throw std::logic_error("drive_with_replanning: ego vanished");
+    const double pos = ego->position_m;
+    if (pos >= end) {
+      result.completed = true;
+      break;
+    }
+    // Drift check: compare the wall clock against the plan's schedule at the
+    // current position; replan from the live state when it diverges.
+    if (simulator.time() >= next_check && result.replans < config.max_replans && pos > 1.0 &&
+        pos < end - 2.0 * planner.config().resolution.ds_m) {
+      next_check = simulator.time() + config.check_interval_s;
+      const double drift = simulator.time() - plan.time_at_position(pos);
+      if (std::abs(drift) > config.replan_drift_s) {
+        plan = planner.replan(pos, ego->speed_ms, simulator.time(), arrivals);
+        ++result.replans;
+        EVVO_LOG(kInfo, "pilot") << "replan #" << result.replans << " at " << pos << " m, drift "
+                                 << drift << " s";
+      }
+    }
+    simulator.command_ego_speed(std::max(plan.speed_at_position(pos), kCreepSpeed_ms));
+    simulator.step();
+    const sim::SimVehicle* after = simulator.find(ego_id);
+    speeds.push_back(after->speed_ms);
+    result.positions.push_back(after->position_m);
+  }
+  result.finish_time_s = simulator.time();
+  result.cycle = ev::DriveCycle(std::move(speeds), simulator.config().step_s);
+  simulator.remove_ego();
+  return result;
+}
+
+}  // namespace evvo::pilot

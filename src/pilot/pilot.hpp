@@ -1,0 +1,52 @@
+// Closed-loop adaptive pilot: drives a planned profile through the traffic
+// simulator, monitors schedule drift, and replans mid-route when the traffic
+// pushes the vehicle off its plan.
+//
+// The paper's system is open-loop (plan once, execute). In deployment a
+// vehicle that is delayed - a slower leader, an unexpected queue - will miss
+// its zero-queue windows at downstream signals, so the natural extension is
+// to re-run the DP from the current (position, speed, time), which the
+// time-expanded solver supports directly (DpProblem::initial_speed_ms).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "ev/drive_cycle.hpp"
+#include "sim/microsim.hpp"
+
+namespace evvo::pilot {
+
+struct PilotConfig {
+  /// Replan when |actual time - planned time at current position| exceeds this.
+  double replan_drift_s = 4.0;
+  /// How often the drift is checked [s of sim time].
+  double check_interval_s = 5.0;
+  /// Hard cap on replans per trip (each costs one DP solve).
+  int max_replans = 5;
+  /// Give up after this much sim time.
+  double timeout_s = 900.0;
+  /// Ego driver envelope (acceleration/braking capability in the simulator).
+  sim::DriverParams ego{};
+};
+
+struct PilotResult {
+  ev::DriveCycle cycle{std::vector<double>{}, 1.0};  ///< recorded ego speeds per step
+  std::vector<double> positions;
+  bool completed = false;
+  int replans = 0;
+  double start_time_s = 0.0;
+  double finish_time_s = 0.0;
+
+  double trip_time() const { return finish_time_s - start_time_s; }
+};
+
+/// Drives the full corridor in `simulator` (which must be warmed up to the
+/// desired departure time), planning with `planner` and replanning on drift.
+/// `arrivals` feeds the queue predictor on every (re)plan.
+PilotResult drive_with_replanning(sim::Microsim& simulator, const core::VelocityPlanner& planner,
+                                  std::shared_ptr<const traffic::ArrivalRateProvider> arrivals,
+                                  const PilotConfig& config = {});
+
+}  // namespace evvo::pilot

@@ -1,0 +1,49 @@
+#include "road/coordination.hpp"
+
+#include <stdexcept>
+
+namespace evvo::road {
+
+Corridor coordinate_for_progression(const Corridor& corridor, double progression_speed_ms,
+                                    double depart_s, double lead_s) {
+  if (progression_speed_ms <= 0.0)
+    throw std::invalid_argument("coordinate_for_progression: speed must be positive");
+  Corridor coordinated{corridor.route, {}, corridor.stop_signs};
+  for (const TrafficLight& light : corridor.lights) {
+    const double arrival = depart_s + light.position() / progression_speed_ms;
+    // The cycle is red-first: green begins offset + red. Choose the offset so
+    // green starts lead_s before the arrival.
+    const double offset = arrival - lead_s - light.red_duration();
+    coordinated.lights.emplace_back(light.position(), light.red_duration(),
+                                    light.green_duration(), offset);
+  }
+  return coordinated;
+}
+
+double progression_quality(const Corridor& corridor, double speed_ms, double depart_s) {
+  if (speed_ms <= 0.0) throw std::invalid_argument("progression_quality: speed must be positive");
+  if (corridor.lights.empty()) return 1.0;
+  int green = 0;
+  for (const TrafficLight& light : corridor.lights) {
+    if (light.is_green(depart_s + light.position() / speed_ms)) ++green;
+  }
+  return static_cast<double>(green) / static_cast<double>(corridor.lights.size());
+}
+
+double progression_bandwidth(const Corridor& corridor, double speed_ms, double scan_window_s,
+                             double dt) {
+  if (dt <= 0.0) throw std::invalid_argument("progression_bandwidth: dt must be positive");
+  double best = 0.0;
+  double current = 0.0;
+  for (double t = 0.0; t <= scan_window_s; t += dt) {
+    if (progression_quality(corridor, speed_ms, t) >= 1.0) {
+      current += dt;
+      best = std::max(best, current);
+    } else {
+      current = 0.0;
+    }
+  }
+  return best;
+}
+
+}  // namespace evvo::road

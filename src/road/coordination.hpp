@@ -1,0 +1,31 @@
+// Fixed-time signal coordination ("green wave") utilities.
+//
+// The paper's corridor has uncoordinated signals, which is exactly where
+// queue-aware planning pays off. These helpers construct the opposite regime
+// - offsets aligned so a vehicle cruising at the progression speed meets
+// every onset of green - to quantify how much of the method's advantage
+// survives under good coordination (ablation A11).
+#pragma once
+
+#include "road/corridor.hpp"
+
+namespace evvo::road {
+
+/// Returns a copy of the corridor whose signal offsets form a green wave for
+/// a vehicle departing position 0 at time `depart_s` and cruising at
+/// `progression_speed_ms`: each light's green begins `lead_s` seconds before
+/// that vehicle arrives.
+Corridor coordinate_for_progression(const Corridor& corridor, double progression_speed_ms,
+                                    double depart_s = 0.0, double lead_s = 2.0);
+
+/// Progression quality: the fraction of lights a constant-speed vehicle
+/// departing at `depart_s` crosses on green (1.0 = perfect wave).
+double progression_quality(const Corridor& corridor, double speed_ms, double depart_s);
+
+/// Bandwidth of the wave: the widest interval of departure times (within one
+/// hyperperiod-like scan window) for which a constant-speed vehicle crosses
+/// every light on green. Returns seconds (0 when no departure works).
+double progression_bandwidth(const Corridor& corridor, double speed_ms, double scan_window_s = 120.0,
+                             double dt = 0.5);
+
+}  // namespace evvo::road

@@ -1,0 +1,146 @@
+#include "road/corridor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/random.hpp"
+
+namespace evvo::road {
+
+namespace {
+
+/// Builds contiguous segments over [0, length] with reduced-speed zones around
+/// each light and an optional sinusoidal grade profile.
+std::vector<RoadSegment> build_segments(const CorridorConfig& c) {
+  // Collect breakpoints: zone edges around each light.
+  std::vector<double> breaks{0.0, c.length_m};
+  const auto add_zone = [&](double center) {
+    breaks.push_back(std::max(0.0, center - c.light_zone_half_width_m));
+    breaks.push_back(std::min(c.length_m, center + c.light_zone_half_width_m));
+  };
+  add_zone(c.light1_m);
+  add_zone(c.light2_m);
+  std::sort(breaks.begin(), breaks.end());
+  breaks.erase(std::unique(breaks.begin(), breaks.end(),
+                           [](double a, double b) { return std::abs(a - b) < 1e-9; }),
+               breaks.end());
+
+  const auto in_light_zone = [&](double s) {
+    return std::abs(s - c.light1_m) <= c.light_zone_half_width_m ||
+           std::abs(s - c.light2_m) <= c.light_zone_half_width_m;
+  };
+
+  std::vector<RoadSegment> segments;
+  for (std::size_t i = 0; i + 1 < breaks.size(); ++i) {
+    RoadSegment seg;
+    seg.start_m = breaks[i];
+    seg.end_m = breaks[i + 1];
+    const double mid = 0.5 * (seg.start_m + seg.end_m);
+    seg.speed_limit_ms = c.speed_limit_ms;
+    seg.min_speed_ms = in_light_zone(mid) ? c.light_zone_min_speed_ms : 0.0;
+    if (c.grade_amplitude_rad > 0.0) {
+      // One gentle rolling period over the corridor.
+      seg.grade_rad = c.grade_amplitude_rad *
+                      std::sin(2.0 * std::numbers::pi * mid / c.length_m);
+    }
+    segments.push_back(seg);
+  }
+  return segments;
+}
+
+}  // namespace
+
+Corridor make_us25_corridor(const CorridorConfig& c) {
+  if (!(0.0 < c.stop_sign_m && c.stop_sign_m < c.light1_m && c.light1_m < c.light2_m &&
+        c.light2_m < c.length_m))
+    throw std::invalid_argument("make_us25_corridor: elements must be ordered within the corridor");
+  Corridor corridor{Route(build_segments(c)),
+                    {TrafficLight(c.light1_m, c.red_s, c.green_s, c.light1_offset_s),
+                     TrafficLight(c.light2_m, c.red_s, c.green_s, c.light2_offset_s)},
+                    {StopSign{c.stop_sign_m}}};
+  return corridor;
+}
+
+Corridor corridor_suffix(const Corridor& corridor, double from) {
+  Corridor rest{corridor.route.suffix(from), {}, {}};
+  for (const TrafficLight& light : corridor.lights) {
+    if (light.position() > from + 1e-9) {
+      rest.lights.emplace_back(light.position() - from, light.red_duration(),
+                               light.green_duration(), light.offset());
+    }
+  }
+  for (const StopSign& sign : corridor.stop_signs) {
+    if (sign.position_m > from + 1e-9) {
+      rest.stop_signs.push_back(StopSign{sign.position_m - from, sign.min_stop_s});
+    }
+  }
+  return rest;
+}
+
+Corridor make_random_corridor(std::uint64_t seed, const RandomCorridorConfig& c) {
+  Rng rng(seed);
+  const double length = rng.uniform(c.min_length_m, c.max_length_m);
+
+  // Place regulatory elements with at least min_element_gap_m spacing and a
+  // margin from both ends.
+  const int n_lights = rng.uniform_int(c.min_lights, c.max_lights);
+  const int n_signs = rng.uniform_int(0, c.max_stop_signs);
+  const int n_elements = n_lights + n_signs;
+  const double margin = c.min_element_gap_m;
+  std::vector<double> positions;
+  int attempts = 0;
+  while (static_cast<int>(positions.size()) < n_elements && attempts < 10000) {
+    ++attempts;
+    const double candidate = rng.uniform(margin, length - margin);
+    bool ok = true;
+    for (const double p : positions) ok &= std::abs(p - candidate) >= c.min_element_gap_m;
+    if (ok) positions.push_back(candidate);
+  }
+  // Positions stay in generation order so the light/sign split below is not
+  // positionally biased; each list is sorted at the end.
+
+  // 2-4 speed-limit segments.
+  const int n_segments = rng.uniform_int(2, 4);
+  std::vector<RoadSegment> segments;
+  double cursor = 0.0;
+  for (int i = 0; i < n_segments; ++i) {
+    RoadSegment seg;
+    seg.start_m = cursor;
+    seg.end_m = i + 1 == n_segments
+                    ? length
+                    : cursor + (length - cursor) / static_cast<double>(n_segments - i);
+    seg.speed_limit_ms = rng.uniform(c.min_speed_limit_ms, c.max_speed_limit_ms);
+    segments.push_back(seg);
+    cursor = seg.end_m;
+  }
+
+  Corridor corridor{Route(std::move(segments)), {}, {}};
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (static_cast<int>(i) < n_lights) {
+      const double red = rng.uniform(c.min_phase_s, c.max_phase_s);
+      const double green = rng.uniform(c.min_phase_s, c.max_phase_s);
+      const double offset = rng.uniform(0.0, red + green);
+      corridor.lights.emplace_back(positions[i], red, green, offset);
+    } else {
+      corridor.stop_signs.push_back(StopSign{positions[i]});
+    }
+  }
+  // Keep lights and signs individually sorted by position.
+  std::sort(corridor.lights.begin(), corridor.lights.end(),
+            [](const TrafficLight& a, const TrafficLight& b) { return a.position() < b.position(); });
+  std::sort(corridor.stop_signs.begin(), corridor.stop_signs.end(),
+            [](const StopSign& a, const StopSign& b) { return a.position_m < b.position_m; });
+  return corridor;
+}
+
+Corridor make_single_light_corridor(double length_m, double light_m, double red_s, double green_s,
+                                    double speed_limit_ms) {
+  if (!(0.0 < light_m && light_m < length_m))
+    throw std::invalid_argument("make_single_light_corridor: light must be inside the corridor");
+  std::vector<RoadSegment> segments{{0.0, length_m, speed_limit_ms, 0.0, 0.0}};
+  return Corridor{Route(std::move(segments)), {TrafficLight(light_m, red_s, green_s)}, {}};
+}
+
+}  // namespace evvo::road

@@ -1,0 +1,69 @@
+#include "road/route.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace evvo::road {
+
+Route::Route(std::vector<RoadSegment> segments) : segments_(std::move(segments)) {
+  if (segments_.empty()) throw std::invalid_argument("Route: needs at least one segment");
+  if (std::abs(segments_.front().start_m) > 1e-9)
+    throw std::invalid_argument("Route: first segment must start at 0");
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const RoadSegment& seg = segments_[i];
+    if (seg.length() <= 0.0) throw std::invalid_argument("Route: segment length must be positive");
+    if (seg.speed_limit_ms <= 0.0) throw std::invalid_argument("Route: speed limit must be positive");
+    if (seg.min_speed_ms < 0.0 || seg.min_speed_ms > seg.speed_limit_ms)
+      throw std::invalid_argument("Route: min speed must be in [0, speed limit]");
+    if (i > 0 && std::abs(seg.start_m - segments_[i - 1].end_m) > 1e-9)
+      throw std::invalid_argument("Route: segments must be contiguous");
+  }
+}
+
+const RoadSegment& Route::segment_at(double s) const {
+  const double pos = std::clamp(s, 0.0, length());
+  // Binary search over segment ends.
+  std::size_t lo = 0;
+  std::size_t hi = segments_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (segments_[mid].end_m < pos) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return segments_[lo];
+}
+
+double Route::max_speed_limit() const {
+  double best = 0.0;
+  for (const auto& seg : segments_) best = std::max(best, seg.speed_limit_ms);
+  return best;
+}
+
+Route Route::suffix(double from) const {
+  if (from < 0.0 || from >= length())
+    throw std::invalid_argument("Route::suffix: position outside the route");
+  std::vector<RoadSegment> rest;
+  for (const RoadSegment& seg : segments_) {
+    if (seg.end_m <= from + 1e-9) continue;
+    RoadSegment cut = seg;
+    cut.start_m = std::max(seg.start_m, from) - from;
+    cut.end_m = seg.end_m - from;
+    rest.push_back(cut);
+  }
+  return Route(std::move(rest));
+}
+
+double Route::elevation_gain() const {
+  double gain = 0.0;
+  for (const auto& seg : segments_) {
+    const double rise = seg.length() * std::sin(seg.grade_rad);
+    if (rise > 0.0) gain += rise;
+  }
+  return gain;
+}
+
+}  // namespace evvo::road

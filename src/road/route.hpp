@@ -1,0 +1,50 @@
+// Road geometry: a 1-D route made of contiguous segments with speed limits
+// and gradients. This is the world model the optimizer plans over (Eq. 7).
+#pragma once
+
+#include <vector>
+
+namespace evvo::road {
+
+/// One homogeneous stretch of road.
+struct RoadSegment {
+  double start_m = 0.0;
+  double end_m = 0.0;
+  double speed_limit_ms = 20.0;  ///< v_max(s) of Eq. (7a)
+  double min_speed_ms = 0.0;     ///< v_min(s) of Eq. (7a); advisory lower bound
+  double grade_rad = 0.0;        ///< gradient theta (positive = uphill)
+
+  double length() const { return end_m - start_m; }
+};
+
+/// An ordered, gap-free sequence of segments from 0 to length().
+class Route {
+ public:
+  /// Segments must be contiguous, start at 0, and have positive length.
+  explicit Route(std::vector<RoadSegment> segments);
+
+  double length() const { return segments_.back().end_m; }
+  const std::vector<RoadSegment>& segments() const { return segments_; }
+
+  /// Segment containing position s (s clamped into [0, length]).
+  const RoadSegment& segment_at(double s) const;
+
+  double speed_limit_at(double s) const { return segment_at(s).speed_limit_ms; }
+  double min_speed_at(double s) const { return segment_at(s).min_speed_ms; }
+  double grade_at(double s) const { return segment_at(s).grade_rad; }
+
+  /// Highest speed limit along the route (sizes the optimizer's velocity grid).
+  double max_speed_limit() const;
+
+  /// The remaining route from position `from` (rebased so it starts at 0).
+  /// Used by mid-route replanning. Requires 0 <= from < length().
+  Route suffix(double from) const;
+
+  /// Total climb: integral of sin(grade) ds [m of elevation gain].
+  double elevation_gain() const;
+
+ private:
+  std::vector<RoadSegment> segments_;
+};
+
+}  // namespace evvo::road

@@ -1,0 +1,42 @@
+#include "road/signals.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace evvo::road {
+
+TrafficLight::TrafficLight(double position_m, double red_s, double green_s, double offset_s)
+    : position_m_(position_m), red_s_(red_s), green_s_(green_s), offset_s_(offset_s) {
+  if (position_m_ < 0.0) throw std::invalid_argument("TrafficLight: position must be >= 0");
+  if (red_s_ <= 0.0 || green_s_ <= 0.0)
+    throw std::invalid_argument("TrafficLight: phase durations must be positive");
+}
+
+double TrafficLight::time_into_cycle(double t) const {
+  const double cycle = cycle_duration();
+  double phase = std::fmod(t - offset_s_, cycle);
+  if (phase < 0.0) phase += cycle;
+  return phase;
+}
+
+bool TrafficLight::is_green(double t) const { return time_into_cycle(t) >= red_s_; }
+
+double TrafficLight::cycle_start(double t) const { return t - time_into_cycle(t); }
+
+double TrafficLight::next_green(double t) const {
+  if (is_green(t)) return t;
+  return cycle_start(t) + red_s_;
+}
+
+std::vector<TimeWindow> TrafficLight::green_windows(double t0, double t1) const {
+  std::vector<TimeWindow> windows;
+  if (t1 <= t0) return windows;
+  for (double start = cycle_start(t0); start < t1; start += cycle_duration()) {
+    const TimeWindow green{start + red_s_, start + cycle_duration()};
+    const TimeWindow clipped{std::max(green.start_s, t0), std::min(green.end_s, t1)};
+    if (clipped.duration() > 0.0) windows.push_back(clipped);
+  }
+  return windows;
+}
+
+}  // namespace evvo::road

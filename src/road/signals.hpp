@@ -1,0 +1,61 @@
+// Fixed-time traffic signals and stop signs.
+//
+// The paper's signal cycle (Sec. II-B2) runs red first then green: within one
+// cycle, [0, t_red) is red and [t_red, t_red + t_green) is green. An offset
+// shifts the cycle in absolute time.
+#pragma once
+
+#include <vector>
+
+namespace evvo::road {
+
+/// Absolute time interval [start, end).
+struct TimeWindow {
+  double start_s = 0.0;
+  double end_s = 0.0;
+
+  double duration() const { return end_s - start_s; }
+  bool contains(double t) const { return t >= start_s && t < end_s; }
+};
+
+/// A fixed-time two-phase traffic light.
+class TrafficLight {
+ public:
+  /// `offset_s` is the absolute time at which a red phase begins.
+  TrafficLight(double position_m, double red_s, double green_s, double offset_s = 0.0);
+
+  double position() const { return position_m_; }
+  double red_duration() const { return red_s_; }
+  double green_duration() const { return green_s_; }
+  double cycle_duration() const { return red_s_ + green_s_; }
+  double offset() const { return offset_s_; }
+
+  /// Time since the current cycle's red phase began, in [0, cycle).
+  double time_into_cycle(double t) const;
+
+  bool is_green(double t) const;
+  bool is_red(double t) const { return !is_green(t); }
+
+  /// Start time of the cycle containing t (absolute seconds).
+  double cycle_start(double t) const;
+
+  /// Next time >= t at which the light is green (t itself if already green).
+  double next_green(double t) const;
+
+  /// All green windows intersecting [t0, t1], clipped to that range.
+  std::vector<TimeWindow> green_windows(double t0, double t1) const;
+
+ private:
+  double position_m_;
+  double red_s_;
+  double green_s_;
+  double offset_s_;
+};
+
+/// A stop sign: the plan must reach v = 0 here (Eq. 7c).
+struct StopSign {
+  double position_m = 0.0;
+  double min_stop_s = 2.0;  ///< dwell a real driver spends at the sign
+};
+
+}  // namespace evvo::road

@@ -1,0 +1,17 @@
+#include "sim/calibration.hpp"
+
+namespace evvo::sim {
+
+traffic::VmParams calibrated_vm_params(const DriverParams& background, double min_speed_ms,
+                                       double straight_ratio) {
+  traffic::VmParams vm;
+  vm.min_speed_ms = min_speed_ms;
+  vm.max_accel_ms2 = background.accel_ms2;
+  vm.spacing_m =
+      background.length_m + background.min_gap_m + min_speed_ms * background.reaction_time_s;
+  vm.straight_ratio = straight_ratio;
+  vm.validate();
+  return vm;
+}
+
+}  // namespace evvo::sim

@@ -1,0 +1,22 @@
+// Calibration bridge: derive the VM/QL model's discharge parameters from the
+// simulator's driver population, the same way the paper measured its
+// inter-vehicle distance d = 8.5 m from its own observed traffic.
+//
+// The VM model treats d as both the standstill spacing and the spacing held
+// while discharging at v_min; the effective discharge headway is therefore
+// d / v_min. For a Krauss population, the saturation headway at speed v is
+// reaction_time + (length + min_gap) / v, so matching the model's discharge
+// *rate* to the simulator requires
+//   d_eff = v_min * headway(v_min) = length + min_gap + v_min * reaction_time.
+#pragma once
+
+#include "sim/vehicle.hpp"
+#include "traffic/vm_model.hpp"
+
+namespace evvo::sim {
+
+/// VM parameters whose queue-clearance times match this driver population.
+traffic::VmParams calibrated_vm_params(const DriverParams& background, double min_speed_ms,
+                                       double straight_ratio = 0.7636);
+
+}  // namespace evvo::sim

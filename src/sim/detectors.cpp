@@ -1,0 +1,104 @@
+#include "sim/detectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace evvo::sim {
+
+InductionLoop::InductionLoop(double position_m, double bucket_s)
+    : position_m_(position_m), bucket_s_(bucket_s) {
+  if (bucket_s_ <= 0.0) throw std::invalid_argument("InductionLoop: bucket must be positive");
+}
+
+void InductionLoop::observe(const Microsim& sim) {
+  const auto bucket = static_cast<std::size_t>(sim.time() / bucket_s_);
+  if (buckets_.size() <= bucket) buckets_.resize(bucket + 1, 0);
+  std::map<int, double> current;
+  for (const SimVehicle& v : sim.vehicles()) {
+    current[v.id] = v.position_m;
+    const auto it = last_positions_.find(v.id);
+    if (it != last_positions_.end() && it->second <= position_m_ && v.position_m > position_m_) {
+      ++total_;
+      ++buckets_[bucket];
+    }
+  }
+  last_positions_ = std::move(current);
+}
+
+traffic::HourlyVolumeSeries InductionLoop::to_hourly_series(int start_hour_of_week) const {
+  if (std::abs(bucket_s_ - 3600.0) > 1e-9)
+    throw std::logic_error("InductionLoop: hourly series requires 3600 s buckets");
+  std::vector<double> volumes(buckets_.begin(), buckets_.end());
+  return traffic::HourlyVolumeSeries(std::move(volumes), start_hour_of_week);
+}
+
+QueueLengthRecorder::QueueLengthRecorder(std::size_t light_index) : light_index_(light_index) {}
+
+void QueueLengthRecorder::observe(const Microsim& sim) {
+  const auto [count, length] = sim.measured_queue(light_index_);
+  samples_.push_back(QueueSample{sim.time(), count, length});
+}
+
+double QueueLengthRecorder::max_length_m() const {
+  double best = 0.0;
+  for (const QueueSample& s : samples_) best = std::max(best, s.length_m);
+  return best;
+}
+
+std::vector<double> QueueLengthRecorder::length_series(double t0, double span_s, double dt) const {
+  if (dt <= 0.0) throw std::invalid_argument("QueueLengthRecorder: dt must be positive");
+  std::vector<double> out;
+  std::size_t idx = 0;
+  for (double t = t0; t <= t0 + span_s + 1e-9; t += dt) {
+    while (idx + 1 < samples_.size() &&
+           std::abs(samples_[idx + 1].time_s - t) <= std::abs(samples_[idx].time_s - t)) {
+      ++idx;
+    }
+    out.push_back(samples_.empty() ? 0.0 : samples_[idx].length_m);
+  }
+  return out;
+}
+
+TravelTimeProbe::TravelTimeProbe(double entry_m, double exit_m)
+    : entry_m_(entry_m), exit_m_(exit_m) {
+  if (exit_m_ <= entry_m_) throw std::invalid_argument("TravelTimeProbe: exit must be downstream");
+}
+
+void TravelTimeProbe::observe(const Microsim& sim) {
+  std::map<int, double> current;
+  for (const SimVehicle& v : sim.vehicles()) {
+    current[v.id] = v.position_m;
+    const auto last = last_positions_.find(v.id);
+    if (last == last_positions_.end()) continue;
+    if (last->second <= entry_m_ && v.position_m > entry_m_) {
+      entry_times_[v.id] = sim.time();
+    }
+    const auto entered = entry_times_.find(v.id);
+    if (entered != entry_times_.end() && last->second <= exit_m_ && v.position_m > exit_m_) {
+      travel_times_.push_back(sim.time() - entered->second);
+      entry_times_.erase(entered);
+    }
+  }
+  // Vehicles that left the corridor (turned off) drop their pending entries.
+  for (auto it = entry_times_.begin(); it != entry_times_.end();) {
+    it = current.count(it->first) ? std::next(it) : entry_times_.erase(it);
+  }
+  last_positions_ = std::move(current);
+}
+
+double TravelTimeProbe::mean_travel_time() const {
+  if (travel_times_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double t : travel_times_) sum += t;
+  return sum / static_cast<double>(travel_times_.size());
+}
+
+double TravelTimeProbe::mean_delay(double free_flow_speed_ms) const {
+  if (free_flow_speed_ms <= 0.0)
+    throw std::invalid_argument("TravelTimeProbe: free-flow speed must be positive");
+  const double free_flow = (exit_m_ - entry_m_) / free_flow_speed_ms;
+  return std::max(0.0, mean_travel_time() - free_flow);
+}
+
+}  // namespace evvo::sim

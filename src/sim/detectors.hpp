@@ -1,0 +1,94 @@
+// Roadside measurement devices: induction loops (hourly volume counts, the
+// SCDoT data source substitute) and queue-length recorders (the "real data"
+// ground truth of Fig. 5(b)).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "sim/microsim.hpp"
+#include "traffic/volume_series.hpp"
+
+namespace evvo::sim {
+
+/// Counts vehicles crossing a fixed position, bucketed by time.
+class InductionLoop {
+ public:
+  InductionLoop(double position_m, double bucket_s = 3600.0);
+
+  double position() const { return position_m_; }
+
+  /// Observes the current simulator state; call once per sim step.
+  void observe(const Microsim& sim);
+
+  /// Total crossings so far.
+  long total_count() const { return total_; }
+
+  /// Counts per completed bucket (bucket i covers [i*bucket_s, (i+1)*bucket_s)).
+  const std::vector<long>& bucket_counts() const { return buckets_; }
+
+  /// Converts the buckets into an hourly volume series (requires bucket_s = 3600).
+  traffic::HourlyVolumeSeries to_hourly_series(int start_hour_of_week = 0) const;
+
+ private:
+  double position_m_;
+  double bucket_s_;
+  long total_ = 0;
+  std::vector<long> buckets_;
+  std::map<int, double> last_positions_;  ///< vehicle id -> position at last observe
+};
+
+/// One queue-length sample.
+struct QueueSample {
+  double time_s = 0.0;
+  int vehicles = 0;
+  double length_m = 0.0;
+};
+
+/// Samples the measured queue at one signal every observe() call.
+class QueueLengthRecorder {
+ public:
+  explicit QueueLengthRecorder(std::size_t light_index);
+
+  void observe(const Microsim& sim);
+
+  const std::vector<QueueSample>& samples() const { return samples_; }
+
+  /// Maximum queue length observed [m].
+  double max_length_m() const;
+
+  /// Queue-length series resampled onto a fixed dt over [t0, t0+span]
+  /// (nearest-sample; for comparing against the QL model's profile).
+  std::vector<double> length_series(double t0, double span_s, double dt) const;
+
+ private:
+  std::size_t light_index_;
+  std::vector<QueueSample> samples_;
+};
+
+/// Measures per-vehicle travel times between two corridor positions; the
+/// excess over free-flow time is the measured control delay, the ground truth
+/// for the QL-model delay estimates.
+class TravelTimeProbe {
+ public:
+  TravelTimeProbe(double entry_m, double exit_m);
+
+  void observe(const Microsim& sim);
+
+  const std::vector<double>& travel_times() const { return travel_times_; }
+  double mean_travel_time() const;
+
+  /// Mean delay relative to traversing the probe at `free_flow_speed`.
+  double mean_delay(double free_flow_speed_ms) const;
+
+  long completed_count() const { return static_cast<long>(travel_times_.size()); }
+
+ private:
+  double entry_m_;
+  double exit_m_;
+  std::map<int, double> entry_times_;     ///< vehicle id -> time it crossed entry
+  std::map<int, double> last_positions_;
+  std::vector<double> travel_times_;
+};
+
+}  // namespace evvo::sim

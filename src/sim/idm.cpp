@@ -1,0 +1,31 @@
+#include "sim/idm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace evvo::sim {
+
+double idm_acceleration(const DriverParams& driver, double speed_ms, double desired_speed_ms,
+                        double gap_m, double approach_rate_ms) {
+  if (driver.accel_ms2 <= 0.0 || driver.decel_ms2 <= 0.0)
+    throw std::invalid_argument("idm_acceleration: accel/decel must be positive");
+  const double v0 = std::max(desired_speed_ms, 0.1);
+  const double free_term = std::pow(speed_ms / v0, 4.0);
+  const double s_star = driver.min_gap_m + speed_ms * driver.reaction_time_s +
+                        speed_ms * approach_rate_ms /
+                            (2.0 * std::sqrt(driver.accel_ms2 * driver.decel_ms2));
+  const double gap = std::max(gap_m, 0.1);
+  const double interaction = std::max(s_star, 0.0) / gap;
+  return driver.accel_ms2 * (1.0 - free_term - interaction * interaction);
+}
+
+double idm_following_speed(const DriverParams& driver, double speed_ms, double desired_speed_ms,
+                           double gap_m, double approach_rate_ms, double dt_s) {
+  const double a = idm_acceleration(driver, speed_ms, desired_speed_ms, gap_m, approach_rate_ms);
+  // Bound by an emergency-braking floor like the Krauss update.
+  const double bounded = std::max(a, -2.0 * driver.decel_ms2);
+  return std::max(0.0, speed_ms + bounded * dt_s);
+}
+
+}  // namespace evvo::sim

@@ -1,0 +1,23 @@
+// Intelligent Driver Model (Treiber 2000) - the main alternative to Krauss in
+// microscopic traffic simulation. Supporting both lets the experiments check
+// that the paper's conclusions do not hinge on the car-following model.
+#pragma once
+
+#include "sim/vehicle.hpp"
+
+namespace evvo::sim {
+
+/// IDM acceleration:
+///   a = a_max * [1 - (v/v0)^4 - (s*/gap)^2],
+///   s* = s0 + v*T + v*dv / (2*sqrt(a_max*b)).
+/// `gap_m` is the net gap to the leader; `approach_rate_ms` = v - v_leader.
+/// With no leader pass a huge gap and approach rate 0.
+double idm_acceleration(const DriverParams& driver, double speed_ms, double desired_speed_ms,
+                        double gap_m, double approach_rate_ms);
+
+/// One IDM step: new speed after dt (floored at 0). The caller supplies the
+/// stop-line constraint by treating red lights as standing leaders.
+double idm_following_speed(const DriverParams& driver, double speed_ms, double desired_speed_ms,
+                           double gap_m, double approach_rate_ms, double dt_s);
+
+}  // namespace evvo::sim

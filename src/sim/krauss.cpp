@@ -1,0 +1,32 @@
+#include "sim/krauss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace evvo::sim {
+
+double krauss_safe_speed(double gap_m, double leader_speed_ms, double decel_ms2,
+                         double reaction_time_s) {
+  if (decel_ms2 <= 0.0) throw std::invalid_argument("krauss_safe_speed: decel must be positive");
+  if (gap_m <= 0.0) return 0.0;
+  const double bt = decel_ms2 * reaction_time_s;
+  const double radicand = bt * bt + leader_speed_ms * leader_speed_ms + 2.0 * decel_ms2 * gap_m;
+  return std::max(0.0, -bt + std::sqrt(radicand));
+}
+
+double krauss_safe_speed_for_stop(double distance_m, double decel_ms2, double reaction_time_s) {
+  return krauss_safe_speed(distance_m, 0.0, decel_ms2, reaction_time_s);
+}
+
+double krauss_following_speed(const DriverParams& driver, double current_speed_ms,
+                              double desired_speed_ms, double safe_speed_ms, double dt_s) {
+  const double accelerated = current_speed_ms + driver.accel_ms2 * dt_s;
+  const double v = std::min({accelerated, desired_speed_ms, safe_speed_ms});
+  // Physical braking bound: even an emergency stop cannot shed more than
+  // b_emergency * dt per step; use 2x comfortable decel as the emergency bound.
+  const double emergency_floor = current_speed_ms - 2.0 * driver.decel_ms2 * dt_s;
+  return std::max(0.0, std::max(v, emergency_floor));
+}
+
+}  // namespace evvo::sim

@@ -1,0 +1,23 @@
+// Krauss (1998) stochastic car-following model - SUMO's default.
+#pragma once
+
+#include "sim/vehicle.hpp"
+
+namespace evvo::sim {
+
+/// Maximum speed that still allows stopping behind a leader moving at
+/// `leader_speed` with net gap `gap_m`, under reaction time tau and
+/// deceleration b:  v_safe = -b*tau + sqrt(b^2*tau^2 + v_l^2 + 2*b*gap).
+double krauss_safe_speed(double gap_m, double leader_speed_ms, double decel_ms2,
+                         double reaction_time_s);
+
+/// Safe speed against a fixed obstacle (stop line) `distance_m` ahead.
+double krauss_safe_speed_for_stop(double distance_m, double decel_ms2, double reaction_time_s);
+
+/// One Krauss update without dawdling: min(v + a*dt, v_desired, v_safe),
+/// floored at 0. Dawdling is applied by the caller (the simulator), which
+/// owns the RNG.
+double krauss_following_speed(const DriverParams& driver, double current_speed_ms,
+                              double desired_speed_ms, double safe_speed_ms, double dt_s);
+
+}  // namespace evvo::sim

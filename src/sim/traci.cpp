@@ -1,0 +1,66 @@
+#include "sim/traci.hpp"
+
+#include <stdexcept>
+
+namespace evvo::sim {
+
+namespace {
+constexpr double kCreepSpeed_ms = 0.4;  ///< floor so zero-speed plan points are approached
+}
+
+TraciClient::TraciClient(Microsim& sim) : sim_(sim) {}
+
+int TraciClient::add_ego(double position_m, const DriverParams& driver) {
+  return sim_.spawn_ego(position_m, driver);
+}
+
+bool TraciClient::ego_present() const { return sim_.ego() != nullptr; }
+
+double TraciClient::ego_position() const {
+  const SimVehicle* ego = sim_.ego();
+  if (!ego) throw std::logic_error("TraciClient: no ego");
+  return ego->position_m;
+}
+
+double TraciClient::ego_speed() const {
+  const SimVehicle* ego = sim_.ego();
+  if (!ego) throw std::logic_error("TraciClient: no ego");
+  return ego->speed_ms;
+}
+
+void TraciClient::set_speed(double speed_ms) { sim_.command_ego_speed(speed_ms); }
+
+void TraciClient::simulation_step() { sim_.step(); }
+
+double TraciClient::time() const { return sim_.time(); }
+
+ExecutionResult execute_planned_profile(Microsim& sim, const TargetSpeedFn& target, double start_m,
+                                        double end_m, double timeout_s,
+                                        const DriverParams& ego_driver) {
+  if (end_m <= start_m) throw std::invalid_argument("execute_planned_profile: end before start");
+  TraciClient traci(sim);
+  traci.add_ego(start_m, ego_driver);
+  ExecutionResult result;
+  result.start_time_s = sim.time();
+  std::vector<double> speeds{0.0};
+  result.positions.push_back(start_m);
+  const double deadline = sim.time() + timeout_s;
+  while (sim.time() < deadline) {
+    const double pos = traci.ego_position();
+    if (pos >= end_m) {
+      result.completed = true;
+      break;
+    }
+    const double wanted = target(pos, sim.time());
+    traci.set_speed(std::max(wanted, kCreepSpeed_ms));
+    traci.simulation_step();
+    speeds.push_back(traci.ego_speed());
+    result.positions.push_back(traci.ego_position());
+  }
+  result.finish_time_s = sim.time();
+  result.cycle = ev::DriveCycle(std::move(speeds), sim.config().step_s);
+  sim.remove_ego();
+  return result;
+}
+
+}  // namespace evvo::sim

@@ -1,0 +1,58 @@
+// TraCI-style ego control: command a planned speed step-by-step and record
+// the trajectory the simulator actually allows (paper Sec. III-B3, Fig. 6).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ev/drive_cycle.hpp"
+#include "sim/microsim.hpp"
+
+namespace evvo::sim {
+
+/// Thin client mirroring the TraCI calls the paper uses: subscribe to the ego
+/// vehicle, set its speed each step, read back its state.
+class TraciClient {
+ public:
+  explicit TraciClient(Microsim& sim);
+
+  /// Adds the ego at a position (speed 0) and subscribes to it.
+  int add_ego(double position_m, const DriverParams& driver = {});
+
+  bool ego_present() const;
+  double ego_position() const;
+  double ego_speed() const;
+
+  /// TraCI vehicle.setSpeed: the simulator clamps by safety and signals.
+  void set_speed(double speed_ms);
+
+  /// TraCI simulationStep.
+  void simulation_step();
+
+  double time() const;
+
+ private:
+  Microsim& sim_;
+};
+
+/// Target speed for the ego as a function of (position [m], time [s]).
+using TargetSpeedFn = std::function<double(double, double)>;
+
+/// The trajectory the simulator permitted while executing a plan.
+struct ExecutionResult {
+  ev::DriveCycle cycle{std::vector<double>{}, 1.0};  ///< recorded ego speed per sim step
+  std::vector<double> positions; ///< ego position per sim step (same indexing)
+  bool completed = false;        ///< ego reached the end position
+  double finish_time_s = 0.0;    ///< sim time when the run ended
+  double start_time_s = 0.0;
+};
+
+/// Drives the ego from `start_m` to `end_m`, commanding `target(pos, t)` every
+/// step (floored at a small creep speed so deliberate zero-speed plan points -
+/// stop signs - are reached and handled by the simulator's own stop logic).
+/// Gives up after `timeout_s` of sim time.
+ExecutionResult execute_planned_profile(Microsim& sim, const TargetSpeedFn& target, double start_m,
+                                        double end_m, double timeout_s,
+                                        const DriverParams& ego_driver = {});
+
+}  // namespace evvo::sim

@@ -1,0 +1,41 @@
+// Simulated vehicle state and driver parameterization.
+#pragma once
+
+#include <cstdint>
+
+namespace evvo::sim {
+
+/// Car-following / driver parameters (Krauss model inputs).
+struct DriverParams {
+  double desired_speed_ms = 20.0;  ///< free-flow target before speed limits
+  double speed_factor = 1.0;       ///< multiplier on the posted limit (fast drivers > 1 slightly)
+  double accel_ms2 = 2.0;          ///< comfortable acceleration a
+  double decel_ms2 = 3.0;          ///< comfortable deceleration b
+  double reaction_time_s = 1.0;    ///< tau
+  double min_gap_m = 2.0;          ///< standstill gap to the leader
+  double length_m = 4.5;
+  double sigma = 0.3;              ///< Krauss dawdling factor (0 = perfect driver)
+};
+
+/// One vehicle in the microsimulation.
+struct SimVehicle {
+  int id = -1;
+  double position_m = 0.0;  ///< front-bumper position along the corridor
+  double speed_ms = 0.0;
+  DriverParams driver;
+  bool is_ego = false;
+  double depart_time_s = 0.0;
+
+  /// Ego speed command (TraCI setSpeed); < 0 means "drive normally".
+  double commanded_speed_ms = -1.0;
+
+  /// Index of the next stop sign this vehicle must service; only the ego
+  /// services stop signs (through traffic on the corridor is not signed).
+  std::size_t next_stop_sign = 0;
+  /// While >= 0: vehicle is dwelling at a stop sign until this sim time.
+  double stop_wait_until_s = -1.0;
+
+  double rear_position() const { return position_m - driver.length_m; }
+};
+
+}  // namespace evvo::sim

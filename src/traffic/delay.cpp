@@ -1,0 +1,41 @@
+#include "traffic/delay.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace evvo::traffic {
+
+CycleDelay estimate_cycle_delay(const QueueModel& model, const CyclePhases& phases,
+                                double arrival_veh_s, double dt, double initial_queue_m) {
+  if (dt <= 0.0) throw std::invalid_argument("estimate_cycle_delay: dt must be positive");
+  CycleDelay delay;
+  double prev = model.queue_vehicles(0.0, phases, arrival_veh_s, initial_queue_m);
+  delay.max_queue_veh = prev;
+  for (double t = dt; t <= phases.cycle() + 1e-9; t += dt) {
+    const double q = model.queue_vehicles(t, phases, arrival_veh_s, initial_queue_m);
+    delay.total_veh_s += 0.5 * (prev + q) * dt;
+    delay.max_queue_veh = std::max(delay.max_queue_veh, q);
+    prev = q;
+  }
+  const double arrivals = arrival_veh_s * phases.cycle();
+  delay.avg_delay_s_per_veh = arrivals > 1e-12 ? delay.total_veh_s / arrivals : 0.0;
+  return delay;
+}
+
+double webster_uniform_delay(const CyclePhases& phases, double arrival_veh_s,
+                             double saturation_flow_veh_s) {
+  if (saturation_flow_veh_s <= 0.0)
+    throw std::invalid_argument("webster_uniform_delay: saturation flow must be positive");
+  if (arrival_veh_s < 0.0)
+    throw std::invalid_argument("webster_uniform_delay: arrival rate must be >= 0");
+  const double cycle = phases.cycle();
+  const double green_ratio = phases.green_s / cycle;
+  const double capacity = saturation_flow_veh_s * green_ratio;
+  const double x = capacity > 0.0 ? std::min(1.0, arrival_veh_s / capacity) : 1.0;
+  const double denom = 1.0 - x * green_ratio;
+  if (denom <= 1e-9) return cycle;  // fully saturated: bounded by the cycle
+  const double one_minus_g = 1.0 - green_ratio;
+  return cycle * one_minus_g * one_minus_g / (2.0 * denom);
+}
+
+}  // namespace evvo::traffic

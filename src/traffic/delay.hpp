@@ -1,0 +1,33 @@
+// Signal delay estimation from the QL model.
+//
+// For a vertical-queue model, the total waiting accumulated over a cycle is
+// the time-integral of the queue length (vehicle-seconds); dividing by the
+// arrivals per cycle gives the average control delay per vehicle - the
+// quantity the paper's reference [9] estimates for fixed-time intersections.
+#pragma once
+
+#include "traffic/queue_model.hpp"
+
+namespace evvo::traffic {
+
+struct CycleDelay {
+  double total_veh_s = 0.0;          ///< integral of queue length over the cycle
+  double avg_delay_s_per_veh = 0.0;  ///< total / arrivals-per-cycle
+  double max_queue_veh = 0.0;
+};
+
+/// Integrates the QL model's queue over one cycle (trapezoidal, step dt).
+/// `initial_queue_m` carries residual from a previous cycle.
+CycleDelay estimate_cycle_delay(const QueueModel& model, const CyclePhases& phases,
+                                double arrival_veh_s, double dt = 0.1,
+                                double initial_queue_m = 0.0);
+
+/// Webster's classic uniform-delay term for a fixed-time signal:
+///   d1 = C (1 - g/C)^2 / (2 (1 - min(1, x) g/C)),
+/// with cycle C, effective green g, and degree of saturation
+/// x = arrivals / (saturation_flow * g/C). The standard analytical yardstick
+/// the QL-model estimates are compared against.
+double webster_uniform_delay(const CyclePhases& phases, double arrival_veh_s,
+                             double saturation_flow_veh_s);
+
+}  // namespace evvo::traffic

@@ -1,0 +1,67 @@
+// Queue-Length (QL) model: paper Eq. (6) and the zero-queue time it yields.
+//
+// During red, arrivals accumulate at spacing d; during green the platoon
+// discharges per the VM model. The queue length (in meters of stopped
+// vehicles) over one cycle is
+//
+//   L(tau) = max(0, L0 + d*V_in*tau - D(tau))
+//
+// where D is the discharged length (0 during red; the integral of the VM
+// platoon speed during green). The paper's Eq. (6) is the L0 = 0 instance
+// written out piecewise; L0 carries residual queues across cycles when a
+// cycle is oversaturated (an extension the paper's model needs to stay
+// physical under heavy traffic).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "traffic/vm_model.hpp"
+
+namespace evvo::traffic {
+
+/// Which discharge law the QL model uses.
+enum class DischargeModel {
+  kVmAcceleration,    ///< ours: VM model with the acceleration phase (Eq. 4)
+  kInstantMinSpeed,   ///< prior work [9]: platoon moves at v_min from green onset
+};
+
+class QueueModel {
+ public:
+  explicit QueueModel(VmParams params = {}, DischargeModel discharge = DischargeModel::kVmAcceleration);
+
+  const VmParams& params() const { return params_; }
+  DischargeModel discharge_model() const { return discharge_; }
+
+  /// Length discharged by `tau` seconds into the cycle [m].
+  double discharged_length(double tau, const CyclePhases& phases) const;
+
+  /// Queue length [m] at `tau` into the cycle. `arrival_veh_s` is V_in in
+  /// vehicles/second; `initial_queue_m` is the residual from the prior cycle.
+  double queue_length_m(double tau, const CyclePhases& phases, double arrival_veh_s,
+                        double initial_queue_m = 0.0) const;
+
+  /// Queue length in vehicles (length / spacing).
+  double queue_vehicles(double tau, const CyclePhases& phases, double arrival_veh_s,
+                        double initial_queue_m = 0.0) const;
+
+  /// Time into the cycle at which the queue first reaches zero, if it does
+  /// before the cycle ends (the paper's t* that opens the T_q window).
+  std::optional<double> clear_time(const CyclePhases& phases, double arrival_veh_s,
+                                   double initial_queue_m = 0.0) const;
+
+  /// Queue remaining at the end of the cycle [m] (0 if it cleared).
+  double residual_queue_m(const CyclePhases& phases, double arrival_veh_s,
+                          double initial_queue_m = 0.0) const;
+
+  /// Queue-length samples over one cycle every dt seconds (Fig. 5(b) series).
+  std::vector<double> queue_profile(const CyclePhases& phases, double arrival_veh_s, double dt,
+                                    double initial_queue_m = 0.0) const;
+
+ private:
+  VmParams params_;
+  DischargeModel discharge_;
+  VmModel vm_;
+};
+
+}  // namespace evvo::traffic

@@ -1,0 +1,85 @@
+#include "traffic/queue_predictor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace evvo::traffic {
+
+ConstantArrivalRate::ConstantArrivalRate(double veh_h) : veh_h_(veh_h) {
+  if (veh_h < 0.0) throw std::invalid_argument("ConstantArrivalRate: rate must be >= 0");
+}
+
+double ConstantArrivalRate::arrival_rate_veh_h(double) const { return veh_h_; }
+
+SeriesArrivalRate::SeriesArrivalRate(HourlyVolumeSeries series, double series_start_s)
+    : series_(std::move(series)), start_s_(series_start_s) {
+  if (series_.empty()) throw std::invalid_argument("SeriesArrivalRate: empty series");
+}
+
+double SeriesArrivalRate::arrival_rate_veh_h(double t) const {
+  return series_.volume_at_time(t - start_s_);
+}
+
+QueuePredictor::QueuePredictor(road::TrafficLight light, QueueModel model,
+                               std::shared_ptr<const ArrivalRateProvider> arrivals)
+    : light_(light), model_(std::move(model)), arrivals_(std::move(arrivals)) {
+  if (!arrivals_) throw std::invalid_argument("QueuePredictor: null arrival provider");
+}
+
+namespace {
+constexpr int kWarmupCycles = 8;  // settle residual queues before the query window
+}
+
+double QueuePredictor::residual_at_cycle_start(double cycle_start) const {
+  const CyclePhases phases{light_.red_duration(), light_.green_duration()};
+  double start = cycle_start - kWarmupCycles * light_.cycle_duration();
+  double residual = 0.0;
+  while (start < cycle_start - 1e-9) {
+    const double v_in = per_hour_to_per_second(arrivals_->arrival_rate_veh_h(start));
+    residual = model_.residual_queue_m(phases, v_in, residual);
+    start += light_.cycle_duration();
+  }
+  return residual;
+}
+
+std::vector<road::TimeWindow> QueuePredictor::zero_queue_windows(double t0, double t1) const {
+  std::vector<road::TimeWindow> windows;
+  if (t1 <= t0) return windows;
+  const CyclePhases phases{light_.red_duration(), light_.green_duration()};
+  const double first_cycle = light_.cycle_start(t0);
+  double residual = residual_at_cycle_start(first_cycle);
+  for (double start = first_cycle; start < t1; start += light_.cycle_duration()) {
+    const double v_in = per_hour_to_per_second(arrivals_->arrival_rate_veh_h(start));
+    const auto clear = model_.clear_time(phases, v_in, residual);
+    if (clear.has_value()) {
+      const road::TimeWindow open{start + *clear, start + phases.cycle()};
+      const road::TimeWindow clipped{std::max(open.start_s, t0), std::min(open.end_s, t1)};
+      if (clipped.duration() > 0.0) windows.push_back(clipped);
+    }
+    residual = model_.residual_queue_m(phases, v_in, residual);
+  }
+  return windows;
+}
+
+double QueuePredictor::queue_length_m_at(double t) const {
+  const CyclePhases phases{light_.red_duration(), light_.green_duration()};
+  const double start = light_.cycle_start(t);
+  const double residual = residual_at_cycle_start(start);
+  const double v_in = per_hour_to_per_second(arrivals_->arrival_rate_veh_h(start));
+  return model_.queue_length_m(t - start, phases, v_in, residual);
+}
+
+bool QueuePredictor::in_zero_queue_window(double t) const {
+  const auto windows = zero_queue_windows(t - light_.cycle_duration(), t + light_.cycle_duration());
+  return std::any_of(windows.begin(), windows.end(),
+                     [t](const road::TimeWindow& w) { return w.contains(t); });
+}
+
+std::vector<road::TimeWindow> green_windows_as_queue_free(const road::TrafficLight& light, double t0,
+                                                          double t1) {
+  return light.green_windows(t0, t1);
+}
+
+}  // namespace evvo::traffic

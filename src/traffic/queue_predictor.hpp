@@ -1,0 +1,83 @@
+// Per-signal zero-queue window prediction: the T_q of paper Eq. (11).
+//
+// Combines an arrival-rate source (SAE prediction, measured series, or a
+// constant), the QL model, and a signal's fixed-time schedule into the set of
+// absolute time windows in which an approaching EV finds a green light AND an
+// empty queue — the windows the DP optimizer steers arrivals into.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "road/signals.hpp"
+#include "traffic/queue_model.hpp"
+#include "traffic/volume_series.hpp"
+
+namespace evvo::traffic {
+
+/// Source of predicted vehicle arrival rate V_in at a signal.
+class ArrivalRateProvider {
+ public:
+  virtual ~ArrivalRateProvider() = default;
+
+  /// Predicted arrival rate [veh/h] at absolute time t [s].
+  virtual double arrival_rate_veh_h(double t) const = 0;
+};
+
+/// Fixed arrival rate (tests, single-cycle studies).
+class ConstantArrivalRate final : public ArrivalRateProvider {
+ public:
+  explicit ConstantArrivalRate(double veh_h);
+  double arrival_rate_veh_h(double t) const override;
+
+ private:
+  double veh_h_;
+};
+
+/// Arrival rate read from an hourly volume series whose hour 0 begins at
+/// absolute time `series_start_s`.
+class SeriesArrivalRate final : public ArrivalRateProvider {
+ public:
+  SeriesArrivalRate(HourlyVolumeSeries series, double series_start_s = 0.0);
+  double arrival_rate_veh_h(double t) const override;
+
+ private:
+  HourlyVolumeSeries series_;
+  double start_s_;
+};
+
+/// Predicts zero-queue windows for one signal.
+class QueuePredictor {
+ public:
+  QueuePredictor(road::TrafficLight light, QueueModel model,
+                 std::shared_ptr<const ArrivalRateProvider> arrivals);
+
+  const road::TrafficLight& light() const { return light_; }
+  const QueueModel& model() const { return model_; }
+
+  /// Absolute zero-queue windows T_q intersecting [t0, t1]. Residual queues
+  /// are carried across oversaturated cycles (warm-started a few cycles before
+  /// t0 so the state at t0 is settled).
+  std::vector<road::TimeWindow> zero_queue_windows(double t0, double t1) const;
+
+  /// Predicted queue length [m] at absolute time t.
+  double queue_length_m_at(double t) const;
+
+  /// Paper Eq. (11): is t inside T_q?
+  bool in_zero_queue_window(double t) const;
+
+ private:
+  /// Residual queue [m] at the start of the cycle containing t.
+  double residual_at_cycle_start(double cycle_start) const;
+
+  road::TrafficLight light_;
+  QueueModel model_;
+  std::shared_ptr<const ArrivalRateProvider> arrivals_;
+};
+
+/// Convenience: green windows treated as queue-free — the "current DP"
+/// baseline's belief (it ignores queue dynamics entirely).
+std::vector<road::TimeWindow> green_windows_as_queue_free(const road::TrafficLight& light,
+                                                          double t0, double t1);
+
+}  // namespace evvo::traffic

@@ -1,0 +1,162 @@
+#include "traffic/traffic_predictor.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/math_util.hpp"
+#include "common/units.hpp"
+
+namespace evvo::traffic {
+
+namespace {
+
+learn::SaeConfig complete_sae_config(const PredictorConfig& cfg) {
+  learn::SaeConfig sae = cfg.sae;
+  sae.input_dim = cfg.feature_dim();
+  return sae;
+}
+
+/// Cyclic encodings mapped into [0, 1] so they live on the same scale as the
+/// min-max-scaled volumes feeding the sigmoid stack.
+void write_time_features(std::span<double> out, int hour_of_day, int day_of_week) {
+  const double hour_angle = 2.0 * std::numbers::pi * hour_of_day / kHoursPerDay;
+  const double day_angle = 2.0 * std::numbers::pi * day_of_week / kDaysPerWeek;
+  out[0] = 0.5 * (std::sin(hour_angle) + 1.0);
+  out[1] = 0.5 * (std::cos(hour_angle) + 1.0);
+  out[2] = 0.5 * (std::sin(day_angle) + 1.0);
+  out[3] = 0.5 * (std::cos(day_angle) + 1.0);
+}
+
+}  // namespace
+
+SaeVolumePredictor::SaeVolumePredictor(PredictorConfig config)
+    : config_(std::move(config)), sae_(complete_sae_config(config_)) {
+  if (config_.window_hours == 0)
+    throw std::invalid_argument("SaeVolumePredictor: window must be >= 1 hour");
+}
+
+learn::Matrix SaeVolumePredictor::build_features(std::span<const double> recent, int hour_of_day,
+                                                 int day_of_week) const {
+  if (recent.size() != config_.window_hours)
+    throw std::invalid_argument("SaeVolumePredictor: lag window size mismatch");
+  learn::Matrix x(1, config_.feature_dim());
+  auto row = x.row(0);
+  for (std::size_t i = 0; i < recent.size(); ++i) {
+    row[i] = volume_scaler_.transform_value(recent[i], 0);
+  }
+  write_time_features(row.subspan(config_.window_hours), hour_of_day, day_of_week);
+  return x;
+}
+
+void SaeVolumePredictor::fit(const HourlyVolumeSeries& train) {
+  const std::size_t w = config_.window_hours;
+  if (train.size() < w + 1)
+    throw std::invalid_argument("SaeVolumePredictor::fit: series shorter than lag window");
+
+  // Fit the volume scaler on the raw series (single column).
+  {
+    learn::Matrix volumes(train.size(), 1);
+    for (std::size_t i = 0; i < train.size(); ++i) volumes(i, 0) = train.at(i);
+    volume_scaler_.fit(volumes);
+  }
+
+  const std::size_t n = train.size() - w;
+  learn::Matrix x(n, config_.feature_dim());
+  learn::Matrix y(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = x.row(i);
+    for (std::size_t k = 0; k < w; ++k) row[k] = volume_scaler_.transform_value(train.at(i + k), 0);
+    const std::size_t target = i + w;
+    write_time_features(row.subspan(w), train.hour_of_day(target), train.day_of_week(target));
+    y(i, 0) = volume_scaler_.transform_value(train.at(target), 0);
+  }
+  sae_.pretrain(x);
+  sae_.finetune(x, y);
+  trained_ = true;
+}
+
+double SaeVolumePredictor::predict_next(std::span<const double> recent, int hour_of_day,
+                                        int day_of_week) const {
+  if (!trained_) throw std::logic_error("SaeVolumePredictor: fit() has not run");
+  const learn::Matrix pred = sae_.predict(build_features(recent, hour_of_day, day_of_week));
+  // Volumes are nonnegative by construction; clamp regression output.
+  return std::max(0.0, volume_scaler_.inverse_value(pred(0, 0), 0));
+}
+
+NaivePredictor::NaivePredictor(std::size_t window_hours) : window_hours_(window_hours) {
+  if (window_hours_ == 0) throw std::invalid_argument("NaivePredictor: window must be >= 1");
+}
+
+double NaivePredictor::predict_next(std::span<const double> recent, int, int) const {
+  if (recent.empty()) throw std::invalid_argument("NaivePredictor: empty window");
+  return recent.back();
+}
+
+HistoricalAveragePredictor::HistoricalAveragePredictor(const HourlyVolumeSeries& train)
+    : hour_of_week_mean_(kHoursPerWeek, 0.0) {
+  std::vector<int> counts(kHoursPerWeek, 0);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const int slot = (train.start_hour_of_week() + static_cast<int>(i % kHoursPerWeek)) % kHoursPerWeek;
+    hour_of_week_mean_[slot] += train.at(i);
+    ++counts[slot];
+  }
+  for (int s = 0; s < kHoursPerWeek; ++s) {
+    if (counts[s] > 0) hour_of_week_mean_[s] /= counts[s];
+  }
+}
+
+double HistoricalAveragePredictor::predict_next(std::span<const double>, int hour_of_day,
+                                                int day_of_week) const {
+  return hour_of_week_mean_.at(static_cast<std::size_t>(day_of_week * kHoursPerDay + hour_of_day));
+}
+
+std::vector<double> predict_series(const VolumePredictor& predictor, const HourlyVolumeSeries& history,
+                                   const HourlyVolumeSeries& test) {
+  const std::size_t w = predictor.window_hours();
+  if (history.size() < w)
+    throw std::invalid_argument("predict_series: history shorter than the lag window");
+  // Rolling window of actual values: tail of history, then test as it unfolds.
+  std::vector<double> window;
+  window.reserve(w);
+  for (std::size_t i = history.size() - w; i < history.size(); ++i) window.push_back(history.at(i));
+
+  std::vector<double> predictions;
+  predictions.reserve(test.size());
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    predictions.push_back(
+        predictor.predict_next(window, test.hour_of_day(i), test.day_of_week(i)));
+    window.erase(window.begin());
+    window.push_back(test.at(i));
+  }
+  return predictions;
+}
+
+std::vector<DailyMetrics> per_day_metrics(const HourlyVolumeSeries& test,
+                                          std::span<const double> predicted,
+                                          double mre_floor_veh_h) {
+  if (predicted.size() != test.size())
+    throw std::invalid_argument("per_day_metrics: prediction length mismatch");
+  std::vector<DailyMetrics> out;
+  std::size_t i = 0;
+  while (i < test.size()) {
+    const int day = test.day_of_week(i);
+    std::vector<double> actual_day;
+    std::vector<double> pred_day;
+    // A day's block ends where hour-of-day wraps to 0.
+    do {
+      actual_day.push_back(test.at(i));
+      pred_day.push_back(predicted[i]);
+      ++i;
+    } while (i < test.size() && test.hour_of_day(i) != 0);
+    DailyMetrics m;
+    m.day_of_week = day;
+    m.mre = mean_relative_error(pred_day, actual_day, mre_floor_veh_h);
+    m.rmse = rmse(pred_day, actual_day);
+    m.mean_volume = mean(actual_day);
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace evvo::traffic

@@ -1,0 +1,109 @@
+// Traffic-volume (vehicle arrival rate) prediction, paper Sec. II-B1.
+//
+// Wraps the SAE deep model with the feature pipeline used in the paper's
+// reference [10]: lagged hourly volumes plus cyclic time-of-day /
+// day-of-week encodings, min-max scaled. Naive and historical-average
+// baselines are provided for the ablation bench.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "learn/sae.hpp"
+#include "learn/scaler.hpp"
+#include "traffic/volume_series.hpp"
+
+namespace evvo::traffic {
+
+struct PredictorConfig {
+  std::size_t window_hours = 6;  ///< lagged-volume features
+  learn::SaeConfig sae{};        ///< input_dim is derived; leave it 0
+
+  std::size_t feature_dim() const { return window_hours + 4; }
+};
+
+/// Per-day prediction quality, the Fig. 4(b) series.
+struct DailyMetrics {
+  int day_of_week = 0;   ///< 0 = Monday
+  double mre = 0.0;      ///< mean relative error (fraction, not %)
+  double rmse = 0.0;     ///< vehicles/hour
+  double mean_volume = 0.0;
+};
+
+/// One-step-ahead hourly volume predictor interface.
+class VolumePredictor {
+ public:
+  virtual ~VolumePredictor() = default;
+
+  /// Predicts the next hour's volume from the `window_hours` most recent
+  /// actual volumes (oldest first) and the calendar slot being predicted.
+  virtual double predict_next(std::span<const double> recent, int hour_of_day,
+                              int day_of_week) const = 0;
+
+  virtual std::size_t window_hours() const = 0;
+};
+
+/// The paper's deep SAE predictor.
+class SaeVolumePredictor final : public VolumePredictor {
+ public:
+  explicit SaeVolumePredictor(PredictorConfig config = {});
+
+  /// Trains (pretrain + finetune) on an hourly series; needs at least
+  /// window_hours + 1 samples.
+  void fit(const HourlyVolumeSeries& train);
+
+  bool trained() const { return trained_; }
+  const PredictorConfig& config() const { return config_; }
+
+  double predict_next(std::span<const double> recent, int hour_of_day,
+                      int day_of_week) const override;
+  std::size_t window_hours() const override { return config_.window_hours; }
+
+ private:
+  learn::Matrix build_features(std::span<const double> recent, int hour_of_day,
+                               int day_of_week) const;
+
+  PredictorConfig config_;
+  learn::StackedAutoencoder sae_;
+  learn::MinMaxScaler volume_scaler_;  // single-column scaler shared by lags and target
+  bool trained_ = false;
+};
+
+/// Baseline: tomorrow looks like the last observed hour.
+class NaivePredictor final : public VolumePredictor {
+ public:
+  explicit NaivePredictor(std::size_t window_hours = 1);
+  double predict_next(std::span<const double> recent, int hour_of_day,
+                      int day_of_week) const override;
+  std::size_t window_hours() const override { return window_hours_; }
+
+ private:
+  std::size_t window_hours_;
+};
+
+/// Baseline: the training-set mean of the same hour-of-week.
+class HistoricalAveragePredictor final : public VolumePredictor {
+ public:
+  explicit HistoricalAveragePredictor(const HourlyVolumeSeries& train);
+  double predict_next(std::span<const double> recent, int hour_of_day,
+                      int day_of_week) const override;
+  std::size_t window_hours() const override { return 1; }
+
+ private:
+  std::vector<double> hour_of_week_mean_;  // 168 entries
+};
+
+/// One-step-ahead predictions over `test`, seeding the lag window from the
+/// tail of `history` (typically the training series). Uses actual values as
+/// lags (standard rolling evaluation).
+std::vector<double> predict_series(const VolumePredictor& predictor,
+                                   const HourlyVolumeSeries& history,
+                                   const HourlyVolumeSeries& test);
+
+/// Splits a test series into days and computes MRE/RMSE per day (Fig. 4(b)).
+/// `mre_floor_veh_h` guards division by near-zero night volumes.
+std::vector<DailyMetrics> per_day_metrics(const HourlyVolumeSeries& test,
+                                          std::span<const double> predicted,
+                                          double mre_floor_veh_h = 1.0);
+
+}  // namespace evvo::traffic

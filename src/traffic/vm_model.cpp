@@ -1,0 +1,51 @@
+#include "traffic/vm_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace evvo::traffic {
+
+void VmParams::validate() const {
+  if (min_speed_ms <= 0.0) throw std::invalid_argument("VmParams: min speed must be positive");
+  if (max_accel_ms2 <= 0.0) throw std::invalid_argument("VmParams: max accel must be positive");
+  if (spacing_m <= 0.0) throw std::invalid_argument("VmParams: spacing must be positive");
+  if (straight_ratio <= 0.0 || straight_ratio > 1.0)
+    throw std::invalid_argument("VmParams: straight ratio must be in (0, 1]");
+}
+
+VmModel::VmModel(VmParams params) : params_(params) { params_.validate(); }
+
+double VmModel::accel_end_time(const CyclePhases& phases) const {
+  return phases.red_s + params_.min_speed_ms / params_.max_accel_ms2;
+}
+
+double VmModel::platoon_speed(double tau, const CyclePhases& phases) const {
+  if (tau < phases.red_s) return 0.0;  // condition (i): red
+  const double t1 = accel_end_time(phases);
+  if (tau <= t1) return params_.max_accel_ms2 * (tau - phases.red_s);  // condition (ii)
+  return params_.min_speed_ms;                                        // condition (iii)
+}
+
+double VmModel::leaving_rate(double tau, const CyclePhases& phases, double arrival_rate_veh_s,
+                             double clear_time_s) const {
+  if (tau >= clear_time_s) return arrival_rate_veh_s;  // queue gone: pass-through
+  return platoon_speed(tau, phases) / (params_.spacing_m * params_.straight_ratio);
+}
+
+double VmModel::baseline_leaving_rate(double tau, const CyclePhases& phases,
+                                      double arrival_rate_veh_s, double clear_time_s) const {
+  if (tau >= clear_time_s) return arrival_rate_veh_s;
+  if (tau < phases.red_s) return 0.0;
+  return params_.min_speed_ms / params_.spacing_m;
+}
+
+double VmModel::discharged_length(double tau, const CyclePhases& phases) const {
+  if (tau <= phases.red_s) return 0.0;
+  const double t1 = accel_end_time(phases);
+  const double accel_span = std::min(tau, t1) - phases.red_s;
+  double length = 0.5 * params_.max_accel_ms2 * accel_span * accel_span;
+  if (tau > t1) length += params_.min_speed_ms * (tau - t1);
+  return length;
+}
+
+}  // namespace evvo::traffic

@@ -1,0 +1,69 @@
+// Vehicle-Movement (VM) model: queue discharge speed and leaving rate
+// (paper Eq. (4)-(5), Sec. II-B2).
+//
+// When the light turns green, the waiting platoon accelerates from standstill
+// to the zone's minimum speed limit v_min with the maximum comfortable
+// acceleration a_max, then holds v_min while crossing the stop line. The
+// leaving rate follows from the platoon speed, the constant in-queue spacing
+// d, and the straight-through ratio gamma.
+#pragma once
+
+#include <vector>
+
+namespace evvo::traffic {
+
+/// Parameters of the discharge process. Defaults are the paper's probed cycle
+/// at the second US-25 signal (Sec. III-B2).
+struct VmParams {
+  double min_speed_ms = 13.4;        ///< v_min of the signal zone
+  double max_accel_ms2 = 2.5;        ///< a_max
+  double spacing_m = 8.5;            ///< average inter-vehicle distance d
+  double straight_ratio = 0.7636;    ///< gamma
+
+  void validate() const;
+};
+
+/// Phase structure of one signal cycle for the VM/QL models: red occupies
+/// [0, red_s), green [red_s, red_s + green_s).
+struct CyclePhases {
+  double red_s = 30.0;
+  double green_s = 30.0;
+
+  double cycle() const { return red_s + green_s; }
+};
+
+class VmModel {
+ public:
+  explicit VmModel(VmParams params = {});
+
+  const VmParams& params() const { return params_; }
+
+  /// Time into the cycle at which the platoon reaches v_min:
+  /// t1 = t_red + v_min / a_max (Eq. (4) condition (ii) end).
+  double accel_end_time(const CyclePhases& phases) const;
+
+  /// Platoon speed v(tau) of Eq. (4) at time tau into the cycle, before the
+  /// queue has cleared. (Condition (iv), the ego's v_opt after clearance, is
+  /// not a property of the queue and is handled by the planner.)
+  double platoon_speed(double tau, const CyclePhases& phases) const;
+
+  /// Leaving rate V_out(tau) [veh/s] per Eq. (5): v(tau) / (d * gamma) while
+  /// the queue discharges; once it has cleared (tau >= clear time) vehicles
+  /// pass at their arrival rate, so V_out = V_in.
+  double leaving_rate(double tau, const CyclePhases& phases, double arrival_rate_veh_s,
+                      double clear_time_s) const;
+
+  /// Baseline from the prior QL model [9]: discharge at constant v_min / d
+  /// from the instant the light turns green (no acceleration phase).
+  double baseline_leaving_rate(double tau, const CyclePhases& phases, double arrival_rate_veh_s,
+                               double clear_time_s) const;
+
+  /// Distance discharged by the platoon head since green onset (integral of
+  /// Eq. (4) over the green phase up to tau).
+  double discharged_length(double tau, const CyclePhases& phases) const;
+
+ private:
+  VmParams params_;
+};
+
+}  // namespace evvo::traffic

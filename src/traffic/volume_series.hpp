@@ -1,0 +1,51 @@
+// Calendar-indexed hourly traffic volumes (the SCDoT loop-detector format the
+// paper trains and validates the SAE predictor on).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace evvo::traffic {
+
+/// Hourly traffic volume [veh/h] starting at a known hour of the week.
+/// Hour index 0 of a series that starts Monday 00:00 is Monday 00:00-01:00.
+class HourlyVolumeSeries {
+ public:
+  /// `start_hour_of_week` in [0, 167], 0 = Monday 00:00.
+  explicit HourlyVolumeSeries(std::vector<double> volumes, int start_hour_of_week = 0);
+
+  std::size_t size() const { return volumes_.size(); }
+  bool empty() const { return volumes_.empty(); }
+  std::span<const double> values() const { return volumes_; }
+
+  double at(std::size_t hour_index) const { return volumes_.at(hour_index); }
+
+  /// Hour-of-day in [0, 23] for a sample index.
+  int hour_of_day(std::size_t hour_index) const;
+
+  /// Day-of-week in [0, 6] (0 = Monday) for a sample index.
+  int day_of_week(std::size_t hour_index) const;
+
+  int start_hour_of_week() const { return start_hour_of_week_; }
+
+  /// Volume at an absolute time offset [s] from the series start (piecewise
+  /// constant per hour; clamped to the ends).
+  double volume_at_time(double seconds_from_start) const;
+
+  /// Sub-series [from, from+count).
+  HourlyVolumeSeries slice(std::size_t from, std::size_t count) const;
+
+  /// Splits off the head `head_hours` as (train, test).
+  std::pair<HourlyVolumeSeries, HourlyVolumeSeries> split(std::size_t head_hours) const;
+
+  double max_volume() const;
+  double mean_volume() const;
+
+ private:
+  std::vector<double> volumes_;
+  int start_hour_of_week_;
+};
+
+}  // namespace evvo::traffic

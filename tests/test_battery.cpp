@@ -1,0 +1,101 @@
+#include "ev/battery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace evvo::ev {
+namespace {
+
+TEST(BatteryPack, PaperPackDimensions) {
+  // 22P95S of Sony VTC4 cells: 46.2 Ah, 399 V max (paper Sec. III-A1).
+  const BatteryPack pack;
+  EXPECT_NEAR(pack.capacity_ah(), 46.2, 1e-9);
+  EXPECT_NEAR(pack.max_voltage(), 399.0, 1e-9);
+  EXPECT_EQ(pack.cell_count(), 95u * 22u);
+}
+
+TEST(BatteryPack, NominalEnergyIsPlausibleForSparkEv) {
+  const BatteryPack pack;
+  // 95 * 3.6 V * 46.2 Ah = 15.8 kWh nominal (Spark EV usable is ~19 kWh rated;
+  // same order of magnitude).
+  EXPECT_NEAR(pack.nominal_energy_kwh(), 95.0 * 3.6 * 46.2 / 1000.0, 0.01);
+}
+
+TEST(BatteryPack, CustomLayoutScales) {
+  const BatteryPack pack(CellSpec{3.0, 4.0, 3.5}, PackLayout{10, 4});
+  EXPECT_DOUBLE_EQ(pack.capacity_ah(), 12.0);
+  EXPECT_DOUBLE_EQ(pack.max_voltage(), 40.0);
+  EXPECT_DOUBLE_EQ(pack.nominal_voltage(), 35.0);
+}
+
+TEST(BatteryPack, RejectsEmptyLayout) {
+  EXPECT_THROW(BatteryPack(CellSpec{}, PackLayout{0, 5}), std::invalid_argument);
+  EXPECT_THROW(BatteryPack(CellSpec{}, PackLayout{5, 0}), std::invalid_argument);
+}
+
+TEST(BatteryPack, RejectsNonPositiveCell) {
+  EXPECT_THROW(BatteryPack(CellSpec{0.0, 4.2, 3.6}, PackLayout{}), std::invalid_argument);
+}
+
+TEST(BatteryPack, StartsFull) {
+  const BatteryPack pack;
+  EXPECT_DOUBLE_EQ(pack.state_of_charge(), 1.0);
+  EXPECT_NEAR(pack.remaining_ah(), 46.2, 1e-9);
+}
+
+TEST(BatteryPack, DischargeLowersSoc) {
+  BatteryPack pack;
+  const double moved = pack.discharge_ah(4.62);
+  EXPECT_NEAR(moved, 4.62, 1e-12);
+  EXPECT_NEAR(pack.state_of_charge(), 0.9, 1e-12);
+}
+
+TEST(BatteryPack, RegenerationRaisesSoc) {
+  BatteryPack pack;
+  pack.reset(0.5);
+  pack.discharge_ah(-4.62);  // charging
+  EXPECT_NEAR(pack.state_of_charge(), 0.6, 1e-12);
+}
+
+TEST(BatteryPack, DischargeSaturatesAtEmpty) {
+  BatteryPack pack;
+  pack.reset(0.05);
+  const double moved = pack.discharge_ah(100.0);
+  EXPECT_NEAR(moved, 0.05 * 46.2, 1e-9);
+  EXPECT_DOUBLE_EQ(pack.state_of_charge(), 0.0);
+}
+
+TEST(BatteryPack, ChargeSaturatesAtFull) {
+  BatteryPack pack;
+  const double moved = pack.discharge_ah(-10.0);
+  EXPECT_DOUBLE_EQ(moved, 0.0);
+  EXPECT_DOUBLE_EQ(pack.state_of_charge(), 1.0);
+}
+
+TEST(BatteryPack, ResetValidatesRange) {
+  BatteryPack pack;
+  EXPECT_THROW(pack.reset(-0.1), std::invalid_argument);
+  EXPECT_THROW(pack.reset(1.1), std::invalid_argument);
+}
+
+/// Conservation property: any sequence of discharges keeps SoC in [0, 1] and
+/// accounts every moved ampere-hour.
+class DischargeSweep : public ::testing::TestWithParam<double> {};
+TEST_P(DischargeSweep, ConservationAndBounds) {
+  BatteryPack pack;
+  pack.reset(0.5);
+  const double step = GetParam();
+  double balance = pack.remaining_ah();
+  for (int i = 0; i < 200; ++i) {
+    const double moved = pack.discharge_ah(step);
+    balance -= moved;
+    EXPECT_GE(pack.state_of_charge(), 0.0);
+    EXPECT_LE(pack.state_of_charge(), 1.0);
+    EXPECT_NEAR(balance, pack.remaining_ah(), 1e-9);
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Steps, DischargeSweep, ::testing::Values(-1.0, -0.1, 0.05, 0.5, 2.0));
+
+}  // namespace
+}  // namespace evvo::ev

@@ -1,0 +1,81 @@
+#include "road/coordination.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/planner.hpp"
+#include "ev/energy_model.hpp"
+
+namespace evvo::road {
+namespace {
+
+TEST(Coordination, PerfectWaveForTheProgressionSpeed) {
+  const Corridor base = make_us25_corridor();
+  const double speed = 18.0;
+  const Corridor wave = coordinate_for_progression(base, speed, 0.0);
+  EXPECT_DOUBLE_EQ(progression_quality(wave, speed, 0.0), 1.0);
+  // The wave holds for nearby departures too (within the lead + green slack).
+  EXPECT_DOUBLE_EQ(progression_quality(wave, speed, 5.0), 1.0);
+}
+
+TEST(Coordination, WavePreservesGeometryAndPhases) {
+  const Corridor base = make_us25_corridor();
+  const Corridor wave = coordinate_for_progression(base, 18.0);
+  ASSERT_EQ(wave.lights.size(), base.lights.size());
+  for (std::size_t i = 0; i < wave.lights.size(); ++i) {
+    EXPECT_DOUBLE_EQ(wave.lights[i].position(), base.lights[i].position());
+    EXPECT_DOUBLE_EQ(wave.lights[i].red_duration(), base.lights[i].red_duration());
+    EXPECT_DOUBLE_EQ(wave.lights[i].green_duration(), base.lights[i].green_duration());
+  }
+  EXPECT_EQ(wave.stop_signs.size(), base.stop_signs.size());
+}
+
+TEST(Coordination, QualityCountsGreenCrossings) {
+  // A corridor whose single light is red exactly when a 10 m/s vehicle
+  // arrives: quality 0; shifting departure by the red duration: quality 1.
+  const Corridor c = make_single_light_corridor(1000.0, 600.0, 30.0, 30.0);
+  // Arrival at t = 60 is the start of a red phase (cycle [60, 120)).
+  EXPECT_DOUBLE_EQ(progression_quality(c, 10.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(progression_quality(c, 10.0, 30.0), 1.0);  // arrive at 90: green
+}
+
+TEST(Coordination, EmptyCorridorIsTriviallyCoordinated) {
+  Corridor c = make_single_light_corridor(1000.0, 600.0);
+  c.lights.clear();
+  EXPECT_DOUBLE_EQ(progression_quality(c, 10.0, 0.0), 1.0);
+}
+
+TEST(Coordination, BandwidthPositiveForWaveZeroWhenImpossible) {
+  const Corridor base = make_us25_corridor();
+  const Corridor wave = coordinate_for_progression(base, 18.0);
+  EXPECT_GT(progression_bandwidth(wave, 18.0), 10.0);
+  // At a very different speed the wave breaks and bandwidth shrinks.
+  EXPECT_LT(progression_bandwidth(wave, 8.0), progression_bandwidth(wave, 18.0));
+}
+
+TEST(Coordination, Validation) {
+  const Corridor base = make_us25_corridor();
+  EXPECT_THROW(coordinate_for_progression(base, 0.0), std::invalid_argument);
+  EXPECT_THROW(progression_quality(base, -1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(progression_bandwidth(base, 10.0, 100.0, 0.0), std::invalid_argument);
+}
+
+TEST(Coordination, CoordinatedCorridorNeedsNoWaitingInThePlan) {
+  // On a green-wave corridor with light traffic, the green-window planner's
+  // trip should be close to the signal-free optimum (no dwells, no slow-downs
+  // beyond the stop sign).
+  const Corridor wave = coordinate_for_progression(make_us25_corridor(), 17.0, 0.0, 5.0);
+  core::PlannerConfig cfg;
+  cfg.policy = core::SignalPolicy::kGreenWindow;
+  const core::VelocityPlanner with_lights(wave, ev::EnergyModel{}, cfg);
+  cfg.policy = core::SignalPolicy::kIgnoreSignals;
+  const core::VelocityPlanner no_lights(wave, ev::EnergyModel{}, cfg);
+  const auto plan_lights = with_lights.plan(0.0);
+  const auto plan_free = no_lights.plan(0.0);
+  EXPECT_LT(plan_lights.trip_time() - plan_free.trip_time(), 12.0);
+  EXPECT_LE(plan_lights.planned_stops(), 1);  // only the stop sign
+}
+
+}  // namespace
+}  // namespace evvo::road

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace evvo {
+namespace {
+
+class CsvRoundTrip : public ::testing::Test {
+ protected:
+  std::filesystem::path path_ =
+      std::filesystem::temp_directory_path() / "evvo_csv_test" / "table.csv";
+
+  void TearDown() override { std::filesystem::remove_all(path_.parent_path()); }
+};
+
+TEST_F(CsvRoundTrip, WriteThenReadPreservesData) {
+  CsvTable table;
+  table.columns = {"t", "v", "e"};
+  table.add_row({0.0, 1.5, -0.25});
+  table.add_row({1.0, 2.5, 3.125});
+  write_csv(path_, table);
+
+  const CsvTable back = read_csv(path_);
+  ASSERT_EQ(back.columns, table.columns);
+  ASSERT_EQ(back.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.rows[1][2], 3.125);
+}
+
+TEST_F(CsvRoundTrip, ColumnExtractionByName) {
+  CsvTable table;
+  table.columns = {"a", "b"};
+  table.add_row({1.0, 10.0});
+  table.add_row({2.0, 20.0});
+  const auto b = table.column("b");
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(b[1], 20.0);
+}
+
+TEST(CsvTable, UnknownColumnThrows) {
+  CsvTable table;
+  table.columns = {"a"};
+  EXPECT_THROW(table.column_index("zz"), std::out_of_range);
+}
+
+TEST(CsvTable, RowWidthMismatchThrows) {
+  CsvTable table;
+  table.columns = {"a", "b"};
+  EXPECT_THROW(table.add_row({1.0}), std::invalid_argument);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/evvo/nope.csv"), std::runtime_error);
+}
+
+TEST(TextTable, RendersAlignedColumnsWithRule) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "20"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, NumericRowFormatting) {
+  TextTable t({"x", "y"});
+  t.add_numeric_row({1.23456, 2.0}, 2);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("1.23"), std::string::npos);
+  EXPECT_NE(os.str().find("2.00"), std::string::npos);
+}
+
+TEST(TextTable, WidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+}
+
+TEST(AsciiBar, ScalesWithValue) {
+  EXPECT_EQ(ascii_bar(0.0, 10.0, 10).size(), 0u);
+  EXPECT_EQ(ascii_bar(5.0, 10.0, 10).size(), 5u);
+  EXPECT_EQ(ascii_bar(10.0, 10.0, 10).size(), 10u);
+  EXPECT_EQ(ascii_bar(15.0, 10.0, 10).size(), 10u);  // clamped
+}
+
+TEST(AsciiBar, DegenerateInputsProduceEmpty) {
+  EXPECT_TRUE(ascii_bar(1.0, 0.0, 10).empty());
+  EXPECT_TRUE(ascii_bar(1.0, 10.0, 0).empty());
+}
+
+}  // namespace
+}  // namespace evvo

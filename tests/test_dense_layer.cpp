@@ -1,0 +1,170 @@
+// Activation identities and numerical gradient checks for the dense layer -
+// the correctness bedrock under the SAE traffic predictor.
+#include "learn/dense_layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "learn/matrix.hpp"
+
+namespace evvo::learn {
+namespace {
+
+TEST(Activations, PointValues) {
+  EXPECT_DOUBLE_EQ(activate(Activation::kIdentity, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(activate(Activation::kSigmoid, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(activate(Activation::kTanh, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(activate(Activation::kRelu, -2.0), 0.0);
+  EXPECT_DOUBLE_EQ(activate(Activation::kRelu, 2.0), 2.0);
+}
+
+/// The derivative-from-output identities must match finite differences of the
+/// activations themselves.
+class ActivationSweep : public ::testing::TestWithParam<Activation> {};
+TEST_P(ActivationSweep, DerivativeMatchesFiniteDifference) {
+  const Activation act = GetParam();
+  const double eps = 1e-6;
+  for (double x = -2.0; x <= 2.0; x += 0.37) {
+    if (act == Activation::kRelu && std::abs(x) < 0.1) continue;  // kink
+    const double y = activate(act, x);
+    const double fd = (activate(act, x + eps) - activate(act, x - eps)) / (2.0 * eps);
+    EXPECT_NEAR(activate_derivative_from_output(act, y), fd, 1e-5) << activation_name(act) << " x=" << x;
+  }
+}
+INSTANTIATE_TEST_SUITE_P(All, ActivationSweep,
+                         ::testing::Values(Activation::kIdentity, Activation::kSigmoid,
+                                           Activation::kTanh, Activation::kRelu));
+
+TEST(DenseLayer, ForwardShapeAndBias) {
+  Rng rng(1);
+  DenseLayer layer(3, 2, Activation::kIdentity, rng);
+  layer.mutable_weights().fill(0.0);
+  layer.mutable_bias()(0, 0) = 1.0;
+  layer.mutable_bias()(0, 1) = -2.0;
+  const Matrix x(4, 3, 0.5);
+  const Matrix y = layer.infer(x);
+  ASSERT_EQ(y.rows(), 4u);
+  ASSERT_EQ(y.cols(), 2u);
+  EXPECT_DOUBLE_EQ(y(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(y(3, 1), -2.0);
+}
+
+TEST(DenseLayer, InputWidthMismatchThrows) {
+  Rng rng(1);
+  DenseLayer layer(3, 2, Activation::kIdentity, rng);
+  EXPECT_THROW(layer.infer(Matrix(1, 4)), std::invalid_argument);
+}
+
+/// Numerical gradient check: perturb each weight and compare dL/dw with the
+/// accumulated analytic gradient, for each activation.
+class GradCheckSweep : public ::testing::TestWithParam<Activation> {};
+TEST_P(GradCheckSweep, WeightsAndBiasAndInput) {
+  const Activation act = GetParam();
+  Rng rng(99);
+  DenseLayer layer(4, 3, act, rng);
+  Matrix x(5, 4);
+  for (double& v : x.flat()) v = rng.uniform(-1.0, 1.0);
+  Matrix target(5, 3);
+  for (double& v : target.flat()) v = rng.uniform(-1.0, 1.0);
+
+  const auto loss = [&](DenseLayer& l) { return mse(l.infer(x), target); };
+
+  // Analytic gradients.
+  const Matrix y = layer.forward(x);
+  Matrix grad_out(5, 3);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      grad_out(i, j) = 2.0 * (y(i, j) - target(i, j)) / static_cast<double>(y.size());
+    }
+  }
+  const Matrix grad_in = layer.backward(grad_out);
+
+  const double eps = 1e-6;
+  // Weight and bias gradient checks against central finite differences.
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      const double saved = layer.mutable_weights()(r, c);
+      layer.mutable_weights()(r, c) = saved + eps;
+      const double up = loss(layer);
+      layer.mutable_weights()(r, c) = saved - eps;
+      const double down = loss(layer);
+      layer.mutable_weights()(r, c) = saved;
+      EXPECT_NEAR(layer.gradient_weights()(r, c), (up - down) / (2.0 * eps), 1e-4)
+          << activation_name(act) << " weight grad at (" << r << "," << c << ")";
+    }
+  }
+  for (std::size_t c = 0; c < 3; ++c) {
+    const double saved = layer.mutable_bias()(0, c);
+    layer.mutable_bias()(0, c) = saved + eps;
+    const double up = loss(layer);
+    layer.mutable_bias()(0, c) = saved - eps;
+    const double down = loss(layer);
+    layer.mutable_bias()(0, c) = saved;
+    EXPECT_NEAR(layer.gradient_bias()(0, c), (up - down) / (2.0 * eps), 1e-4)
+        << activation_name(act) << " bias grad at " << c;
+  }
+
+  // Input gradient check (public path).
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double saved = x(r, c);
+      x(r, c) = saved + eps;
+      const double up = loss(layer);
+      x(r, c) = saved - eps;
+      const double down = loss(layer);
+      x(r, c) = saved;
+      EXPECT_NEAR(grad_in(r, c), (up - down) / (2.0 * eps), 1e-4)
+          << activation_name(act) << " input grad at (" << r << "," << c << ")";
+    }
+  }
+}
+INSTANTIATE_TEST_SUITE_P(All, GradCheckSweep,
+                         ::testing::Values(Activation::kIdentity, Activation::kSigmoid,
+                                           Activation::kTanh));
+
+TEST(DenseLayer, AdamStepReducesLossOnToyProblem) {
+  // Fit y = 2x - 1 with a single linear unit.
+  Rng rng(5);
+  DenseLayer layer(1, 1, Activation::kIdentity, rng);
+  Matrix x(16, 1);
+  Matrix y(16, 1);
+  for (int i = 0; i < 16; ++i) {
+    x(i, 0) = i / 8.0 - 1.0;
+    y(i, 0) = 2.0 * x(i, 0) - 1.0;
+  }
+  AdamConfig adam;
+  adam.learning_rate = 0.05;
+  double first_loss = 0.0;
+  double last_loss = 0.0;
+  for (int step = 1; step <= 300; ++step) {
+    const Matrix pred = layer.forward(x);
+    const double loss = mse(pred, y);
+    if (step == 1) first_loss = loss;
+    last_loss = loss;
+    Matrix grad(16, 1);
+    for (int i = 0; i < 16; ++i) grad(i, 0) = 2.0 * (pred(i, 0) - y(i, 0)) / 16.0;
+    layer.backward(grad);
+    layer.adam_step(adam, step);
+  }
+  EXPECT_LT(last_loss, first_loss * 0.01);
+  EXPECT_NEAR(layer.weights()(0, 0), 2.0, 0.1);
+  EXPECT_NEAR(layer.bias()(0, 0), -1.0, 0.1);
+}
+
+TEST(DenseLayer, AdamStepValidatesCounter) {
+  Rng rng(1);
+  DenseLayer layer(1, 1, Activation::kIdentity, rng);
+  EXPECT_THROW(layer.adam_step(AdamConfig{}, 0), std::invalid_argument);
+}
+
+TEST(DenseLayer, BackwardShapeMismatchThrows) {
+  Rng rng(1);
+  DenseLayer layer(2, 2, Activation::kIdentity, rng);
+  layer.forward(Matrix(3, 2));
+  EXPECT_THROW(layer.backward(Matrix(3, 5)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evvo::learn

@@ -1,0 +1,127 @@
+#include "ev/drive_cycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace evvo::ev {
+namespace {
+
+DriveCycle ramp_cycle() {
+  // 0..10 m/s over 10 s, hold 10 s, back to 0 over 10 s.
+  std::vector<double> v;
+  for (int i = 0; i <= 10; ++i) v.push_back(i);
+  for (int i = 0; i < 10; ++i) v.push_back(10.0);
+  for (int i = 9; i >= 0; --i) v.push_back(i);
+  return DriveCycle(v, 1.0);
+}
+
+TEST(DriveCycle, RejectsBadInputs) {
+  EXPECT_THROW(DriveCycle({1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(DriveCycle({-1.0}, 1.0), std::invalid_argument);
+}
+
+TEST(DriveCycle, DurationAndDistance) {
+  const DriveCycle c = ramp_cycle();
+  EXPECT_DOUBLE_EQ(c.duration(), 30.0);
+  // 50 m up-ramp + 100 m cruise (10 segments of 10m... trapezoid) + 50 m down.
+  EXPECT_NEAR(c.distance(), 50.0 + 100.0 + 50.0, 1e-9);
+}
+
+TEST(DriveCycle, SpeedAtInterpolates) {
+  const DriveCycle c = ramp_cycle();
+  EXPECT_DOUBLE_EQ(c.speed_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.speed_at(5.5), 5.5);
+  EXPECT_DOUBLE_EQ(c.speed_at(15.0), 10.0);
+  EXPECT_DOUBLE_EQ(c.speed_at(1000.0), 0.0);  // clamped to final sample
+}
+
+TEST(DriveCycle, DistanceAtMonotone) {
+  const DriveCycle c = ramp_cycle();
+  double prev = -1.0;
+  for (double t = 0.0; t <= 30.0; t += 0.5) {
+    const double d = c.distance_at(t);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+  EXPECT_NEAR(c.distance_at(30.0), c.distance(), 1e-9);
+}
+
+TEST(DriveCycle, CumulativeDistanceMatchesDistance) {
+  const DriveCycle c = ramp_cycle();
+  const auto cum = c.cumulative_distance();
+  ASSERT_EQ(cum.size(), c.size());
+  EXPECT_DOUBLE_EQ(cum.front(), 0.0);
+  EXPECT_NEAR(cum.back(), c.distance(), 1e-9);
+}
+
+TEST(DriveCycle, AccelerationsCentralDifference) {
+  const DriveCycle c = ramp_cycle();
+  const auto a = c.accelerations();
+  ASSERT_EQ(a.size(), c.size());
+  EXPECT_NEAR(a[5], 1.0, 1e-12);   // rising ramp
+  EXPECT_NEAR(a[15], 0.0, 1e-12);  // cruise
+  EXPECT_NEAR(a[25], -1.0, 1e-12); // falling ramp
+}
+
+TEST(DriveCycle, SpeedByDistanceSamplesCruise) {
+  const DriveCycle c = ramp_cycle();
+  const auto v = c.speed_by_distance(10.0);
+  ASSERT_GE(v.size(), 10u);
+  // Mid-trip (around 100 m in) the vehicle cruises at 10 m/s.
+  EXPECT_NEAR(v[10], 10.0, 1e-6);
+}
+
+TEST(DriveCycle, MaxSpeed) { EXPECT_DOUBLE_EQ(ramp_cycle().max_speed(), 10.0); }
+
+TEST(DriveCycle, StopCountIgnoresLeadingStandstill) {
+  // parked 5 s -> drive -> stop 3 s -> drive -> end moving
+  std::vector<double> v(5, 0.0);
+  for (int i = 0; i < 10; ++i) v.push_back(8.0);
+  for (int i = 0; i < 3; ++i) v.push_back(0.0);
+  for (int i = 0; i < 10; ++i) v.push_back(8.0);
+  const DriveCycle c(v, 1.0);
+  EXPECT_EQ(c.stop_count(), 1);
+  EXPECT_NEAR(c.stopped_time(), 3.0, 1e-9);
+}
+
+TEST(DriveCycle, StopCountRequiresMinDuration) {
+  std::vector<double> v{5.0, 5.0, 0.0, 5.0, 5.0};  // 1-sample dip
+  const DriveCycle c(v, 0.25);                      // dip lasts only 0.25 s
+  EXPECT_EQ(c.stop_count(0.3, 1.0), 0);
+}
+
+TEST(DriveCycle, TrailingStopIsCounted) {
+  std::vector<double> v{0.0, 5.0, 5.0, 0.0, 0.0, 0.0};
+  const DriveCycle c(v, 1.0);
+  EXPECT_EQ(c.stop_count(), 1);
+}
+
+TEST(DriveCycle, ResampledPreservesShape) {
+  const DriveCycle c = ramp_cycle();
+  const DriveCycle r = c.resampled(0.25);
+  EXPECT_NEAR(r.duration(), c.duration(), 0.25);
+  EXPECT_NEAR(r.distance(), c.distance(), 1.0);
+  EXPECT_NEAR(r.speed_at(5.5), 5.5, 1e-9);
+}
+
+TEST(DriveCycle, PushBackValidates) {
+  DriveCycle c({0.0}, 1.0);
+  c.push_back(3.0);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_THROW(c.push_back(-1.0), std::invalid_argument);
+}
+
+/// Property: distance equals the integral of speed for random-ish sawtooth
+/// cycles at several sampling rates.
+class ResampleSweep : public ::testing::TestWithParam<double> {};
+TEST_P(ResampleSweep, DistanceStableUnderResampling) {
+  const DriveCycle c = ramp_cycle();
+  const DriveCycle r = c.resampled(GetParam());
+  EXPECT_NEAR(r.distance(), c.distance(), c.distance() * 0.02 + GetParam() * 10.0);
+}
+INSTANTIATE_TEST_SUITE_P(Rates, ResampleSweep, ::testing::Values(0.1, 0.2, 0.5, 2.0));
+
+}  // namespace
+}  // namespace evvo::ev

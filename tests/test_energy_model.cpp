@@ -1,0 +1,219 @@
+// Tests for the longitudinal dynamics (Eq. 1) and the energy model (Eq. 3).
+#include "ev/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "ev/longitudinal.hpp"
+
+namespace evvo::ev {
+namespace {
+
+VehicleParams spark() { return VehicleParams{}; }
+
+TEST(DriveForce, CruiseOnFlatMatchesClosedForm) {
+  const VehicleParams p = spark();
+  const double v = 15.0;
+  const double expected = 0.5 * kAirDensity * p.frontal_area_m2 * p.drag_coefficient * v * v +
+                          p.rolling_resistance * p.mass_kg * kGravity;
+  EXPECT_NEAR(drive_force(p, v, 0.0), expected, 1e-9);
+}
+
+TEST(DriveForce, InertialTermScalesWithAcceleration) {
+  const VehicleParams p = spark();
+  const double base = drive_force(p, 10.0, 0.0);
+  EXPECT_NEAR(drive_force(p, 10.0, 1.0) - base, p.mass_kg, 1e-9);
+}
+
+TEST(DriveForce, UphillAddsGradeResistance) {
+  const VehicleParams p = spark();
+  const double theta = 0.05;  // ~5% grade
+  const double flat = drive_force(p, 10.0, 0.0);
+  const double hill = drive_force(p, 10.0, 0.0, theta);
+  EXPECT_GT(hill, flat);
+  // Grade term dominates the slight rolling-resistance reduction from cos.
+  EXPECT_NEAR(hill - flat,
+              p.mass_kg * kGravity * std::sin(theta) +
+                  p.rolling_resistance * p.mass_kg * kGravity * (std::cos(theta) - 1.0),
+              1e-9);
+}
+
+TEST(DriveForce, DownhillCanBeNegative) {
+  const VehicleParams p = spark();
+  EXPECT_LT(drive_force(p, 5.0, 0.0, -0.08), 0.0);
+}
+
+TEST(DriveForce, NoRollingResistanceAtStandstill) {
+  const VehicleParams p = spark();
+  EXPECT_DOUBLE_EQ(drive_force(p, 0.0, 0.0), 0.0);
+}
+
+TEST(DriveForce, BreakdownSumsToTotal) {
+  const VehicleParams p = spark();
+  const ForceBreakdown f = drive_force_breakdown(p, 12.0, 0.7, 0.02);
+  EXPECT_NEAR(f.total(), drive_force(p, 12.0, 0.7, 0.02), 1e-12);
+  EXPECT_GT(f.inertial_n, 0.0);
+  EXPECT_GT(f.aero_n, 0.0);
+  EXPECT_GT(f.grade_n, 0.0);
+  EXPECT_GT(f.rolling_n, 0.0);
+}
+
+TEST(VehicleParams, ValidationCatchesNonsense) {
+  VehicleParams p = spark();
+  p.mass_kg = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = spark();
+  p.battery_efficiency = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = spark();
+  p.min_acceleration = 0.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(EnergyModel, Eq3MatchesHandComputation) {
+  const EnergyModel m;
+  const double v = 15.0;
+  const double a = 0.5;
+  const double f = drive_force(m.params(), v, a);
+  const double expected =
+      f * v / (m.pack_voltage() * m.params().battery_efficiency * m.params().powertrain_efficiency);
+  EXPECT_NEAR(m.traction_current_a(v, a), expected, 1e-9);
+}
+
+TEST(EnergyModel, AccessoryCurrentConstant) {
+  const EnergyModel m;
+  const double expected = m.params().accessory_power_w /
+                          (m.pack_voltage() * m.params().battery_efficiency);
+  EXPECT_NEAR(m.accessory_current_a(), expected, 1e-12);
+  EXPECT_NEAR(m.current_a(10.0, 0.0) - m.traction_current_a(10.0, 0.0), expected, 1e-12);
+}
+
+TEST(EnergyModel, RegenIsNegativeUnderDeceleration) {
+  const EnergyModel m;
+  // Fig. 3: energy consumption of a pure EV is negative when it decelerates.
+  EXPECT_LT(m.traction_current_a(15.0, -1.5), 0.0);
+}
+
+TEST(EnergyModel, PaperConventionSymmetricAboutForce) {
+  // With regen_efficiency = 1 and kPaperEq3, current is F*v/(U*eta) for all F.
+  const EnergyModel m;
+  const double f = drive_force(m.params(), 10.0, -1.0);
+  const double eta = m.params().battery_efficiency * m.params().powertrain_efficiency;
+  EXPECT_NEAR(m.traction_current_a(10.0, -1.0), f * 10.0 / (m.pack_voltage() * eta), 1e-9);
+}
+
+TEST(EnergyModel, PhysicalConventionRecoversLess) {
+  VehicleParams p = spark();
+  p.regen_efficiency = 0.7;
+  const EnergyModel paper(p, 399.0, RegenConvention::kPaperEq3);
+  const EnergyModel physical(p, 399.0, RegenConvention::kPhysical);
+  const double i_paper = paper.traction_current_a(15.0, -1.5);
+  const double i_phys = physical.traction_current_a(15.0, -1.5);
+  ASSERT_LT(i_paper, 0.0);
+  ASSERT_LT(i_phys, 0.0);
+  EXPECT_GT(i_phys, i_paper);  // physical recovers less charge
+}
+
+TEST(EnergyModel, CurrentIncreasesWithAcceleration) {
+  const EnergyModel m;
+  double prev = -1e9;
+  for (double a = -1.5; a <= 2.5; a += 0.25) {
+    const double i = m.traction_current_a(10.0, a);
+    EXPECT_GT(i, prev);
+    prev = i;
+  }
+}
+
+TEST(EnergyModel, CruiseCurrentIncreasesWithSpeed) {
+  const EnergyModel m;
+  double prev = 0.0;
+  for (double v = 1.0; v <= 30.0; v += 1.0) {
+    const double i = m.traction_current_a(v, 0.0);
+    EXPECT_GT(i, prev);
+    prev = i;
+  }
+}
+
+TEST(EnergyModel, ChargeAhMatchesCurrentTimesTime) {
+  const EnergyModel m;
+  EXPECT_NEAR(m.charge_ah(12.0, 0.3, 10.0), m.current_a(12.0, 0.3) * 10.0 / 3600.0, 1e-12);
+}
+
+TEST(EnergyModel, MostEfficientCruiseSpeedIsInterior) {
+  // With accessory load, charge-per-meter is U-shaped; the optimum lies
+  // strictly inside a generous bracket.
+  const EnergyModel m;
+  const double v = m.most_efficient_cruise_speed(1.0, 40.0);
+  EXPECT_GT(v, 2.0);
+  EXPECT_LT(v, 25.0);
+}
+
+TEST(EnergyModel, RejectsBadVoltage) {
+  EXPECT_THROW(EnergyModel(spark(), 0.0), std::invalid_argument);
+}
+
+TEST(TripEnergy, ConstantCruiseTripMatchesClosedForm) {
+  const EnergyModel m;
+  const double v = 15.0;
+  const std::vector<double> speeds(101, v);  // 100 s at 15 m/s
+  const DriveCycle cycle(speeds, 1.0);
+  const TripEnergy e = m.trip(cycle);
+  EXPECT_NEAR(e.distance_m, 1500.0, 1e-6);
+  EXPECT_NEAR(e.charge_mah, ah_to_mah(as_to_ah(m.current_a(v, 0.0) * 100.0)), 1e-6);
+  EXPECT_DOUBLE_EQ(e.regenerated_mah, 0.0);
+}
+
+TEST(TripEnergy, AccelerateThenBrakeRecoversSomeCharge) {
+  const EnergyModel m;
+  std::vector<double> speeds;
+  for (int i = 0; i <= 20; ++i) speeds.push_back(i * 1.0);   // accelerate 1 m/s^2
+  for (int i = 19; i >= 0; --i) speeds.push_back(i * 1.0);   // brake -1 m/s^2
+  const TripEnergy e = m.trip(DriveCycle(speeds, 1.0));
+  EXPECT_GT(e.driving_mah, 0.0);
+  EXPECT_GT(e.regenerated_mah, 0.0);
+  EXPECT_LT(e.regenerated_mah, e.driving_mah);
+  EXPECT_NEAR(e.charge_mah, e.driving_mah - e.regenerated_mah + e.accessory_mah, 1e-9);
+}
+
+TEST(TripEnergy, GradeAwareTripCostsMoreUphill) {
+  const EnergyModel m;
+  const std::vector<double> speeds(61, 12.0);
+  const DriveCycle cycle(speeds, 1.0);
+  const TripEnergy flat = m.trip(cycle);
+  const TripEnergy hill = m.trip(cycle, [](double) { return 0.03; });
+  EXPECT_GT(hill.charge_mah, flat.charge_mah);
+}
+
+TEST(TripEnergy, EmptyCycleIsZero) {
+  const EnergyModel m;
+  const TripEnergy e = m.trip(DriveCycle({1.0}, 1.0));
+  EXPECT_DOUBLE_EQ(e.charge_mah, 0.0);
+  EXPECT_DOUBLE_EQ(e.distance_m, 0.0);
+}
+
+TEST(TripEnergy, MahPerKmNormalization) {
+  TripEnergy e;
+  e.charge_mah = 500.0;
+  e.distance_m = 2000.0;
+  EXPECT_DOUBLE_EQ(e.mah_per_km(), 250.0);
+  e.distance_m = 0.0;
+  EXPECT_DOUBLE_EQ(e.mah_per_km(), 0.0);
+}
+
+/// Fig. 3 property sweep: for every speed, the rate is monotone in
+/// acceleration and crosses zero somewhere in the braking range.
+class EnergyMapSweep : public ::testing::TestWithParam<double> {};
+TEST_P(EnergyMapSweep, MonotoneInAccelerationAndSignedAtExtremes) {
+  const EnergyModel m;
+  const double v = GetParam();
+  EXPECT_GT(m.traction_current_a(v, 2.5), 0.0);
+  EXPECT_LT(m.traction_current_a(v, -1.5), 0.0);
+}
+INSTANTIATE_TEST_SUITE_P(Speeds, EnergyMapSweep, ::testing::Values(2.0, 5.0, 10.0, 15.0, 20.0, 25.0));
+
+}  // namespace
+}  // namespace evvo::ev

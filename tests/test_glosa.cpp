@@ -1,0 +1,108 @@
+// Heuristic GLOSA advisory baseline: per-light greedy speed advice.
+#include "core/glosa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/profile_eval.hpp"
+#include "ev/energy_model.hpp"
+#include "sim/calibration.hpp"
+#include "sim/traci.hpp"
+
+namespace evvo::core {
+namespace {
+
+std::shared_ptr<traffic::ConstantArrivalRate> demand(double veh_h) {
+  return std::make_shared<traffic::ConstantArrivalRate>(veh_h);
+}
+
+TEST(Glosa, Validation) {
+  const road::Corridor c = road::make_single_light_corridor(1000.0, 600.0);
+  GlosaConfig cfg;
+  cfg.min_advisory_ms = 0.0;
+  EXPECT_THROW(GlosaAdvisor(c, cfg), std::invalid_argument);
+  cfg = GlosaConfig{};
+  cfg.cruise_factor = 1.5;
+  EXPECT_THROW(GlosaAdvisor(c, cfg), std::invalid_argument);
+  cfg = GlosaConfig{};
+  cfg.queue_aware = true;
+  EXPECT_THROW(GlosaAdvisor(c, cfg, nullptr), std::invalid_argument);
+}
+
+TEST(Glosa, CruisesWhenNoLightAhead) {
+  const road::Corridor c = road::make_single_light_corridor(1000.0, 600.0, 30.0, 30.0, 20.0);
+  const GlosaAdvisor advisor(c, GlosaConfig{});
+  EXPECT_NEAR(advisor.advise(700.0, 0.0), 0.95 * 20.0, 1e-9);
+}
+
+TEST(Glosa, CruisesWhenArrivalFallsInGreen) {
+  // Light green [30, 60): from 300 m away at t = 35, cruising (14.25 m/s)
+  // arrives at ~56 - inside the green, no slowdown needed.
+  const road::Corridor c = road::make_single_light_corridor(1000.0, 600.0, 30.0, 30.0, 15.0);
+  const GlosaAdvisor advisor(c, GlosaConfig{});
+  EXPECT_NEAR(advisor.advise(300.0, 35.0), 0.95 * 15.0, 1e-9);
+}
+
+TEST(Glosa, SlowsToMeetTheNextGreen) {
+  // From 300 m away at t = 0 cruising arrives at ~21 (red [0, 30)); the
+  // advisory must slow so arrival lands at the green onset (t = 30):
+  // 300 m / 30 s = 10 m/s.
+  const road::Corridor c = road::make_single_light_corridor(1000.0, 600.0, 30.0, 30.0, 15.0);
+  const GlosaAdvisor advisor(c, GlosaConfig{});
+  const double advice = advisor.advise(300.0, 0.0);
+  EXPECT_NEAR(advice, 10.0, 0.2);
+}
+
+TEST(Glosa, CrawlsWhenEvenTheFloorCannotMakeAWindow) {
+  // 20 m from the line, 25 s of red left: required speed 0.8 m/s < floor.
+  const road::Corridor c = road::make_single_light_corridor(1000.0, 600.0, 30.0, 30.0, 15.0);
+  const GlosaAdvisor advisor(c, GlosaConfig{});
+  EXPECT_DOUBLE_EQ(advisor.advise(580.0, 5.0), GlosaConfig{}.min_advisory_ms);
+}
+
+TEST(Glosa, QueueAwareAdvisesLaterArrival) {
+  const road::Corridor c = road::make_single_light_corridor(1000.0, 600.0, 30.0, 30.0, 15.0);
+  GlosaConfig classic;
+  GlosaConfig aware;
+  aware.queue_aware = true;
+  const GlosaAdvisor classic_adv(c, classic);
+  const GlosaAdvisor aware_adv(c, aware, demand(800.0));
+  // Both must slow for the red, but the queue-aware advisory is slower (its
+  // window opens after the queue clears, later than green onset).
+  const double v_classic = classic_adv.advise(300.0, 0.0);
+  const double v_aware = aware_adv.advise(300.0, 0.0);
+  EXPECT_LT(v_aware, v_classic);
+  EXPECT_GE(v_aware, GlosaConfig{}.min_advisory_ms);
+}
+
+TEST(Glosa, ExecutedAdvisoryReducesStopsVsPlainDriving) {
+  // On the US-25 corridor with no traffic, GLOSA should carry the ego through
+  // both lights without a red-light stop (the stop sign still applies).
+  const road::Corridor corridor = road::make_us25_corridor();
+  sim::MicrosimConfig cfg;
+  sim::Microsim glosa_sim(corridor, cfg, demand(0.0));
+  const GlosaAdvisor advisor(corridor, GlosaConfig{});
+  const auto glosa_run = sim::execute_planned_profile(glosa_sim, advisor.target_speed_fn(), 0.0,
+                                                      corridor.length(), 900.0);
+  ASSERT_TRUE(glosa_run.completed);
+
+  sim::Microsim plain_sim(corridor, cfg, demand(0.0));
+  const auto plain_run = sim::execute_planned_profile(
+      plain_sim, [&](double s, double) { return corridor.route.speed_limit_at(s); }, 0.0,
+      corridor.length(), 900.0);
+  ASSERT_TRUE(plain_run.completed);
+
+  EXPECT_LE(glosa_run.cycle.stop_count(0.5, 2.0), 1);
+  EXPECT_GE(plain_run.cycle.stop_count(0.5, 2.0), glosa_run.cycle.stop_count(0.5, 2.0));
+
+  const ev::EnergyModel energy;
+  const double e_glosa =
+      core::evaluate_cycle(energy, corridor.route, glosa_run.cycle).energy.charge_mah;
+  const double e_plain =
+      core::evaluate_cycle(energy, corridor.route, plain_run.cycle).energy.charge_mah;
+  EXPECT_LT(e_glosa, e_plain);
+}
+
+}  // namespace
+}  // namespace evvo::core

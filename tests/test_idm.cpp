@@ -1,0 +1,115 @@
+// IDM car-following model and its integration as the microsim's alternative
+// background dynamics.
+#include "sim/idm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "road/corridor.hpp"
+#include "sim/microsim.hpp"
+
+namespace evvo::sim {
+namespace {
+
+DriverParams driver() { return DriverParams{}; }
+
+TEST(Idm, FreeRoadAcceleratesTowardDesired) {
+  const DriverParams d = driver();
+  // Standing start, no leader: near-maximum acceleration.
+  EXPECT_NEAR(idm_acceleration(d, 0.0, 20.0, 1e9, 0.0), d.accel_ms2, 0.05);
+  // Near the desired speed, acceleration tends to zero.
+  EXPECT_NEAR(idm_acceleration(d, 20.0, 20.0, 1e9, 0.0), 0.0, 0.05);
+  // Above the desired speed, deceleration.
+  EXPECT_LT(idm_acceleration(d, 25.0, 20.0, 1e9, 0.0), 0.0);
+}
+
+TEST(Idm, BrakesForCloseSlowerLeader) {
+  const DriverParams d = driver();
+  const double a = idm_acceleration(d, 15.0, 20.0, 10.0, 10.0);  // closing at 10 m/s, 10 m gap
+  EXPECT_LT(a, -3.0);
+}
+
+TEST(Idm, EquilibriumGapHoldsSpeed) {
+  // At the equilibrium gap s* (zero approach rate), acceleration balances the
+  // free-road term; solve roughly and check near-zero acceleration.
+  const DriverParams d = driver();
+  const double v = 10.0;
+  const double s_star = d.min_gap_m + v * d.reaction_time_s;
+  const double free_term = 1.0 - std::pow(v / 20.0, 4.0);
+  const double eq_gap = s_star / std::sqrt(free_term);
+  EXPECT_NEAR(idm_acceleration(d, v, 20.0, eq_gap, 0.0), 0.0, 0.05);
+}
+
+TEST(Idm, StepFloorsAtZeroAndBoundsEmergency) {
+  const DriverParams d = driver();
+  EXPECT_DOUBLE_EQ(idm_following_speed(d, 0.5, 20.0, 0.2, 0.5, 0.5), 0.0);
+  // Emergency bound: cannot shed more than 2*b*dt per step.
+  const double next = idm_following_speed(d, 20.0, 20.0, 0.5, 20.0, 0.5);
+  EXPECT_GE(next, 20.0 - 2.0 * d.decel_ms2 * 0.5 - 1e-9);
+}
+
+TEST(Idm, Validation) {
+  DriverParams d = driver();
+  d.accel_ms2 = 0.0;
+  EXPECT_THROW(idm_acceleration(d, 1.0, 10.0, 10.0, 0.0), std::invalid_argument);
+}
+
+MicrosimConfig idm_config(std::uint64_t seed = 3) {
+  MicrosimConfig cfg;
+  cfg.car_following = CarFollowing::kIdm;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(IdmMicrosim, NoCollisionsUnderHeavyTraffic) {
+  Microsim sim(road::make_us25_corridor(), idm_config(),
+               std::make_shared<traffic::ConstantArrivalRate>(2500.0));
+  for (int i = 0; i < 2400; ++i) {
+    sim.step();
+    ASSERT_FALSE(sim.has_collision()) << "t=" << sim.time();
+  }
+  EXPECT_GT(sim.stats().inserted, 100);
+}
+
+TEST(IdmMicrosim, VehiclesStopAtRedAndDischarge) {
+  Microsim sim(road::make_us25_corridor(), idm_config(7),
+               std::make_shared<traffic::ConstantArrivalRate>(1530.0));
+  sim.run_until(600.0);
+  const auto& light = sim.corridor().lights[0];
+  double red_end = 0.0;
+  double cycle_end = 0.0;
+  const int cycles = 6;
+  for (int c = 0; c < cycles; ++c) {
+    const double start = light.cycle_start(sim.time()) + light.cycle_duration();
+    sim.run_until(start + light.red_duration() - 0.5);
+    red_end += sim.measured_queue(0, 12.0).second / cycles;
+    sim.run_until(start + light.cycle_duration() - 0.5);
+    cycle_end += sim.measured_queue(0, 12.0).second / cycles;
+  }
+  EXPECT_GT(red_end, 15.0);              // queues form during red
+  EXPECT_LT(cycle_end, red_end * 0.5);   // and discharge during green
+}
+
+TEST(IdmMicrosim, ConservationHolds) {
+  Microsim sim(road::make_us25_corridor(), idm_config(11),
+               std::make_shared<traffic::ConstantArrivalRate>(1800.0));
+  sim.run_until(900.0);
+  const auto& stats = sim.stats();
+  EXPECT_EQ(stats.inserted, stats.removed_at_exit + stats.turned_off +
+                                static_cast<long>(sim.vehicles().size()));
+}
+
+TEST(IdmMicrosim, EgoStillTracksCommands) {
+  // The ego keeps Krauss command-tracking regardless of the background model.
+  Microsim sim(road::make_single_light_corridor(3000.0, 2800.0, 30.0, 30.0, 20.0), idm_config(),
+               std::make_shared<traffic::ConstantArrivalRate>(0.0));
+  sim.spawn_ego(0.0, DriverParams{});
+  sim.command_ego_speed(7.0);
+  sim.run_until(30.0);
+  EXPECT_NEAR(sim.ego()->speed_ms, 7.0, 0.1);
+}
+
+}  // namespace
+}  // namespace evvo::sim

@@ -1,0 +1,81 @@
+#include "sim/krauss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace evvo::sim {
+namespace {
+
+TEST(KraussSafeSpeed, ZeroGapMeansStop) {
+  EXPECT_DOUBLE_EQ(krauss_safe_speed(0.0, 10.0, 3.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(krauss_safe_speed(-5.0, 10.0, 3.0, 1.0), 0.0);
+}
+
+TEST(KraussSafeSpeed, GrowsWithGap) {
+  double prev = 0.0;
+  for (double gap = 1.0; gap <= 100.0; gap += 5.0) {
+    const double v = krauss_safe_speed(gap, 0.0, 3.0, 1.0);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(KraussSafeSpeed, GrowsWithLeaderSpeed) {
+  EXPECT_GT(krauss_safe_speed(20.0, 15.0, 3.0, 1.0), krauss_safe_speed(20.0, 5.0, 3.0, 1.0));
+}
+
+TEST(KraussSafeSpeed, MatchesClosedFormForStationaryLeader) {
+  // v_safe = -b*tau + sqrt(b^2 tau^2 + 2 b g)
+  const double b = 3.0;
+  const double tau = 1.0;
+  const double g = 50.0;
+  EXPECT_NEAR(krauss_safe_speed_for_stop(g, b, tau), -b * tau + std::sqrt(b * b * tau * tau + 2 * b * g),
+              1e-12);
+}
+
+TEST(KraussSafeSpeed, RejectsBadDecel) {
+  EXPECT_THROW(krauss_safe_speed(10.0, 0.0, 0.0, 1.0), std::invalid_argument);
+}
+
+/// Physical stopping property: driving at v_safe and then braking at b after
+/// one reaction time never crosses a stationary obstacle.
+class StopSweep : public ::testing::TestWithParam<double> {};
+TEST_P(StopSweep, SafeSpeedStopsBeforeObstacle) {
+  const double gap = GetParam();
+  const double b = 3.0;
+  const double tau = 1.0;
+  const double v = krauss_safe_speed_for_stop(gap, b, tau);
+  const double travel = v * tau + v * v / (2.0 * b);
+  EXPECT_LE(travel, gap + 1e-6);
+}
+INSTANTIATE_TEST_SUITE_P(Gaps, StopSweep, ::testing::Values(0.5, 2.0, 10.0, 50.0, 200.0));
+
+TEST(KraussFollowing, RespectsAccelerationCap) {
+  DriverParams d;
+  d.accel_ms2 = 2.0;
+  EXPECT_NEAR(krauss_following_speed(d, 10.0, 100.0, 100.0, 0.5), 11.0, 1e-12);
+}
+
+TEST(KraussFollowing, RespectsDesiredAndSafe) {
+  DriverParams d;
+  EXPECT_DOUBLE_EQ(krauss_following_speed(d, 10.0, 8.0, 100.0, 0.5), 8.0);
+  EXPECT_DOUBLE_EQ(krauss_following_speed(d, 10.0, 100.0, 9.0, 0.5), 9.0);
+}
+
+TEST(KraussFollowing, EmergencyBrakingBoundsDeceleration) {
+  DriverParams d;
+  d.decel_ms2 = 3.0;
+  // Safe speed demands full stop, but one 0.5 s step can shed at most
+  // 2 * b * dt = 3 m/s.
+  EXPECT_NEAR(krauss_following_speed(d, 10.0, 100.0, 0.0, 0.5), 7.0, 1e-12);
+}
+
+TEST(KraussFollowing, NeverNegative) {
+  DriverParams d;
+  EXPECT_DOUBLE_EQ(krauss_following_speed(d, 0.5, 0.0, 0.0, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace evvo::sim

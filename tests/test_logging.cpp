@@ -1,0 +1,63 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace evvo {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lines_.clear();
+    set_log_sink([this](const std::string& line) { lines_.push_back(line); });
+    set_log_level(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kWarn);
+  }
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LoggingTest, FormatsLevelComponentMessage) {
+  log_message(LogLevel::kInfo, "unit", "hello");
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0], "[INFO] unit: hello");
+}
+
+TEST_F(LoggingTest, LevelFilterDropsBelowThreshold) {
+  set_log_level(LogLevel::kWarn);
+  log_message(LogLevel::kDebug, "unit", "dropped");
+  log_message(LogLevel::kInfo, "unit", "dropped");
+  log_message(LogLevel::kWarn, "unit", "kept");
+  log_message(LogLevel::kError, "unit", "kept");
+  EXPECT_EQ(lines_.size(), 2u);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  log_message(LogLevel::kError, "unit", "dropped");
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LoggingTest, StreamMacroConcatenates) {
+  EVVO_LOG(kInfo, "pilot") << "replan at " << 1234.5 << " m";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0], "[INFO] pilot: replan at 1234.5 m");
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(log_level_name(LogLevel::kOff), "OFF");
+}
+
+TEST_F(LoggingTest, QueryableLevel) {
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace evvo

@@ -1,0 +1,133 @@
+#include "common/math_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace evvo {
+namespace {
+
+TEST(Clamp, InsideRangeUnchanged) { EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5); }
+TEST(Clamp, BelowClampsToLow) { EXPECT_DOUBLE_EQ(clamp(-3.0, 0.0, 1.0), 0.0); }
+TEST(Clamp, AboveClampsToHigh) { EXPECT_DOUBLE_EQ(clamp(7.0, 0.0, 1.0), 1.0); }
+TEST(Clamp, ThrowsOnInvertedBounds) { EXPECT_THROW(clamp(0.0, 1.0, -1.0), std::invalid_argument); }
+
+TEST(Lerp, Endpoints) {
+  EXPECT_DOUBLE_EQ(lerp(2.0, 10.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 10.0, 1.0), 10.0);
+}
+TEST(Lerp, Midpoint) { EXPECT_DOUBLE_EQ(lerp(2.0, 10.0, 0.5), 6.0); }
+
+TEST(NearlyEqual, WithinTolerance) { EXPECT_TRUE(nearly_equal(1.0, 1.0 + 1e-10)); }
+TEST(NearlyEqual, OutsideTolerance) { EXPECT_FALSE(nearly_equal(1.0, 1.1)); }
+
+TEST(Quantize, RoundsToNearestStep) {
+  EXPECT_DOUBLE_EQ(quantize(1.26, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(quantize(1.24, 0.5), 1.0);
+}
+TEST(Quantize, ThrowsOnNonPositiveStep) { EXPECT_THROW(quantize(1.0, 0.0), std::invalid_argument); }
+
+TEST(NearestIndex, Basics) {
+  EXPECT_EQ(nearest_index(0.0, 0.5), 0u);
+  EXPECT_EQ(nearest_index(1.26, 0.5), 3u);
+  EXPECT_EQ(nearest_index(-4.0, 0.5), 0u);  // floored at 0
+}
+
+TEST(Trapezoid, ConstantFunction) {
+  const std::vector<double> y(11, 2.0);
+  EXPECT_NEAR(trapezoid(y, 0.1), 2.0, 1e-12);
+}
+TEST(Trapezoid, LinearRamp) {
+  std::vector<double> y;
+  for (int i = 0; i <= 10; ++i) y.push_back(i);
+  EXPECT_NEAR(trapezoid(y, 1.0), 50.0, 1e-12);
+}
+TEST(Trapezoid, TooShortIsZero) {
+  const std::vector<double> y{1.0};
+  EXPECT_DOUBLE_EQ(trapezoid(y, 1.0), 0.0);
+}
+
+TEST(MeanStddev, KnownValues) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(stddev(v), 2.0, 1e-12);
+}
+TEST(MeanStddev, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Rmse, PerfectPredictionIsZero) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(rmse(a, a), 0.0);
+}
+TEST(Rmse, KnownError) {
+  const std::vector<double> p{1.0, 2.0};
+  const std::vector<double> a{0.0, 4.0};
+  EXPECT_NEAR(rmse(p, a), std::sqrt((1.0 + 4.0) / 2.0), 1e-12);
+}
+TEST(Rmse, ThrowsOnMismatch) {
+  const std::vector<double> p{1.0};
+  const std::vector<double> a{1.0, 2.0};
+  EXPECT_THROW(rmse(p, a), std::invalid_argument);
+}
+
+TEST(MeanRelativeError, KnownError) {
+  const std::vector<double> p{110.0, 90.0};
+  const std::vector<double> a{100.0, 100.0};
+  EXPECT_NEAR(mean_relative_error(p, a), 0.1, 1e-12);
+}
+TEST(MeanRelativeError, FloorGuardsTinyDenominator) {
+  const std::vector<double> p{1.0};
+  const std::vector<double> a{0.0};
+  EXPECT_NEAR(mean_relative_error(p, a, 10.0), 0.1, 1e-12);
+}
+
+TEST(MeanAbsoluteError, Known) {
+  const std::vector<double> p{1.0, 3.0};
+  const std::vector<double> a{2.0, 1.0};
+  EXPECT_DOUBLE_EQ(mean_absolute_error(p, a), 1.5);
+}
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const auto v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.25);
+}
+TEST(Linspace, ThrowsOnTooFew) { EXPECT_THROW(linspace(0.0, 1.0, 1), std::invalid_argument); }
+
+TEST(LargestRealRoot, Quadratic) {
+  double root = 0.0;
+  ASSERT_TRUE(largest_real_root(1.0, -3.0, 2.0, root));  // roots 1, 2
+  EXPECT_DOUBLE_EQ(root, 2.0);
+}
+TEST(LargestRealRoot, LinearFallback) {
+  double root = 0.0;
+  ASSERT_TRUE(largest_real_root(0.0, 2.0, -4.0, root));
+  EXPECT_DOUBLE_EQ(root, 2.0);
+}
+TEST(LargestRealRoot, NoRealRoot) {
+  double root = 0.0;
+  EXPECT_FALSE(largest_real_root(1.0, 0.0, 1.0, root));
+}
+TEST(LargestRealRoot, DegenerateConstant) {
+  double root = 0.0;
+  EXPECT_FALSE(largest_real_root(0.0, 0.0, 1.0, root));
+}
+
+/// Property sweep: quantize(x, step) is always within step/2 of x.
+class QuantizeSweep : public ::testing::TestWithParam<double> {};
+TEST_P(QuantizeSweep, WithinHalfStep) {
+  const double step = GetParam();
+  for (double x = -5.0; x <= 5.0; x += 0.137) {
+    EXPECT_LE(std::abs(quantize(x, step) - x), step / 2.0 + 1e-12);
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Steps, QuantizeSweep, ::testing::Values(0.1, 0.25, 0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace evvo

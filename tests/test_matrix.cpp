@@ -1,0 +1,112 @@
+#include "learn/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace evvo::learn {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, FromDataValidatesSize) {
+  EXPECT_NO_THROW(Matrix(2, 2, std::vector<double>{1, 2, 3, 4}));
+  EXPECT_THROW(Matrix(2, 2, std::vector<double>{1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Matrix, RowSpanIsWritable) {
+  Matrix m(2, 2);
+  auto r = m.row(1);
+  r[0] = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+}
+
+TEST(Matrix, GatherRows) {
+  const Matrix m(3, 2, std::vector<double>{1, 2, 3, 4, 5, 6});
+  const std::vector<std::size_t> idx{2, 0};
+  const Matrix g = m.gather_rows(idx);
+  EXPECT_DOUBLE_EQ(g(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 2.0);
+}
+
+TEST(Matrix, GatherRowsOutOfRangeThrows) {
+  const Matrix m(2, 2);
+  const std::vector<std::size_t> idx{5};
+  EXPECT_THROW(m.gather_rows(idx), std::out_of_range);
+}
+
+TEST(Matmul, KnownProduct) {
+  const Matrix a(2, 3, std::vector<double>{1, 2, 3, 4, 5, 6});
+  const Matrix b(3, 2, std::vector<double>{7, 8, 9, 10, 11, 12});
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matmul, DimensionMismatchThrows) {
+  EXPECT_THROW(matmul(Matrix(2, 3), Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Matmul, TransposedVariantsAgreeWithExplicitTranspose) {
+  const Matrix a(2, 3, std::vector<double>{1, -2, 3, 0.5, 4, -1});
+  const Matrix b(4, 3, std::vector<double>{2, 1, 0, -1, 3, 2, 0.5, 0, 1, 1, 1, 1});
+  const Matrix expected_bt = matmul(a, transpose(b));
+  const Matrix got_bt = matmul_bt(a, b);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(got_bt(i, j), expected_bt(i, j), 1e-12);
+  }
+  const Matrix c(2, 4, std::vector<double>{1, 0, 2, -1, 3, 1, 0, 2});
+  const Matrix expected_at = matmul(transpose(a), c);
+  const Matrix got_at = matmul_at(a, c);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(got_at(i, j), expected_at(i, j), 1e-12);
+  }
+}
+
+TEST(Transpose, RoundTrip) {
+  const Matrix m(2, 3, std::vector<double>{1, 2, 3, 4, 5, 6});
+  const Matrix tt = transpose(transpose(m));
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(tt(i, j), m(i, j));
+  }
+}
+
+TEST(Axpy, AccumulatesScaled) {
+  Matrix a(1, 3, std::vector<double>{1, 2, 3});
+  const Matrix b(1, 3, std::vector<double>{10, 20, 30});
+  axpy(a, b, 0.1);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a(0, 2), 6.0);
+}
+
+TEST(Hadamard, Elementwise) {
+  const Matrix a(1, 3, std::vector<double>{1, 2, 3});
+  const Matrix b(1, 3, std::vector<double>{4, 5, 6});
+  const Matrix c = hadamard(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 1), 10.0);
+}
+
+TEST(Mse, KnownValues) {
+  const Matrix a(1, 2, std::vector<double>{1, 3});
+  const Matrix b(1, 2, std::vector<double>{2, 1});
+  EXPECT_DOUBLE_EQ(mse(a, b), (1.0 + 4.0) / 2.0);
+  EXPECT_DOUBLE_EQ(mean_squared(a), (1.0 + 9.0) / 2.0);
+}
+
+TEST(Mse, ShapeMismatchThrows) {
+  EXPECT_THROW(mse(Matrix(1, 2), Matrix(2, 1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evvo::learn

@@ -1,0 +1,225 @@
+// Microsimulator behaviour: insertion, collision-freedom, red-light stops,
+// queue formation/discharge, turning ratio, stop-sign handling for the ego,
+// and the measurement devices.
+#include "sim/microsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/units.hpp"
+#include "road/corridor.hpp"
+#include "sim/detectors.hpp"
+
+namespace evvo::sim {
+namespace {
+
+std::shared_ptr<traffic::ConstantArrivalRate> demand(double veh_h) {
+  return std::make_shared<traffic::ConstantArrivalRate>(veh_h);
+}
+
+MicrosimConfig default_config(std::uint64_t seed = 1) {
+  MicrosimConfig cfg;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(MicrosimConfig, Validation) {
+  MicrosimConfig cfg;
+  cfg.step_s = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = MicrosimConfig{};
+  cfg.insertion_point_m = 10.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = MicrosimConfig{};
+  cfg.straight_ratio = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Microsim, RejectsNullDemand) {
+  EXPECT_THROW(Microsim(road::make_us25_corridor(), MicrosimConfig{}, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Microsim, TimeAdvancesByStep) {
+  Microsim sim(road::make_us25_corridor(), default_config(), demand(0.0));
+  sim.step();
+  EXPECT_DOUBLE_EQ(sim.time(), 0.5);
+  sim.run_until(10.0);
+  EXPECT_NEAR(sim.time(), 10.0, 0.5);
+}
+
+TEST(Microsim, InsertsRoughlyPoissonDemand) {
+  Microsim sim(road::make_us25_corridor(), default_config(7), demand(1440.0));
+  sim.run_until(600.0);
+  // 1440 veh/h over 2 lane-equivalents = 720 veh/h in-lane = 120 in 10 min.
+  EXPECT_GT(sim.stats().inserted, 80);
+  EXPECT_LT(sim.stats().inserted, 160);
+}
+
+TEST(Microsim, NoDemandNoVehicles) {
+  Microsim sim(road::make_us25_corridor(), default_config(), demand(0.0));
+  sim.run_until(120.0);
+  EXPECT_EQ(sim.stats().inserted, 0);
+  EXPECT_TRUE(sim.vehicles().empty());
+}
+
+TEST(Microsim, NeverCollidesUnderHeavyTraffic) {
+  Microsim sim(road::make_us25_corridor(), default_config(3), demand(3000.0));
+  for (int i = 0; i < 2400; ++i) {  // 20 min at 0.5 s
+    sim.step();
+    ASSERT_FALSE(sim.has_collision()) << "at t=" << sim.time();
+  }
+  EXPECT_GT(sim.stats().inserted, 100);
+}
+
+TEST(Microsim, VehiclesStopAtRedAndQueueForms) {
+  Microsim sim(road::make_us25_corridor(), default_config(5), demand(1530.0));
+  // Warm long enough for vehicles to reach light 1 (1820 m), then probe at a
+  // time when light 1 is red (cycle: red [0,30), green [30,60)).
+  double best_queue = 0.0;
+  sim.run_until(180.0);
+  for (int i = 0; i < 1200; ++i) {
+    sim.step();
+    if (sim.corridor().lights[0].is_red(sim.time())) {
+      best_queue = std::max(best_queue, sim.measured_queue(0).second);
+    }
+  }
+  EXPECT_GT(best_queue, 10.0);  // at least a couple of stopped vehicles
+}
+
+TEST(Microsim, QueueDischargesDuringGreen) {
+  Microsim sim(road::make_us25_corridor(), default_config(5), demand(1530.0));
+  sim.run_until(600.0);
+  // Sample the measured queue at the end of red vs. the end of green over
+  // several cycles; discharge must shrink it on average.
+  double red_end_sum = 0.0;
+  double green_end_sum = 0.0;
+  int cycles = 0;
+  const auto& light = sim.corridor().lights[0];
+  for (int c = 0; c < 8; ++c) {
+    const double cycle_start = light.cycle_start(sim.time()) + light.cycle_duration();
+    sim.run_until(cycle_start + light.red_duration() - 0.5);
+    red_end_sum += sim.measured_queue(0).second;
+    sim.run_until(cycle_start + light.cycle_duration() - 0.5);
+    green_end_sum += sim.measured_queue(0).second;
+    ++cycles;
+  }
+  EXPECT_LT(green_end_sum, red_end_sum);
+}
+
+TEST(Microsim, TurningRatioRemovesVehicles) {
+  Microsim sim(road::make_us25_corridor(), default_config(11), demand(2000.0));
+  sim.run_until(900.0);
+  EXPECT_GT(sim.stats().turned_off, 0);
+  // With gamma = 0.7636 per light, turn-offs should be a visible minority
+  // share of all vehicles that crossed light 1.
+  EXPECT_LT(sim.stats().turned_off, sim.stats().inserted);
+}
+
+TEST(Microsim, EgoSpawnsAndDrivesFreely) {
+  Microsim sim(road::make_us25_corridor(), default_config(), demand(0.0));
+  const int id = sim.spawn_ego(0.0, DriverParams{});
+  ASSERT_NE(sim.find(id), nullptr);
+  EXPECT_TRUE(sim.ego()->is_ego);
+  sim.run_until(40.0);
+  EXPECT_GT(sim.ego()->position_m, 200.0);  // accelerated and cruising
+  EXPECT_LE(sim.ego()->speed_ms, 20.1 + 1e-6);
+}
+
+TEST(Microsim, OnlyOneEgoAllowed) {
+  Microsim sim(road::make_us25_corridor(), default_config(), demand(0.0));
+  sim.spawn_ego(0.0, DriverParams{});
+  EXPECT_THROW(sim.spawn_ego(5.0, DriverParams{}), std::logic_error);
+  sim.remove_ego();
+  EXPECT_NO_THROW(sim.spawn_ego(0.0, DriverParams{}));
+}
+
+TEST(Microsim, EgoStopsAtStopSignThenProceeds) {
+  Microsim sim(road::make_us25_corridor(), default_config(), demand(0.0));
+  sim.spawn_ego(0.0, DriverParams{});
+  bool stopped_near_sign = false;
+  while (sim.time() < 120.0) {
+    sim.step();
+    const SimVehicle* ego = sim.ego();
+    if (ego->speed_ms < 0.1 && std::abs(ego->position_m - 490.0) < 6.0) stopped_near_sign = true;
+    if (ego->position_m > 600.0) break;
+  }
+  EXPECT_TRUE(stopped_near_sign);
+  EXPECT_GT(sim.ego()->position_m, 600.0);  // proceeded after the dwell
+}
+
+TEST(Microsim, BackgroundTrafficIgnoresStopSign) {
+  Microsim sim(road::make_us25_corridor(), default_config(13), demand(1000.0));
+  sim.run_until(300.0);
+  // No background vehicle should be halted near the stop sign while far from
+  // any red light.
+  for (const SimVehicle& v : sim.vehicles()) {
+    if (!v.is_ego && std::abs(v.position_m - 490.0) < 10.0) {
+      EXPECT_GT(v.speed_ms, 1.0);
+    }
+  }
+}
+
+TEST(Microsim, EgoStopsAtRedLight) {
+  Microsim sim(road::make_single_light_corridor(1200.0, 600.0, 60.0, 10.0), default_config(),
+               demand(0.0));
+  sim.spawn_ego(400.0, DriverParams{});  // light is red for [0, 60)
+  sim.run_until(40.0);
+  const SimVehicle* ego = sim.ego();
+  EXPECT_LT(ego->position_m, 600.0);
+  EXPECT_LT(ego->speed_ms, 0.5);
+  EXPECT_GT(ego->position_m, 560.0);  // crept close to the line
+}
+
+TEST(Microsim, CommandedSpeedIsFollowedWhenSafe) {
+  // Long sign-free corridor so nothing but the command shapes the speed.
+  Microsim sim(road::make_single_light_corridor(3000.0, 2800.0, 30.0, 30.0, 20.0), default_config(),
+               demand(0.0));
+  sim.spawn_ego(0.0, DriverParams{});
+  sim.command_ego_speed(5.0);
+  sim.run_until(30.0);
+  EXPECT_NEAR(sim.ego()->speed_ms, 5.0, 0.1);
+  sim.command_ego_speed(-1.0);  // release: return to normal driving
+  sim.run_until(50.0);
+  EXPECT_GT(sim.ego()->speed_ms, 10.0);
+}
+
+TEST(Microsim, CommandOnMissingEgoThrows) {
+  Microsim sim(road::make_us25_corridor(), default_config(), demand(0.0));
+  EXPECT_THROW(sim.command_ego_speed(5.0), std::logic_error);
+}
+
+TEST(Detectors, InductionLoopCountsInsertedVehicles) {
+  Microsim sim(road::make_us25_corridor(), default_config(17), demand(1200.0));
+  InductionLoop loop(100.0, 3600.0);
+  while (sim.time() < 1200.0) {
+    sim.step();
+    loop.observe(sim);
+  }
+  // 1200 veh/h over 2 lane-equivalents = 600/h in-lane = ~200 in 20 min.
+  EXPECT_GT(loop.total_count(), 140);
+  EXPECT_LT(loop.total_count(), 280);
+}
+
+TEST(Detectors, InductionLoopHourlySeries) {
+  InductionLoop loop(100.0, 3600.0);
+  EXPECT_NO_THROW(loop.to_hourly_series());
+  InductionLoop minute_loop(100.0, 60.0);
+  EXPECT_THROW(minute_loop.to_hourly_series(), std::logic_error);
+}
+
+TEST(Detectors, QueueRecorderTracksMaxQueue) {
+  Microsim sim(road::make_us25_corridor(), default_config(5), demand(1530.0));
+  QueueLengthRecorder recorder(0);
+  while (sim.time() < 600.0) {
+    sim.step();
+    recorder.observe(sim);
+  }
+  EXPECT_GT(recorder.max_length_m(), 10.0);
+  const auto series = recorder.length_series(300.0, 60.0, 1.0);
+  EXPECT_EQ(series.size(), 61u);
+}
+
+}  // namespace
+}  // namespace evvo::sim

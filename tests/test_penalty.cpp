@@ -1,0 +1,90 @@
+#include "core/penalty.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace evvo::core {
+namespace {
+
+TEST(PenaltyConfig, Validation) {
+  PenaltyConfig cfg;
+  cfg.m = 1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = PenaltyConfig{};
+  cfg.additive_mah = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(PenaltyConfig{}.validate());
+}
+
+TEST(Penalty, InsideWindowIsFree) {
+  const PenaltyConfig cfg;
+  EXPECT_DOUBLE_EQ(penalized_cost(cfg, 1.5, true), 1.5);
+  EXPECT_DOUBLE_EQ(penalized_cost(cfg, -0.5, true), -0.5);
+}
+
+TEST(Penalty, MultiplicativeScalesMagnitude) {
+  PenaltyConfig cfg;
+  cfg.mode = PenaltyMode::kMultiplicative;
+  cfg.m = 100.0;
+  EXPECT_DOUBLE_EQ(penalized_cost(cfg, 2.0, false), 200.0);
+}
+
+TEST(Penalty, MultiplicativeNeverRewardsRegen) {
+  // The paper's M * zeta would turn regen transitions into huge rewards;
+  // the implementation must penalize |zeta| instead.
+  PenaltyConfig cfg;
+  cfg.m = 1000.0;
+  // -0.8 mAh regen transition: |.| dominates the 1.0 mAh floor? No: the
+  // floor kicks in, so the penalty is m * max(0.8, 1.0) = 1000.
+  const double penalized = penalized_cost(cfg, -0.8, false);
+  EXPECT_GT(penalized, 0.0);
+  EXPECT_DOUBLE_EQ(penalized, 1000.0);
+  EXPECT_DOUBLE_EQ(penalized_cost(cfg, -3.0, false), 3000.0);
+}
+
+TEST(Penalty, MultiplicativeFloorStopsGaming) {
+  // A crossing hop engineered to have ~zero net energy must still pay the
+  // full penalty (the floor), otherwise the optimizer slips through red
+  // windows for free.
+  PenaltyConfig cfg;
+  cfg.m = 1000.0;
+  cfg.min_cost_mah = 1.0;
+  EXPECT_DOUBLE_EQ(penalized_cost(cfg, 0.0, false), 1000.0);
+  EXPECT_DOUBLE_EQ(penalized_cost(cfg, 0.001, false), 1000.0);
+  EXPECT_DOUBLE_EQ(penalized_cost(cfg, 2.0, false), 2000.0);  // above the floor
+}
+
+TEST(Penalty, FloorValidation) {
+  PenaltyConfig cfg;
+  cfg.min_cost_mah = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Penalty, AdditiveAddsFixedCharge) {
+  PenaltyConfig cfg;
+  cfg.mode = PenaltyMode::kAdditive;
+  cfg.additive_mah = 500.0;
+  EXPECT_DOUBLE_EQ(penalized_cost(cfg, 2.0, false), 502.0);
+  EXPECT_DOUBLE_EQ(penalized_cost(cfg, -1.0, false), 499.0);
+}
+
+TEST(Penalty, HardModeIsInfeasible) {
+  PenaltyConfig cfg;
+  cfg.mode = PenaltyMode::kHard;
+  EXPECT_TRUE(std::isinf(penalized_cost(cfg, 2.0, false)));
+  EXPECT_DOUBLE_EQ(penalized_cost(cfg, 2.0, true), 2.0);
+}
+
+TEST(Penalty, InAnyWindow) {
+  const std::vector<road::TimeWindow> windows{{10.0, 20.0}, {40.0, 50.0}};
+  EXPECT_TRUE(in_any_window(windows, 15.0));
+  EXPECT_TRUE(in_any_window(windows, 40.0));
+  EXPECT_FALSE(in_any_window(windows, 25.0));
+  EXPECT_FALSE(in_any_window(windows, 50.0));  // half-open
+  EXPECT_FALSE(in_any_window({}, 15.0));
+}
+
+}  // namespace
+}  // namespace evvo::core

@@ -1,0 +1,158 @@
+// Plan serialization, Webster delay yardstick, and SAE early stopping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <numbers>
+
+#include "common/csv.hpp"
+#include "core/plan_io.hpp"
+#include "core/planner.hpp"
+#include "ev/energy_model.hpp"
+#include "learn/sae.hpp"
+#include "road/corridor.hpp"
+#include "traffic/delay.hpp"
+
+namespace evvo {
+namespace {
+
+class PlanIoTest : public ::testing::Test {
+ protected:
+  std::filesystem::path path_ =
+      std::filesystem::temp_directory_path() / "evvo_plan_io" / "plan.csv";
+  void TearDown() override { std::filesystem::remove_all(path_.parent_path()); }
+};
+
+TEST_F(PlanIoTest, RoundTripPreservesPlan) {
+  core::PlannerConfig cfg;
+  cfg.policy = core::SignalPolicy::kIgnoreSignals;
+  const core::VelocityPlanner planner(road::make_us25_corridor(), ev::EnergyModel{}, cfg);
+  const core::PlannedProfile original = planner.plan(100.0);
+
+  core::save_plan_csv(path_, original);
+  const core::PlannedProfile loaded = core::load_plan_csv(path_);
+  ASSERT_EQ(loaded.nodes().size(), original.nodes().size());
+  EXPECT_NEAR(loaded.trip_time(), original.trip_time(), 1e-6);
+  EXPECT_NEAR(loaded.total_energy_mah(), original.total_energy_mah(), 1e-6);
+  for (double s = 0.0; s <= 4200.0; s += 350.0) {
+    EXPECT_NEAR(loaded.speed_at_position(s), original.speed_at_position(s), 1e-6);
+  }
+}
+
+TEST_F(PlanIoTest, RejectsCorruptPlans) {
+  CsvTable table;
+  table.columns = {"position_m", "speed_ms", "time_s", "energy_mah"};
+  table.add_row({0.0, 0.0, 10.0, 0.0});
+  table.add_row({100.0, 5.0, 5.0, 1.0});  // time goes backwards
+  write_csv(path_, table);
+  EXPECT_THROW(core::load_plan_csv(path_), std::runtime_error);
+}
+
+TEST(WebsterDelay, ClosedFormValues) {
+  // 50 % green, far from saturation: d1 ~ C(1-g/C)^2 / (2(1-x*g/C)).
+  const traffic::CyclePhases phases{30.0, 30.0};
+  const double sat = 0.67;  // veh/s saturation flow
+  const double light_demand = 0.05;
+  const double x = light_demand / (sat * 0.5);
+  const double expected = 60.0 * 0.25 / (2.0 * (1.0 - x * 0.5));
+  EXPECT_NEAR(traffic::webster_uniform_delay(phases, light_demand, sat), expected, 1e-9);
+}
+
+TEST(WebsterDelay, MonotoneInDemandAndBoundedAtSaturation) {
+  const traffic::CyclePhases phases{30.0, 30.0};
+  const double sat = 0.67;
+  double prev = 0.0;
+  for (double rate = 0.0; rate <= 0.4; rate += 0.05) {
+    const double d = traffic::webster_uniform_delay(phases, rate, sat);
+    EXPECT_GE(d, prev - 1e-9);
+    prev = d;
+  }
+  // Saturated demand: delay capped at one cycle by the uniform term.
+  EXPECT_LE(traffic::webster_uniform_delay(phases, 10.0, sat), 60.0 + 1e-9);
+}
+
+TEST(WebsterDelay, AgreesWithQlModelAtLowDemand) {
+  // At light demand both estimates approach the uniform-delay ideal.
+  const traffic::CyclePhases phases{30.0, 30.0};
+  const double rate = 0.05;
+  const auto ql = traffic::estimate_cycle_delay(
+      traffic::QueueModel(traffic::VmParams{}), phases, rate);
+  const double webster = traffic::webster_uniform_delay(phases, rate, 13.4 / 8.5);
+  EXPECT_NEAR(ql.avg_delay_s_per_veh, webster, 3.0);
+}
+
+TEST(WebsterDelay, Validation) {
+  EXPECT_THROW(traffic::webster_uniform_delay({30.0, 30.0}, 0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW(traffic::webster_uniform_delay({30.0, 30.0}, -0.1, 1.0), std::invalid_argument);
+}
+
+learn::SaeConfig es_config() {
+  learn::SaeConfig cfg;
+  cfg.input_dim = 4;
+  cfg.hidden_dims = {16, 8};
+  cfg.finetune_epochs = 300;
+  cfg.pretrain_epochs = 0;
+  cfg.validation_fraction = 0.2;
+  cfg.patience = 8;
+  cfg.adam.learning_rate = 3e-3;
+  cfg.seed = 4;
+  return cfg;
+}
+
+void make_noisy_toy(learn::Matrix& x, learn::Matrix& y, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  x = learn::Matrix(n, 4);
+  y = learn::Matrix(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = x.row(i);
+    for (auto& v : row) v = rng.uniform();
+    y(i, 0) = 0.4 * std::sin(2.0 * std::numbers::pi * row[0]) + 0.3 * row[1] +
+              0.15 * rng.normal();  // substantial label noise invites overfitting
+  }
+}
+
+TEST(SaeEarlyStopping, StopsBeforeTheEpochBudget) {
+  learn::Matrix x, y;
+  make_noisy_toy(x, y, 200, 17);
+  learn::StackedAutoencoder sae(es_config());
+  const learn::TrainHistory h = sae.finetune(x, y);
+  EXPECT_LT(static_cast<int>(h.epoch_loss.size()), 300);
+  EXPECT_GE(h.best_epoch, 0);
+  EXPECT_EQ(h.validation_loss.size(), h.epoch_loss.size());
+}
+
+TEST(SaeEarlyStopping, RestoredWeightsMatchBestValidation) {
+  learn::Matrix x, y;
+  make_noisy_toy(x, y, 200, 17);
+  learn::StackedAutoencoder sae(es_config());
+  const learn::TrainHistory h = sae.finetune(x, y);
+  // Best recorded validation loss is the minimum of the series.
+  double min_val = 1e18;
+  for (const double v : h.validation_loss) min_val = std::min(min_val, v);
+  EXPECT_NEAR(h.best_validation_loss(), min_val, 1e-12);
+}
+
+TEST(SaeEarlyStopping, DisabledByDefault) {
+  learn::SaeConfig cfg = es_config();
+  cfg.validation_fraction = 0.0;
+  cfg.finetune_epochs = 20;
+  learn::Matrix x, y;
+  make_noisy_toy(x, y, 100, 3);
+  learn::StackedAutoencoder sae(cfg);
+  const learn::TrainHistory h = sae.finetune(x, y);
+  EXPECT_EQ(h.epoch_loss.size(), 20u);
+  EXPECT_TRUE(h.validation_loss.empty());
+  EXPECT_EQ(h.best_epoch, -1);
+}
+
+TEST(SaeEarlyStopping, ConfigValidation) {
+  learn::SaeConfig cfg = es_config();
+  cfg.validation_fraction = 1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = es_config();
+  cfg.patience = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evvo

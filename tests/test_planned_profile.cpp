@@ -1,0 +1,104 @@
+#include "core/planned_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace evvo::core {
+namespace {
+
+/// Accelerate 0 -> 10 m/s over 100 m, brake to a stop at 200 m, dwell 5 s,
+/// accelerate to 10 m/s over the last 100 m. All segments are constant-
+/// acceleration consistent, like real solver output.
+PlannedProfile sample_profile() {
+  std::vector<PlanNode> nodes;
+  nodes.push_back({0.0, 0.0, 0.0, 0.0});
+  nodes.push_back({100.0, 10.0, 20.0, 1.0});  // a = +0.5 m/s^2
+  nodes.push_back({200.0, 0.0, 40.0, 1.5});   // a = -0.5 m/s^2
+  nodes.push_back({200.0, 0.0, 45.0, 1.6});   // dwell 5 s
+  nodes.push_back({300.0, 10.0, 65.0, 2.6});  // a = +0.5 m/s^2
+  return PlannedProfile(std::move(nodes));
+}
+
+TEST(PlannedProfile, ValidatesMonotonicity) {
+  EXPECT_THROW(PlannedProfile({{0.0, 0.0, 0.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(PlannedProfile({{0.0, 0.0, 0.0, 0.0}, {-5.0, 1.0, 1.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(PlannedProfile({{0.0, 0.0, 5.0, 0.0}, {10.0, 1.0, 1.0, 0.0}}), std::invalid_argument);
+}
+
+TEST(PlannedProfile, Aggregates) {
+  const PlannedProfile p = sample_profile();
+  EXPECT_DOUBLE_EQ(p.depart_time(), 0.0);
+  EXPECT_DOUBLE_EQ(p.arrival_time(), 65.0);
+  EXPECT_DOUBLE_EQ(p.trip_time(), 65.0);
+  EXPECT_DOUBLE_EQ(p.total_energy_mah(), 2.6);
+  EXPECT_DOUBLE_EQ(p.length(), 300.0);
+}
+
+TEST(PlannedProfile, SpeedAtPositionConstantAccelSegments) {
+  const PlannedProfile p = sample_profile();
+  EXPECT_DOUBLE_EQ(p.speed_at_position(0.0), 0.0);
+  // v(s)^2 = 2 * a * s with a = 0.5: at s = 50, v = sqrt(50) ~ 7.07.
+  EXPECT_NEAR(p.speed_at_position(50.0), std::sqrt(50.0), 1e-9);
+  // Braking segment: v(s)^2 = 100 - 2*0.5*(s-100); at 150 m, sqrt(50).
+  EXPECT_NEAR(p.speed_at_position(150.0), std::sqrt(50.0), 1e-9);
+  EXPECT_DOUBLE_EQ(p.speed_at_position(300.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.speed_at_position(999.0), 10.0);  // clamped
+}
+
+TEST(PlannedProfile, SpeedAtDwellPositionInterpolatesFromStop) {
+  const PlannedProfile p = sample_profile();
+  // At 250 m (between the dwell at 200 m and 300 m) speed grows from 0.
+  const double v = p.speed_at_position(250.0);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 10.0);
+}
+
+TEST(PlannedProfile, TimeAtPositionMonotone) {
+  const PlannedProfile p = sample_profile();
+  double prev = -1.0;
+  for (double s = 0.0; s <= 300.0; s += 10.0) {
+    const double t = p.time_at_position(s);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+  EXPECT_DOUBLE_EQ(p.time_at_position(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.time_at_position(300.0), 65.0);
+}
+
+TEST(PlannedProfile, DwellAccounting) {
+  const PlannedProfile p = sample_profile();
+  EXPECT_DOUBLE_EQ(p.dwell_time(), 5.0);
+  EXPECT_EQ(p.planned_stops(), 1);
+}
+
+TEST(PlannedProfile, NoDwellNoStops) {
+  const PlannedProfile p({{0.0, 0.0, 0.0, 0.0}, {100.0, 10.0, 20.0, 1.0}});
+  EXPECT_DOUBLE_EQ(p.dwell_time(), 0.0);
+  EXPECT_EQ(p.planned_stops(), 0);
+}
+
+TEST(PlannedProfile, ToDriveCycleMatchesTripQuantities) {
+  const PlannedProfile p = sample_profile();
+  const ev::DriveCycle cycle = p.to_drive_cycle(0.5);
+  EXPECT_NEAR(cycle.duration(), p.trip_time(), 0.5);
+  EXPECT_NEAR(cycle.distance(), p.length(), 8.0);
+  EXPECT_NEAR(cycle.max_speed(), 10.0, 1e-9);
+  EXPECT_EQ(cycle.stop_count(0.3, 2.0), 1);  // the 5 s dwell
+}
+
+TEST(PlannedProfile, ToDriveCycleValidatesDt) {
+  EXPECT_THROW(sample_profile().to_drive_cycle(0.0), std::invalid_argument);
+}
+
+TEST(PlannedProfile, TargetSpeedFnMatchesSpeedAtPosition) {
+  const PlannedProfile p = sample_profile();
+  const auto fn = p.target_speed_fn();
+  for (double s = 0.0; s <= 300.0; s += 25.0) {
+    EXPECT_DOUBLE_EQ(fn(s, 0.0), p.speed_at_position(s));
+  }
+}
+
+}  // namespace
+}  // namespace evvo::core

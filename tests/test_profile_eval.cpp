@@ -1,0 +1,51 @@
+#include "core/profile_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "road/corridor.hpp"
+
+namespace evvo::core {
+namespace {
+
+TEST(ProfileEval, CruiseCycleQuantities) {
+  const ev::EnergyModel model;
+  const road::Route route({{0.0, 2000.0, 20.0, 0.0, 0.0}});
+  const ev::DriveCycle cycle(std::vector<double>(101, 15.0), 1.0);
+  const ProfileEvaluation eval = evaluate_cycle(model, route, cycle);
+  EXPECT_NEAR(eval.distance_m, 1500.0, 1e-6);
+  EXPECT_DOUBLE_EQ(eval.trip_time_s, 100.0);
+  EXPECT_DOUBLE_EQ(eval.max_speed_ms, 15.0);
+  EXPECT_EQ(eval.stops, 0);
+  EXPECT_GT(eval.energy.charge_mah, 0.0);
+}
+
+TEST(ProfileEval, GradeAwareRouteCostsMore) {
+  const ev::EnergyModel model;
+  const road::Route flat({{0.0, 2000.0, 20.0, 0.0, 0.0}});
+  const road::Route hill({{0.0, 2000.0, 20.0, 0.0, 0.03}});
+  const ev::DriveCycle cycle(std::vector<double>(101, 12.0), 1.0);
+  EXPECT_GT(evaluate_cycle(model, hill, cycle).energy.charge_mah,
+            evaluate_cycle(model, flat, cycle).energy.charge_mah);
+}
+
+TEST(ProfileEval, CountsMidTripStops) {
+  const ev::EnergyModel model;
+  const road::Route route({{0.0, 2000.0, 20.0, 0.0, 0.0}});
+  std::vector<double> speeds;
+  for (int i = 0; i < 20; ++i) speeds.push_back(10.0);
+  for (int i = 0; i < 5; ++i) speeds.push_back(0.0);
+  for (int i = 0; i < 20; ++i) speeds.push_back(10.0);
+  const ProfileEvaluation eval = evaluate_cycle(model, route, ev::DriveCycle(speeds, 1.0));
+  EXPECT_EQ(eval.stops, 1);
+}
+
+TEST(PercentSaving, SignsAndValidation) {
+  EXPECT_DOUBLE_EQ(percent_saving(200.0, 150.0), 25.0);
+  EXPECT_DOUBLE_EQ(percent_saving(100.0, 120.0), -20.0);
+  EXPECT_THROW(percent_saving(0.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evvo::core

@@ -1,0 +1,160 @@
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace evvo {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformThrowsOnInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(1, 6));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 1);
+  EXPECT_EQ(*seen.rbegin(), 6);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+/// Poisson mean/variance should both approximate the rate (property over rates,
+/// covering both the Knuth and the normal-approximation branches).
+class PoissonSweep : public ::testing::TestWithParam<double> {};
+TEST_P(PoissonSweep, MeanAndVarianceMatchRate) {
+  const double lambda = GetParam();
+  Rng rng(23);
+  const int n = 20000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int k = rng.poisson(lambda);
+    EXPECT_GE(k, 0);
+    sum += k;
+    sq += static_cast<double>(k) * k;
+  }
+  const double m = sum / n;
+  const double var = sq / n - m * m;
+  EXPECT_NEAR(m, lambda, 0.1 + lambda * 0.05);
+  EXPECT_NEAR(var, lambda, 0.2 + lambda * 0.12);
+}
+INSTANTIATE_TEST_SUITE_P(Rates, PoissonSweep, ::testing::Values(0.3, 1.0, 5.0, 12.0, 50.0, 200.0));
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(5);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+}
+TEST(Rng, PoissonNegativeThrows) {
+  Rng rng(5);
+  EXPECT_THROW(rng.poisson(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMeanMatchesInverseRate) {
+  Rng rng(31);
+  const double rate = 0.25;
+  double sum = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(rate);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.1);
+}
+TEST(Rng, ExponentialThrowsOnNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliFrequencyTracksP) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(17);
+  const auto p = rng.permutation(100);
+  std::vector<bool> seen(100, false);
+  for (const std::size_t i : p) {
+    ASSERT_LT(i, 100u);
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+TEST(Rng, PermutationNotIdentityForLargeN) {
+  Rng rng(17);
+  const auto p = rng.permutation(50);
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) fixed += p[i] == i ? 1 : 0;
+  EXPECT_LT(fixed, 10u);
+}
+
+}  // namespace
+}  // namespace evvo

@@ -1,0 +1,121 @@
+// Whole-stack property tests over randomized corridors: every generated
+// world must admit a feasible plan whose kinematics respect the constraints
+// and whose signal crossings land inside the targeted windows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/planner.hpp"
+#include "ev/energy_model.hpp"
+#include "road/corridor.hpp"
+
+namespace evvo {
+namespace {
+
+TEST(RandomCorridor, GeneratedWorldsAreWellFormed) {
+  const road::RandomCorridorConfig cfg;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const road::Corridor corridor = road::make_random_corridor(seed, cfg);
+    EXPECT_GE(corridor.length(), cfg.min_length_m);
+    EXPECT_LE(corridor.length(), cfg.max_length_m);
+    EXPECT_GE(corridor.lights.size(), static_cast<std::size_t>(cfg.min_lights));
+    EXPECT_LE(corridor.lights.size(), static_cast<std::size_t>(cfg.max_lights));
+    // Elements inside the corridor with the configured spacing.
+    std::vector<double> positions;
+    for (const auto& l : corridor.lights) positions.push_back(l.position());
+    for (const auto& s : corridor.stop_signs) positions.push_back(s.position_m);
+    for (const double p : positions) {
+      EXPECT_GT(p, 0.0);
+      EXPECT_LT(p, corridor.length());
+    }
+    for (std::size_t a = 0; a < positions.size(); ++a) {
+      for (std::size_t b = a + 1; b < positions.size(); ++b) {
+        EXPECT_GE(std::abs(positions[a] - positions[b]), cfg.min_element_gap_m - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(RandomCorridor, DeterministicPerSeed) {
+  const road::Corridor a = road::make_random_corridor(7);
+  const road::Corridor b = road::make_random_corridor(7);
+  EXPECT_DOUBLE_EQ(a.length(), b.length());
+  ASSERT_EQ(a.lights.size(), b.lights.size());
+  for (std::size_t i = 0; i < a.lights.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.lights[i].position(), b.lights[i].position());
+    EXPECT_DOUBLE_EQ(a.lights[i].offset(), b.lights[i].offset());
+  }
+}
+
+/// Full planning property over random worlds.
+class RandomWorldSweep : public ::testing::TestWithParam<std::uint64_t> {};
+TEST_P(RandomWorldSweep, QueueAwarePlanIsFeasibleAndHitsWindows) {
+  const road::Corridor corridor = road::make_random_corridor(GetParam());
+  const ev::EnergyModel energy;
+  core::PlannerConfig cfg;
+  cfg.policy = core::SignalPolicy::kQueueAware;
+  cfg.resolution.horizon_s = 700.0;  // longer random corridors need headroom
+  const core::VelocityPlanner planner(corridor, energy, cfg);
+  const auto arrivals = std::make_shared<traffic::ConstantArrivalRate>(500.0);
+
+  const core::PlannedProfile plan = planner.plan(0.0, arrivals);
+  const auto& nodes = plan.nodes();
+  EXPECT_DOUBLE_EQ(nodes.front().speed_ms, 0.0);
+  EXPECT_DOUBLE_EQ(nodes.back().speed_ms, 0.0);
+  EXPECT_NEAR(nodes.back().position_m, corridor.length(), 1e-6);
+
+  // Kinematic constraints (Eq. 7a-b).
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    const double ds = nodes[i].position_m - nodes[i - 1].position_m;
+    EXPECT_LE(nodes[i].speed_ms,
+              corridor.route.speed_limit_at(nodes[i].position_m) + 1e-6);
+    if (ds > 1e-9) {
+      const double a = (nodes[i].speed_ms * nodes[i].speed_ms -
+                        nodes[i - 1].speed_ms * nodes[i - 1].speed_ms) /
+                       (2.0 * ds);
+      EXPECT_GE(a, energy.params().min_acceleration - 1e-6);
+      EXPECT_LE(a, energy.params().max_acceleration + 1e-6);
+    }
+  }
+
+  // Regulatory elements snap to the DP grid; check at the snapped positions.
+  const double ds_eff = corridor.length() / std::round(corridor.length() / cfg.resolution.ds_m);
+  const auto events = planner.build_events(0.0, arrivals);
+  for (const auto& e : events) {
+    const double layer_pos = static_cast<double>(e.layer) * ds_eff;
+    if (e.type == core::LayerEvent::Type::kStopSign) {
+      // Stop signs honored (Eq. 7c).
+      EXPECT_NEAR(plan.speed_at_position(layer_pos), 0.0, 1e-6);
+    } else if (e.enforce_windows && !e.windows.empty()) {
+      // Every light crossed (= left) inside its targeted zero-queue window.
+      EXPECT_TRUE(core::in_any_window(e.windows, plan.departure_time_at(layer_pos)))
+          << "seed " << GetParam() << " light near " << layer_pos;
+    }
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorldSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
+
+/// The green-window baseline must also stay feasible on the same worlds.
+class RandomWorldBaselineSweep : public ::testing::TestWithParam<std::uint64_t> {};
+TEST_P(RandomWorldBaselineSweep, GreenWindowPlanFeasible) {
+  const road::Corridor corridor = road::make_random_corridor(GetParam());
+  core::PlannerConfig cfg;
+  cfg.policy = core::SignalPolicy::kGreenWindow;
+  cfg.resolution.horizon_s = 700.0;
+  const core::VelocityPlanner planner(corridor, ev::EnergyModel{}, cfg);
+  const core::PlannedProfile plan = planner.plan(0.0);
+  EXPECT_NEAR(plan.nodes().back().position_m, corridor.length(), 1e-6);
+  const double ds_eff = corridor.length() / std::round(corridor.length() / cfg.resolution.ds_m);
+  for (const auto& light : corridor.lights) {
+    const double snapped = std::round(light.position() / ds_eff) * ds_eff;
+    const double crossing = plan.departure_time_at(snapped);
+    EXPECT_TRUE(light.is_green(crossing)) << "seed " << GetParam();
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorldBaselineSweep,
+                         ::testing::Values(101u, 102u, 103u, 104u, 105u));
+
+}  // namespace
+}  // namespace evvo

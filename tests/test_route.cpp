@@ -1,0 +1,116 @@
+#include "road/route.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "road/corridor.hpp"
+
+namespace evvo::road {
+namespace {
+
+Route two_segment_route() {
+  return Route({{0.0, 100.0, 15.0, 0.0, 0.0}, {100.0, 300.0, 25.0, 5.0, 0.02}});
+}
+
+TEST(Route, ValidationRejectsGaps) {
+  EXPECT_THROW(Route({{0.0, 100.0, 15.0, 0.0, 0.0}, {150.0, 300.0, 15.0, 0.0, 0.0}}),
+               std::invalid_argument);
+}
+TEST(Route, ValidationRejectsNonZeroStart) {
+  EXPECT_THROW(Route({{10.0, 100.0, 15.0, 0.0, 0.0}}), std::invalid_argument);
+}
+TEST(Route, ValidationRejectsEmptySegment) {
+  EXPECT_THROW(Route({{0.0, 0.0, 15.0, 0.0, 0.0}}), std::invalid_argument);
+}
+TEST(Route, ValidationRejectsBadSpeeds) {
+  EXPECT_THROW(Route({{0.0, 100.0, 0.0, 0.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(Route({{0.0, 100.0, 15.0, 20.0, 0.0}}), std::invalid_argument);
+}
+TEST(Route, ValidationRejectsEmpty) { EXPECT_THROW(Route({}), std::invalid_argument); }
+
+TEST(Route, LengthAndLookups) {
+  const Route r = two_segment_route();
+  EXPECT_DOUBLE_EQ(r.length(), 300.0);
+  EXPECT_DOUBLE_EQ(r.speed_limit_at(50.0), 15.0);
+  EXPECT_DOUBLE_EQ(r.speed_limit_at(200.0), 25.0);
+  EXPECT_DOUBLE_EQ(r.min_speed_at(200.0), 5.0);
+  EXPECT_DOUBLE_EQ(r.grade_at(250.0), 0.02);
+}
+
+TEST(Route, LookupClampedOutsideRange) {
+  const Route r = two_segment_route();
+  EXPECT_DOUBLE_EQ(r.speed_limit_at(-5.0), 15.0);
+  EXPECT_DOUBLE_EQ(r.speed_limit_at(900.0), 25.0);
+}
+
+TEST(Route, BoundaryBelongsToLaterSegment) {
+  const Route r = two_segment_route();
+  // segment_at uses end-inclusive binary search: position 100 -> first
+  // segment whose end >= 100, i.e. the first one.
+  EXPECT_DOUBLE_EQ(r.speed_limit_at(100.0), 15.0);
+  EXPECT_DOUBLE_EQ(r.speed_limit_at(100.01), 25.0);
+}
+
+TEST(Route, MaxSpeedLimit) { EXPECT_DOUBLE_EQ(two_segment_route().max_speed_limit(), 25.0); }
+
+TEST(Route, ElevationGainCountsOnlyClimbs) {
+  const Route r({{0.0, 100.0, 15.0, 0.0, 0.05}, {100.0, 200.0, 15.0, 0.0, -0.05}});
+  EXPECT_NEAR(r.elevation_gain(), 100.0 * std::sin(0.05), 1e-9);
+}
+
+TEST(Corridor, Us25DefaultGeometry) {
+  const Corridor c = make_us25_corridor();
+  EXPECT_DOUBLE_EQ(c.length(), 4200.0);
+  ASSERT_EQ(c.lights.size(), 2u);
+  ASSERT_EQ(c.stop_signs.size(), 1u);
+  EXPECT_DOUBLE_EQ(c.stop_signs[0].position_m, 490.0);
+  EXPECT_DOUBLE_EQ(c.lights[0].position(), 1820.0);
+  EXPECT_DOUBLE_EQ(c.lights[1].position(), 3460.0);
+  EXPECT_DOUBLE_EQ(c.lights[0].red_duration(), 30.0);
+  EXPECT_DOUBLE_EQ(c.lights[0].green_duration(), 30.0);
+}
+
+TEST(Corridor, LightZonesCarryMinSpeed) {
+  const CorridorConfig cfg;
+  const Corridor c = make_us25_corridor(cfg);
+  EXPECT_DOUBLE_EQ(c.route.min_speed_at(cfg.light1_m), cfg.light_zone_min_speed_ms);
+  EXPECT_DOUBLE_EQ(c.route.min_speed_at(cfg.light1_m - cfg.light_zone_half_width_m + 1.0),
+                   cfg.light_zone_min_speed_ms);
+  EXPECT_DOUBLE_EQ(c.route.min_speed_at(200.0), 0.0);
+}
+
+TEST(Corridor, SegmentsAreContiguousAndCoverLength) {
+  const Corridor c = make_us25_corridor();
+  const auto& segs = c.route.segments();
+  EXPECT_DOUBLE_EQ(segs.front().start_m, 0.0);
+  EXPECT_DOUBLE_EQ(segs.back().end_m, 4200.0);
+  for (std::size_t i = 1; i < segs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(segs[i].start_m, segs[i - 1].end_m);
+  }
+}
+
+TEST(Corridor, FlatByDefaultGradedOnRequest) {
+  EXPECT_DOUBLE_EQ(make_us25_corridor().route.elevation_gain(), 0.0);
+  CorridorConfig cfg;
+  cfg.grade_amplitude_rad = 0.02;
+  EXPECT_GT(make_us25_corridor(cfg).route.elevation_gain(), 0.0);
+}
+
+TEST(Corridor, RejectsDisorderedElements) {
+  CorridorConfig cfg;
+  cfg.stop_sign_m = 2000.0;  // beyond light1
+  EXPECT_THROW(make_us25_corridor(cfg), std::invalid_argument);
+}
+
+TEST(Corridor, SingleLightHelper) {
+  const Corridor c = make_single_light_corridor(800.0, 500.0);
+  EXPECT_DOUBLE_EQ(c.length(), 800.0);
+  ASSERT_EQ(c.lights.size(), 1u);
+  EXPECT_TRUE(c.stop_signs.empty());
+  EXPECT_THROW(make_single_light_corridor(100.0, 200.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evvo::road

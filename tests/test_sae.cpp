@@ -1,0 +1,185 @@
+// Stacked-autoencoder training behaviour: reconstruction during pretraining,
+// regression accuracy after fine-tuning, config validation, and the scaler.
+#include "learn/sae.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "learn/scaler.hpp"
+
+namespace evvo::learn {
+namespace {
+
+/// Toy dataset: y = smooth function of a 4-dim input in [0, 1].
+void make_toy(Matrix& x, Matrix& y, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  x = Matrix(n, 4);
+  y = Matrix(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = x.row(i);
+    for (auto& v : row) v = rng.uniform();
+    y(i, 0) = 0.5 * std::sin(2.0 * std::numbers::pi * row[0]) * 0.5 + 0.3 * row[1] + 0.2 * row[2] * row[3];
+  }
+}
+
+SaeConfig small_config() {
+  SaeConfig cfg;
+  cfg.input_dim = 4;
+  cfg.hidden_dims = {16, 8};
+  cfg.pretrain_epochs = 15;
+  cfg.finetune_epochs = 80;
+  cfg.batch_size = 16;
+  cfg.adam.learning_rate = 3e-3;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(SaeConfig, Validation) {
+  SaeConfig cfg = small_config();
+  cfg.input_dim = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_config();
+  cfg.hidden_dims = {};
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_config();
+  cfg.hidden_dims = {8, 0};
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_config();
+  cfg.batch_size = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_config();
+  cfg.denoise_probability = 1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Sae, DepthMatchesHiddenDims) {
+  const StackedAutoencoder sae(small_config());
+  EXPECT_EQ(sae.depth(), 2u);
+  EXPECT_FALSE(sae.pretrained());
+  EXPECT_FALSE(sae.trained());
+}
+
+TEST(Sae, PretrainingReducesReconstructionLoss) {
+  Matrix x, y;
+  make_toy(x, y, 256, 11);
+  StackedAutoencoder sae(small_config());
+  const auto histories = sae.pretrain(x);
+  ASSERT_EQ(histories.size(), 2u);
+  for (const auto& h : histories) {
+    ASSERT_GE(h.epoch_loss.size(), 2u);
+    EXPECT_LT(h.final_loss(), h.epoch_loss.front());
+  }
+  EXPECT_TRUE(sae.pretrained());
+}
+
+TEST(Sae, EncodeProducesTopLayerWidth) {
+  Matrix x, y;
+  make_toy(x, y, 32, 1);
+  StackedAutoencoder sae(small_config());
+  const Matrix code = sae.encode(x);
+  EXPECT_EQ(code.rows(), 32u);
+  EXPECT_EQ(code.cols(), 8u);
+  for (const double v : code.flat()) {
+    EXPECT_GE(v, 0.0);  // sigmoid codes
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Sae, PredictBeforeFinetuneThrows) {
+  Matrix x, y;
+  make_toy(x, y, 8, 2);
+  const StackedAutoencoder sae(small_config());
+  EXPECT_THROW(sae.predict(x), std::logic_error);
+}
+
+TEST(Sae, FinetuneFitsToyFunction) {
+  Matrix x, y;
+  make_toy(x, y, 512, 21);
+  StackedAutoencoder sae(small_config());
+  sae.pretrain(x);
+  const TrainHistory h = sae.finetune(x, y, 200);
+  EXPECT_TRUE(sae.trained());
+  EXPECT_LT(h.final_loss(), 0.01);
+
+  // Generalization on fresh samples from the same process.
+  Matrix xt, yt;
+  make_toy(xt, yt, 128, 77);
+  const Matrix pred = sae.predict(xt);
+  EXPECT_LT(mse(pred, yt), 0.02);
+}
+
+TEST(Sae, FinetuneWithoutPretrainStillLearns) {
+  Matrix x, y;
+  make_toy(x, y, 512, 21);
+  StackedAutoencoder sae(small_config());
+  const TrainHistory h = sae.finetune(x, y);
+  EXPECT_LT(h.final_loss(), 0.05);
+}
+
+TEST(Sae, DeterministicForSameSeed) {
+  Matrix x, y;
+  make_toy(x, y, 128, 5);
+  StackedAutoencoder a(small_config());
+  StackedAutoencoder b(small_config());
+  a.pretrain(x);
+  b.pretrain(x);
+  a.finetune(x, y, 10);
+  b.finetune(x, y, 10);
+  const Matrix pa = a.predict(x);
+  const Matrix pb = b.predict(x);
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pa.flat()[i], pb.flat()[i]);
+  }
+}
+
+TEST(Sae, InputWidthMismatchThrows) {
+  StackedAutoencoder sae(small_config());
+  EXPECT_THROW(sae.pretrain(Matrix(4, 7)), std::invalid_argument);
+  EXPECT_THROW(sae.encode(Matrix(4, 7)), std::invalid_argument);
+  EXPECT_THROW(sae.finetune(Matrix(4, 7), Matrix(4, 1)), std::invalid_argument);
+  EXPECT_THROW(sae.finetune(Matrix(4, 4), Matrix(3, 1)), std::invalid_argument);
+}
+
+TEST(Sae, TargetWidthChangeBetweenFinetunesThrows) {
+  Matrix x, y;
+  make_toy(x, y, 64, 9);
+  StackedAutoencoder sae(small_config());
+  sae.finetune(x, y, 2);
+  EXPECT_THROW(sae.finetune(x, Matrix(64, 2), 2), std::invalid_argument);
+}
+
+TEST(MinMaxScaler, RoundTrip) {
+  Matrix x(3, 2, std::vector<double>{0.0, 10.0, 5.0, 20.0, 10.0, 30.0});
+  MinMaxScaler scaler;
+  scaler.fit(x);
+  const Matrix t = scaler.transform(x);
+  EXPECT_DOUBLE_EQ(t(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t(1, 1), 0.5);
+  const Matrix back = scaler.inverse_transform(t);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back.flat()[i], x.flat()[i], 1e-12);
+}
+
+TEST(MinMaxScaler, ConstantColumnSafe) {
+  Matrix x(2, 1, std::vector<double>{5.0, 5.0});
+  MinMaxScaler scaler;
+  scaler.fit(x);
+  EXPECT_DOUBLE_EQ(scaler.transform(x)(0, 0), 0.0);
+}
+
+TEST(MinMaxScaler, UnfittedThrows) {
+  const MinMaxScaler scaler;
+  EXPECT_THROW(scaler.transform(Matrix(1, 1)), std::logic_error);
+}
+
+TEST(MinMaxScaler, WidthMismatchThrows) {
+  Matrix x(2, 2);
+  MinMaxScaler scaler;
+  scaler.fit(x);
+  EXPECT_THROW(scaler.transform(Matrix(2, 3)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evvo::learn

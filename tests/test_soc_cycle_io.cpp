@@ -1,0 +1,127 @@
+// Battery SoC tracking over trips, range estimation, and cycle CSV round-trips.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/csv.hpp"
+#include "ev/cycle_io.hpp"
+#include "ev/soc_trace.hpp"
+
+namespace evvo::ev {
+namespace {
+
+DriveCycle cruise_cycle(double speed, int seconds) {
+  return DriveCycle(std::vector<double>(static_cast<std::size_t>(seconds) + 1, speed), 1.0);
+}
+
+TEST(SocTrace, CruiseDrawsChargeMonotonically) {
+  const EnergyModel model;
+  BatteryPack pack;
+  const SocTrace trace = run_battery(model, pack, cruise_cycle(15.0, 300));
+  ASSERT_EQ(trace.soc.size(), 301u);
+  EXPECT_LT(trace.final_soc(), 1.0);
+  EXPECT_FALSE(trace.depleted);
+  for (std::size_t i = 1; i < trace.soc.size(); ++i) EXPECT_LE(trace.soc[i], trace.soc[i - 1] + 1e-12);
+  // Consumed charge matches the trip accounting of the energy model.
+  const TripEnergy e = model.trip(cruise_cycle(15.0, 300));
+  EXPECT_NEAR(trace.consumed_ah * 1000.0, e.charge_mah, 1e-6);
+}
+
+TEST(SocTrace, RegenRaisesSocDuringBraking) {
+  const EnergyModel model;
+  BatteryPack pack;
+  pack.reset(0.5);
+  std::vector<double> speeds;
+  for (int i = 0; i <= 20; ++i) speeds.push_back(20.0 - i);  // brake 20 -> 0
+  const SocTrace trace = run_battery(model, pack, DriveCycle(speeds, 1.0));
+  EXPECT_GT(trace.final_soc(), 0.5);  // net regeneration beats the accessory draw
+}
+
+TEST(SocTrace, DepletionFlagged) {
+  const EnergyModel model;
+  BatteryPack pack;
+  pack.reset(0.0005);  // nearly empty
+  const SocTrace trace = run_battery(model, pack, cruise_cycle(20.0, 600));
+  EXPECT_TRUE(trace.depleted);
+  EXPECT_DOUBLE_EQ(trace.final_soc(), 0.0);
+}
+
+TEST(SocTrace, GradeAwareUphillDrainsFaster) {
+  const EnergyModel model;
+  BatteryPack flat_pack;
+  BatteryPack hill_pack;
+  run_battery(model, flat_pack, cruise_cycle(15.0, 200));
+  run_battery(model, hill_pack, cruise_cycle(15.0, 200), [](double) { return 0.03; });
+  EXPECT_LT(hill_pack.state_of_charge(), flat_pack.state_of_charge());
+}
+
+TEST(SocTrace, TrivialCycleLeavesPackUntouched) {
+  const EnergyModel model;
+  BatteryPack pack;
+  const SocTrace trace = run_battery(model, pack, DriveCycle({5.0}, 1.0));
+  EXPECT_DOUBLE_EQ(trace.final_soc(), 1.0);
+  EXPECT_DOUBLE_EQ(trace.consumed_ah, 0.0);
+}
+
+TEST(EstimatedRange, FullPackGivesPlausibleSparkEvRange) {
+  const EnergyModel model;
+  const BatteryPack pack;
+  const double range_km = estimated_range_m(model, pack, 15.0) / 1000.0;
+  // Spark EV EPA range is ~130 km; steady cruising estimates land broadly there.
+  EXPECT_GT(range_km, 60.0);
+  EXPECT_LT(range_km, 400.0);
+}
+
+TEST(EstimatedRange, ScalesWithSoc) {
+  const EnergyModel model;
+  BatteryPack pack;
+  const double full = estimated_range_m(model, pack, 15.0);
+  pack.reset(0.5);
+  EXPECT_NEAR(estimated_range_m(model, pack, 15.0), full / 2.0, full * 0.01);
+}
+
+TEST(EstimatedRange, ValidatesSpeed) {
+  const EnergyModel model;
+  const BatteryPack pack;
+  EXPECT_THROW(estimated_range_m(model, pack, 0.0), std::invalid_argument);
+}
+
+class CycleIoTest : public ::testing::Test {
+ protected:
+  std::filesystem::path path_ =
+      std::filesystem::temp_directory_path() / "evvo_cycle_io" / "trace.csv";
+  void TearDown() override { std::filesystem::remove_all(path_.parent_path()); }
+};
+
+TEST_F(CycleIoTest, RoundTripPreservesCycle) {
+  std::vector<double> speeds{0.0, 2.5, 5.0, 7.5, 10.0, 10.0, 5.0, 0.0};
+  const DriveCycle original(speeds, 0.5);
+  save_cycle_csv(path_, original);
+  const DriveCycle loaded = load_cycle_csv(path_);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_DOUBLE_EQ(loaded.dt(), 0.5);
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.speeds()[i], speeds[i]);
+  }
+}
+
+TEST_F(CycleIoTest, RejectsNonUniformTime) {
+  CsvTable table;
+  table.columns = {"time_s", "speed_ms"};
+  table.add_row({0.0, 1.0});
+  table.add_row({1.0, 2.0});
+  table.add_row({3.0, 2.0});  // gap
+  write_csv(path_, table);
+  EXPECT_THROW(load_cycle_csv(path_), std::runtime_error);
+}
+
+TEST_F(CycleIoTest, RejectsTooShort) {
+  CsvTable table;
+  table.columns = {"time_s", "speed_ms"};
+  table.add_row({0.0, 1.0});
+  write_csv(path_, table);
+  EXPECT_THROW(load_cycle_csv(path_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace evvo::ev

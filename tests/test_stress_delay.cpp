@@ -1,0 +1,158 @@
+// Battery-stress metrics, QL-model delay estimation, and the travel-time
+// probe that grounds them in the simulator.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/units.hpp"
+#include "ev/degradation.hpp"
+#include "road/corridor.hpp"
+#include "sim/detectors.hpp"
+#include "traffic/delay.hpp"
+
+namespace evvo {
+namespace {
+
+ev::DriveCycle cruise(double speed, int seconds) {
+  return ev::DriveCycle(std::vector<double>(static_cast<std::size_t>(seconds) + 1, speed), 1.0);
+}
+
+/// Same distance as cruise(12, ...) but with stop-and-go: 0->24->0 sawtooth.
+ev::DriveCycle stop_and_go(int repetitions) {
+  std::vector<double> speeds;
+  for (int r = 0; r < repetitions; ++r) {
+    for (int i = 0; i <= 12; ++i) speeds.push_back(2.0 * i);
+    for (int i = 11; i >= 0; --i) speeds.push_back(2.0 * i);
+  }
+  speeds.push_back(0.0);
+  return ev::DriveCycle(speeds, 1.0);
+}
+
+TEST(BatteryStress, CruiseHasNoReversals) {
+  const ev::EnergyModel model;
+  const ev::BatteryPack pack;
+  const auto stress = ev::battery_stress(model, pack, cruise(15.0, 200));
+  EXPECT_EQ(stress.direction_reversals, 0);
+  EXPECT_GT(stress.ah_throughput, 0.0);
+  EXPECT_DOUBLE_EQ(stress.peak_regen_a, 0.0);
+  EXPECT_NEAR(stress.rms_current_a, model.current_a(15.0, 0.0), 1e-6);
+}
+
+TEST(BatteryStress, StopAndGoStressesThePackMore) {
+  // The paper's Sec. I motivation: sudden stops and accelerations cycle the
+  // battery harder. Compare equal-distance trips.
+  const ev::EnergyModel model;
+  const ev::BatteryPack pack;
+  const auto smooth = cruise(12.0, 100);             // 1200 m
+  const auto jerky = stop_and_go(5);                 // 5 * 24 m/s peaks, ~1440 m
+  const auto s_smooth = ev::battery_stress(model, pack, smooth);
+  const auto s_jerky = ev::battery_stress(model, pack, jerky);
+  const double per_m_smooth = s_smooth.ah_throughput / smooth.distance();
+  const double per_m_jerky = s_jerky.ah_throughput / jerky.distance();
+  EXPECT_GT(per_m_jerky, per_m_smooth * 1.5);
+  EXPECT_GT(s_jerky.peak_discharge_a, s_smooth.peak_discharge_a * 2.0);
+  EXPECT_GT(s_jerky.direction_reversals, 5);
+  EXPECT_GT(s_jerky.peak_regen_a, 0.0);
+}
+
+TEST(BatteryStress, EquivalentFullCyclesNormalization) {
+  const ev::EnergyModel model;
+  const ev::BatteryPack pack;
+  const auto stress = ev::battery_stress(model, pack, cruise(15.0, 3600));
+  EXPECT_NEAR(stress.equivalent_full_cycles, stress.ah_throughput / (2.0 * pack.capacity_ah()),
+              1e-12);
+}
+
+TEST(BatteryStress, PeakCRate) {
+  const ev::EnergyModel model;
+  const ev::BatteryPack pack;
+  const auto stress = ev::battery_stress(model, pack, stop_and_go(2));
+  EXPECT_NEAR(stress.peak_c_rate(pack), stress.peak_discharge_a / 46.2, 1e-12);
+}
+
+TEST(BatteryStress, EmptyCycleIsZero) {
+  const ev::EnergyModel model;
+  const ev::BatteryPack pack;
+  const auto stress = ev::battery_stress(model, pack, ev::DriveCycle({0.0}, 1.0));
+  EXPECT_DOUBLE_EQ(stress.ah_throughput, 0.0);
+  EXPECT_EQ(stress.direction_reversals, 0);
+}
+
+// --- delay estimation ---
+
+TEST(CycleDelay, NoArrivalsNoDelay) {
+  const traffic::QueueModel model{traffic::VmParams{}};
+  const auto delay = traffic::estimate_cycle_delay(model, {30.0, 30.0}, 0.0);
+  EXPECT_DOUBLE_EQ(delay.total_veh_s, 0.0);
+  EXPECT_DOUBLE_EQ(delay.avg_delay_s_per_veh, 0.0);
+}
+
+TEST(CycleDelay, GrowsSuperlinearlyWithDemand) {
+  const traffic::QueueModel model{traffic::VmParams{}};
+  const traffic::CyclePhases phases{30.0, 30.0};
+  const auto low = traffic::estimate_cycle_delay(model, phases, 0.1);
+  const auto high = traffic::estimate_cycle_delay(model, phases, 0.4);
+  EXPECT_GT(high.avg_delay_s_per_veh, low.avg_delay_s_per_veh);
+  // Total delay grows faster than the arrival ratio (queueing nonlinearity).
+  EXPECT_GT(high.total_veh_s, low.total_veh_s * 4.0);
+}
+
+TEST(CycleDelay, AccelerationAwareModelPredictsMoreDelay) {
+  const traffic::CyclePhases phases{30.0, 30.0};
+  const double rate = 0.3;
+  const auto ours = traffic::estimate_cycle_delay(
+      traffic::QueueModel(traffic::VmParams{}, traffic::DischargeModel::kVmAcceleration), phases,
+      rate);
+  const auto prior = traffic::estimate_cycle_delay(
+      traffic::QueueModel(traffic::VmParams{}, traffic::DischargeModel::kInstantMinSpeed), phases,
+      rate);
+  EXPECT_GT(ours.total_veh_s, prior.total_veh_s);
+}
+
+TEST(CycleDelay, ResidualQueueAddsDelay) {
+  const traffic::QueueModel model{traffic::VmParams{}};
+  const traffic::CyclePhases phases{30.0, 30.0};
+  const auto empty = traffic::estimate_cycle_delay(model, phases, 0.2, 0.1, 0.0);
+  const auto loaded = traffic::estimate_cycle_delay(model, phases, 0.2, 0.1, 50.0);
+  EXPECT_GT(loaded.total_veh_s, empty.total_veh_s);
+  EXPECT_GT(loaded.max_queue_veh, empty.max_queue_veh);
+}
+
+TEST(CycleDelay, ValidatesDt) {
+  const traffic::QueueModel model{traffic::VmParams{}};
+  EXPECT_THROW(traffic::estimate_cycle_delay(model, {30.0, 30.0}, 0.1, 0.0),
+               std::invalid_argument);
+}
+
+// --- travel-time probe ---
+
+TEST(TravelTimeProbe, ValidatesGeometry) {
+  EXPECT_THROW(sim::TravelTimeProbe(100.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(sim::TravelTimeProbe(200.0, 100.0), std::invalid_argument);
+}
+
+TEST(TravelTimeProbe, MeasuresDelayThroughASignal) {
+  // Free road vs a signalized segment: the probe around the light must report
+  // positive mean delay and agree in order of magnitude with the QL estimate.
+  const road::Corridor corridor = road::make_us25_corridor();
+  sim::MicrosimConfig cfg;
+  cfg.seed = 31;
+  sim::Microsim simulator(corridor, cfg,
+                          std::make_shared<traffic::ConstantArrivalRate>(1530.0));
+  sim::TravelTimeProbe through_light(1820.0 - 400.0, 1820.0 + 100.0);
+  sim::TravelTimeProbe free_section(200.0, 400.0);
+  while (simulator.time() < 1500.0) {
+    simulator.step();
+    through_light.observe(simulator);
+    free_section.observe(simulator);
+  }
+  ASSERT_GT(through_light.completed_count(), 30);
+  ASSERT_GT(free_section.completed_count(), 30);
+  const double free_speed = 19.0;  // typical background cruise
+  EXPECT_GT(through_light.mean_delay(free_speed), 3.0);
+  EXPECT_LT(free_section.mean_delay(free_speed), 2.0);
+  EXPECT_THROW(through_light.mean_delay(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evvo

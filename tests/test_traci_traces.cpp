@@ -1,0 +1,117 @@
+// TraCI-style client semantics, planned-profile execution, and the mild/fast
+// human trace generator (Fig. 7(a) substrate).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/trace_generator.hpp"
+#include "road/corridor.hpp"
+#include "sim/traci.hpp"
+
+namespace evvo::sim {
+namespace {
+
+std::shared_ptr<traffic::ConstantArrivalRate> demand(double veh_h) {
+  return std::make_shared<traffic::ConstantArrivalRate>(veh_h);
+}
+
+TEST(TraciClient, EgoLifecycleAndReads) {
+  Microsim sim(road::make_us25_corridor(), MicrosimConfig{}, demand(0.0));
+  TraciClient traci(sim);
+  EXPECT_FALSE(traci.ego_present());
+  EXPECT_THROW(traci.ego_position(), std::logic_error);
+  traci.add_ego(0.0);
+  EXPECT_TRUE(traci.ego_present());
+  EXPECT_DOUBLE_EQ(traci.ego_position(), 0.0);
+  EXPECT_DOUBLE_EQ(traci.ego_speed(), 0.0);
+  traci.set_speed(8.0);
+  for (int i = 0; i < 40; ++i) traci.simulation_step();
+  EXPECT_NEAR(traci.ego_speed(), 8.0, 0.2);
+  EXPECT_NEAR(traci.time(), 20.0, 0.26);
+}
+
+TEST(ExecutePlannedProfile, ConstantTargetCompletesTrip) {
+  Microsim sim(road::make_single_light_corridor(1000.0, 500.0, 30.0, 3000.0), MicrosimConfig{},
+               demand(0.0));
+  // Light: red [0, 30), then green for nearly an hour. Depart at t=35.
+  sim.run_until(35.0);
+  const auto result = execute_planned_profile(
+      sim, [](double, double) { return 12.0; }, 0.0, 1000.0, 300.0);
+  EXPECT_TRUE(result.completed);
+  EXPECT_GT(result.cycle.max_speed(), 10.0);
+  EXPECT_NEAR(result.cycle.distance(), 1000.0, 30.0);
+  EXPECT_EQ(result.positions.size(), result.cycle.size());
+}
+
+TEST(ExecutePlannedProfile, SimulatorOverridesPlanAtRedLight) {
+  // Target 15 m/s into a red light: the simulator must stop the ego at the
+  // stop line regardless of the command (the Fig. 6(a) mechanism).
+  Microsim sim(road::make_single_light_corridor(1000.0, 600.0, 120.0, 30.0), MicrosimConfig{},
+               demand(0.0));
+  const auto result = execute_planned_profile(
+      sim, [](double, double) { return 15.0; }, 0.0, 1000.0, 400.0);
+  EXPECT_TRUE(result.completed);
+  EXPECT_GE(result.cycle.stop_count(0.5, 2.0), 1);  // forced stop at the light
+}
+
+TEST(ExecutePlannedProfile, TimesOutGracefully) {
+  Microsim sim(road::make_single_light_corridor(1000.0, 600.0, 600.0, 30.0), MicrosimConfig{},
+               demand(0.0));
+  const auto result = execute_planned_profile(
+      sim, [](double, double) { return 10.0; }, 0.0, 1000.0, 60.0);
+  EXPECT_FALSE(result.completed);  // red light holds the ego past the timeout
+}
+
+TEST(ExecutePlannedProfile, ValidatesEndpoints) {
+  Microsim sim(road::make_us25_corridor(), MicrosimConfig{}, demand(0.0));
+  EXPECT_THROW(execute_planned_profile(sim, [](double, double) { return 1.0; }, 100.0, 50.0, 10.0),
+               std::invalid_argument);
+}
+
+TEST(TraceGenerator, DriverStylesDiffer) {
+  const DriverParams mild = data::mild_driver();
+  const DriverParams fast = data::fast_driver();
+  EXPECT_LT(mild.accel_ms2, fast.accel_ms2);
+  EXPECT_LT(mild.speed_factor, fast.speed_factor);
+  EXPECT_LT(mild.decel_ms2, fast.decel_ms2);
+}
+
+TEST(TraceGenerator, FastTraceBeatsMildOnTripTime) {
+  const road::Corridor corridor = road::make_us25_corridor();
+  MicrosimConfig cfg;
+  cfg.seed = 21;
+  const auto mild = data::record_human_trace(corridor, cfg, demand(600.0), data::mild_driver(), 0.0);
+  const auto fast = data::record_human_trace(corridor, cfg, demand(600.0), data::fast_driver(), 0.0);
+  ASSERT_TRUE(mild.completed);
+  ASSERT_TRUE(fast.completed);
+  EXPECT_LT(fast.trip_time_s, mild.trip_time_s);
+  EXPECT_GE(fast.cycle.max_speed(), mild.cycle.max_speed());
+}
+
+TEST(TraceGenerator, TracesCoverTheCorridor) {
+  const road::Corridor corridor = road::make_us25_corridor();
+  MicrosimConfig cfg;
+  cfg.seed = 22;
+  const auto trace =
+      data::record_human_trace(corridor, cfg, demand(800.0), data::fast_driver(), 100.0);
+  ASSERT_TRUE(trace.completed);
+  EXPECT_NEAR(trace.cycle.distance(), corridor.length(), 40.0);
+  EXPECT_DOUBLE_EQ(trace.depart_time_s, 100.0);
+  // Human drivers stop at the sign, and usually at least once at a light.
+  EXPECT_GE(trace.cycle.stop_count(0.5, 1.0), 1);
+}
+
+TEST(TraceGenerator, DeterministicPerSeed) {
+  const road::Corridor corridor = road::make_us25_corridor();
+  MicrosimConfig cfg;
+  cfg.seed = 5;
+  const auto a = data::record_human_trace(corridor, cfg, demand(700.0), data::mild_driver(), 0.0);
+  const auto b = data::record_human_trace(corridor, cfg, demand(700.0), data::mild_driver(), 0.0);
+  ASSERT_EQ(a.cycle.size(), b.cycle.size());
+  for (std::size_t i = 0; i < a.cycle.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cycle.speeds()[i], b.cycle.speeds()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace evvo::sim

@@ -1,0 +1,147 @@
+// SAE traffic-volume predictor pipeline: feature windows, rolling evaluation,
+// per-day metrics (Fig. 4(b)), and the naive/historical baselines.
+#include "traffic/traffic_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "data/synthetic_volume.hpp"
+
+namespace evvo::traffic {
+namespace {
+
+PredictorConfig small_config() {
+  PredictorConfig cfg;
+  cfg.window_hours = 6;
+  cfg.sae.hidden_dims = {32, 16};
+  cfg.sae.pretrain_epochs = 15;
+  cfg.sae.finetune_epochs = 150;
+  cfg.sae.batch_size = 32;
+  cfg.sae.adam.learning_rate = 2e-3;
+  cfg.sae.seed = 9;
+  return cfg;
+}
+
+data::VolumeDataset small_dataset() {
+  data::VolumePatternConfig cfg;
+  cfg.incident_probability_per_day = 0.0;
+  return data::make_us25_dataset(cfg, 13, 1);  // the paper's 3-month protocol
+}
+
+TEST(SaeVolumePredictor, RequiresFitBeforePredict) {
+  const SaeVolumePredictor p(small_config());
+  const std::vector<double> window(6, 100.0);
+  EXPECT_THROW(p.predict_next(window, 8, 1), std::logic_error);
+}
+
+TEST(SaeVolumePredictor, RejectsWrongWindowSize) {
+  SaeVolumePredictor p(small_config());
+  p.fit(small_dataset().train);
+  const std::vector<double> bad(3, 100.0);
+  EXPECT_THROW(p.predict_next(bad, 8, 1), std::invalid_argument);
+}
+
+TEST(SaeVolumePredictor, FitRejectsTinySeries) {
+  SaeVolumePredictor p(small_config());
+  EXPECT_THROW(p.fit(HourlyVolumeSeries({1.0, 2.0}, 0)), std::invalid_argument);
+}
+
+TEST(SaeVolumePredictor, PredictionsAreNonNegative) {
+  SaeVolumePredictor p(small_config());
+  const auto ds = small_dataset();
+  p.fit(ds.train);
+  const std::vector<double> window(6, 0.0);
+  EXPECT_GE(p.predict_next(window, 3, 2), 0.0);
+}
+
+TEST(SaeVolumePredictor, BeatsNaiveOnPeriodicData) {
+  const auto ds = small_dataset();
+  SaeVolumePredictor sae(small_config());
+  sae.fit(ds.train);
+  const auto sae_pred = predict_series(sae, ds.train, ds.test);
+  const auto naive_pred = predict_series(NaivePredictor(), ds.train, ds.test);
+  const auto sae_days = per_day_metrics(ds.test, sae_pred, 50.0);
+  const auto naive_days = per_day_metrics(ds.test, naive_pred, 50.0);
+  double sae_rmse = 0.0;
+  double naive_rmse = 0.0;
+  for (const auto& d : sae_days) sae_rmse += d.rmse;
+  for (const auto& d : naive_days) naive_rmse += d.rmse;
+  EXPECT_LT(sae_rmse, naive_rmse);
+}
+
+TEST(SaeVolumePredictor, MeetsPaperAccuracyBand) {
+  // Fig. 4(b): all per-day MRE values below 10 %.
+  const auto ds = small_dataset();
+  SaeVolumePredictor sae(small_config());
+  sae.fit(ds.train);
+  const auto pred = predict_series(sae, ds.train, ds.test);
+  for (const auto& day : per_day_metrics(ds.test, pred, 50.0)) {
+    EXPECT_LT(day.mre, 0.12) << "day " << day.day_of_week;
+  }
+}
+
+TEST(PredictSeries, LengthMatchesTestAndUsesActualLags) {
+  const auto ds = small_dataset();
+  const NaivePredictor naive;
+  const auto pred = predict_series(naive, ds.train, ds.test);
+  ASSERT_EQ(pred.size(), ds.test.size());
+  // Naive prediction at index i equals the actual at i-1 (or the last train
+  // value at i = 0).
+  EXPECT_DOUBLE_EQ(pred[0], ds.train.at(ds.train.size() - 1));
+  EXPECT_DOUBLE_EQ(pred[5], ds.test.at(4));
+}
+
+TEST(PredictSeries, ThrowsWhenHistoryTooShort) {
+  const auto ds = small_dataset();
+  const NaivePredictor naive(100000);
+  EXPECT_THROW(predict_series(naive, ds.train, ds.test), std::invalid_argument);
+}
+
+TEST(HistoricalAverage, ReproducesHourOfWeekMeans) {
+  // Two identical weeks -> the average equals the value, so test-week MRE = 0.
+  data::VolumePatternConfig cfg;
+  cfg.noise_fraction = 0.0;
+  cfg.incident_probability_per_day = 0.0;
+  const auto ds = data::make_us25_dataset(cfg, 2, 1);
+  const HistoricalAveragePredictor hist(ds.train);
+  const auto pred = predict_series(hist, ds.train, ds.test);
+  for (const auto& day : per_day_metrics(ds.test, pred, 1.0)) {
+    EXPECT_NEAR(day.mre, 0.0, 1e-9);
+  }
+}
+
+TEST(PerDayMetrics, SplitsTestWeekIntoSevenDays) {
+  const auto ds = small_dataset();
+  const std::vector<double> pred(ds.test.size(), 500.0);
+  const auto days = per_day_metrics(ds.test, pred);
+  ASSERT_EQ(days.size(), 7u);
+  for (int d = 0; d < 7; ++d) EXPECT_EQ(days[d].day_of_week, d);
+}
+
+TEST(PerDayMetrics, ThrowsOnLengthMismatch) {
+  const auto ds = small_dataset();
+  const std::vector<double> pred(3, 0.0);
+  EXPECT_THROW(per_day_metrics(ds.test, pred), std::invalid_argument);
+}
+
+TEST(PerDayMetrics, ValuesMatchDirectComputation) {
+  const HourlyVolumeSeries test(std::vector<double>(24, 100.0), 0);
+  std::vector<double> pred(24, 110.0);
+  const auto days = per_day_metrics(test, pred, 1.0);
+  ASSERT_EQ(days.size(), 1u);
+  EXPECT_NEAR(days[0].mre, 0.1, 1e-12);
+  EXPECT_NEAR(days[0].rmse, 10.0, 1e-12);
+  EXPECT_NEAR(days[0].mean_volume, 100.0, 1e-12);
+}
+
+TEST(NaivePredictor, Validation) {
+  EXPECT_THROW(NaivePredictor(0), std::invalid_argument);
+  const NaivePredictor p;
+  EXPECT_THROW(p.predict_next({}, 0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evvo::traffic

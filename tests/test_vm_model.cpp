@@ -1,0 +1,126 @@
+// Vehicle-Movement model tests: the piecewise speed law of Eq. (4) and the
+// leaving rate of Eq. (5), at the paper's probed parameters.
+#include "traffic/vm_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace evvo::traffic {
+namespace {
+
+// Paper Sec. III-B2: d = 8.5 m, gamma = 76.36 %, 30/30 s cycle.
+VmParams paper_params() { return VmParams{}; }
+CyclePhases paper_cycle() { return CyclePhases{30.0, 30.0}; }
+
+TEST(VmParams, Validation) {
+  VmParams p = paper_params();
+  p.min_speed_ms = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = paper_params();
+  p.straight_ratio = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = paper_params();
+  p.spacing_m = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(VmModel, AccelEndTime) {
+  const VmModel vm(paper_params());
+  // t1 = t_red + v_min / a_max = 30 + 13.4 / 2.5.
+  EXPECT_NEAR(vm.accel_end_time(paper_cycle()), 30.0 + 13.4 / 2.5, 1e-12);
+}
+
+TEST(VmModel, SpeedLawPiecewise) {
+  const VmModel vm(paper_params());
+  const CyclePhases c = paper_cycle();
+  // (i) red: standstill.
+  EXPECT_DOUBLE_EQ(vm.platoon_speed(0.0, c), 0.0);
+  EXPECT_DOUBLE_EQ(vm.platoon_speed(29.99, c), 0.0);
+  // (ii) accelerating at a_max.
+  EXPECT_NEAR(vm.platoon_speed(32.0, c), 2.5 * 2.0, 1e-12);
+  // (iii) cruising at v_min.
+  EXPECT_NEAR(vm.platoon_speed(40.0, c), 13.4, 1e-12);
+}
+
+TEST(VmModel, SpeedLawIsContinuousAtPhaseBoundaries) {
+  const VmModel vm(paper_params());
+  const CyclePhases c = paper_cycle();
+  const double t1 = vm.accel_end_time(c);
+  EXPECT_NEAR(vm.platoon_speed(30.0, c), 0.0, 1e-9);
+  EXPECT_NEAR(vm.platoon_speed(t1 - 1e-6, c), vm.platoon_speed(t1 + 1e-6, c), 1e-3);
+}
+
+TEST(VmModel, LeavingRateEq5) {
+  const VmModel vm(paper_params());
+  const CyclePhases c = paper_cycle();
+  const double v_in = per_hour_to_per_second(1530.0);
+  const double clear = 45.0;
+  // During red: no one leaves.
+  EXPECT_DOUBLE_EQ(vm.leaving_rate(10.0, c, v_in, clear), 0.0);
+  // Mid-acceleration: v(t) / (d * gamma).
+  const double t = 33.0;
+  EXPECT_NEAR(vm.leaving_rate(t, c, v_in, clear), 2.5 * 3.0 / (8.5 * 0.7636), 1e-9);
+  // After the queue clears, the leaving rate equals the arrival rate (Fig. 5a).
+  EXPECT_DOUBLE_EQ(vm.leaving_rate(50.0, c, v_in, clear), v_in);
+}
+
+TEST(VmModel, BaselineJumpsToMinSpeedInstantly) {
+  const VmModel vm(paper_params());
+  const CyclePhases c = paper_cycle();
+  const double v_in = per_hour_to_per_second(1530.0);
+  // Prior work [9]: V_out = v_min / d from green onset.
+  EXPECT_DOUBLE_EQ(vm.baseline_leaving_rate(10.0, c, v_in, 40.0), 0.0);
+  EXPECT_NEAR(vm.baseline_leaving_rate(30.5, c, v_in, 40.0), 13.4 / 8.5, 1e-9);
+  EXPECT_DOUBLE_EQ(vm.baseline_leaving_rate(45.0, c, v_in, 40.0), v_in);
+}
+
+TEST(VmModel, VmTakesLongerToReachSaturationThanBaseline) {
+  // The paper's Fig. 5(a) observation: our VM model takes longer to reach
+  // V_out saturation since it models the acceleration phase.
+  const VmModel vm(paper_params());
+  const CyclePhases c = paper_cycle();
+  const double v_in = per_hour_to_per_second(1530.0);
+  const double tau = 31.0;  // 1 s into green
+  EXPECT_LT(vm.leaving_rate(tau, c, v_in, 60.0) * (8.5 * 0.7636) / 8.5,  // normalize to veh/s at d
+            vm.baseline_leaving_rate(tau, c, v_in, 60.0) + 1e-12);
+}
+
+TEST(VmModel, DischargedLengthIntegralOfSpeed) {
+  const VmModel vm(paper_params());
+  const CyclePhases c = paper_cycle();
+  // Numeric integral of platoon_speed must match discharged_length.
+  const double dt = 0.001;
+  double integral = 0.0;
+  for (double t = 0.0; t < 50.0; t += dt) {
+    integral += vm.platoon_speed(t + dt / 2.0, c) * dt;
+  }
+  EXPECT_NEAR(vm.discharged_length(50.0, c), integral, 0.05);
+}
+
+TEST(VmModel, DischargedLengthZeroDuringRed) {
+  const VmModel vm(paper_params());
+  EXPECT_DOUBLE_EQ(vm.discharged_length(15.0, paper_cycle()), 0.0);
+}
+
+/// Property: discharged length is nondecreasing and convex-ish through the
+/// acceleration phase for several accelerations.
+class DischargeSweep : public ::testing::TestWithParam<double> {};
+TEST_P(DischargeSweep, MonotoneNondecreasing) {
+  VmParams p = paper_params();
+  p.max_accel_ms2 = GetParam();
+  const VmModel vm(p);
+  const CyclePhases c = paper_cycle();
+  double prev = -1.0;
+  for (double t = 0.0; t <= 60.0; t += 0.25) {
+    const double d = vm.discharged_length(t, c);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Accels, DischargeSweep, ::testing::Values(1.0, 1.5, 2.5, 3.5));
+
+}  // namespace
+}  // namespace evvo::traffic
