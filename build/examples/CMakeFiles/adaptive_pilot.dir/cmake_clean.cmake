@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_pilot.dir/adaptive_pilot.cpp.o"
+  "CMakeFiles/adaptive_pilot.dir/adaptive_pilot.cpp.o.d"
+  "adaptive_pilot"
+  "adaptive_pilot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_pilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corridor_planning.dir/corridor_planning.cpp.o"
+  "CMakeFiles/corridor_planning.dir/corridor_planning.cpp.o.d"
+  "corridor_planning"
+  "corridor_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corridor_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evvo_cli.dir/evvo_cli.cpp.o"
+  "CMakeFiles/evvo_cli.dir/evvo_cli.cpp.o.d"
+  "evvo_cli"
+  "evvo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evvo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

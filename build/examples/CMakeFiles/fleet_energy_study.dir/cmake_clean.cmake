@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_energy_study.dir/fleet_energy_study.cpp.o"
+  "CMakeFiles/fleet_energy_study.dir/fleet_energy_study.cpp.o.d"
+  "fleet_energy_study"
+  "fleet_energy_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_energy_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

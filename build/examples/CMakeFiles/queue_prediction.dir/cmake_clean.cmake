@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_prediction.dir/queue_prediction.cpp.o"
+  "CMakeFiles/queue_prediction.dir/queue_prediction.cpp.o.d"
+  "queue_prediction"
+  "queue_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for queue_prediction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evvo_cloud.dir/plan_service.cpp.o"
+  "CMakeFiles/evvo_cloud.dir/plan_service.cpp.o.d"
+  "libevvo_cloud.a"
+  "libevvo_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evvo_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evvo_common.dir/csv.cpp.o"
+  "CMakeFiles/evvo_common.dir/csv.cpp.o.d"
+  "CMakeFiles/evvo_common.dir/logging.cpp.o"
+  "CMakeFiles/evvo_common.dir/logging.cpp.o.d"
+  "CMakeFiles/evvo_common.dir/math_util.cpp.o"
+  "CMakeFiles/evvo_common.dir/math_util.cpp.o.d"
+  "CMakeFiles/evvo_common.dir/random.cpp.o"
+  "CMakeFiles/evvo_common.dir/random.cpp.o.d"
+  "CMakeFiles/evvo_common.dir/table.cpp.o"
+  "CMakeFiles/evvo_common.dir/table.cpp.o.d"
+  "libevvo_common.a"
+  "libevvo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evvo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dp_solver.cpp" "src/core/CMakeFiles/evvo_core.dir/dp_solver.cpp.o" "gcc" "src/core/CMakeFiles/evvo_core.dir/dp_solver.cpp.o.d"
+  "/root/repo/src/core/glosa.cpp" "src/core/CMakeFiles/evvo_core.dir/glosa.cpp.o" "gcc" "src/core/CMakeFiles/evvo_core.dir/glosa.cpp.o.d"
+  "/root/repo/src/core/penalty.cpp" "src/core/CMakeFiles/evvo_core.dir/penalty.cpp.o" "gcc" "src/core/CMakeFiles/evvo_core.dir/penalty.cpp.o.d"
+  "/root/repo/src/core/plan_io.cpp" "src/core/CMakeFiles/evvo_core.dir/plan_io.cpp.o" "gcc" "src/core/CMakeFiles/evvo_core.dir/plan_io.cpp.o.d"
+  "/root/repo/src/core/planned_profile.cpp" "src/core/CMakeFiles/evvo_core.dir/planned_profile.cpp.o" "gcc" "src/core/CMakeFiles/evvo_core.dir/planned_profile.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/evvo_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/evvo_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/profile_eval.cpp" "src/core/CMakeFiles/evvo_core.dir/profile_eval.cpp.o" "gcc" "src/core/CMakeFiles/evvo_core.dir/profile_eval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evvo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ev/CMakeFiles/evvo_ev.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/evvo_road.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/evvo_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/evvo_learn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evvo_core.dir/dp_solver.cpp.o"
+  "CMakeFiles/evvo_core.dir/dp_solver.cpp.o.d"
+  "CMakeFiles/evvo_core.dir/glosa.cpp.o"
+  "CMakeFiles/evvo_core.dir/glosa.cpp.o.d"
+  "CMakeFiles/evvo_core.dir/penalty.cpp.o"
+  "CMakeFiles/evvo_core.dir/penalty.cpp.o.d"
+  "CMakeFiles/evvo_core.dir/plan_io.cpp.o"
+  "CMakeFiles/evvo_core.dir/plan_io.cpp.o.d"
+  "CMakeFiles/evvo_core.dir/planned_profile.cpp.o"
+  "CMakeFiles/evvo_core.dir/planned_profile.cpp.o.d"
+  "CMakeFiles/evvo_core.dir/planner.cpp.o"
+  "CMakeFiles/evvo_core.dir/planner.cpp.o.d"
+  "CMakeFiles/evvo_core.dir/profile_eval.cpp.o"
+  "CMakeFiles/evvo_core.dir/profile_eval.cpp.o.d"
+  "libevvo_core.a"
+  "libevvo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evvo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

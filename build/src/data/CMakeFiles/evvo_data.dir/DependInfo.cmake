@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/synthetic_volume.cpp" "src/data/CMakeFiles/evvo_data.dir/synthetic_volume.cpp.o" "gcc" "src/data/CMakeFiles/evvo_data.dir/synthetic_volume.cpp.o.d"
+  "/root/repo/src/data/trace_generator.cpp" "src/data/CMakeFiles/evvo_data.dir/trace_generator.cpp.o" "gcc" "src/data/CMakeFiles/evvo_data.dir/trace_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evvo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/evvo_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/evvo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ev/CMakeFiles/evvo_ev.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/evvo_learn.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/evvo_road.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evvo_data.dir/synthetic_volume.cpp.o"
+  "CMakeFiles/evvo_data.dir/synthetic_volume.cpp.o.d"
+  "CMakeFiles/evvo_data.dir/trace_generator.cpp.o"
+  "CMakeFiles/evvo_data.dir/trace_generator.cpp.o.d"
+  "libevvo_data.a"
+  "libevvo_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evvo_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ev/battery.cpp" "src/ev/CMakeFiles/evvo_ev.dir/battery.cpp.o" "gcc" "src/ev/CMakeFiles/evvo_ev.dir/battery.cpp.o.d"
+  "/root/repo/src/ev/cycle_io.cpp" "src/ev/CMakeFiles/evvo_ev.dir/cycle_io.cpp.o" "gcc" "src/ev/CMakeFiles/evvo_ev.dir/cycle_io.cpp.o.d"
+  "/root/repo/src/ev/degradation.cpp" "src/ev/CMakeFiles/evvo_ev.dir/degradation.cpp.o" "gcc" "src/ev/CMakeFiles/evvo_ev.dir/degradation.cpp.o.d"
+  "/root/repo/src/ev/drive_cycle.cpp" "src/ev/CMakeFiles/evvo_ev.dir/drive_cycle.cpp.o" "gcc" "src/ev/CMakeFiles/evvo_ev.dir/drive_cycle.cpp.o.d"
+  "/root/repo/src/ev/efficiency_map.cpp" "src/ev/CMakeFiles/evvo_ev.dir/efficiency_map.cpp.o" "gcc" "src/ev/CMakeFiles/evvo_ev.dir/efficiency_map.cpp.o.d"
+  "/root/repo/src/ev/energy_model.cpp" "src/ev/CMakeFiles/evvo_ev.dir/energy_model.cpp.o" "gcc" "src/ev/CMakeFiles/evvo_ev.dir/energy_model.cpp.o.d"
+  "/root/repo/src/ev/longitudinal.cpp" "src/ev/CMakeFiles/evvo_ev.dir/longitudinal.cpp.o" "gcc" "src/ev/CMakeFiles/evvo_ev.dir/longitudinal.cpp.o.d"
+  "/root/repo/src/ev/soc_trace.cpp" "src/ev/CMakeFiles/evvo_ev.dir/soc_trace.cpp.o" "gcc" "src/ev/CMakeFiles/evvo_ev.dir/soc_trace.cpp.o.d"
+  "/root/repo/src/ev/vehicle_params.cpp" "src/ev/CMakeFiles/evvo_ev.dir/vehicle_params.cpp.o" "gcc" "src/ev/CMakeFiles/evvo_ev.dir/vehicle_params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evvo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

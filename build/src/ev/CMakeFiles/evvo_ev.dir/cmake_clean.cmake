@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evvo_ev.dir/battery.cpp.o"
+  "CMakeFiles/evvo_ev.dir/battery.cpp.o.d"
+  "CMakeFiles/evvo_ev.dir/cycle_io.cpp.o"
+  "CMakeFiles/evvo_ev.dir/cycle_io.cpp.o.d"
+  "CMakeFiles/evvo_ev.dir/degradation.cpp.o"
+  "CMakeFiles/evvo_ev.dir/degradation.cpp.o.d"
+  "CMakeFiles/evvo_ev.dir/drive_cycle.cpp.o"
+  "CMakeFiles/evvo_ev.dir/drive_cycle.cpp.o.d"
+  "CMakeFiles/evvo_ev.dir/efficiency_map.cpp.o"
+  "CMakeFiles/evvo_ev.dir/efficiency_map.cpp.o.d"
+  "CMakeFiles/evvo_ev.dir/energy_model.cpp.o"
+  "CMakeFiles/evvo_ev.dir/energy_model.cpp.o.d"
+  "CMakeFiles/evvo_ev.dir/longitudinal.cpp.o"
+  "CMakeFiles/evvo_ev.dir/longitudinal.cpp.o.d"
+  "CMakeFiles/evvo_ev.dir/soc_trace.cpp.o"
+  "CMakeFiles/evvo_ev.dir/soc_trace.cpp.o.d"
+  "CMakeFiles/evvo_ev.dir/vehicle_params.cpp.o"
+  "CMakeFiles/evvo_ev.dir/vehicle_params.cpp.o.d"
+  "libevvo_ev.a"
+  "libevvo_ev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evvo_ev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

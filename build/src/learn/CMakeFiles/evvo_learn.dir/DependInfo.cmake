@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learn/activations.cpp" "src/learn/CMakeFiles/evvo_learn.dir/activations.cpp.o" "gcc" "src/learn/CMakeFiles/evvo_learn.dir/activations.cpp.o.d"
+  "/root/repo/src/learn/dense_layer.cpp" "src/learn/CMakeFiles/evvo_learn.dir/dense_layer.cpp.o" "gcc" "src/learn/CMakeFiles/evvo_learn.dir/dense_layer.cpp.o.d"
+  "/root/repo/src/learn/matrix.cpp" "src/learn/CMakeFiles/evvo_learn.dir/matrix.cpp.o" "gcc" "src/learn/CMakeFiles/evvo_learn.dir/matrix.cpp.o.d"
+  "/root/repo/src/learn/sae.cpp" "src/learn/CMakeFiles/evvo_learn.dir/sae.cpp.o" "gcc" "src/learn/CMakeFiles/evvo_learn.dir/sae.cpp.o.d"
+  "/root/repo/src/learn/scaler.cpp" "src/learn/CMakeFiles/evvo_learn.dir/scaler.cpp.o" "gcc" "src/learn/CMakeFiles/evvo_learn.dir/scaler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evvo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

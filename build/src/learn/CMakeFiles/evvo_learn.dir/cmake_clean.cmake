@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evvo_learn.dir/activations.cpp.o"
+  "CMakeFiles/evvo_learn.dir/activations.cpp.o.d"
+  "CMakeFiles/evvo_learn.dir/dense_layer.cpp.o"
+  "CMakeFiles/evvo_learn.dir/dense_layer.cpp.o.d"
+  "CMakeFiles/evvo_learn.dir/matrix.cpp.o"
+  "CMakeFiles/evvo_learn.dir/matrix.cpp.o.d"
+  "CMakeFiles/evvo_learn.dir/sae.cpp.o"
+  "CMakeFiles/evvo_learn.dir/sae.cpp.o.d"
+  "CMakeFiles/evvo_learn.dir/scaler.cpp.o"
+  "CMakeFiles/evvo_learn.dir/scaler.cpp.o.d"
+  "libevvo_learn.a"
+  "libevvo_learn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evvo_learn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

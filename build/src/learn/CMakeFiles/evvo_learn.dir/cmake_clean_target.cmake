@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libevvo_learn.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evvo_pilot.dir/pilot.cpp.o"
+  "CMakeFiles/evvo_pilot.dir/pilot.cpp.o.d"
+  "libevvo_pilot.a"
+  "libevvo_pilot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evvo_pilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

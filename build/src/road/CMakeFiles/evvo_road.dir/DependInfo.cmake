@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/road/coordination.cpp" "src/road/CMakeFiles/evvo_road.dir/coordination.cpp.o" "gcc" "src/road/CMakeFiles/evvo_road.dir/coordination.cpp.o.d"
+  "/root/repo/src/road/corridor.cpp" "src/road/CMakeFiles/evvo_road.dir/corridor.cpp.o" "gcc" "src/road/CMakeFiles/evvo_road.dir/corridor.cpp.o.d"
+  "/root/repo/src/road/route.cpp" "src/road/CMakeFiles/evvo_road.dir/route.cpp.o" "gcc" "src/road/CMakeFiles/evvo_road.dir/route.cpp.o.d"
+  "/root/repo/src/road/signals.cpp" "src/road/CMakeFiles/evvo_road.dir/signals.cpp.o" "gcc" "src/road/CMakeFiles/evvo_road.dir/signals.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evvo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

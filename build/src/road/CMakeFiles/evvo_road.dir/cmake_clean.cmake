@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evvo_road.dir/coordination.cpp.o"
+  "CMakeFiles/evvo_road.dir/coordination.cpp.o.d"
+  "CMakeFiles/evvo_road.dir/corridor.cpp.o"
+  "CMakeFiles/evvo_road.dir/corridor.cpp.o.d"
+  "CMakeFiles/evvo_road.dir/route.cpp.o"
+  "CMakeFiles/evvo_road.dir/route.cpp.o.d"
+  "CMakeFiles/evvo_road.dir/signals.cpp.o"
+  "CMakeFiles/evvo_road.dir/signals.cpp.o.d"
+  "libevvo_road.a"
+  "libevvo_road.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evvo_road.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

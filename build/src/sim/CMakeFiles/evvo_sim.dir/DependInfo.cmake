@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/calibration.cpp" "src/sim/CMakeFiles/evvo_sim.dir/calibration.cpp.o" "gcc" "src/sim/CMakeFiles/evvo_sim.dir/calibration.cpp.o.d"
+  "/root/repo/src/sim/detectors.cpp" "src/sim/CMakeFiles/evvo_sim.dir/detectors.cpp.o" "gcc" "src/sim/CMakeFiles/evvo_sim.dir/detectors.cpp.o.d"
+  "/root/repo/src/sim/idm.cpp" "src/sim/CMakeFiles/evvo_sim.dir/idm.cpp.o" "gcc" "src/sim/CMakeFiles/evvo_sim.dir/idm.cpp.o.d"
+  "/root/repo/src/sim/krauss.cpp" "src/sim/CMakeFiles/evvo_sim.dir/krauss.cpp.o" "gcc" "src/sim/CMakeFiles/evvo_sim.dir/krauss.cpp.o.d"
+  "/root/repo/src/sim/microsim.cpp" "src/sim/CMakeFiles/evvo_sim.dir/microsim.cpp.o" "gcc" "src/sim/CMakeFiles/evvo_sim.dir/microsim.cpp.o.d"
+  "/root/repo/src/sim/traci.cpp" "src/sim/CMakeFiles/evvo_sim.dir/traci.cpp.o" "gcc" "src/sim/CMakeFiles/evvo_sim.dir/traci.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evvo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/evvo_road.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/evvo_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ev/CMakeFiles/evvo_ev.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/evvo_learn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

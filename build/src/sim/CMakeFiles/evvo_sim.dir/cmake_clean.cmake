@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evvo_sim.dir/calibration.cpp.o"
+  "CMakeFiles/evvo_sim.dir/calibration.cpp.o.d"
+  "CMakeFiles/evvo_sim.dir/detectors.cpp.o"
+  "CMakeFiles/evvo_sim.dir/detectors.cpp.o.d"
+  "CMakeFiles/evvo_sim.dir/idm.cpp.o"
+  "CMakeFiles/evvo_sim.dir/idm.cpp.o.d"
+  "CMakeFiles/evvo_sim.dir/krauss.cpp.o"
+  "CMakeFiles/evvo_sim.dir/krauss.cpp.o.d"
+  "CMakeFiles/evvo_sim.dir/microsim.cpp.o"
+  "CMakeFiles/evvo_sim.dir/microsim.cpp.o.d"
+  "CMakeFiles/evvo_sim.dir/traci.cpp.o"
+  "CMakeFiles/evvo_sim.dir/traci.cpp.o.d"
+  "libevvo_sim.a"
+  "libevvo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evvo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

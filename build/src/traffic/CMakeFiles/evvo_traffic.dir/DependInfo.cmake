@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/delay.cpp" "src/traffic/CMakeFiles/evvo_traffic.dir/delay.cpp.o" "gcc" "src/traffic/CMakeFiles/evvo_traffic.dir/delay.cpp.o.d"
+  "/root/repo/src/traffic/queue_model.cpp" "src/traffic/CMakeFiles/evvo_traffic.dir/queue_model.cpp.o" "gcc" "src/traffic/CMakeFiles/evvo_traffic.dir/queue_model.cpp.o.d"
+  "/root/repo/src/traffic/queue_predictor.cpp" "src/traffic/CMakeFiles/evvo_traffic.dir/queue_predictor.cpp.o" "gcc" "src/traffic/CMakeFiles/evvo_traffic.dir/queue_predictor.cpp.o.d"
+  "/root/repo/src/traffic/traffic_predictor.cpp" "src/traffic/CMakeFiles/evvo_traffic.dir/traffic_predictor.cpp.o" "gcc" "src/traffic/CMakeFiles/evvo_traffic.dir/traffic_predictor.cpp.o.d"
+  "/root/repo/src/traffic/vm_model.cpp" "src/traffic/CMakeFiles/evvo_traffic.dir/vm_model.cpp.o" "gcc" "src/traffic/CMakeFiles/evvo_traffic.dir/vm_model.cpp.o.d"
+  "/root/repo/src/traffic/volume_series.cpp" "src/traffic/CMakeFiles/evvo_traffic.dir/volume_series.cpp.o" "gcc" "src/traffic/CMakeFiles/evvo_traffic.dir/volume_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evvo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/evvo_road.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/evvo_learn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

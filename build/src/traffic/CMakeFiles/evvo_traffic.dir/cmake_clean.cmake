@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evvo_traffic.dir/delay.cpp.o"
+  "CMakeFiles/evvo_traffic.dir/delay.cpp.o.d"
+  "CMakeFiles/evvo_traffic.dir/queue_model.cpp.o"
+  "CMakeFiles/evvo_traffic.dir/queue_model.cpp.o.d"
+  "CMakeFiles/evvo_traffic.dir/queue_predictor.cpp.o"
+  "CMakeFiles/evvo_traffic.dir/queue_predictor.cpp.o.d"
+  "CMakeFiles/evvo_traffic.dir/traffic_predictor.cpp.o"
+  "CMakeFiles/evvo_traffic.dir/traffic_predictor.cpp.o.d"
+  "CMakeFiles/evvo_traffic.dir/vm_model.cpp.o"
+  "CMakeFiles/evvo_traffic.dir/vm_model.cpp.o.d"
+  "CMakeFiles/evvo_traffic.dir/volume_series.cpp.o"
+  "CMakeFiles/evvo_traffic.dir/volume_series.cpp.o.d"
+  "libevvo_traffic.a"
+  "libevvo_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evvo_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coordination.dir/test_coordination.cpp.o"
+  "CMakeFiles/test_coordination.dir/test_coordination.cpp.o.d"
+  "test_coordination"
+  "test_coordination.pdb"
+  "test_coordination[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

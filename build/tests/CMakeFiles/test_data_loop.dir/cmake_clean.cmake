@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_loop.dir/test_data_loop.cpp.o"
+  "CMakeFiles/test_data_loop.dir/test_data_loop.cpp.o.d"
+  "test_data_loop"
+  "test_data_loop.pdb"
+  "test_data_loop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense_layer.dir/test_dense_layer.cpp.o"
+  "CMakeFiles/test_dense_layer.dir/test_dense_layer.cpp.o.d"
+  "test_dense_layer"
+  "test_dense_layer.pdb"
+  "test_dense_layer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dp_solver.dir/test_dp_solver.cpp.o"
+  "CMakeFiles/test_dp_solver.dir/test_dp_solver.cpp.o.d"
+  "test_dp_solver"
+  "test_dp_solver.pdb"
+  "test_dp_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dp_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drive_cycle.dir/test_drive_cycle.cpp.o"
+  "CMakeFiles/test_drive_cycle.dir/test_drive_cycle.cpp.o.d"
+  "test_drive_cycle"
+  "test_drive_cycle.pdb"
+  "test_drive_cycle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drive_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_efficiency_map.dir/test_efficiency_map.cpp.o"
+  "CMakeFiles/test_efficiency_map.dir/test_efficiency_map.cpp.o.d"
+  "test_efficiency_map"
+  "test_efficiency_map.pdb"
+  "test_efficiency_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_efficiency_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

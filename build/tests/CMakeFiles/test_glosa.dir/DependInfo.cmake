@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_glosa.cpp" "tests/CMakeFiles/test_glosa.dir/test_glosa.cpp.o" "gcc" "tests/CMakeFiles/test_glosa.dir/test_glosa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/evvo_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/pilot/CMakeFiles/evvo_pilot.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/evvo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/evvo_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/evvo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ev/CMakeFiles/evvo_ev.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/evvo_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/evvo_road.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/evvo_learn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/evvo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_glosa.dir/test_glosa.cpp.o"
+  "CMakeFiles/test_glosa.dir/test_glosa.cpp.o.d"
+  "test_glosa"
+  "test_glosa.pdb"
+  "test_glosa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_glosa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

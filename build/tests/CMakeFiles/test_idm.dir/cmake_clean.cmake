@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idm.dir/test_idm.cpp.o"
+  "CMakeFiles/test_idm.dir/test_idm.cpp.o.d"
+  "test_idm"
+  "test_idm.pdb"
+  "test_idm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_krauss.dir/test_krauss.cpp.o"
+  "CMakeFiles/test_krauss.dir/test_krauss.cpp.o.d"
+  "test_krauss"
+  "test_krauss.pdb"
+  "test_krauss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_krauss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microsim.dir/test_microsim.cpp.o"
+  "CMakeFiles/test_microsim.dir/test_microsim.cpp.o.d"
+  "test_microsim"
+  "test_microsim.pdb"
+  "test_microsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_penalty.dir/test_penalty.cpp.o"
+  "CMakeFiles/test_penalty.dir/test_penalty.cpp.o.d"
+  "test_penalty"
+  "test_penalty.pdb"
+  "test_penalty[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

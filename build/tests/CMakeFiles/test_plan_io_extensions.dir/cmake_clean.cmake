@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan_io_extensions.dir/test_plan_io_extensions.cpp.o"
+  "CMakeFiles/test_plan_io_extensions.dir/test_plan_io_extensions.cpp.o.d"
+  "test_plan_io_extensions"
+  "test_plan_io_extensions.pdb"
+  "test_plan_io_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan_io_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_planned_profile.dir/test_planned_profile.cpp.o"
+  "CMakeFiles/test_planned_profile.dir/test_planned_profile.cpp.o.d"
+  "test_planned_profile"
+  "test_planned_profile.pdb"
+  "test_planned_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_planned_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profile_eval.dir/test_profile_eval.cpp.o"
+  "CMakeFiles/test_profile_eval.dir/test_profile_eval.cpp.o.d"
+  "test_profile_eval"
+  "test_profile_eval.pdb"
+  "test_profile_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profile_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_corridors.dir/test_random_corridors.cpp.o"
+  "CMakeFiles/test_random_corridors.dir/test_random_corridors.cpp.o.d"
+  "test_random_corridors"
+  "test_random_corridors.pdb"
+  "test_random_corridors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_corridors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

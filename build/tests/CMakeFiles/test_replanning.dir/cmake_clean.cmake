@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replanning.dir/test_replanning.cpp.o"
+  "CMakeFiles/test_replanning.dir/test_replanning.cpp.o.d"
+  "test_replanning"
+  "test_replanning.pdb"
+  "test_replanning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replanning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

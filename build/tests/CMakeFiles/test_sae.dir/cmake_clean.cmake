@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sae.dir/test_sae.cpp.o"
+  "CMakeFiles/test_sae.dir/test_sae.cpp.o.d"
+  "test_sae"
+  "test_sae.pdb"
+  "test_sae[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

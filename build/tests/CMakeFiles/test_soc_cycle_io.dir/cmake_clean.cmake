@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soc_cycle_io.dir/test_soc_cycle_io.cpp.o"
+  "CMakeFiles/test_soc_cycle_io.dir/test_soc_cycle_io.cpp.o.d"
+  "test_soc_cycle_io"
+  "test_soc_cycle_io.pdb"
+  "test_soc_cycle_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soc_cycle_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stress_delay.dir/test_stress_delay.cpp.o"
+  "CMakeFiles/test_stress_delay.dir/test_stress_delay.cpp.o.d"
+  "test_stress_delay"
+  "test_stress_delay.pdb"
+  "test_stress_delay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stress_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

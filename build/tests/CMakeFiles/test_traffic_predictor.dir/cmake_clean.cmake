@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic_predictor.dir/test_traffic_predictor.cpp.o"
+  "CMakeFiles/test_traffic_predictor.dir/test_traffic_predictor.cpp.o.d"
+  "test_traffic_predictor"
+  "test_traffic_predictor.pdb"
+  "test_traffic_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

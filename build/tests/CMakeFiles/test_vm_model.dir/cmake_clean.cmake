@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_model.dir/test_vm_model.cpp.o"
+  "CMakeFiles/test_vm_model.dir/test_vm_model.cpp.o.d"
+  "test_vm_model"
+  "test_vm_model.pdb"
+  "test_vm_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_volume_series.dir/test_volume_series.cpp.o"
+  "CMakeFiles/test_volume_series.dir/test_volume_series.cpp.o.d"
+  "test_volume_series"
+  "test_volume_series.pdb"
+  "test_volume_series[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_volume_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
