@@ -54,6 +54,23 @@ void BM_DpSolveCorridor(benchmark::State& state) {
 }
 BENCHMARK(BM_DpSolveCorridor)->Arg(10)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond);
 
+void BM_DpSolveCorridorParallel(benchmark::State& state) {
+  const road::Corridor corridor = road::make_us25_corridor();
+  const ev::EnergyModel energy;
+  core::PlannerConfig cfg;
+  cfg.policy = core::SignalPolicy::kQueueAware;
+  cfg.resolution.threads = static_cast<unsigned>(state.range(0));
+  const core::VelocityPlanner planner(corridor, energy, cfg);
+  const auto arrivals = std::make_shared<traffic::ConstantArrivalRate>(765.0);
+  planner.plan(0.0, arrivals);  // warm the workspace + model tables
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(0.0, arrivals));
+  }
+  state.SetLabel("threads=" + std::to_string(state.range(0)) + ", ds=10m");
+}
+BENCHMARK(BM_DpSolveCorridorParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_MicrosimStep(benchmark::State& state) {
   sim::MicrosimConfig cfg;
   cfg.seed = 3;
@@ -123,6 +140,32 @@ void BM_PlanServiceCachedRequest(benchmark::State& state) {
   state.SetLabel("phase-congruent departures served from cache");
 }
 BENCHMARK(BM_PlanServiceCachedRequest);
+
+void BM_PlanServiceConcurrentMisses(benchmark::State& state) {
+  // A batch of distinct-key misses fanned across the service pool: measures
+  // miss throughput now that the solver runs outside the cache lock.
+  sim::MicrosimConfig sim_cfg;
+  core::PlannerConfig cfg;
+  cfg.vm = sim::calibrated_vm_params(sim_cfg.background_driver, 13.4, sim_cfg.straight_ratio);
+  cfg.resolution.ds_m = 40.0;  // coarse grid: many solves per iteration
+  const auto batch_threads = static_cast<unsigned>(state.range(0));
+  constexpr int kBatch = 8;
+  for (auto _ : state) {
+    state.PauseTiming();
+    cloud::CacheConfig cache;
+    cache.batch_threads = batch_threads;
+    cloud::PlanService service(
+        core::VelocityPlanner(road::make_us25_corridor(), ev::EnergyModel{}, cfg),
+        std::make_shared<traffic::ConstantArrivalRate>(765.0), cache);
+    std::vector<cloud::PlanRequest> requests;
+    for (int i = 0; i < kBatch; ++i) requests.push_back({i, 600.0 + 7.0 * i});
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(service.request_plans(requests));
+  }
+  state.SetLabel("threads=" + std::to_string(batch_threads) + ", " +
+                 std::to_string(kBatch) + " distinct-key misses");
+}
+BENCHMARK(BM_PlanServiceConcurrentMisses)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace evvo

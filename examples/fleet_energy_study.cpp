@@ -1,11 +1,15 @@
 // Fleet study: how much energy does queue-aware planning save across a whole
-// day of departures? For each departure hour, plan with the SAE-forecast
-// arrival rates, execute in traffic of matching intensity, and aggregate the
-// savings against the queue-oblivious baseline - the deployment view of the
-// paper's system (vehicular-cloud service planning many trips).
+// day of departures? The day's trips are planned through the vehicular-cloud
+// PlanService (paper Sec. I): one batch request per policy fans the
+// departures across the service's worker pool, and departures whose
+// (signal phase, demand bin) coincide are served from cache instead of
+// re-running the DP. Each plan is then executed in traffic of the hour's
+// actual intensity and the savings are aggregated against the
+// queue-oblivious baseline - the deployment view of the paper's system.
 #include <iostream>
 #include <memory>
 
+#include "cloud/plan_service.hpp"
 #include "common/math_util.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -35,23 +39,47 @@ int main() {
   sae.fit(ds.train);
   const auto forecast = traffic::predict_series(sae, ds.train, ds.test);
 
+  // The cloud service plans against the forecast arrival rates, addressed by
+  // absolute departure time (test-day hour h lives at t = h * 3600 s).
+  std::vector<double> lane_forecast(forecast);
+  for (double& v : lane_forecast) v /= sim_config.lane_equivalent_count;
+  const auto forecast_rate = std::make_shared<traffic::SeriesArrivalRate>(
+      traffic::HourlyVolumeSeries(lane_forecast, ds.test.start_hour_of_week()));
+
+  const auto make_service = [&](core::SignalPolicy policy) {
+    core::PlannerConfig cfg;
+    cfg.policy = policy;
+    cfg.vm = sim::calibrated_vm_params(sim_config.background_driver, 13.4,
+                                       sim_config.straight_ratio);
+    return cloud::PlanService(core::VelocityPlanner(corridor, energy, cfg), forecast_rate);
+  };
+  cloud::PlanService ours_service = make_service(core::SignalPolicy::kQueueAware);
+  cloud::PlanService base_service = make_service(core::SignalPolicy::kGreenWindow);
+
+  // One batch of departures per policy: ten minutes past every studied hour.
+  std::vector<int> hours;
+  std::vector<cloud::PlanRequest> requests;
+  for (int hour = 5; hour <= 21; hour += 2) {
+    hours.push_back(hour);
+    requests.push_back({hour, hour * 3600.0 + 600.0});
+  }
+  std::cout << "planning " << requests.size() << " departures per policy via the cloud service\n";
+  const std::vector<cloud::PlanResponse> ours_plans = ours_service.request_plans(requests);
+  const std::vector<cloud::PlanResponse> base_plans = base_service.request_plans(requests);
+
   TextTable table({"depart", "demand [veh/h]", "ours [mAh]", "baseline [mAh]", "saving [%]"});
   std::vector<double> savings;
-  for (int hour = 5; hour <= 21; hour += 2) {
-    // Traffic of that hour's actual intensity; planner uses the forecast.
+  for (std::size_t i = 0; i < hours.size(); ++i) {
+    const int hour = hours[i];
+    // Traffic of that hour's actual intensity; the plans used the forecast.
     const double actual_veh_h = ds.test.at(static_cast<std::size_t>(hour));
-    const double forecast_veh_h = forecast[static_cast<std::size_t>(hour)];
     const auto demand = std::make_shared<traffic::ConstantArrivalRate>(actual_veh_h);
-    const auto lane_forecast = std::make_shared<traffic::ConstantArrivalRate>(
-        forecast_veh_h / sim_config.lane_equivalent_count);
 
-    const auto run = [&](core::SignalPolicy policy) {
-      core::PlannerConfig cfg;
-      cfg.policy = policy;
-      cfg.vm = sim::calibrated_vm_params(sim_config.background_driver, 13.4,
-                                         sim_config.straight_ratio);
-      const core::VelocityPlanner planner(corridor, energy, cfg);
-      const core::PlannedProfile plan = planner.plan(600.0, lane_forecast);
+    const auto run = [&](const core::PlannedProfile& profile) {
+      // Execute at simulator time 600 s: the absolute departure differs from
+      // it by a whole number of signal hyperperiods, so the shifted plan's
+      // crossings stay aligned with the lights.
+      const core::PlannedProfile plan = profile.time_shifted(600.0 - profile.depart_time());
       sim::MicrosimConfig run_cfg = sim_config;
       run_cfg.seed = 100 + static_cast<std::uint64_t>(hour);
       sim::Microsim simulator(corridor, run_cfg, demand);
@@ -66,8 +94,8 @@ int main() {
                  : -1.0;
     };
 
-    const double ours = run(core::SignalPolicy::kQueueAware);
-    const double base = run(core::SignalPolicy::kGreenWindow);
+    const double ours = run(ours_plans[i].profile);
+    const double base = run(base_plans[i].profile);
     if (ours < 0.0 || base < 0.0) {
       table.add_row({std::to_string(hour) + ":00", format_double(actual_veh_h, 0), "timeout",
                      "timeout", "-"});
@@ -79,6 +107,14 @@ int main() {
                    format_double(ours, 1), format_double(base, 1), format_double(saving, 1)});
   }
   table.print(std::cout);
+
+  const auto print_stats = [](const char* name, const cloud::ServiceStats& stats) {
+    std::cout << name << " service: " << stats.requests << " requests, " << stats.solver_runs
+              << " solver runs, " << stats.cache_hits << " cache hits\n";
+  };
+  std::cout << '\n';
+  print_stats("queue-aware", ours_service.stats());
+  print_stats("baseline", base_service.stats());
 
   std::cout << "\nfleet summary over " << savings.size()
             << " departures: mean saving " << format_double(mean(savings), 1) << " %, best "

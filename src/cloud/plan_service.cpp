@@ -1,10 +1,12 @@
 #include "cloud/plan_service.hpp"
 
 #include <cmath>
-
-#include "common/logging.hpp"
 #include <numeric>
 #include <stdexcept>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 
 namespace evvo::cloud {
 
@@ -30,6 +32,8 @@ PlanService::PlanService(core::VelocityPlanner planner,
     throw std::invalid_argument("PlanService: queue-aware planning needs arrival rates");
 }
 
+PlanService::~PlanService() = default;
+
 PlanService::CacheKey PlanService::key_for(double depart_time_s) const {
   double phase = 0.0;
   if (hyperperiod_s_ > 0.0) {
@@ -41,8 +45,26 @@ PlanService::CacheKey PlanService::key_for(double depart_time_s) const {
                   std::lround(demand / cache_config_.demand_quantum_veh_h)};
 }
 
+void PlanService::insert_into_cache_locked(const CacheKey& key,
+                                           const core::PlannedProfile& profile,
+                                           double reference_depart) {
+  if (cache_.find(key) != cache_.end()) return;
+  lru_.push_front(key);
+  cache_.emplace(key, CacheEntry{profile, reference_depart, lru_.begin()});
+  if (cache_.size() > cache_config_.capacity) {
+    const CacheKey victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+    ++stats_.evictions;
+    EVVO_LOG(kDebug, "plan-service") << "evicted phase bin " << victim.phase_bin;
+  }
+}
+
 PlanResponse PlanService::request_plan(const PlanRequest& request) {
   const CacheKey key = key_for(request.depart_time_s);
+
+  std::shared_ptr<InFlight> flight;
+  bool leader = false;
   {
     std::lock_guard lock(mutex_);
     ++stats_.requests;
@@ -53,29 +75,86 @@ PlanResponse PlanService::request_plan(const PlanRequest& request) {
       const double shift = request.depart_time_s - it->second.reference_depart;
       return PlanResponse{request.vehicle_id, it->second.profile.time_shifted(shift), true};
     }
+    auto& slot = in_flight_[key];
+    if (!slot) {
+      slot = std::make_shared<InFlight>();
+      leader = true;
+      // Counted at takeoff so requests == cache_hits + solver_runs holds at
+      // quiescence even if the solve throws.
+      ++stats_.solver_runs;
+    }
+    flight = slot;
   }
 
-  // Solve outside the lock: planning dominates and requests for distinct keys
-  // should proceed in parallel. A duplicate solve for the same key under
-  // contention is tolerated (last writer wins).
-  core::PlannedProfile profile = planner_.plan(request.depart_time_s, arrivals_);
-
-  {
-    std::lock_guard lock(mutex_);
-    ++stats_.solver_runs;
-    if (cache_.find(key) == cache_.end()) {
-      lru_.push_front(key);
-      cache_.emplace(key, CacheEntry{profile, request.depart_time_s, lru_.begin()});
-      if (cache_.size() > cache_config_.capacity) {
-        const CacheKey victim = lru_.back();
-        lru_.pop_back();
-        cache_.erase(victim);
-        ++stats_.evictions;
-        EVVO_LOG(kDebug, "plan-service") << "evicted phase bin " << victim.phase_bin;
+  if (leader) {
+    try {
+      core::PlannedProfile profile = planner_.plan(request.depart_time_s, arrivals_);
+      {
+        // Publish to the cache and retire the flight atomically: any request
+        // arriving from here on hits the cache instead of the flight.
+        std::lock_guard lock(mutex_);
+        insert_into_cache_locked(key, profile, request.depart_time_s);
+        in_flight_.erase(key);
       }
+      {
+        std::lock_guard flight_lock(flight->mutex);
+        flight->profile = profile;
+        flight->reference_depart = request.depart_time_s;
+        flight->done = true;
+      }
+      flight->completed.notify_all();
+      return PlanResponse{request.vehicle_id, std::move(profile), false};
+    } catch (...) {
+      {
+        std::lock_guard lock(mutex_);
+        in_flight_.erase(key);
+      }
+      {
+        std::lock_guard flight_lock(flight->mutex);
+        flight->error = std::current_exception();
+        flight->done = true;
+      }
+      flight->completed.notify_all();
+      throw;
     }
   }
-  return PlanResponse{request.vehicle_id, std::move(profile), false};
+
+  // Follower: coalesce onto the leader's solve.
+  std::unique_lock flight_lock(flight->mutex);
+  flight->completed.wait(flight_lock, [&] { return flight->done; });
+  if (flight->error) std::rethrow_exception(flight->error);
+  const double shift = request.depart_time_s - flight->reference_depart;
+  PlanResponse response{request.vehicle_id, flight->profile->time_shifted(shift), true};
+  flight_lock.unlock();
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.cache_hits;
+    ++stats_.coalesced_hits;
+  }
+  return response;
+}
+
+common::ThreadPool* PlanService::batch_pool() {
+  const unsigned want = common::ThreadPool::resolve_threads(cache_config_.batch_threads);
+  if (want <= 1) return nullptr;
+  std::lock_guard lock(mutex_);
+  if (!batch_pool_) batch_pool_ = std::make_unique<common::ThreadPool>(want);
+  return batch_pool_.get();
+}
+
+std::vector<PlanResponse> PlanService::request_plans(std::span<const PlanRequest> requests) {
+  std::vector<std::optional<PlanResponse>> slots(requests.size());
+  common::ThreadPool* pool = batch_pool();
+  if (pool && requests.size() > 1) {
+    pool->parallel_for(requests.size(),
+                       [&](std::size_t i) { slots[i] = request_plan(requests[i]); });
+  } else {
+    for (std::size_t i = 0; i < requests.size(); ++i) slots[i] = request_plan(requests[i]);
+  }
+  std::vector<PlanResponse> responses;
+  responses.reserve(slots.size());
+  for (auto& slot : slots) responses.push_back(std::move(*slot));
+  return responses;
 }
 
 ServiceStats PlanService::stats() const {

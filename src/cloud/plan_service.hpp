@@ -10,15 +10,30 @@
 // receive the *same* plan, shifted in time. The cache key is
 // (policy, departure phase bin, demand bin); hits are served by time-shifting
 // the cached profile.
+//
+// Concurrency: misses are deduplicated per key with a single-flight
+// protocol. The first requester of a key becomes its leader and runs the
+// solver outside every service lock; concurrent requesters of the same key
+// wait on the leader's in-flight record and are served (as cache hits) from
+// its result; requesters of distinct keys solve fully in parallel. Cache
+// lookups only ever take the short service lock, so hits never wait behind a
+// solve. At quiescence, requests == cache_hits + solver_runs.
 #pragma once
 
+#include <condition_variable>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "core/planner.hpp"
+
+namespace evvo::common {
+class ThreadPool;
+}
 
 namespace evvo::cloud {
 
@@ -26,6 +41,8 @@ struct CacheConfig {
   std::size_t capacity = 256;        ///< cached plans (LRU eviction)
   double phase_quantum_s = 1.0;      ///< departure-phase bin width
   double demand_quantum_veh_h = 50.0;///< arrival-rate bin width
+  /// Worker threads for request_plans() batches; 0 = hardware_concurrency.
+  unsigned batch_threads = 0;
 };
 
 struct PlanRequest {
@@ -41,7 +58,8 @@ struct PlanResponse {
 
 struct ServiceStats {
   long requests = 0;
-  long cache_hits = 0;
+  long cache_hits = 0;      ///< served from cache or a coalesced in-flight solve
+  long coalesced_hits = 0;  ///< subset of cache_hits that waited on a leader
   long solver_runs = 0;
   long evictions = 0;
 };
@@ -53,9 +71,16 @@ class PlanService {
   PlanService(core::VelocityPlanner planner,
               std::shared_ptr<const traffic::ArrivalRateProvider> arrivals,
               CacheConfig cache = {});
+  ~PlanService();
 
-  /// Computes or serves a plan. Thread-safe.
+  /// Computes or serves a plan. Thread-safe; see the single-flight notes in
+  /// the header comment.
   PlanResponse request_plan(const PlanRequest& request);
+
+  /// Serves a whole batch, fanning the requests across the service's worker
+  /// pool (CacheConfig::batch_threads). Responses are returned in request
+  /// order. Same-key requests within the batch coalesce onto one solve.
+  std::vector<PlanResponse> request_plans(std::span<const PlanRequest> requests);
 
   /// Signals' hyperperiod H [s]; 0 when the corridor has no lights (every
   /// departure is then equivalent and one plan serves all).
@@ -74,8 +99,21 @@ class PlanService {
     double reference_depart;
     std::list<CacheKey>::iterator lru_pos;
   };
+  /// One in-flight solve. The leader fills profile/reference_depart (or
+  /// error) and flips done under `mutex`; followers wait on `completed`.
+  struct InFlight {
+    std::mutex mutex;
+    std::condition_variable completed;
+    bool done = false;
+    std::optional<core::PlannedProfile> profile;
+    double reference_depart = 0.0;
+    std::exception_ptr error;
+  };
 
   CacheKey key_for(double depart_time_s) const;
+  void insert_into_cache_locked(const CacheKey& key, const core::PlannedProfile& profile,
+                                double reference_depart);
+  common::ThreadPool* batch_pool();
 
   core::VelocityPlanner planner_;
   std::shared_ptr<const traffic::ArrivalRateProvider> arrivals_;
@@ -85,7 +123,9 @@ class PlanService {
   mutable std::mutex mutex_;
   std::map<CacheKey, CacheEntry> cache_;
   std::list<CacheKey> lru_;  // front = most recent
+  std::map<CacheKey, std::shared_ptr<InFlight>> in_flight_;
   ServiceStats stats_;
+  std::unique_ptr<common::ThreadPool> batch_pool_;  // lazily created
 };
 
 /// lcm of the signal cycle durations [s] (integer deciseconds internally);

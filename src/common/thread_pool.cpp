@@ -1,0 +1,108 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+
+namespace evvo::common {
+
+/// One parallel_for invocation. Workers (and the caller) claim indices from
+/// `next` until exhausted; the last finisher flips `done` under the batch
+/// mutex so the caller's wait is race-free.
+struct ThreadPool::Batch {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> finished{0};
+
+  std::mutex mutex;
+  std::condition_variable completed;
+  bool done = false;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+unsigned ThreadPool::resolve_threads(unsigned hint) {
+  if (hint > 0) return hint;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void ThreadPool::run_batch(const std::shared_ptr<Batch>& batch) {
+  std::size_t ran = 0;
+  for (std::size_t i = batch->next.fetch_add(1, std::memory_order_relaxed); i < batch->n;
+       i = batch->next.fetch_add(1, std::memory_order_relaxed)) {
+    try {
+      (*batch->body)(i);
+    } catch (...) {
+      std::lock_guard lock(batch->mutex);
+      if (!batch->error) batch->error = std::current_exception();
+    }
+    ++ran;
+  }
+  if (ran == 0) return;
+  if (batch->finished.fetch_add(ran, std::memory_order_acq_rel) + ran == batch->n) {
+    {
+      std::lock_guard lock(batch->mutex);
+      batch->done = true;
+    }
+    batch->completed.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock, [this] { return shutdown_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // shutdown with no work left
+      batch = pending_.front();
+      // Leave the batch queued until its indices are exhausted so every idle
+      // worker can join it; the claimer whose fetch_add runs past n pops it.
+      if (batch->next.load(std::memory_order_relaxed) >= batch->n) {
+        pending_.pop_front();
+        continue;
+      }
+    }
+    run_batch(batch);
+    std::lock_guard lock(mutex_);
+    if (!pending_.empty() && pending_.front() == batch) pending_.pop_front();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->body = &body;
+  {
+    std::lock_guard lock(mutex_);
+    pending_.push_back(batch);
+  }
+  work_available_.notify_all();
+  run_batch(batch);  // the caller participates, guaranteeing progress
+  std::unique_lock lock(batch->mutex);
+  batch->completed.wait(lock, [&] { return batch->done; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace evvo::common

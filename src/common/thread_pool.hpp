@@ -1,0 +1,63 @@
+// Minimal fixed-size worker pool with a caller-participating parallel_for.
+//
+// Design constraints, in order:
+//  1. Deterministic decomposition: parallel_for(n, body) always invokes
+//     body(0..n-1) exactly once each; which thread runs which index is
+//     unspecified, so bodies must own disjoint data per index (the DP solver
+//     assigns each worker a disjoint stripe of destination-velocity rows).
+//  2. No deadlock under nesting or pool sharing: the calling thread drains
+//     indices alongside the workers, so a parallel_for completes even when
+//     every worker is busy with someone else's batch (PlanService batches and
+//     DP solves share pools freely).
+//  3. Cheap dispatch: one heap allocation per batch, lock-free index claim;
+//     per-layer dispatch inside the DP solver runs hundreds of times per
+//     solve and must stay in the microseconds.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace evvo::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller of parallel_for is the
+  /// remaining thread). `threads <= 1` spawns none and parallel_for runs
+  /// inline, bit-for-bit the serial loop.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width (workers + the calling thread).
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Runs body(i) for every i in [0, n). Blocks until all indices finished.
+  /// The first exception thrown by any body is rethrown on the caller after
+  /// the batch drains. Safe to call concurrently from multiple threads.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// `hint` if positive, else hardware_concurrency (min 1).
+  static unsigned resolve_threads(unsigned hint);
+
+ private:
+  struct Batch;
+  void worker_loop();
+  static void run_batch(const std::shared_ptr<Batch>& batch);
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::shared_ptr<Batch>> pending_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace evvo::common

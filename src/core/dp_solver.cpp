@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
-#include <map>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 
 namespace evvo::core {
@@ -18,6 +19,12 @@ constexpr float kInf = std::numeric_limits<float>::infinity();
 constexpr std::uint32_t kDwellFlag = 0x8000'0000u;
 constexpr std::uint32_t kNoPred = 0xFFFF'FFFFu;
 
+/// Dominance-pruning slack. The destination selection breaks near-ties
+/// within 1e-9; pruning only drops states that are worse by more than this
+/// much larger margin, so a dropped state's completion can never have won
+/// that tie-break either.
+constexpr float kPruneMargin = 1e-6f;
+
 std::uint32_t pack_pred(std::size_t j, std::size_t k, bool dwell) {
   return static_cast<std::uint32_t>(j << 20) | static_cast<std::uint32_t>(k) |
          (dwell ? kDwellFlag : 0u);
@@ -26,12 +33,28 @@ std::size_t pred_j(std::uint32_t p) { return (p & ~kDwellFlag) >> 20; }
 std::size_t pred_k(std::uint32_t p) { return p & 0x000F'FFFFu; }
 bool pred_is_dwell(std::uint32_t p) { return (p & kDwellFlag) != 0u && p != kNoPred; }
 
-/// Kinematics of one velocity transition over a fixed distance step.
-struct Hop {
-  std::size_t j_to = 0;
-  float dt = 0.0f;     ///< travel time
-  float accel = 0.0f;  ///< constant acceleration
-};
+/// FNV-1a over the route's segment payload: the workspace's model tables are
+/// keyed by route *content* because replanning solves over short-lived
+/// suffix routes whose stack addresses recur.
+std::uint64_t hash_route(const road::Route& route) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](double value) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof bits);
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (bits >> (8 * byte)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const road::RoadSegment& seg : route.segments()) {
+    mix(seg.start_m);
+    mix(seg.end_m);
+    mix(seg.speed_limit_ms);
+    mix(seg.min_speed_ms);
+    mix(seg.grade_rad);
+  }
+  return h;
+}
 
 }  // namespace
 
@@ -47,213 +70,476 @@ void DpProblem::validate() const {
   penalty.validate();
 }
 
-std::optional<DpSolution> solve_dp(const DpProblem& problem) {
-  problem.validate();
-  const road::Route& route = *problem.route;
-  const ev::EnergyModel& energy = *problem.energy;
-  const ev::VehicleParams& vp = energy.params();
-  const DpResolution& res = problem.resolution;
+namespace detail {
 
-  // Grid geometry. The distance step is adjusted so layers divide the route
-  // length exactly.
-  const auto n_hops = static_cast<std::size_t>(std::max(1.0, std::round(route.length() / res.ds_m)));
-  const double ds = route.length() / static_cast<double>(n_hops);
-  const std::size_t n_layers = n_hops + 1;
-  const auto n_v = static_cast<std::size_t>(std::floor(route.max_speed_limit() / res.dv_ms)) + 1;
-  const auto n_t = static_cast<std::size_t>(std::ceil(res.horizon_s / res.dt_s)) + 1;
-  if (n_v >= (1u << 11) || n_t >= (1u << 20))
-    throw std::invalid_argument("solve_dp: grid too large for backpointer packing");
+/// One solve over a workspace. Per layer, the live (velocity, time-bin)
+/// cells are gathered into a compact source list (costs, times, window
+/// membership, and packed backpointers precomputed) and only those are
+/// relaxed; destination rows are lazily reset to +inf just before a stripe
+/// relaxes into them, so no full-grid clear ever happens.
+class DpEngine {
+ public:
+  DpEngine(const DpProblem& problem, DpWorkspace& ws, common::ThreadPool* pool)
+      : problem_(problem), ws_(ws), pool_(pool), route_(*problem.route),
+        energy_(*problem.energy), res_(problem.resolution) {}
 
-  // Per-layer event lookup.
-  std::vector<const LayerEvent*> event_at(n_layers, nullptr);
-  for (const LayerEvent& e : problem.events) {
-    if (e.layer >= n_layers) throw std::invalid_argument("solve_dp: event layer out of range");
-    event_at[e.layer] = &e;
-  }
+  std::optional<DpSolution> run();
 
-  // Feasible hops per source velocity level (kinematics are layer-independent).
+ private:
+  using Fwd = DpWorkspace::FwdHop;
+  using Rev = DpWorkspace::RevHop;
+
+  void ensure_model_tables();
+  void reset_state();
+  bool relax_layer(std::size_t i);  // false: layer empty, solve infeasible
+  void relax_stripe(std::size_t i, std::size_t j2_begin, std::size_t j2_end, std::size_t stripe);
+  std::optional<DpSolution> extract_solution();
+
+  std::size_t cell_of(std::size_t j, std::size_t k) const { return j * n_t_ + k; }
+
+  const DpProblem& problem_;
+  DpWorkspace& ws_;
+  common::ThreadPool* pool_;
+  const road::Route& route_;
+  const ev::EnergyModel& energy_;
+  const DpResolution& res_;
+
+  // Grid geometry.
+  std::size_t n_hops_ = 0, n_layers_ = 0, n_v_ = 0, n_t_ = 0, layer_size_ = 0;
+  double ds_ = 0.0;
+  std::size_t j_source_ = 0, j_dest_ = 0;
+
+  double lambda_ = 0.0, idle_mah_s_ = 0.0;
+  float idle_step_cost_ = 0.0f;
+  /// 1 / dt_s when dt_s is a power of two (incl. the default 1.0), else 0.
+  /// Multiplying by an exact power-of-two reciprocal is bit-identical to the
+  /// division and far cheaper in the time-binning hot path.
+  double inv_dt_ = 0.0;
+  std::vector<const LayerEvent*> event_at_;
+  /// Last layer whose crossing is checked against enforced windows; states
+  /// strictly past it face only time-independent costs, enabling dominance
+  /// pruning. -1 when no window is enforced anywhere.
+  std::ptrdiff_t last_window_layer_ = -1;
+  std::vector<float> smooth_by_diff_;  ///< smoothness cost per |j2 - j|
+
+  std::vector<std::size_t> stripe_relaxations_;
+  DpStats stats_;
+};
+
+void DpEngine::ensure_model_tables() {
+  DpWorkspace::ModelKey key;
+  key.valid = true;
+  key.energy = &energy_;
+  key.route_hash = hash_route(route_);
+  key.ds_m = res_.ds_m;
+  key.dv_ms = res_.dv_ms;
+  key.lambda = problem_.time_weight_mah_per_s;
+  key.smoothness = problem_.smoothness_weight_mah_per_ms;
+  if (ws_.model_key_ == key) return;
+
+  const ev::VehicleParams& vp = energy_.params();
   const double a_min = vp.min_acceleration;
   const double a_max = vp.max_acceleration;
-  std::vector<std::vector<Hop>> hops(n_v);
-  for (std::size_t j = 0; j < n_v; ++j) {
-    const double v = static_cast<double>(j) * res.dv_ms;
-    for (std::size_t j2 = 0; j2 < n_v; ++j2) {
-      const double v2 = static_cast<double>(j2) * res.dv_ms;
+
+  // Feasible hops per source velocity level (kinematics are layer-independent).
+  ws_.fwd_hops_.clear();
+  ws_.fwd_begin_.assign(n_v_ + 1, 0);
+  for (std::size_t j = 0; j < n_v_; ++j) {
+    ws_.fwd_begin_[j] = static_cast<std::uint32_t>(ws_.fwd_hops_.size());
+    const double v = static_cast<double>(j) * res_.dv_ms;
+    for (std::size_t j2 = 0; j2 < n_v_; ++j2) {
+      const double v2 = static_cast<double>(j2) * res_.dv_ms;
       const double v_mid = 0.5 * (v + v2);
       if (v_mid <= 1e-9) continue;  // no movement; dwells handle waiting
-      const double a = (v2 * v2 - v * v) / (2.0 * ds);
+      const double a = (v2 * v2 - v * v) / (2.0 * ds_);
       if (a < a_min - 1e-9 || a > a_max + 1e-9) continue;
-      hops[j].push_back(Hop{j2, static_cast<float>(ds / v_mid), static_cast<float>(a)});
+      ws_.fwd_hops_.push_back(Fwd{static_cast<std::uint32_t>(j2),
+                                  static_cast<float>(ds_ / v_mid), static_cast<float>(a)});
+    }
+  }
+  ws_.fwd_begin_[n_v_] = static_cast<std::uint32_t>(ws_.fwd_hops_.size());
+
+  // Reverse adjacency: hops grouped by destination level, sources ascending
+  // (the gather loop must visit sources in the same order as the forward
+  // sweep so equal-cost ties resolve to the same predecessor).
+  std::vector<std::uint32_t> rev_count(n_v_ + 1, 0);
+  for (const Fwd& hop : ws_.fwd_hops_) ++rev_count[hop.j_to + 1];
+  ws_.rev_begin_.assign(n_v_ + 1, 0);
+  for (std::size_t j2 = 0; j2 < n_v_; ++j2) ws_.rev_begin_[j2 + 1] = ws_.rev_begin_[j2] + rev_count[j2 + 1];
+  ws_.rev_hops_.assign(ws_.fwd_hops_.size(), Rev{});
+  {
+    std::vector<std::uint32_t> fill(ws_.rev_begin_.begin(), ws_.rev_begin_.end() - 1);
+    for (std::size_t j = 0; j < n_v_; ++j) {
+      for (std::uint32_t h = ws_.fwd_begin_[j]; h < ws_.fwd_begin_[j + 1]; ++h) {
+        const Fwd& hop = ws_.fwd_hops_[h];
+        ws_.rev_hops_[fill[hop.j_to]++] = Rev{static_cast<std::uint32_t>(j), hop.dt};
+      }
     }
   }
 
-  // Transition energy cost [mAh] per (grade class, j, j2). Few grade values
-  // exist along a route, so tables are cached per class.
-  std::map<long, std::vector<float>> cost_by_grade;
-  std::vector<const std::vector<float>*> layer_cost(n_layers - 1, nullptr);
-  for (std::size_t i = 0; i + 1 < n_layers; ++i) {
-    const double s_mid = (static_cast<double>(i) + 0.5) * ds;
-    const double grade = route.grade_at(s_mid);
-    const long key = std::lround(grade * 1e9);
-    auto [it, inserted] = cost_by_grade.try_emplace(key);
-    if (inserted) {
-      std::vector<float>& table = it->second;
-      table.assign(n_v * n_v, kInf);
-      for (std::size_t j = 0; j < n_v; ++j) {
-        const double v = static_cast<double>(j) * res.dv_ms;
-        for (const Hop& hop : hops[j]) {
-          const double v2 = static_cast<double>(hop.j_to) * res.dv_ms;
-          const double v_mid = 0.5 * (v + v2);
-          const double mah =
-              ah_to_mah(as_to_ah(energy.current_a(v_mid, hop.accel, grade) * hop.dt));
-          table[j * n_v + hop.j_to] = static_cast<float>(mah);
-        }
+  // Flat, sorted grade-class table. Few grade values exist along a route, so
+  // per-class cost tables are shared by all layers of that class.
+  std::vector<long> layer_key(n_hops_);
+  std::vector<double> first_grade;  // representative grade per class (first layer encountered)
+  std::vector<long> classes;
+  for (std::size_t i = 0; i < n_hops_; ++i) {
+    const double s_mid = (static_cast<double>(i) + 0.5) * ds_;
+    layer_key[i] = std::lround(route_.grade_at(s_mid) * 1e9);
+  }
+  classes = layer_key;
+  std::sort(classes.begin(), classes.end());
+  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+  first_grade.assign(classes.size(), 0.0);
+  std::vector<bool> seen(classes.size(), false);
+  ws_.layer_class_.assign(n_hops_, 0);
+  for (std::size_t i = 0; i < n_hops_; ++i) {
+    const auto cls = static_cast<std::size_t>(
+        std::lower_bound(classes.begin(), classes.end(), layer_key[i]) - classes.begin());
+    ws_.layer_class_[i] = static_cast<std::uint32_t>(cls);
+    if (!seen[cls]) {
+      seen[cls] = true;
+      first_grade[cls] = route_.grade_at((static_cast<double>(i) + 0.5) * ds_);
+    }
+  }
+
+  // Transition energy [mAh] per (grade class, j, j2), plus the fused variant
+  // with lambda*dt and the smoothness regularizer pre-added. The fused table
+  // applies the same float-rounding sequence as the step-by-step inner loop,
+  // so results are bit-identical to computing the terms per relaxation.
+  const double lambda = problem_.time_weight_mah_per_s;
+  const double smooth = problem_.smoothness_weight_mah_per_ms;
+  const std::size_t table_size = n_v_ * n_v_;
+  ws_.grade_energy_.assign(classes.size() * table_size, kInf);
+  ws_.grade_fused_.assign(classes.size() * table_size, kInf);
+  for (std::size_t cls = 0; cls < classes.size(); ++cls) {
+    const double grade = first_grade[cls];
+    float* energy_table = ws_.grade_energy_.data() + cls * table_size;
+    float* fused_table = ws_.grade_fused_.data() + cls * table_size;
+    for (std::size_t j = 0; j < n_v_; ++j) {
+      const double v = static_cast<double>(j) * res_.dv_ms;
+      for (std::uint32_t h = ws_.fwd_begin_[j]; h < ws_.fwd_begin_[j + 1]; ++h) {
+        const Fwd& hop = ws_.fwd_hops_[h];
+        const double v2 = static_cast<double>(hop.j_to) * res_.dv_ms;
+        const double v_mid = 0.5 * (v + v2);
+        const double mah =
+            ah_to_mah(as_to_ah(energy_.current_a(v_mid, hop.accel, grade) * hop.dt));
+        const auto raw = static_cast<float>(mah);
+        float fused = raw;
+        fused += static_cast<float>(lambda * hop.dt);
+        fused += static_cast<float>(smooth *
+                                    std::abs(static_cast<double>(hop.j_to) - static_cast<double>(j)) *
+                                    res_.dv_ms);
+        energy_table[j * n_v_ + hop.j_to] = raw;
+        fused_table[j * n_v_ + hop.j_to] = fused;
       }
     }
-    layer_cost[i] = &it->second;
   }
 
   // Per-layer speed cap (posted limit at the layer's position).
-  std::vector<double> layer_limit(n_layers);
-  for (std::size_t i = 0; i < n_layers; ++i) {
-    layer_limit[i] = route.speed_limit_at(static_cast<double>(i) * ds);
+  ws_.layer_limit_.resize(n_layers_);
+  for (std::size_t i = 0; i < n_layers_; ++i) {
+    ws_.layer_limit_[i] = route_.speed_limit_at(static_cast<double>(i) * ds_);
   }
 
-  // State tables.
-  const std::size_t layer_size = n_v * n_t;
-  std::vector<float> cost(n_layers * layer_size, kInf);
-  std::vector<float> time(n_layers * layer_size, 0.0f);
-  std::vector<std::uint32_t> back(n_layers * layer_size, kNoPred);
-  const auto idx = [&](std::size_t i, std::size_t j, std::size_t k) {
-    return i * layer_size + j * n_t + k;
-  };
+  ws_.model_key_ = key;
+}
+
+void DpEngine::reset_state() {
+  // No grid-wide clear: each destination row is reset to +inf by the stripe
+  // that relaxes into it, and time_/back_ are only ever read behind a finite
+  // cost, so stale contents from earlier solves are unreachable.
+  const std::size_t need = n_layers_ * layer_size_;
+  ws_.cost_.grow_to(need);
+  ws_.time_.grow_to(need);
+  ws_.back_.grow_to(need);
+}
+
+std::optional<DpSolution> DpEngine::run() {
+  // Grid geometry. The distance step is adjusted so layers divide the route
+  // length exactly.
+  n_hops_ = static_cast<std::size_t>(std::max(1.0, std::round(route_.length() / res_.ds_m)));
+  ds_ = route_.length() / static_cast<double>(n_hops_);
+  n_layers_ = n_hops_ + 1;
+  n_v_ = static_cast<std::size_t>(std::floor(route_.max_speed_limit() / res_.dv_ms)) + 1;
+  n_t_ = static_cast<std::size_t>(std::ceil(res_.horizon_s / res_.dt_s)) + 1;
+  layer_size_ = n_v_ * n_t_;
+  if (n_v_ >= (1u << 11) || n_t_ >= (1u << 20))
+    throw std::invalid_argument("solve_dp: grid too large for backpointer packing");
+
+  // Per-layer event lookup.
+  event_at_.assign(n_layers_, nullptr);
+  last_window_layer_ = -1;
+  for (const LayerEvent& e : problem_.events) {
+    if (e.layer >= n_layers_) throw std::invalid_argument("solve_dp: event layer out of range");
+    event_at_[e.layer] = &e;
+    if (e.type == LayerEvent::Type::kSignal && e.enforce_windows) {
+      last_window_layer_ = std::max(last_window_layer_, static_cast<std::ptrdiff_t>(e.layer));
+    }
+  }
 
   // Idle cost plus the explicit value of time (see DpProblem); both apply to
   // every second whether driving or waiting.
-  const double lambda = problem.time_weight_mah_per_s;
-  const double idle_mah_s = ah_to_mah(as_to_ah(energy.accessory_current_a())) + lambda;
+  lambda_ = problem_.time_weight_mah_per_s;
+  idle_mah_s_ = ah_to_mah(as_to_ah(energy_.accessory_current_a())) + lambda_;
+  idle_step_cost_ = static_cast<float>(idle_mah_s_ * res_.dt_s);
+
+  int dt_exp = 0;
+  inv_dt_ = std::frexp(res_.dt_s, &dt_exp) == 0.5 ? 1.0 / res_.dt_s : 0.0;
+
+  smooth_by_diff_.resize(n_v_);
+  for (std::size_t d = 0; d < n_v_; ++d) {
+    smooth_by_diff_[d] = static_cast<float>(problem_.smoothness_weight_mah_per_ms *
+                                            static_cast<double>(d) * res_.dv_ms);
+  }
 
   // Boundary velocity levels (Eq. 7d by default; replans may start moving).
   const auto snap_level = [&](double v) {
-    const auto j = static_cast<std::size_t>(std::lround(v / res.dv_ms));
-    if (j >= n_v) throw std::invalid_argument("solve_dp: boundary speed above the velocity grid");
+    const auto j = static_cast<std::size_t>(std::lround(v / res_.dv_ms));
+    if (j >= n_v_) throw std::invalid_argument("solve_dp: boundary speed above the velocity grid");
     return j;
   };
-  const std::size_t j_source = snap_level(problem.initial_speed_ms);
-  const std::size_t j_dest = snap_level(problem.final_speed_ms);
+  j_source_ = snap_level(problem_.initial_speed_ms);
+  j_dest_ = snap_level(problem_.final_speed_ms);
 
-  // Source state at the departure time.
-  cost[idx(0, j_source, 0)] = 0.0f;
-  time[idx(0, j_source, 0)] = static_cast<float>(problem.depart_time_s);
+  ensure_model_tables();
+  reset_state();
 
-  DpStats stats;
-  stats.layers = n_layers;
-  stats.velocity_levels = n_v;
-  stats.time_bins = n_t;
+  // Source state at the departure time (layer 0 cleared in full: its source
+  // scan visits every row).
+  std::fill(ws_.cost_.data(), ws_.cost_.data() + layer_size_, kInf);
+  {
+    const std::size_t id = cell_of(j_source_, 0);  // layer 0 base is 0
+    ws_.cost_[id] = 0.0f;
+    ws_.time_[id] = static_cast<float>(problem_.depart_time_s);
+    ws_.back_[id] = kNoPred;
+  }
 
-  for (std::size_t i = 0; i + 1 < n_layers; ++i) {
-    const LayerEvent* event = event_at[i];
-    const bool is_sign = event && event->type == LayerEvent::Type::kStopSign;
-    const bool is_signal = event && event->type == LayerEvent::Type::kSignal;
+  stats_ = DpStats{};
+  stats_.layers = n_layers_;
+  stats_.velocity_levels = n_v_;
+  stats_.time_bins = n_t_;
 
-    // Dwell expansion: waiting in place at v = 0 (time bins ascending so
-    // chains of waits propagate within the layer).
-    for (std::size_t k = 0; k + 1 < n_t; ++k) {
-      const std::size_t from = idx(i, 0, k);
-      if (cost[from] >= kInf) continue;
-      const float new_cost = cost[from] + static_cast<float>(idle_mah_s * res.dt_s);
-      const std::size_t to = idx(i, 0, k + 1);
-      if (new_cost < cost[to]) {
-        cost[to] = new_cost;
-        time[to] = time[from] + static_cast<float>(res.dt_s);
-        back[to] = pack_pred(0, k, /*dwell=*/true);
-      }
+  const std::size_t width = pool_ ? std::min<std::size_t>(pool_->thread_count(),
+                                                          common::ThreadPool::resolve_threads(res_.threads))
+                                  : 1;
+  stripe_relaxations_.assign(std::max<std::size_t>(width, 1), 0);
+
+  bool feasible = true;
+  for (std::size_t i = 0; i + 1 < n_layers_; ++i) {
+    if (!relax_layer(i)) {
+      feasible = false;
+      break;
     }
+  }
 
-    // Forward hops to layer i+1.
-    const std::vector<float>& costs = *layer_cost[i];
-    const double next_limit = layer_limit[i + 1];
-    const LayerEvent* next_event = event_at[i + 1];
-    const bool next_is_sign = next_event && next_event->type == LayerEvent::Type::kStopSign;
-    const bool next_is_dest = (i + 1 == n_layers - 1);
-    for (std::size_t j = 0; j < n_v; ++j) {
+  for (const std::size_t count : stripe_relaxations_) stats_.relaxations += count;
+  if (!feasible) return std::nullopt;
+  return extract_solution();
+}
+
+bool DpEngine::relax_layer(std::size_t i) {
+  const std::size_t base = i * layer_size_;
+  const LayerEvent* event = event_at_[i];
+  const bool is_sign = event && event->type == LayerEvent::Type::kStopSign;
+  const bool is_signal = event && event->type == LayerEvent::Type::kSignal;
+  float* layer_cost = ws_.cost_.data() + base;
+  float* layer_time = ws_.time_.data() + base;
+
+  // Dwell expansion: waiting in place at v = 0 (time bins ascending so
+  // chains of waits propagate within the layer).
+  for (std::size_t k = 0; k + 1 < n_t_; ++k) {
+    if (layer_cost[k] >= kInf) continue;
+    const float new_cost = layer_cost[k] + idle_step_cost_;
+    if (new_cost < layer_cost[k + 1]) {
+      layer_cost[k + 1] = new_cost;
+      layer_time[k + 1] = layer_time[k] + static_cast<float>(res_.dt_s);
+      ws_.back_[base + k + 1] = pack_pred(0, k, /*dwell=*/true);
+    }
+  }
+
+  // Source gather: one row-major scan over the layer's live cells, emitting
+  // compact per-source arrays (cost with the mandatory stop-sign charge
+  // folded in, crossing time, window membership, packed backpointer) so the
+  // relaxation below is pure sequential loads. The float additions mirror
+  // the naive per-relaxation arithmetic exactly. Past the last enforced
+  // window, dominated states are dropped during the same scan: continuous
+  // times ascend with the bin inside a row, so a running minimum finds every
+  // earlier-and-cheaper dominator. At a stop-sign layer only standstill
+  // states may proceed, so the moving rows are dropped outright.
+  const float dwell_f = is_sign ? static_cast<float>(event->dwell_s) : 0.0f;
+  const float extra_f = is_sign ? static_cast<float>(idle_mah_s_ * event->dwell_s) : 0.0f;
+  const bool check_windows = is_signal && event->enforce_windows;
+  const bool prune =
+      problem_.dominance_pruning && static_cast<std::ptrdiff_t>(i) > last_window_layer_;
+  ws_.src_pred_.clear();
+  ws_.src_cost_.clear();
+  ws_.src_time_.clear();
+  ws_.src_inside_.clear();
+  ws_.row_begin_.assign(n_v_ + 1, 0);
+  const std::size_t j_end = is_sign ? 1 : n_v_;
+  for (std::size_t j = 0; j < j_end; ++j) {
+    ws_.row_begin_[j] = static_cast<std::uint32_t>(ws_.src_pred_.size());
+    const float* row_cost = layer_cost + j * n_t_;
+    const float* row_time = layer_time + j * n_t_;
+    float row_min = kInf;
+    for (std::size_t k = 0; k < n_t_; ++k) {
+      const float c0 = row_cost[k];
+      if (c0 >= kInf) continue;
+      if (prune && j >= 1) {
+        if (c0 > row_min + kPruneMargin) {
+          ++stats_.pruned_states;
+          continue;
+        }
+        row_min = std::min(row_min, c0);
+      }
+      float t0 = row_time[k];
+      if (is_sign) t0 += dwell_f;  // mandatory standstill before proceeding (Eq. 7c + dwell)
+      ws_.src_pred_.push_back(pack_pred(j, k, /*dwell=*/false));
+      ws_.src_cost_.push_back(c0 + extra_f);
+      ws_.src_time_.push_back(t0);
+      ws_.src_inside_.push_back(
+          check_windows ? (in_any_window(event->windows, static_cast<double>(t0)) ? 1 : 0) : 1);
+    }
+  }
+  for (std::size_t j = j_end; j <= n_v_; ++j) {
+    ws_.row_begin_[j] = static_cast<std::uint32_t>(ws_.src_pred_.size());
+  }
+  const std::size_t n_src = ws_.src_pred_.size();
+  stats_.frontier_states += n_src;
+  // An empty layer can never be recovered from (later layers are fed only
+  // from here), so the solve is infeasible and the sweep stops; stopping
+  // before the stripes also keeps the next layer's rows from being read
+  // uninitialized.
+  if (n_src == 0) return false;
+
+  // Gather relaxation into layer i+1 over destination-velocity stripes; each
+  // stripe owns a disjoint range of destination rows (which it first resets
+  // to +inf), so stripes never write the same cell and may run on any number
+  // of threads.
+  const std::size_t n_stripes =
+      std::max<std::size_t>(1, std::min(stripe_relaxations_.size(), n_v_));
+  const auto run_stripe = [&](std::size_t s) {
+    const std::size_t j2_begin = s * n_v_ / n_stripes;
+    const std::size_t j2_end = (s + 1) * n_v_ / n_stripes;
+    relax_stripe(i, j2_begin, j2_end, s);
+  };
+  if (pool_ && n_stripes > 1) {
+    pool_->parallel_for(n_stripes, run_stripe);
+  } else {
+    for (std::size_t s = 0; s < n_stripes; ++s) run_stripe(s);
+  }
+  return true;
+}
+
+void DpEngine::relax_stripe(std::size_t i, std::size_t j2_begin, std::size_t j2_end,
+                            std::size_t stripe) {
+  const LayerEvent* event = event_at_[i];
+  const bool is_sign = event && event->type == LayerEvent::Type::kStopSign;
+  const bool is_signal = event && event->type == LayerEvent::Type::kSignal;
+  const bool check_windows = is_signal && event->enforce_windows;
+  const LayerEvent* next_event = event_at_[i + 1];
+  const bool next_is_sign = next_event && next_event->type == LayerEvent::Type::kStopSign;
+  const bool next_is_dest = (i + 1 == n_layers_ - 1);
+  const double next_limit = ws_.layer_limit_[i + 1];
+  const double depart = problem_.depart_time_s;
+  const double horizon = res_.horizon_s;
+  const double dt_s = res_.dt_s;
+  const double inv_dt = inv_dt_;
+  const std::size_t table_base = static_cast<std::size_t>(ws_.layer_class_[i]) * n_v_ * n_v_;
+  const float* energy_table = ws_.grade_energy_.data() + table_base;
+  const float* fused_table = ws_.grade_fused_.data() + table_base;
+
+  const std::size_t next_base = (i + 1) * layer_size_;
+  float* cost = ws_.cost_.data() + next_base;
+  float* time = ws_.time_.data() + next_base;
+  std::uint32_t* back = ws_.back_.data() + next_base;
+  std::size_t relaxations = 0;
+
+  // Lazy reset: this stripe owns rows [j2_begin, j2_end) of layer i + 1, so
+  // it clears exactly those before relaxing into them. (No memset: +inf is
+  // not a repeated-byte pattern.)
+  std::fill(cost + j2_begin * n_t_, cost + j2_end * n_t_, kInf);
+
+  for (std::size_t j2 = j2_begin; j2 < j2_end; ++j2) {
+    const double v2 = static_cast<double>(j2) * res_.dv_ms;
+    if (v2 > next_limit + 1e-9) continue;
+    if (next_is_sign && j2 != 0) continue;       // stop signs: arrive stopped
+    if (next_is_dest && j2 != j_dest_) continue;  // terminal speed constraint
+    for (std::uint32_t h = ws_.rev_begin_[j2]; h < ws_.rev_begin_[j2 + 1]; ++h) {
+      const Rev hop = ws_.rev_hops_[h];
+      const std::size_t j = hop.j_from;
       if (is_sign && j != 0) continue;  // stop signs are left from standstill
-      for (std::size_t k = 0; k < n_t; ++k) {
-        const std::size_t from = idx(i, j, k);
-        const float c0 = cost[from];
-        if (c0 >= kInf) continue;
-        float t0 = time[from];
-        float extra_cost = 0.0f;
-        if (is_sign) {
-          // Mandatory standstill before proceeding (Eq. 7c + dwell).
-          t0 += static_cast<float>(event->dwell_s);
-          extra_cost += static_cast<float>(idle_mah_s * event->dwell_s);
+      const float fused = fused_table[j * n_v_ + j2];
+      const float raw = energy_table[j * n_v_ + j2];
+      const float lambda_dt = static_cast<float>(lambda_ * hop.dt);
+      const float smooth_f =
+          smooth_by_diff_[j2 >= j ? j2 - j : j - j2];
+      for (std::uint32_t s = ws_.row_begin_[j]; s < ws_.row_begin_[j + 1]; ++s) {
+        const float arrive_t = ws_.src_time_[s] + hop.dt;
+        const double elapsed = static_cast<double>(arrive_t) - depart;
+        // Source times ascend within a row, so the whole tail is over too.
+        if (elapsed >= horizon) break;
+        float hop_cost;
+        if (check_windows) {
+          // Signal crossing happens when leaving the signal's layer.
+          hop_cost = static_cast<float>(penalized_cost(problem_.penalty,
+                                                       static_cast<double>(raw),
+                                                       ws_.src_inside_[s] != 0));
+          if (!std::isfinite(hop_cost)) continue;
+          hop_cost += lambda_dt;
+          hop_cost += smooth_f;
+        } else {
+          hop_cost = fused;
         }
-        // Signal crossing happens when leaving the signal's layer.
-        bool inside_window = true;
-        if (is_signal && event->enforce_windows) {
-          inside_window = in_any_window(event->windows, static_cast<double>(t0));
-        }
-        for (const Hop& hop : hops[j]) {
-          const double v2 = static_cast<double>(hop.j_to) * res.dv_ms;
-          if (v2 > next_limit + 1e-9) continue;
-          if (next_is_sign && hop.j_to != 0) continue;      // stop signs: arrive stopped
-          if (next_is_dest && hop.j_to != j_dest) continue;  // terminal speed constraint
-          const float arrive_t = t0 + hop.dt;
-          const double elapsed = static_cast<double>(arrive_t) - problem.depart_time_s;
-          if (elapsed >= res.horizon_s) continue;
-          const auto k2 = static_cast<std::size_t>(elapsed / res.dt_s);
-          float hop_cost = costs[j * n_v + hop.j_to];
-          if (is_signal && event->enforce_windows) {
-            hop_cost = static_cast<float>(
-                penalized_cost(problem.penalty, static_cast<double>(hop_cost), inside_window));
-            if (!std::isfinite(hop_cost)) continue;
-          }
-          hop_cost += static_cast<float>(lambda * hop.dt);
-          hop_cost += static_cast<float>(problem.smoothness_weight_mah_per_ms *
-                                         std::abs(static_cast<double>(hop.j_to) - static_cast<double>(j)) *
-                                         res.dv_ms);
-          const float new_cost = c0 + extra_cost + hop_cost;
-          const std::size_t to = idx(i + 1, hop.j_to, k2);
-          ++stats.relaxations;
-          if (new_cost < cost[to]) {
-            cost[to] = new_cost;
-            time[to] = arrive_t;
-            back[to] = pack_pred(j, k, /*dwell=*/false);
-          }
+        const auto k2 = static_cast<std::size_t>(inv_dt != 0.0 ? elapsed * inv_dt
+                                                               : elapsed / dt_s);
+        const float new_cost = ws_.src_cost_[s] + hop_cost;
+        const std::size_t to = j2 * n_t_ + k2;
+        ++relaxations;
+        if (new_cost < cost[to]) {
+          cost[to] = new_cost;
+          time[to] = arrive_t;
+          back[to] = ws_.src_pred_[s];
         }
       }
     }
   }
+  stripe_relaxations_[stripe] += relaxations;
+}
 
-  // Destination at the terminal speed; among optima prefer the earliest arrival.
-  std::size_t best_k = n_t;
+std::optional<DpSolution> DpEngine::extract_solution() {
+  // Destination at the terminal speed; among optima prefer the earliest
+  // arrival. (Restructured from the original: skip unreached/infinite cells
+  // up front so the tie-break can never consult an unset best state.)
+  const std::size_t dest_base = (n_layers_ - 1) * layer_size_ + j_dest_ * n_t_;
+  std::size_t best_k = n_t_;
   float best_cost = kInf;
-  for (std::size_t k = 0; k < n_t; ++k) {
-    const std::size_t id = idx(n_layers - 1, j_dest, k);
-    if (cost[id] < best_cost - 1e-9f ||
-        (std::abs(cost[id] - best_cost) <= 1e-9f && best_k < n_t &&
-         time[id] < time[idx(n_layers - 1, j_dest, best_k)])) {
-      if (cost[id] < kInf) {
-        best_cost = cost[id];
-        best_k = k;
-      }
+  float best_time = 0.0f;
+  for (std::size_t k = 0; k < n_t_; ++k) {
+    const std::size_t id = dest_base + k;
+    const float c = ws_.cost_[id];
+    if (c >= kInf) continue;
+    if (best_k == n_t_ || c < best_cost - 1e-9f ||
+        (std::abs(c - best_cost) <= 1e-9f && ws_.time_[id] < best_time)) {
+      best_cost = c;
+      best_k = k;
+      best_time = ws_.time_[id];
     }
   }
-  if (best_k == n_t) return std::nullopt;
-  stats.best_cost_mah = static_cast<double>(best_cost);
+  if (best_k == n_t_) return std::nullopt;
+  stats_.best_cost_mah = static_cast<double>(best_cost);
 
   // Backtrack.
   struct RawNode {
     std::size_t i, j, k;
   };
   std::vector<RawNode> chain;
-  std::size_t ci = n_layers - 1;
-  std::size_t cj = j_dest;
+  std::size_t ci = n_layers_ - 1;
+  std::size_t cj = j_dest_;
   std::size_t ck = best_k;
   while (true) {
     chain.push_back(RawNode{ci, cj, ck});
-    const std::uint32_t p = back[idx(ci, cj, ck)];
+    const std::uint32_t p = ws_.back_[ci * layer_size_ + cell_of(cj, ck)];
     if (p == kNoPred) break;
     const bool dwell = pred_is_dwell(p);
     const std::size_t pj = pred_j(p);
@@ -268,18 +554,18 @@ std::optional<DpSolution> solve_dp(const DpProblem& problem) {
   std::reverse(chain.begin(), chain.end());
 
   std::vector<PlanNode> nodes;
-  nodes.reserve(chain.size() + problem.events.size());
+  nodes.reserve(chain.size() + problem_.events.size());
   for (std::size_t n = 0; n < chain.size(); ++n) {
     const RawNode& r = chain[n];
     PlanNode node;
-    node.position_m = static_cast<double>(r.i) * ds;
-    node.speed_ms = static_cast<double>(r.j) * res.dv_ms;
-    node.time_s = static_cast<double>(time[idx(r.i, r.j, r.k)]);
+    node.position_m = static_cast<double>(r.i) * ds_;
+    node.speed_ms = static_cast<double>(r.j) * res_.dv_ms;
+    node.time_s = static_cast<double>(ws_.time_[r.i * layer_size_ + cell_of(r.j, r.k)]);
     // Materialize the mandatory stop-sign dwell as an explicit node so the
     // time-domain expansion shows the standstill.
     if (n > 0 && !nodes.empty()) {
       const RawNode& prev = chain[n - 1];
-      const LayerEvent* pe = event_at[prev.i];
+      const LayerEvent* pe = event_at_[prev.i];
       if (pe && pe->type == LayerEvent::Type::kStopSign && prev.i != r.i && pe->dwell_s > 0.0) {
         PlanNode wait = nodes.back();
         wait.time_s += pe->dwell_s;
@@ -292,7 +578,7 @@ std::optional<DpSolution> solve_dp(const DpProblem& problem) {
   // Annotate cumulative *physical* charge along the plan (the solver's state
   // cost additionally carries the time-value term and penalties, which are
   // optimizer-internal).
-  const double phys_idle_mah_s = ah_to_mah(as_to_ah(energy.accessory_current_a()));
+  const double phys_idle_mah_s = ah_to_mah(as_to_ah(energy_.accessory_current_a()));
   for (std::size_t n = 1; n < nodes.size(); ++n) {
     PlanNode& cur = nodes[n];
     const PlanNode& prev = nodes[n - 1];
@@ -304,13 +590,27 @@ std::optional<DpSolution> solve_dp(const DpProblem& problem) {
     } else {
       const double v_mid = 0.5 * (prev.speed_ms + cur.speed_ms);
       const double a = (cur.speed_ms * cur.speed_ms - prev.speed_ms * prev.speed_ms) / (2.0 * dist);
-      const double grade = route.grade_at(prev.position_m + 0.5 * dist);
-      delta = ah_to_mah(as_to_ah(energy.current_a(v_mid, a, grade) * dt));
+      const double grade = route_.grade_at(prev.position_m + 0.5 * dist);
+      delta = ah_to_mah(as_to_ah(energy_.current_a(v_mid, a, grade) * dt));
     }
     cur.energy_mah = prev.energy_mah + delta;
   }
 
-  return DpSolution{PlannedProfile(std::move(nodes)), stats};
+  return DpSolution{PlannedProfile(std::move(nodes)), stats_};
+}
+
+}  // namespace detail
+
+std::optional<DpSolution> solve_dp(const DpProblem& problem) {
+  DpWorkspace workspace;
+  return solve_dp(problem, workspace, nullptr);
+}
+
+std::optional<DpSolution> solve_dp(const DpProblem& problem, DpWorkspace& workspace,
+                                   common::ThreadPool* pool) {
+  problem.validate();
+  detail::DpEngine engine(problem, workspace, pool);
+  return engine.run();
 }
 
 }  // namespace evvo::core

@@ -16,9 +16,29 @@
 // outside T_q incur the Eq. (12) penalty. Zero-speed states may dwell in
 // place (waiting at a stop line) at accessory-power cost, which keeps the
 // problem feasible for every signal schedule.
+//
+// Solver data path (vs. the dense-relaxation formulation):
+//  - Reachable-frontier sweep: only the live (velocity, time-bin) cells of a
+//    layer are expanded. Most of the n_v x n_t table is unreachable -
+//    especially in early layers, where the arrival-time spread is narrow -
+//    so the frontier is a small fraction of the grid.
+//  - Dominance pruning: past the last enforced signal window, a state is
+//    dropped when an earlier-or-equal-time state at the same (layer,
+//    velocity) is strictly cheaper; remaining transition costs are then
+//    time-independent, so the dominated state cannot improve the optimum.
+//  - Fused cost tables: per grade class (few distinct grades exist along a
+//    route), the transition energy, the time-value term lambda*dt, and the
+//    smoothness regularizer are pre-added into one flat table with the same
+//    float rounding sequence as the naive inner loop, making the relaxation
+//    a pure load-add-compare.
+//  - Gather parallelism: the per-layer relaxation is partitioned over
+//    destination-velocity stripes; each worker owns a disjoint range of
+//    destination rows and scans source states, so no two threads ever write
+//    the same cell and results are bit-identical at every thread count.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -28,7 +48,15 @@
 #include "road/route.hpp"
 #include "road/signals.hpp"
 
+namespace evvo::common {
+class ThreadPool;
+}
+
 namespace evvo::core {
+
+namespace detail {
+class DpEngine;
+}
 
 /// Grid resolutions of the time-expanded DP.
 struct DpResolution {
@@ -36,6 +64,10 @@ struct DpResolution {
   double dv_ms = 0.5;      ///< velocity quantum
   double dt_s = 1.0;       ///< time-bin width (continuous times are still propagated)
   double horizon_s = 450.0;///< maximum trip duration considered
+  /// Worker threads for the per-layer relaxation; 0 = hardware_concurrency.
+  /// Any value yields bit-identical solutions (gather formulation); 1 runs
+  /// the serial path with no pool involvement at all.
+  unsigned threads = 0;
 
   void validate() const;
 };
@@ -84,6 +116,11 @@ struct DpProblem {
   /// bench_ablation sweeps it. 0 recovers the pure-energy objective.
   double time_weight_mah_per_s = 0.0;
 
+  /// Drop dominated states past the last enforced signal window (see the
+  /// header comment). Disable to force the exhaustive sweep; pruned and
+  /// unpruned solves agree on the optimal cost.
+  bool dominance_pruning = true;
+
   void validate() const;
 };
 
@@ -93,6 +130,8 @@ struct DpStats {
   std::size_t velocity_levels = 0;
   std::size_t time_bins = 0;
   std::size_t relaxations = 0;
+  std::size_t frontier_states = 0;  ///< live states expanded across all layers
+  std::size_t pruned_states = 0;    ///< states dropped by dominance pruning
   double best_cost_mah = 0.0;
 };
 
@@ -101,8 +140,122 @@ struct DpSolution {
   DpStats stats;
 };
 
+/// Reusable solver memory: the (layers x velocities x time-bins) state
+/// tables, the per-layer source lists, and the model-derived cost tables.
+///
+/// The state tables are the dominant per-solve cost of the naive solver
+/// (three multi-megabyte allocations plus an O(N) infinity fill). A
+/// workspace keeps them allocated across solves and skips the grid-wide
+/// clear: each destination row is reset to +inf by the stripe that relaxes
+/// into it, and time_/back_ are only ever read behind a finite cost, so no
+/// cell is ever read stale. The model tables (feasible hops
+/// per velocity level, per-grade-class transition costs) are cached across
+/// solves and rebuilt only when the route geometry, energy model, or
+/// resolution fingerprint changes - a PlanService miss storm on one corridor
+/// pays the table build once.
+///
+/// A workspace is NOT thread-safe: one solve at a time per workspace.
+/// VelocityPlanner keeps a pool of them so concurrent plan() calls each
+/// check one out.
+namespace detail {
+
+/// Growable buffer that never value-initializes: growing to N elements is
+/// one allocation, not an allocation plus an N-element memset. The DP state
+/// tables are tens of megabytes and every live cell is written before it is
+/// read (rows are +inf-filled by the relaxing stripe), so the zero-fill a
+/// std::vector would do on first use is pure page-touching waste. Growth
+/// discards contents - callers grow only between solves.
+template <typename T>
+class UninitBuffer {
+ public:
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  std::size_t size() const { return size_; }
+  void grow_to(std::size_t n) {
+    if (n <= size_) return;
+    data_ = std::make_unique_for_overwrite<T[]>(n);
+    size_ = n;
+  }
+
+ private:
+  std::unique_ptr<T[]> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace detail
+
+class DpWorkspace {
+ public:
+  DpWorkspace() = default;
+  DpWorkspace(const DpWorkspace&) = delete;
+  DpWorkspace& operator=(const DpWorkspace&) = delete;
+
+  /// Bytes held by the per-solve state tables (diagnostics).
+  std::size_t state_bytes() const {
+    return cost_.size() * sizeof(float) + time_.size() * sizeof(float) +
+           back_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  friend class detail::DpEngine;
+
+  struct FwdHop {
+    std::uint32_t j_to = 0;
+    float dt = 0.0f;     ///< travel time over one distance step
+    float accel = 0.0f;  ///< constant acceleration
+  };
+  struct RevHop {
+    std::uint32_t j_from = 0;
+    float dt = 0.0f;
+  };
+
+  /// Fingerprint of everything the model tables depend on. The route is
+  /// hashed by content (replanning solves over short-lived suffix routes
+  /// whose addresses may recur).
+  struct ModelKey {
+    bool valid = false;
+    const void* energy = nullptr;
+    std::uint64_t route_hash = 0;
+    double ds_m = 0.0, dv_ms = 0.0, lambda = 0.0, smoothness = 0.0;
+    bool operator==(const ModelKey&) const = default;
+  };
+
+  // --- model tables (cached across solves, keyed by model_key_) ---
+  ModelKey model_key_{};
+  std::vector<FwdHop> fwd_hops_;            ///< flattened hops grouped by source level
+  std::vector<std::uint32_t> fwd_begin_;    ///< n_v + 1 offsets into fwd_hops_
+  std::vector<RevHop> rev_hops_;            ///< flattened hops grouped by destination level
+  std::vector<std::uint32_t> rev_begin_;    ///< n_v + 1 offsets into rev_hops_
+  std::vector<float> grade_energy_;         ///< [class][j][j2] transition energy [mAh]
+  std::vector<float> grade_fused_;          ///< energy + lambda*dt + smoothness, seed rounding
+  std::vector<std::uint32_t> layer_class_;  ///< hop layer -> grade class index
+  std::vector<double> layer_limit_;         ///< per-layer posted speed limit
+
+  // --- per-solve state (rows reset lazily by the relaxing stripe) ---
+  detail::UninitBuffer<float> cost_;
+  detail::UninitBuffer<float> time_;
+  detail::UninitBuffer<std::uint32_t> back_;
+
+  // --- per-layer scratch: compact source list in (j, k)-lex order ---
+  std::vector<std::uint32_t> src_pred_;     ///< packed backpointer (j << 20 | k)
+  std::vector<float> src_cost_;             ///< cost + mandatory-stop charge
+  std::vector<float> src_time_;             ///< arrival time + mandatory dwell
+  std::vector<std::uint8_t> src_inside_;    ///< inside the signal window T_q
+  std::vector<std::uint32_t> row_begin_;    ///< n_v + 1 offsets into the source list
+};
+
 /// Runs the DP. Returns std::nullopt only if no feasible trajectory reaches
-/// the destination within the horizon.
+/// the destination within the horizon. This overload allocates a throwaway
+/// workspace and runs serially.
 std::optional<DpSolution> solve_dp(const DpProblem& problem);
+
+/// As above, reusing `workspace` across calls. If `pool` is non-null and
+/// problem.resolution.threads resolves to more than one thread, the
+/// per-layer relaxation runs on the pool; the result is bit-identical to the
+/// serial sweep either way.
+std::optional<DpSolution> solve_dp(const DpProblem& problem, DpWorkspace& workspace,
+                                   common::ThreadPool* pool = nullptr);
 
 }  // namespace evvo::core

@@ -2,11 +2,48 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
 
 #include "common/math_util.hpp"
+#include "common/thread_pool.hpp"
 
 namespace evvo::core {
+
+/// Shared across planner copies: solver workspaces are checked out per call
+/// (reuse of the state tables + cached cost model), and the relaxation pool
+/// is created on first use. The configured thread count is fixed at
+/// construction, so the pool never needs resizing.
+struct VelocityPlanner::Runtime {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<DpWorkspace>> free_workspaces;
+  std::unique_ptr<common::ThreadPool> pool;
+
+  common::ThreadPool* pool_for(unsigned thread_hint) {
+    const unsigned want = common::ThreadPool::resolve_threads(thread_hint);
+    if (want <= 1) return nullptr;
+    std::lock_guard lock(mutex);
+    if (!pool) pool = std::make_unique<common::ThreadPool>(want);
+    return pool.get();
+  }
+
+  std::unique_ptr<DpWorkspace> acquire() {
+    {
+      std::lock_guard lock(mutex);
+      if (!free_workspaces.empty()) {
+        auto workspace = std::move(free_workspaces.back());
+        free_workspaces.pop_back();
+        return workspace;
+      }
+    }
+    return std::make_unique<DpWorkspace>();
+  }
+
+  void release(std::unique_ptr<DpWorkspace> workspace) {
+    std::lock_guard lock(mutex);
+    free_workspaces.push_back(std::move(workspace));
+  }
+};
 
 const char* signal_policy_name(SignalPolicy policy) {
   switch (policy) {
@@ -22,7 +59,10 @@ const char* signal_policy_name(SignalPolicy policy) {
 
 VelocityPlanner::VelocityPlanner(road::Corridor corridor, ev::EnergyModel energy,
                                  PlannerConfig config)
-    : corridor_(std::move(corridor)), energy_(std::move(energy)), config_(std::move(config)) {
+    : corridor_(std::move(corridor)),
+      energy_(std::move(energy)),
+      config_(std::move(config)),
+      runtime_(std::make_shared<Runtime>()) {
   config_.resolution.validate();
   config_.penalty.validate();
 }
@@ -112,6 +152,7 @@ DpProblem make_problem(const road::Route& route, const ev::EnergyModel& energy,
   problem.penalty = config.penalty;
   problem.time_weight_mah_per_s = config.time_weight_mah_per_s;
   problem.smoothness_weight_mah_per_ms = config.smoothness_weight_mah_per_ms;
+  problem.dominance_pruning = config.dominance_pruning;
   problem.events = std::move(events);
   return problem;
 }
@@ -123,11 +164,25 @@ std::vector<LayerEvent> VelocityPlanner::build_events(
   return build_events_for(corridor_, config_, depart_time_s, arrivals);
 }
 
+std::optional<DpSolution> VelocityPlanner::solve_problem(const DpProblem& problem) const {
+  std::unique_ptr<DpWorkspace> workspace = runtime_->acquire();
+  common::ThreadPool* pool = runtime_->pool_for(config_.resolution.threads);
+  std::optional<DpSolution> solution;
+  try {
+    solution = solve_dp(problem, *workspace, pool);
+  } catch (...) {
+    runtime_->release(std::move(workspace));
+    throw;
+  }
+  runtime_->release(std::move(workspace));
+  return solution;
+}
+
 DpSolution VelocityPlanner::plan_with_stats(
     double depart_time_s, std::shared_ptr<const traffic::ArrivalRateProvider> arrivals) const {
   DpProblem problem = make_problem(corridor_.route, energy_, config_, depart_time_s,
                                    build_events_for(corridor_, config_, depart_time_s, arrivals));
-  auto solution = solve_dp(problem);
+  auto solution = solve_problem(problem);
   if (!solution.has_value())
     throw std::runtime_error("VelocityPlanner: no feasible trajectory within the horizon");
   return std::move(*solution);
@@ -157,7 +212,7 @@ PlannedProfile VelocityPlanner::replan(
                                    build_events_for(rest, config_, time_s, arrivals));
   problem.initial_speed_ms =
       clamp(speed_ms, 0.0, rest.route.speed_limit_at(0.0));
-  auto solution = solve_dp(problem);
+  auto solution = solve_problem(problem);
   if (!solution.has_value())
     throw std::runtime_error("VelocityPlanner::replan: no feasible trajectory within the horizon");
   return solution->profile.shifted(position_m);

@@ -45,8 +45,16 @@ struct PlannerConfig {
   double window_end_margin_s = 4.0;
   /// Smoothness tie-breaker (see DpProblem::smoothness_weight_mah_per_ms).
   double smoothness_weight_mah_per_ms = 0.3;
+  /// Dominance pruning toggle (see DpProblem::dominance_pruning).
+  bool dominance_pruning = true;
 };
 
+/// The planner owns a small runtime shared by all copies of itself: a
+/// free-list of DpWorkspace (so repeated plans reuse the solver's state
+/// tables and cached cost model instead of reallocating ~tens of MB per
+/// call) and one lazily created thread pool sized from
+/// config.resolution.threads. plan()/replan() are safe to call concurrently;
+/// each call checks a workspace out of the free list for its duration.
 class VelocityPlanner {
  public:
   VelocityPlanner(road::Corridor corridor, ev::EnergyModel energy, PlannerConfig config = {});
@@ -81,9 +89,16 @@ class VelocityPlanner {
                         std::shared_ptr<const traffic::ArrivalRateProvider> arrivals = nullptr) const;
 
  private:
+  struct Runtime;
+
+  /// Checks out a workspace (and the shared pool), runs solve_dp, returns
+  /// the workspace. std::nullopt = infeasible.
+  std::optional<DpSolution> solve_problem(const DpProblem& problem) const;
+
   road::Corridor corridor_;
   ev::EnergyModel energy_;
   PlannerConfig config_;
+  std::shared_ptr<Runtime> runtime_;
 };
 
 }  // namespace evvo::core

@@ -1,0 +1,144 @@
+// Parallel-solver equivalence: the stripe-parallel relaxation must produce
+// bit-identical plans at every thread count (gather formulation, see
+// dp_solver.hpp), workspaces must be reusable across solves, and dominance
+// pruning must agree with the exhaustive sweep on the optimal cost.
+#include "core/dp_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+#include "core/planner.hpp"
+#include "ev/energy_model.hpp"
+#include "road/corridor.hpp"
+
+namespace evvo::core {
+namespace {
+
+/// A DpProblem over a random corridor with queue-aware windows, built the
+/// same way VelocityPlanner does (via build_events).
+struct Scenario {
+  road::Corridor corridor;
+  ev::EnergyModel energy;
+  std::vector<LayerEvent> events;
+  DpProblem problem;
+
+  explicit Scenario(std::uint64_t seed, double depart_time_s = 0.0)
+      : corridor(road::make_random_corridor(seed)) {
+    PlannerConfig cfg;
+    cfg.policy = SignalPolicy::kQueueAware;
+    cfg.resolution.horizon_s = 700.0;
+    const VelocityPlanner planner(corridor, energy, cfg);
+    const auto arrivals = std::make_shared<traffic::ConstantArrivalRate>(500.0);
+    events = planner.build_events(depart_time_s, arrivals);
+
+    problem.route = &corridor.route;
+    problem.energy = &energy;
+    problem.depart_time_s = depart_time_s;
+    problem.resolution = cfg.resolution;
+    problem.time_weight_mah_per_s = cfg.time_weight_mah_per_s;
+    problem.smoothness_weight_mah_per_ms = cfg.smoothness_weight_mah_per_ms;
+    problem.events = events;
+  }
+};
+
+bool profiles_bit_identical(const PlannedProfile& a, const PlannedProfile& b) {
+  if (a.nodes().size() != b.nodes().size()) return false;
+  for (std::size_t i = 0; i < a.nodes().size(); ++i) {
+    if (std::memcmp(&a.nodes()[i], &b.nodes()[i], sizeof(PlanNode)) != 0) return false;
+  }
+  return true;
+}
+
+class ParallelEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelEquivalence, EveryThreadCountMatchesSerialBitForBit) {
+  Scenario scenario(GetParam());
+  const auto serial = solve_dp(scenario.problem);
+  ASSERT_TRUE(serial.has_value());
+
+  for (unsigned threads : {2u, 4u, 8u}) {
+    common::ThreadPool pool(threads);
+    DpWorkspace workspace;
+    scenario.problem.resolution.threads = threads;
+    const auto parallel = solve_dp(scenario.problem, workspace, &pool);
+    ASSERT_TRUE(parallel.has_value()) << "threads=" << threads;
+    EXPECT_TRUE(profiles_bit_identical(serial->profile, parallel->profile))
+        << "threads=" << threads;
+    EXPECT_EQ(serial->stats.best_cost_mah, parallel->stats.best_cost_mah);
+    EXPECT_EQ(serial->stats.relaxations, parallel->stats.relaxations);
+    EXPECT_EQ(serial->stats.frontier_states, parallel->stats.frontier_states);
+    EXPECT_EQ(serial->stats.pruned_states, parallel->stats.pruned_states);
+  }
+}
+
+TEST_P(ParallelEquivalence, DominancePruningAgreesWithExhaustiveSweep) {
+  Scenario scenario(GetParam());
+  scenario.problem.dominance_pruning = true;
+  const auto pruned = solve_dp(scenario.problem);
+  scenario.problem.dominance_pruning = false;
+  const auto full = solve_dp(scenario.problem);
+  ASSERT_TRUE(pruned.has_value());
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(pruned->stats.best_cost_mah, full->stats.best_cost_mah);
+  EXPECT_TRUE(profiles_bit_identical(pruned->profile, full->profile));
+  EXPECT_LE(pruned->stats.relaxations, full->stats.relaxations);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelEquivalence,
+                         ::testing::Values(1u, 5u, 13u, 21u, 34u));
+
+TEST(DpWorkspace, ReuseAcrossSolvesAndProblems) {
+  common::ThreadPool pool(4);
+  DpWorkspace workspace;
+  Scenario first(3), second(8, 120.0);
+  first.problem.resolution.threads = 4;
+  second.problem.resolution.threads = 4;
+
+  const auto a1 = solve_dp(first.problem);
+  const auto b1 = solve_dp(second.problem);
+  ASSERT_TRUE(a1 && b1);
+
+  // Interleave solves on one workspace: the generation-stamped reset and the
+  // model-table cache must never leak state between problems.
+  for (int round = 0; round < 3; ++round) {
+    const auto a2 = solve_dp(first.problem, workspace, &pool);
+    ASSERT_TRUE(a2.has_value());
+    EXPECT_TRUE(profiles_bit_identical(a1->profile, a2->profile)) << "round " << round;
+    const auto b2 = solve_dp(second.problem, workspace, &pool);
+    ASSERT_TRUE(b2.has_value());
+    EXPECT_TRUE(profiles_bit_identical(b1->profile, b2->profile)) << "round " << round;
+  }
+  EXPECT_GT(workspace.state_bytes(), 0u);
+}
+
+TEST(DpWorkspace, ConcurrentPlannerCallsAgree) {
+  // VelocityPlanner checks a workspace out per call; hammer one planner from
+  // several threads and require every result to equal the serial answer.
+  Scenario scenario(2);
+  PlannerConfig cfg;
+  cfg.policy = SignalPolicy::kQueueAware;
+  cfg.resolution.horizon_s = 700.0;
+  const VelocityPlanner planner(scenario.corridor, scenario.energy, cfg);
+  const auto arrivals = std::make_shared<traffic::ConstantArrivalRate>(500.0);
+  const PlannedProfile reference = planner.plan(0.0, arrivals);
+
+  constexpr int kThreads = 4;
+  std::vector<std::optional<PlannedProfile>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] { results[t] = planner.plan(0.0, arrivals); });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(results[t].has_value());
+    EXPECT_TRUE(profiles_bit_identical(reference, *results[t])) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace evvo::core

@@ -1,0 +1,155 @@
+// Single-flight PlanService under contention: same-key misses coalesce onto
+// one solver run, distinct-key misses proceed in parallel, profiles are
+// never torn, and the stats identity requests == cache_hits + solver_runs
+// holds at quiescence. Run under TSan in CI.
+#include "cloud/plan_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "ev/energy_model.hpp"
+#include "road/corridor.hpp"
+
+namespace evvo::cloud {
+namespace {
+
+std::shared_ptr<traffic::ConstantArrivalRate> demand(double veh_h) {
+  return std::make_shared<traffic::ConstantArrivalRate>(veh_h);
+}
+
+/// A small corridor so each solve is fast enough to hammer from many
+/// threads; one light gives a 60 s hyperperiod, so distinct phase bins are
+/// easy to construct.
+core::VelocityPlanner make_planner() {
+  road::Corridor corridor{road::Route({{0.0, 350.0, 14.0, 0.0, 0.0},
+                                       {350.0, 600.0, 12.0, 0.0, 0.01}}),
+                          {road::TrafficLight(300.0, 27.0, 33.0)},
+                          {}};
+  core::PlannerConfig cfg;
+  cfg.policy = core::SignalPolicy::kGreenWindow;
+  cfg.resolution.horizon_s = 200.0;
+  return core::VelocityPlanner(std::move(corridor), ev::EnergyModel{}, cfg);
+}
+
+/// A profile must be internally consistent (monotone time, contiguous
+/// positions, final node at the destination) - a torn read would violate it.
+void expect_well_formed(const core::PlannedProfile& profile, double expected_depart) {
+  const auto& nodes = profile.nodes();
+  ASSERT_FALSE(nodes.empty());
+  EXPECT_DOUBLE_EQ(nodes.front().time_s, expected_depart);
+  EXPECT_DOUBLE_EQ(nodes.front().position_m, 0.0);
+  EXPECT_NEAR(nodes.back().position_m, 600.0, 1e-6);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_GE(nodes[i].time_s, nodes[i - 1].time_s);
+    EXPECT_GE(nodes[i].position_m, nodes[i - 1].position_m);
+  }
+}
+
+TEST(PlanServiceConcurrent, SameKeyMissesCoalesceOntoOneSolve) {
+  PlanService service(make_planner(), demand(500.0));
+  constexpr int kThreads = 8;
+  // All congruent mod the 60 s hyperperiod: one cache key.
+  std::vector<std::thread> threads;
+  std::vector<std::optional<PlanResponse>> responses(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { responses[t] = service.request_plan({t, 30.0 + 60.0 * t}); });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, kThreads);
+  EXPECT_EQ(stats.solver_runs, 1);  // single-flight: exactly one leader
+  EXPECT_EQ(stats.cache_hits, kThreads - 1);
+  EXPECT_EQ(stats.requests, stats.cache_hits + stats.solver_runs);
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(responses[t].has_value());
+    expect_well_formed(responses[t]->profile, 30.0 + 60.0 * t);
+  }
+}
+
+TEST(PlanServiceConcurrent, StatsIdentityUnderMixedContention) {
+  PlanService service(make_planner(), demand(500.0));
+  constexpr int kThreads = 6;
+  constexpr int kRequestsPerThread = 8;
+  constexpr int kDistinctKeys = 4;  // phases 5, 15, 25, 35 within one cycle
+
+  std::atomic<int> next_id{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRequestsPerThread; ++r) {
+        const int id = next_id.fetch_add(1);
+        const double phase = 5.0 + 10.0 * (id % kDistinctKeys);
+        const PlanResponse response =
+            service.request_plan({id, phase + 60.0 * (id / kDistinctKeys)});
+        expect_well_formed(response.profile, phase + 60.0 * (id / kDistinctKeys));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, kThreads * kRequestsPerThread);
+  EXPECT_EQ(stats.requests, stats.cache_hits + stats.solver_runs);
+  // Single-flight bounds the solves by the number of distinct keys.
+  EXPECT_EQ(stats.solver_runs, kDistinctKeys);
+  EXPECT_GE(stats.cache_hits, stats.coalesced_hits);
+}
+
+TEST(PlanServiceConcurrent, BatchApiCoalescesAndPreservesOrder) {
+  CacheConfig cache;
+  cache.batch_threads = 4;
+  PlanService service(make_planner(), demand(500.0), cache);
+
+  std::vector<PlanRequest> requests;
+  for (int i = 0; i < 24; ++i) {
+    requests.push_back({100 + i, 5.0 + 10.0 * (i % 3) + 60.0 * (i / 3)});
+  }
+  const std::vector<PlanResponse> responses = service.request_plans(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].vehicle_id, requests[i].vehicle_id);
+    expect_well_formed(responses[i].profile, requests[i].depart_time_s);
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, static_cast<long>(requests.size()));
+  EXPECT_EQ(stats.requests, stats.cache_hits + stats.solver_runs);
+  EXPECT_EQ(stats.solver_runs, 3);  // three distinct phase bins in the batch
+
+  // A second identical batch is pure cache hits.
+  const auto again = service.request_plans(requests);
+  ASSERT_EQ(again.size(), requests.size());
+  const ServiceStats stats2 = service.stats();
+  EXPECT_EQ(stats2.solver_runs, 3);
+  EXPECT_EQ(stats2.requests, stats2.cache_hits + stats2.solver_runs);
+}
+
+TEST(PlanServiceConcurrent, HitsServeWhileSolveInFlight) {
+  // Prime one key, then hammer it while a different key's solve is running;
+  // hits must complete without waiting for the in-flight solve.
+  PlanService service(make_planner(), demand(500.0));
+  service.request_plan({0, 5.0});  // prime key A
+
+  std::thread slow([&] { service.request_plan({1, 40.0}); });  // key B (miss)
+  for (int i = 0; i < 16; ++i) {
+    const PlanResponse hit = service.request_plan({2 + i, 5.0 + 60.0 * (i + 1)});
+    EXPECT_TRUE(hit.cache_hit);
+  }
+  slow.join();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 18);
+  EXPECT_EQ(stats.solver_runs, 2);
+  EXPECT_EQ(stats.requests, stats.cache_hits + stats.solver_runs);
+}
+
+}  // namespace
+}  // namespace evvo::cloud
