@@ -1,0 +1,302 @@
+#include "check/reference_dp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/dp_common.hpp"
+#include "core/penalty.hpp"
+
+namespace evvo::check {
+
+namespace {
+
+using core::detail::checksum_state_tables;
+using core::detail::kDpInf;
+using core::detail::kNoPred;
+using core::detail::pack_pred;
+using core::detail::pred_is_dwell;
+using core::detail::pred_j;
+using core::detail::pred_k;
+
+/// One feasible constant-acceleration hop leaving velocity level j.
+struct Hop {
+  std::size_t j_to = 0;
+  float dt = 0.0f;     // stored as float: the production solver rounds here
+  float accel = 0.0f;
+};
+
+}  // namespace
+
+std::vector<double> bucketed_layer_grades(const road::Route& route, std::size_t n_hops,
+                                          double ds_m) {
+  std::vector<double> layer_grade(n_hops);
+  std::vector<long> keys;
+  std::vector<double> representative;
+  for (std::size_t i = 0; i < n_hops; ++i) {
+    const double g = route.grade_at((static_cast<double>(i) + 0.5) * ds_m);
+    const long key = std::lround(g * 1e9);
+    std::size_t cls = 0;
+    while (cls < keys.size() && keys[cls] != key) ++cls;
+    if (cls == keys.size()) {
+      keys.push_back(key);
+      representative.push_back(g);
+    }
+    layer_grade[i] = representative[cls];
+  }
+  return layer_grade;
+}
+
+std::optional<ReferenceSolution> solve_reference_dp(const core::DpProblem& problem) {
+  problem.validate();
+  const road::Route& route = *problem.route;
+  const ev::EnergyModel& energy = *problem.energy;
+  const core::DpResolution& res = problem.resolution;
+
+  // Grid geometry (identical formulas to the production solver).
+  const auto n_hops =
+      static_cast<std::size_t>(std::max(1.0, std::round(route.length() / res.ds_m)));
+  const double ds = route.length() / static_cast<double>(n_hops);
+  const std::size_t n_layers = n_hops + 1;
+  const auto n_v = static_cast<std::size_t>(std::floor(route.max_speed_limit() / res.dv_ms)) + 1;
+  const auto n_t = static_cast<std::size_t>(std::ceil(res.horizon_s / res.dt_s)) + 1;
+  const std::size_t layer_size = n_v * n_t;
+  if (n_v >= (1u << 11) || n_t >= (1u << 20))
+    throw std::invalid_argument("solve_reference_dp: grid too large for backpointer packing");
+
+  std::vector<const core::LayerEvent*> event_at(n_layers, nullptr);
+  for (const core::LayerEvent& e : problem.events) {
+    if (e.layer >= n_layers)
+      throw std::invalid_argument("solve_reference_dp: event layer out of range");
+    event_at[e.layer] = &e;
+  }
+
+  const double lambda = problem.time_weight_mah_per_s;
+  const double smooth = problem.smoothness_weight_mah_per_ms;
+  const double idle_mah_s = ah_to_mah(as_to_ah(energy.accessory_current_a())) + lambda;
+  const auto idle_step_cost = static_cast<float>(idle_mah_s * res.dt_s);
+
+  int dt_exp = 0;
+  const double inv_dt = std::frexp(res.dt_s, &dt_exp) == 0.5 ? 1.0 / res.dt_s : 0.0;
+
+  const auto snap_level = [&](double v) {
+    const auto j = static_cast<std::size_t>(std::lround(v / res.dv_ms));
+    if (j >= n_v)
+      throw std::invalid_argument("solve_reference_dp: boundary speed above the velocity grid");
+    return j;
+  };
+  const std::size_t j_source = snap_level(problem.initial_speed_ms);
+  const std::size_t j_dest = snap_level(problem.final_speed_ms);
+
+  // Feasible hops per source level: the acceleration to go from v to v2 over
+  // one distance step must lie in the comfort envelope (Eq. 7b).
+  const ev::VehicleParams& vp = energy.params();
+  std::vector<std::vector<Hop>> hops(n_v);
+  for (std::size_t j = 0; j < n_v; ++j) {
+    const double v = static_cast<double>(j) * res.dv_ms;
+    for (std::size_t j2 = 0; j2 < n_v; ++j2) {
+      const double v2 = static_cast<double>(j2) * res.dv_ms;
+      const double v_mid = 0.5 * (v + v2);
+      if (v_mid <= 1e-9) continue;  // no movement; dwells handle waiting
+      const double a = (v2 * v2 - v * v) / (2.0 * ds);
+      if (a < vp.min_acceleration - 1e-9 || a > vp.max_acceleration + 1e-9) continue;
+      hops[j].push_back(Hop{j2, static_cast<float>(ds / v_mid), static_cast<float>(a)});
+    }
+  }
+
+  const std::vector<double> layer_grade = bucketed_layer_grades(route, n_hops, ds);
+
+  // Dense, fully initialized state. Unlike the production workspace there is
+  // no lazy row reset to reason about: every cell starts at +inf / 0 / none.
+  std::vector<float> cost(n_layers * layer_size, kDpInf);
+  std::vector<float> time(n_layers * layer_size, 0.0f);
+  std::vector<std::uint32_t> back(n_layers * layer_size, kNoPred);
+  const auto at = [&](std::size_t i, std::size_t j, std::size_t k) {
+    return i * layer_size + j * n_t + k;
+  };
+
+  cost[at(0, j_source, 0)] = 0.0f;
+  time[at(0, j_source, 0)] = static_cast<float>(problem.depart_time_s);
+
+  ReferenceSolution out{core::PlannedProfile({core::PlanNode{}, core::PlanNode{}}), 0.0, 0, 0};
+
+  for (std::size_t i = 0; i + 1 < n_layers; ++i) {
+    const core::LayerEvent* event = event_at[i];
+    const bool is_sign = event && event->type == core::LayerEvent::Type::kStopSign;
+    const bool check_windows =
+        event && event->type == core::LayerEvent::Type::kSignal && event->enforce_windows;
+
+    // Waiting in place at v = 0 (time bins ascending so wait chains build up).
+    for (std::size_t k = 0; k + 1 < n_t; ++k) {
+      const std::size_t id = at(i, 0, k);
+      if (cost[id] >= kDpInf) continue;
+      const float new_cost = cost[id] + idle_step_cost;
+      if (new_cost < cost[id + 1]) {
+        cost[id + 1] = new_cost;
+        time[id + 1] = time[id] + static_cast<float>(res.dt_s);
+        back[id + 1] = pack_pred(0, k, /*dwell=*/true);
+      }
+    }
+
+    const float dwell_f = is_sign ? static_cast<float>(event->dwell_s) : 0.0f;
+    const float extra_f = is_sign ? static_cast<float>(idle_mah_s * event->dwell_s) : 0.0f;
+    const core::LayerEvent* next_event = event_at[i + 1];
+    const bool next_is_sign = next_event && next_event->type == core::LayerEvent::Type::kStopSign;
+    const bool next_is_dest = (i + 1 == n_layers - 1);
+    const double next_limit = route.speed_limit_at(static_cast<double>(i + 1) * ds);
+    const double grade = layer_grade[i];
+
+    // Forward relaxation, plain (j, k, hop) loop order. Per destination cell
+    // this visits candidates in (j, k)-lexicographic order - the same order
+    // the production gather uses - so with strict-< improvement both solvers
+    // keep the same winner on exact cost ties.
+    bool any_source = false;
+    for (std::size_t j = 0; j < (is_sign ? std::size_t{1} : n_v); ++j) {
+      const double v = static_cast<double>(j) * res.dv_ms;
+      for (std::size_t k = 0; k < n_t; ++k) {
+        const std::size_t id = at(i, j, k);
+        const float c0 = cost[id];
+        if (c0 >= kDpInf) continue;
+        any_source = true;
+        float t0 = time[id];
+        if (is_sign) t0 += dwell_f;  // mandatory standstill before proceeding
+        const float src_cost = c0 + extra_f;
+        const bool inside =
+            !check_windows || core::in_any_window(event->windows, static_cast<double>(t0));
+        const std::uint32_t pred = pack_pred(j, k, /*dwell=*/false);
+
+        for (const Hop& hop : hops[j]) {
+          const std::size_t j2 = hop.j_to;
+          const double v2 = static_cast<double>(j2) * res.dv_ms;
+          if (v2 > next_limit + 1e-9) continue;
+          if (next_is_sign && j2 != 0) continue;
+          if (next_is_dest && j2 != j_dest) continue;
+          const float arrive_t = t0 + hop.dt;
+          const double elapsed = static_cast<double>(arrive_t) - problem.depart_time_s;
+          if (elapsed >= res.horizon_s) continue;
+
+          // Transition cost, term by term, with the exact float rounding the
+          // production solver bakes into its fused tables: energy rounded to
+          // float first, then += lambda * dt, then += the smoothness term.
+          const double v_mid = 0.5 * (v + v2);
+          const auto raw = static_cast<float>(ah_to_mah(
+              as_to_ah(energy.current_a(v_mid, hop.accel, grade) * hop.dt)));
+          float hop_cost;
+          if (check_windows) {
+            hop_cost = static_cast<float>(
+                core::penalized_cost(problem.penalty, static_cast<double>(raw), inside));
+            if (!std::isfinite(hop_cost)) continue;
+          } else {
+            hop_cost = raw;
+          }
+          hop_cost += static_cast<float>(lambda * hop.dt);
+          hop_cost += static_cast<float>(
+              smooth * std::abs(static_cast<double>(j2) - static_cast<double>(j)) * res.dv_ms);
+
+          const auto k2 =
+              static_cast<std::size_t>(inv_dt != 0.0 ? elapsed * inv_dt : elapsed / res.dt_s);
+          const std::size_t to = at(i + 1, j2, k2);
+          const float new_cost = src_cost + hop_cost;
+          ++out.relaxations;
+          if (new_cost < cost[to]) {
+            cost[to] = new_cost;
+            time[to] = arrive_t;
+            back[to] = pred;
+          }
+        }
+      }
+    }
+    if (!any_source) return std::nullopt;  // a dead layer can never recover
+  }
+
+  // Destination selection: cheapest cell of the terminal-speed row, earliest
+  // arrival among near-ties (same epsilons as production).
+  std::size_t best_k = n_t;
+  float best_cost = kDpInf;
+  float best_time = 0.0f;
+  for (std::size_t k = 0; k < n_t; ++k) {
+    const std::size_t id = at(n_layers - 1, j_dest, k);
+    const float c = cost[id];
+    if (c >= kDpInf) continue;
+    if (best_k == n_t || c < best_cost - 1e-9f ||
+        (std::abs(c - best_cost) <= 1e-9f && time[id] < best_time)) {
+      best_cost = c;
+      best_k = k;
+      best_time = time[id];
+    }
+  }
+  if (best_k == n_t) return std::nullopt;
+  out.best_cost_mah = static_cast<double>(best_cost);
+  out.table_checksum =
+      checksum_state_tables(n_layers, n_v, n_t, cost.data(), time.data(), back.data());
+
+  // Backtrack and materialize the plan exactly as the production extractor
+  // does (explicit stop-sign wait nodes, physical energy annotation).
+  struct RawNode {
+    std::size_t i, j, k;
+  };
+  std::vector<RawNode> chain;
+  std::size_t ci = n_layers - 1, cj = j_dest, ck = best_k;
+  while (true) {
+    chain.push_back(RawNode{ci, cj, ck});
+    const std::uint32_t p = back[at(ci, cj, ck)];
+    if (p == kNoPred) break;
+    const bool dwell = pred_is_dwell(p);
+    const std::size_t pj = pred_j(p);
+    const std::size_t pk = pred_k(p);
+    if (!dwell) {
+      if (ci == 0) break;
+      --ci;
+    }
+    cj = pj;
+    ck = pk;
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  std::vector<core::PlanNode> nodes;
+  nodes.reserve(chain.size() + problem.events.size());
+  for (std::size_t n = 0; n < chain.size(); ++n) {
+    const RawNode& r = chain[n];
+    core::PlanNode node;
+    node.position_m = static_cast<double>(r.i) * ds;
+    node.speed_ms = static_cast<double>(r.j) * res.dv_ms;
+    node.time_s = static_cast<double>(time[at(r.i, r.j, r.k)]);
+    if (n > 0 && !nodes.empty()) {
+      const RawNode& prev = chain[n - 1];
+      const core::LayerEvent* pe = event_at[prev.i];
+      if (pe && pe->type == core::LayerEvent::Type::kStopSign && prev.i != r.i &&
+          pe->dwell_s > 0.0) {
+        core::PlanNode wait = nodes.back();
+        wait.time_s += pe->dwell_s;
+        nodes.push_back(wait);
+      }
+    }
+    nodes.push_back(node);
+  }
+
+  const double phys_idle_mah_s = ah_to_mah(as_to_ah(energy.accessory_current_a()));
+  for (std::size_t n = 1; n < nodes.size(); ++n) {
+    core::PlanNode& cur = nodes[n];
+    const core::PlanNode& prev = nodes[n - 1];
+    const double dt = cur.time_s - prev.time_s;
+    const double dist = cur.position_m - prev.position_m;
+    double delta = 0.0;
+    if (dist < 1e-9) {
+      delta = phys_idle_mah_s * dt;
+    } else {
+      const double v_mid = 0.5 * (prev.speed_ms + cur.speed_ms);
+      const double a =
+          (cur.speed_ms * cur.speed_ms - prev.speed_ms * prev.speed_ms) / (2.0 * dist);
+      const double g = route.grade_at(prev.position_m + 0.5 * dist);
+      delta = ah_to_mah(as_to_ah(energy.current_a(v_mid, a, g) * dt));
+    }
+    cur.energy_mah = prev.energy_mah + delta;
+  }
+
+  out.profile = core::PlannedProfile(std::move(nodes));
+  return out;
+}
+
+}  // namespace evvo::check

@@ -1,0 +1,136 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace evvo::check {
+
+namespace {
+
+/// Does the spec still trip `invariant` (by id) under `options`?
+bool still_fails(const ScenarioSpec& spec, const CheckOptions& options,
+                 const std::string& invariant) {
+  const CheckReport report = check_scenario(spec, options);
+  return std::any_of(report.violations.begin(), report.violations.end(),
+                     [&](const Violation& v) { return v.invariant == invariant; });
+}
+
+using Transform = std::function<std::optional<ScenarioSpec>(const ScenarioSpec&)>;
+
+/// One round of candidate simplifications, cheapest-win first. Index-based
+/// drops are regenerated each round because earlier acceptances change the
+/// element counts.
+std::vector<Transform> candidate_transforms(const ScenarioSpec& spec) {
+  std::vector<Transform> out;
+
+  for (std::size_t i = 0; i < spec.lights.size(); ++i) {
+    out.push_back([i](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+      if (i >= s.lights.size()) return std::nullopt;
+      ScenarioSpec next = s;
+      next.lights.erase(next.lights.begin() + static_cast<std::ptrdiff_t>(i));
+      return next;
+    });
+  }
+  for (std::size_t i = 0; i < spec.stop_signs.size(); ++i) {
+    out.push_back([i](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+      if (i >= s.stop_signs.size()) return std::nullopt;
+      ScenarioSpec next = s;
+      next.stop_signs.erase(next.stop_signs.begin() + static_cast<std::ptrdiff_t>(i));
+      return next;
+    });
+  }
+
+  out.push_back([](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+    if (std::all_of(s.segments.begin(), s.segments.end(),
+                    [](const road::RoadSegment& seg) { return seg.grade_rad == 0.0; }))
+      return std::nullopt;
+    ScenarioSpec next = s;
+    for (road::RoadSegment& seg : next.segments) seg.grade_rad = 0.0;
+    return next;
+  });
+
+  out.push_back([](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+    if (s.segments.size() <= 1) return std::nullopt;
+    ScenarioSpec next = s;
+    road::RoadSegment merged = next.segments.front();
+    merged.end_m = next.segments.back().end_m;
+    next.segments = {merged};
+    return next;
+  });
+
+  out.push_back([](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+    if (s.arrival_veh_h.size() <= 1) return std::nullopt;
+    ScenarioSpec next = s;
+    next.arrival_veh_h = {next.arrival_veh_h.front()};
+    return next;
+  });
+
+  out.push_back([](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+    if (s.depart_time_s == 0.0) return std::nullopt;
+    ScenarioSpec next = s;
+    next.depart_time_s = 0.0;
+    return next;
+  });
+
+  out.push_back([](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+    const ev::VehicleParams defaults{};
+    ScenarioSpec next = s;
+    next.vehicle = defaults;
+    if (spec_to_text(next) == spec_to_text(s)) return std::nullopt;
+    return next;
+  });
+
+  out.push_back([](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+    ScenarioSpec next = s;
+    const core::DpResolution defaults{};
+    next.planner.resolution.ds_m = defaults.ds_m;
+    next.planner.resolution.dv_ms = defaults.dv_ms;
+    next.planner.resolution.dt_s = defaults.dt_s;
+    if (spec_to_text(next) == spec_to_text(s)) return std::nullopt;
+    return next;
+  });
+
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_failure(const ScenarioSpec& failing, const CheckOptions& options,
+                            std::size_t max_checks) {
+  ShrinkResult result;
+  result.spec = failing;
+
+  const CheckReport initial = check_scenario(failing, options);
+  ++result.checks_run;
+  if (initial.ok()) return result;  // nothing to shrink
+  result.invariant = initial.violations.front().invariant;
+
+  bool progressed = true;
+  while (progressed && result.checks_run < max_checks) {
+    progressed = false;
+    for (const Transform& transform : candidate_transforms(result.spec)) {
+      if (result.checks_run >= max_checks) break;
+      std::optional<ScenarioSpec> candidate = transform(result.spec);
+      if (!candidate) continue;
+      candidate->seed = 0;  // no longer reproducible from a seed
+      ++result.checks_run;
+      bool fails = false;
+      try {
+        fails = still_fails(*candidate, options, result.invariant);
+      } catch (...) {
+        fails = false;  // a transform that breaks materialization is not a shrink
+      }
+      if (fails) {
+        result.spec = std::move(*candidate);
+        result.changed = true;
+        progressed = true;
+        break;  // restart with fresh transforms against the smaller spec
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace evvo::check

@@ -1,0 +1,35 @@
+// Greedy minimization of a violating scenario.
+//
+// When the fuzzer finds a spec that trips an invariant, the raw scenario is
+// usually cluttered: several lights, rolling grades, a varying arrival
+// profile, odd vehicle parameters. The shrinker repeatedly applies
+// simplifying transformations (drop a light, flatten the grades, collapse the
+// arrival profile, restore default vehicle/resolution, zero the departure
+// time...) and keeps a transformation whenever the *same* invariant still
+// fires, until no transformation makes progress. The result is the smallest
+// scenario this greedy pass can reach, which is what gets printed for humans
+// along with the replay command.
+#pragma once
+
+#include <cstddef>
+
+#include "check/invariants.hpp"
+#include "check/scenario.hpp"
+
+namespace evvo::check {
+
+struct ShrinkResult {
+  ScenarioSpec spec;           ///< minimized spec (== input when nothing helped)
+  std::string invariant;       ///< the invariant id the shrink preserved
+  std::size_t checks_run = 0;  ///< check_scenario() calls spent shrinking
+  bool changed = false;
+};
+
+/// Minimizes `failing`, a spec for which check_scenario(spec, options)
+/// reports at least one violation. `max_checks` bounds the work (each
+/// candidate costs one full check_scenario run). If the spec does not
+/// actually fail under `options`, it is returned unchanged.
+ShrinkResult shrink_failure(const ScenarioSpec& failing, const CheckOptions& options,
+                            std::size_t max_checks = 120);
+
+}  // namespace evvo::check

@@ -8,53 +8,24 @@
 
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
+#include "core/dp_common.hpp"
 
 namespace evvo::core {
 
 namespace {
 
-constexpr float kInf = std::numeric_limits<float>::infinity();
+// Packing, pruning margin, and the route-content hash are shared with the
+// reference solver (src/check) through dp_common.hpp.
+using detail::hash_route;
+using detail::kDwellFlag;
+using detail::kNoPred;
+using detail::kPruneMargin;
+using detail::pack_pred;
+using detail::pred_is_dwell;
+using detail::pred_j;
+using detail::pred_k;
 
-/// Backpointer packing: predecessor (j, k) plus a flag for same-layer dwells.
-constexpr std::uint32_t kDwellFlag = 0x8000'0000u;
-constexpr std::uint32_t kNoPred = 0xFFFF'FFFFu;
-
-/// Dominance-pruning slack. The destination selection breaks near-ties
-/// within 1e-9; pruning only drops states that are worse by more than this
-/// much larger margin, so a dropped state's completion can never have won
-/// that tie-break either.
-constexpr float kPruneMargin = 1e-6f;
-
-std::uint32_t pack_pred(std::size_t j, std::size_t k, bool dwell) {
-  return static_cast<std::uint32_t>(j << 20) | static_cast<std::uint32_t>(k) |
-         (dwell ? kDwellFlag : 0u);
-}
-std::size_t pred_j(std::uint32_t p) { return (p & ~kDwellFlag) >> 20; }
-std::size_t pred_k(std::uint32_t p) { return p & 0x000F'FFFFu; }
-bool pred_is_dwell(std::uint32_t p) { return (p & kDwellFlag) != 0u && p != kNoPred; }
-
-/// FNV-1a over the route's segment payload: the workspace's model tables are
-/// keyed by route *content* because replanning solves over short-lived
-/// suffix routes whose stack addresses recur.
-std::uint64_t hash_route(const road::Route& route) {
-  std::uint64_t h = 1469598103934665603ull;
-  const auto mix = [&h](double value) {
-    std::uint64_t bits;
-    std::memcpy(&bits, &value, sizeof bits);
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (bits >> (8 * byte)) & 0xFFu;
-      h *= 1099511628211ull;
-    }
-  };
-  for (const road::RoadSegment& seg : route.segments()) {
-    mix(seg.start_m);
-    mix(seg.end_m);
-    mix(seg.speed_limit_ms);
-    mix(seg.min_speed_ms);
-    mix(seg.grade_rad);
-  }
-  return h;
-}
+constexpr float kInf = detail::kDpInf;
 
 }  // namespace
 
@@ -334,6 +305,13 @@ std::optional<DpSolution> DpEngine::run() {
 
   for (const std::size_t count : stripe_relaxations_) stats_.relaxations += count;
   if (!feasible) return std::nullopt;
+  if (problem_.checksum_tables) {
+    // Every cell of every layer was initialized (layer 0 by the full fill,
+    // later layers by the stripes' lazy row resets), so the finite-cell scan
+    // never reads stale cost values.
+    stats_.table_checksum = detail::checksum_state_tables(
+        n_layers_, n_v_, n_t_, ws_.cost_.data(), ws_.time_.data(), ws_.back_.data());
+  }
   return extract_solution();
 }
 

@@ -121,6 +121,13 @@ struct DpProblem {
   /// unpruned solves agree on the optimal cost.
   bool dominance_pruning = true;
 
+  /// Checksum the final state tables into DpStats::table_checksum (see
+  /// dp_common.hpp). Off by default: the scan touches the whole grid, which
+  /// the lazy-reset data path otherwise avoids. The check harness uses it to
+  /// assert table-level identity across thread counts and against the naive
+  /// reference solver.
+  bool checksum_tables = false;
+
   void validate() const;
 };
 
@@ -133,6 +140,9 @@ struct DpStats {
   std::size_t frontier_states = 0;  ///< live states expanded across all layers
   std::size_t pruned_states = 0;    ///< states dropped by dominance pruning
   double best_cost_mah = 0.0;
+  /// FNV checksum of the reachable state tables (0 unless
+  /// DpProblem::checksum_tables was set).
+  std::uint64_t table_checksum = 0;
 };
 
 struct DpSolution {

@@ -17,10 +17,15 @@ void save_plan_csv(const std::filesystem::path& path, const PlannedProfile& prof
 
 PlannedProfile load_plan_csv(const std::filesystem::path& path) {
   const CsvTable table = read_csv(path);
-  const auto positions = table.column("position_m");
-  const auto speeds = table.column("speed_ms");
-  const auto times = table.column("time_s");
-  const auto energies = table.column("energy_mah");
+  std::vector<double> positions, speeds, times, energies;
+  try {
+    positions = table.column("position_m");
+    speeds = table.column("speed_ms");
+    times = table.column("time_s");
+    energies = table.column("energy_mah");
+  } catch (const std::out_of_range& e) {
+    throw std::runtime_error(std::string("load_plan_csv: ") + e.what());
+  }
   std::vector<PlanNode> nodes;
   nodes.reserve(positions.size());
   for (std::size_t i = 0; i < positions.size(); ++i) {

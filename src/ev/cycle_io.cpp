@@ -19,8 +19,13 @@ void save_cycle_csv(const std::filesystem::path& path, const DriveCycle& cycle) 
 
 DriveCycle load_cycle_csv(const std::filesystem::path& path) {
   const CsvTable table = read_csv(path);
-  const std::vector<double> times = table.column("time_s");
-  std::vector<double> speeds = table.column("speed_ms");
+  std::vector<double> times, speeds;
+  try {
+    times = table.column("time_s");
+    speeds = table.column("speed_ms");
+  } catch (const std::out_of_range& e) {
+    throw std::runtime_error(std::string("load_cycle_csv: ") + e.what());
+  }
   if (times.size() < 2) throw std::runtime_error("load_cycle_csv: need at least two samples");
   const double dt = times[1] - times[0];
   if (dt <= 0.0) throw std::runtime_error("load_cycle_csv: non-increasing time column");

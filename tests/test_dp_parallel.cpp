@@ -6,12 +6,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <optional>
+#include <sstream>
+#include <string>
 #include <thread>
 
 #include "common/thread_pool.hpp"
+#include "core/dp_common.hpp"
 #include "core/planner.hpp"
 #include "ev/energy_model.hpp"
 #include "road/corridor.hpp"
@@ -91,6 +97,150 @@ TEST_P(ParallelEquivalence, DominancePruningAgreesWithExhaustiveSweep) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelEquivalence,
                          ::testing::Values(1u, 5u, 13u, 21u, 34u));
+
+// ---------------------------------------------------------------------------
+// Golden-checksum regression on the paper's 4.2 km US-25 corridor.
+//
+// Pins the full DP state-table checksum (every finite-cost cell's cost,
+// arrival time, and backpointer) and an FNV-1a hash of the extracted profile
+// against a committed golden file. The same values must come out at every
+// thread count and in both pruning modes, so any change to relaxation order,
+// float rounding, pruning, or backtracking shows up as a one-line diff here
+// before it can silently shift Fig. 6-8 numbers. Regenerate deliberately with
+//   EVVO_UPDATE_GOLDEN=1 ./test_dp_parallel
+// and commit the new tests/golden/us25_golden.txt alongside the change that
+// explains it.
+// ---------------------------------------------------------------------------
+
+std::uint64_t hash_profile(const PlannedProfile& profile) {
+  detail::TableHasher hasher;
+  const auto mix_double = [&hasher](double value) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof bits);
+    hasher.mix_u64(bits);
+  };
+  for (const PlanNode& node : profile.nodes()) {
+    mix_double(node.position_m);
+    mix_double(node.speed_ms);
+    mix_double(node.time_s);
+    mix_double(node.energy_mah);
+  }
+  return hasher.value();
+}
+
+struct Us25Golden {
+  std::uint64_t unpruned_checksum = 0;
+  std::uint64_t pruned_checksum = 0;
+  std::uint64_t profile_hash = 0;
+  std::uint64_t best_cost_bits = 0;
+};
+
+std::string golden_path() { return std::string(EVVO_GOLDEN_DIR) + "/us25_golden.txt"; }
+
+std::optional<Us25Golden> read_golden() {
+  std::ifstream in(golden_path());
+  if (!in) return std::nullopt;
+  Us25Golden golden;
+  std::string key;
+  while (in >> key) {
+    if (key == "us25-golden") {
+      std::string version;
+      in >> version;
+    } else if (key == "unpruned_checksum") {
+      in >> std::hex >> golden.unpruned_checksum >> std::dec;
+    } else if (key == "pruned_checksum") {
+      in >> std::hex >> golden.pruned_checksum >> std::dec;
+    } else if (key == "profile_hash") {
+      in >> std::hex >> golden.profile_hash >> std::dec;
+    } else if (key == "best_cost_bits") {
+      in >> std::hex >> golden.best_cost_bits >> std::dec;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return golden;
+}
+
+void write_golden(const Us25Golden& golden) {
+  std::ofstream out(golden_path());
+  out << "us25-golden v1\n" << std::hex;
+  out << "unpruned_checksum " << golden.unpruned_checksum << "\n";
+  out << "pruned_checksum " << golden.pruned_checksum << "\n";
+  out << "profile_hash " << golden.profile_hash << "\n";
+  out << "best_cost_bits " << golden.best_cost_bits << "\n";
+}
+
+TEST(Us25GoldenChecksum, TablesAndProfilePinnedAcrossThreadsAndPruning) {
+  const road::Corridor corridor = road::make_us25_corridor();
+  ev::EnergyModel energy;
+  PlannerConfig cfg;
+  cfg.policy = SignalPolicy::kQueueAware;
+  cfg.resolution.ds_m = 15.0;
+  cfg.resolution.dv_ms = 1.0;
+  cfg.resolution.dt_s = 1.0;
+  cfg.resolution.horizon_s = 480.0;
+  const VelocityPlanner planner(corridor, energy, cfg);
+  const auto arrivals = std::make_shared<traffic::ConstantArrivalRate>(600.0);
+
+  DpProblem problem;
+  problem.route = &corridor.route;
+  problem.energy = &energy;
+  problem.depart_time_s = 60.0;
+  problem.resolution = cfg.resolution;
+  problem.time_weight_mah_per_s = cfg.time_weight_mah_per_s;
+  problem.smoothness_weight_mah_per_ms = cfg.smoothness_weight_mah_per_ms;
+  problem.events = planner.build_events(problem.depart_time_s, arrivals);
+  problem.checksum_tables = true;
+
+  common::ThreadPool pool(8);
+  DpWorkspace workspace;
+  Us25Golden computed;
+  std::optional<PlannedProfile> first_profile;
+  for (const bool pruning : {false, true}) {
+    problem.dominance_pruning = pruning;
+    std::uint64_t mode_checksum = 0;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+      problem.resolution.threads = threads;
+      const auto solution = threads == 1 ? solve_dp(problem) : solve_dp(problem, workspace, &pool);
+      ASSERT_TRUE(solution.has_value()) << "pruning=" << pruning << " threads=" << threads;
+
+      // Within a pruning mode, the state tables are bit-identical at every
+      // thread count; the extracted profile and cost match across modes too.
+      if (threads == 1) {
+        mode_checksum = solution->stats.table_checksum;
+      } else {
+        EXPECT_EQ(solution->stats.table_checksum, mode_checksum)
+            << "pruning=" << pruning << " threads=" << threads;
+      }
+      if (!first_profile) {
+        first_profile = solution->profile;
+        computed.profile_hash = hash_profile(solution->profile);
+        std::memcpy(&computed.best_cost_bits, &solution->stats.best_cost_mah,
+                    sizeof computed.best_cost_bits);
+      } else {
+        EXPECT_TRUE(profiles_bit_identical(*first_profile, solution->profile))
+            << "pruning=" << pruning << " threads=" << threads;
+        std::uint64_t cost_bits = 0;
+        std::memcpy(&cost_bits, &solution->stats.best_cost_mah, sizeof cost_bits);
+        EXPECT_EQ(cost_bits, computed.best_cost_bits)
+            << "pruning=" << pruning << " threads=" << threads;
+      }
+    }
+    (pruning ? computed.pruned_checksum : computed.unpruned_checksum) = mode_checksum;
+  }
+
+  if (std::getenv("EVVO_UPDATE_GOLDEN") != nullptr) {
+    write_golden(computed);
+    GTEST_SKIP() << "golden file regenerated at " << golden_path();
+  }
+  const std::optional<Us25Golden> golden = read_golden();
+  ASSERT_TRUE(golden.has_value()) << "missing/unreadable " << golden_path()
+                                  << " (regenerate with EVVO_UPDATE_GOLDEN=1)";
+  EXPECT_EQ(computed.unpruned_checksum, golden->unpruned_checksum);
+  EXPECT_EQ(computed.pruned_checksum, golden->pruned_checksum);
+  EXPECT_EQ(computed.profile_hash, golden->profile_hash);
+  EXPECT_EQ(computed.best_cost_bits, golden->best_cost_bits);
+}
 
 TEST(DpWorkspace, ReuseAcrossSolvesAndProblems) {
   common::ThreadPool pool(4);

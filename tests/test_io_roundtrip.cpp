@@ -1,0 +1,142 @@
+// Round-trip property tests for the two persistence formats: planned-profile
+// CSVs (core/plan_io) and drive-cycle CSVs (ev/cycle_io). The CSV writer
+// prints 10 significant digits, so a write -> read cycle must reproduce every
+// field to that precision (and structural properties exactly), for arbitrary
+// well-formed inputs. Malformed files must be rejected with the documented
+// exceptions rather than yielding a silently wrong object.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/plan_io.hpp"
+#include "core/planned_profile.hpp"
+#include "ev/cycle_io.hpp"
+#include "ev/drive_cycle.hpp"
+
+namespace evvo {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A unique temp path that removes itself (tests must not leak files).
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              ("evvo_roundtrip_" + tag + "_" + std::to_string(::getpid()) + ".csv")) {}
+  ~TempFile() {
+    std::error_code ec;
+    fs::remove(path_, ec);
+  }
+  const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+core::PlannedProfile random_profile(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<core::PlanNode> nodes;
+  double pos = 0.0, time = rng.uniform(0.0, 300.0), energy = 0.0;
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 120));
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool dwell = i > 0 && rng.bernoulli(0.1);
+    if (!dwell) pos += rng.uniform(5.0, 25.0);
+    time += rng.uniform(0.4, 4.0);
+    energy += rng.uniform(-0.5, 3.0);
+    nodes.push_back(core::PlanNode{pos, dwell ? 0.0 : rng.uniform(0.0, 22.0), time, energy});
+  }
+  return core::PlannedProfile(std::move(nodes));
+}
+
+class PlanIoRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlanIoRoundTrip, PreservesEveryNodeField) {
+  const core::PlannedProfile profile = random_profile(GetParam());
+  TempFile file("plan" + std::to_string(GetParam()));
+  core::save_plan_csv(file.path(), profile);
+  const core::PlannedProfile loaded = core::load_plan_csv(file.path());
+
+  ASSERT_EQ(loaded.nodes().size(), profile.nodes().size());
+  for (std::size_t i = 0; i < profile.nodes().size(); ++i) {
+    const core::PlanNode& a = profile.nodes()[i];
+    const core::PlanNode& b = loaded.nodes()[i];
+    EXPECT_NEAR(b.position_m, a.position_m, 1e-6 + 1e-9 * std::abs(a.position_m)) << "node " << i;
+    EXPECT_NEAR(b.speed_ms, a.speed_ms, 1e-6 + 1e-9 * std::abs(a.speed_ms)) << "node " << i;
+    EXPECT_NEAR(b.time_s, a.time_s, 1e-6 + 1e-9 * std::abs(a.time_s)) << "node " << i;
+    EXPECT_NEAR(b.energy_mah, a.energy_mah, 1e-6 + 1e-9 * std::abs(a.energy_mah)) << "node " << i;
+  }
+  // Derived queries must agree too (they only depend on the node data).
+  const double mid = profile.nodes().front().position_m * 0.25 +
+                     profile.nodes().back().position_m * 0.75;
+  EXPECT_NEAR(loaded.speed_at_position(mid), profile.speed_at_position(mid), 1e-6);
+  EXPECT_NEAR(loaded.trip_time(), profile.trip_time(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanIoRoundTrip, ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+TEST(PlanIo, RejectsMissingColumn) {
+  TempFile file("plan_bad");
+  std::ofstream(file.path()) << "position_m,speed_ms,time_s\n0,0,0\n10,5,2\n";
+  EXPECT_THROW(core::load_plan_csv(file.path()), std::runtime_error);
+}
+
+TEST(PlanIo, RejectsNonMonotoneProfile) {
+  TempFile file("plan_nonmono");
+  std::ofstream(file.path()) << "position_m,speed_ms,time_s,energy_mah\n"
+                             << "0,0,0,0\n50,10,5,1\n30,10,8,2\n";
+  EXPECT_THROW(core::load_plan_csv(file.path()), std::runtime_error);
+}
+
+class CycleIoRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CycleIoRoundTrip, PreservesSamplesAndStep) {
+  Rng rng(GetParam());
+  const double dt = std::vector<double>{0.1, 0.5, 1.0}[static_cast<std::size_t>(
+      rng.uniform_int(0, 2))];
+  std::vector<double> speeds;
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 400));
+  speeds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) speeds.push_back(rng.uniform(0.0, 25.0));
+  const ev::DriveCycle cycle(speeds, dt);
+
+  TempFile file("cycle" + std::to_string(GetParam()));
+  ev::save_cycle_csv(file.path(), cycle);
+  const ev::DriveCycle loaded = ev::load_cycle_csv(file.path());
+
+  ASSERT_EQ(loaded.size(), cycle.size());
+  EXPECT_NEAR(loaded.dt(), cycle.dt(), 1e-9);
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    EXPECT_NEAR(loaded.speeds()[i], cycle.speeds()[i], 1e-6) << "sample " << i;
+  }
+  EXPECT_NEAR(loaded.duration(), cycle.duration(), 1e-6);
+  EXPECT_NEAR(loaded.distance(), cycle.distance(), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CycleIoRoundTrip, ::testing::Values(4u, 5u, 6u, 23u, 77u));
+
+TEST(CycleIo, RejectsNonUniformTimeColumn) {
+  TempFile file("cycle_bad");
+  std::ofstream(file.path()) << "time_s,speed_ms\n0,1\n0.5,2\n1.6,3\n";
+  EXPECT_THROW(ev::load_cycle_csv(file.path()), std::runtime_error);
+}
+
+TEST(CycleIo, RejectsMissingColumn) {
+  TempFile file("cycle_nocol");
+  std::ofstream(file.path()) << "time_s,velocity\n0,1\n1,2\n";
+  EXPECT_THROW(ev::load_cycle_csv(file.path()), std::runtime_error);
+}
+
+TEST(CycleIo, RejectsSingleSample) {
+  TempFile file("cycle_one");
+  std::ofstream(file.path()) << "time_s,speed_ms\n0,1\n";
+  EXPECT_THROW(ev::load_cycle_csv(file.path()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace evvo
