@@ -65,8 +65,8 @@ void a2_penalty_sweep() {
     cfg.penalty = penalty;
     const core::VelocityPlanner planner(world.corridor, world.energy, cfg);
     const auto arrivals = world.lane_demand();
-    const core::PlannedProfile plan = planner.plan(world.depart_s, arrivals);
-    const auto events = planner.build_events(world.depart_s, arrivals);
+    const core::PlannedProfile plan = planner.plan(Seconds(world.depart_s), arrivals);
+    const auto events = planner.build_events(Seconds(world.depart_s), arrivals);
     int in_window = 0;
     int signals = 0;
     for (const auto& e : events) {
@@ -112,7 +112,7 @@ void a3_time_value_sweep() {
     core::PlannerConfig cfg = world.planner_config(core::SignalPolicy::kQueueAware);
     cfg.time_weight_mah_per_s = lambda;
     const core::VelocityPlanner planner(world.corridor, world.energy, cfg);
-    const core::PlannedProfile plan = planner.plan(world.depart_s, world.lane_demand());
+    const core::PlannedProfile plan = planner.plan(Seconds(world.depart_s), world.lane_demand());
     const auto exec = world.execute(plan);
     const double exec_mah =
         exec.completed ? world.evaluate(exec.cycle).energy.charge_mah : -1.0;
@@ -144,7 +144,7 @@ void a4_grid_sweep() {
     cfg.resolution.dv_ms = g.dv;
     cfg.resolution.dt_s = g.dt;
     const core::VelocityPlanner planner(world.corridor, world.energy, cfg);
-    const core::DpSolution solution = planner.plan_with_stats(world.depart_s, world.lane_demand());
+    const core::DpSolution solution = planner.plan_with_stats(Seconds(world.depart_s), world.lane_demand());
     const double states = static_cast<double>(solution.stats.layers) *
                           static_cast<double>(solution.stats.velocity_levels) *
                           static_cast<double>(solution.stats.time_bins);
@@ -205,7 +205,7 @@ void a6_margin_sweep() {
     cfg.window_start_margin_s = c.start;
     cfg.window_end_margin_s = c.end;
     const core::VelocityPlanner planner(world.corridor, world.energy, cfg);
-    const core::PlannedProfile plan = planner.plan(world.depart_s, world.lane_demand());
+    const core::PlannedProfile plan = planner.plan(Seconds(world.depart_s), world.lane_demand());
     const auto exec = world.execute(plan);
     table.add_row({format_double(c.start, 0), format_double(c.end, 0),
                    exec.completed ? format_double(exec.cycle.duration(), 1) : "timeout",
@@ -260,9 +260,8 @@ void a8_prediction_error_sweep() {
     ExperimentWorld world;
     core::PlannerConfig cfg = world.planner_config(core::SignalPolicy::kQueueAware);
     const core::VelocityPlanner planner(world.corridor, world.energy, cfg);
-    const auto believed = std::make_shared<traffic::ConstantArrivalRate>(
-        bias * world.demand_veh_h / world.sim_config.lane_equivalent_count);
-    const core::PlannedProfile plan = planner.plan(world.depart_s, believed);
+    const auto believed = std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(bias * world.demand_veh_h / world.sim_config.lane_equivalent_count));
+    const core::PlannedProfile plan = planner.plan(Seconds(world.depart_s), believed);
     const auto exec = world.execute(plan);
     if (!exec.completed) {
       table.add_row({format_double(bias, 2), "timeout", "-", "-", "-"});

@@ -25,7 +25,7 @@ int run() {
   for (const double a : accels) {
     std::vector<std::string> row{format_double(a, 1)};
     for (const double v_kmh : speeds_kmh) {
-      const double amps = model.traction_current_a(kmh_to_ms(v_kmh), a);
+      const double amps = model.traction_current_a(MetersPerSecond(kmh_to_ms(v_kmh)), MetersPerSecondSquared(a));
       row.push_back(format_double(amps, 1));
       csv.add_row({v_kmh, a, amps, ah_to_mah(as_to_ah(amps))});
     }
@@ -36,9 +36,9 @@ int run() {
 
   // The paper's two qualitative observations.
   print_header("Fig. 3 - checks");
-  const double accel_rate = model.traction_current_a(kmh_to_ms(40), 2.0);
-  const double cruise_rate = model.traction_current_a(kmh_to_ms(40), 0.0);
-  const double decel_rate = model.traction_current_a(kmh_to_ms(40), -1.5);
+  const double accel_rate = model.traction_current_a(MetersPerSecond(kmh_to_ms(40)), MetersPerSecondSquared(2.0));
+  const double cruise_rate = model.traction_current_a(MetersPerSecond(kmh_to_ms(40)), MetersPerSecondSquared(0.0));
+  const double decel_rate = model.traction_current_a(MetersPerSecond(kmh_to_ms(40)), MetersPerSecondSquared(-1.5));
   std::cout << "consumption under acceleration  (40 km/h, +2.0): " << format_double(accel_rate, 1)
             << " A  (>> cruise " << format_double(cruise_rate, 1) << " A)\n";
   std::cout << "consumption under deceleration  (40 km/h, -1.5): " << format_double(decel_rate, 1)

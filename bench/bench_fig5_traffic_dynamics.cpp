@@ -21,8 +21,8 @@ void figure_5a() {
 
   const traffic::QueueModel ours(paper_params, traffic::DischargeModel::kVmAcceleration);
   const traffic::QueueModel prior(paper_params, traffic::DischargeModel::kInstantMinSpeed);
-  const double clear_ours = ours.clear_time(phases, v_in_veh_s).value_or(phases.cycle());
-  const double clear_prior = prior.clear_time(phases, v_in_veh_s).value_or(phases.cycle());
+  const double clear_ours = ours.clear_time(phases, VehiclesPerSecond(v_in_veh_s)).value_or(phases.cycle());
+  const double clear_prior = prior.clear_time(phases, VehiclesPerSecond(v_in_veh_s)).value_or(phases.cycle());
 
   TextTable table({"t [s]", "VM model", "method [9]", "V_in"});
   CsvTable csv;
@@ -91,8 +91,8 @@ void figure_5b() {
   std::vector<double> prior_series;
   for (std::size_t b = 0; b < n_bins; ++b) {
     const double tau = b * bin_s;
-    const double q_ours = ours.queue_vehicles(tau, phases, lane_v_in);
-    const double q_prior = prior.queue_vehicles(tau, phases, lane_v_in);
+    const double q_ours = ours.queue_vehicles(Seconds(tau), phases, VehiclesPerSecond(lane_v_in));
+    const double q_prior = prior.queue_vehicles(Seconds(tau), phases, VehiclesPerSecond(lane_v_in));
     ours_series.push_back(q_ours);
     prior_series.push_back(q_prior);
     table.add_row({format_double(tau, 0), format_double(q_ours, 1), format_double(q_prior, 1),

@@ -22,7 +22,7 @@ void BM_EnergyRate(benchmark::State& state) {
   const ev::EnergyModel model;
   double v = 1.0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(model.current_a(v, 0.5, 0.01));
+    benchmark::DoNotOptimize(model.current_a(MetersPerSecond(v), MetersPerSecondSquared(0.5), 0.01));
     v = v < 30.0 ? v + 0.01 : 1.0;
   }
 }
@@ -32,9 +32,9 @@ void BM_QueueWindows(benchmark::State& state) {
   const road::TrafficLight light(1820.0, 30.0, 30.0);
   const traffic::QueuePredictor predictor(
       light, traffic::QueueModel(traffic::VmParams{}),
-      std::make_shared<traffic::ConstantArrivalRate>(765.0));
+      std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(765.0)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(predictor.zero_queue_windows(0.0, 600.0));
+    benchmark::DoNotOptimize(predictor.zero_queue_windows(Seconds(0.0), Seconds(600.0)));
   }
 }
 BENCHMARK(BM_QueueWindows);
@@ -46,9 +46,9 @@ void BM_DpSolveCorridor(benchmark::State& state) {
   cfg.policy = core::SignalPolicy::kQueueAware;
   cfg.resolution.ds_m = static_cast<double>(state.range(0));
   const core::VelocityPlanner planner(corridor, energy, cfg);
-  const auto arrivals = std::make_shared<traffic::ConstantArrivalRate>(765.0);
+  const auto arrivals = std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(765.0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(planner.plan(0.0, arrivals));
+    benchmark::DoNotOptimize(planner.plan(Seconds(0.0), arrivals));
   }
   state.SetLabel("ds=" + std::to_string(state.range(0)) + "m");
 }
@@ -61,10 +61,10 @@ void BM_DpSolveCorridorParallel(benchmark::State& state) {
   cfg.policy = core::SignalPolicy::kQueueAware;
   cfg.resolution.threads = static_cast<unsigned>(state.range(0));
   const core::VelocityPlanner planner(corridor, energy, cfg);
-  const auto arrivals = std::make_shared<traffic::ConstantArrivalRate>(765.0);
-  planner.plan(0.0, arrivals);  // warm the workspace + model tables
+  const auto arrivals = std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(765.0));
+  (void)planner.plan(Seconds(0.0), arrivals);  // warm the workspace + model tables
   for (auto _ : state) {
-    benchmark::DoNotOptimize(planner.plan(0.0, arrivals));
+    benchmark::DoNotOptimize(planner.plan(Seconds(0.0), arrivals));
   }
   state.SetLabel("threads=" + std::to_string(state.range(0)) + ", ds=10m");
 }
@@ -76,7 +76,7 @@ void BM_MicrosimStep(benchmark::State& state) {
   cfg.seed = 3;
   sim::Microsim simulator(road::make_us25_corridor(), cfg,
                           std::make_shared<traffic::ConstantArrivalRate>(
-                              static_cast<double>(state.range(0))));
+                              flow_from_veh_h(static_cast<double>(state.range(0)))));
   simulator.run_until(600.0);  // populate
   for (auto _ : state) {
     simulator.step();
@@ -119,7 +119,7 @@ void BM_QueueClearTime(benchmark::State& state) {
   const traffic::CyclePhases phases{30.0, 30.0};
   double rate = 0.05;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(model.clear_time(phases, rate));
+    benchmark::DoNotOptimize(model.clear_time(phases, VehiclesPerSecond(rate)));
     rate = rate < 1.5 ? rate + 0.001 : 0.05;
   }
 }
@@ -131,8 +131,8 @@ void BM_PlanServiceCachedRequest(benchmark::State& state) {
   cfg.vm = sim::calibrated_vm_params(sim_cfg.background_driver, 13.4, sim_cfg.straight_ratio);
   cloud::PlanService service(
       core::VelocityPlanner(road::make_us25_corridor(), ev::EnergyModel{}, cfg),
-      std::make_shared<traffic::ConstantArrivalRate>(765.0));
-  service.request_plan({0, 600.0});  // warm the cache
+      std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(765.0)));
+  (void)service.request_plan({0, 600.0});  // warm the cache
   long depart = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(service.request_plan({1, 600.0 + 60.0 * (++depart)}));
@@ -156,7 +156,7 @@ void BM_PlanServiceConcurrentMisses(benchmark::State& state) {
     cache.batch_threads = batch_threads;
     cloud::PlanService service(
         core::VelocityPlanner(road::make_us25_corridor(), ev::EnergyModel{}, cfg),
-        std::make_shared<traffic::ConstantArrivalRate>(765.0), cache);
+        std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(765.0)), cache);
     std::vector<cloud::PlanRequest> requests;
     for (int i = 0; i < kBatch; ++i) requests.push_back({i, 600.0 + 7.0 * i});
     state.ResumeTiming();

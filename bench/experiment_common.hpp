@@ -34,11 +34,11 @@ struct ExperimentWorld {
   std::uint64_t seed = 7;
 
   std::shared_ptr<traffic::ConstantArrivalRate> demand() const {
-    return std::make_shared<traffic::ConstantArrivalRate>(demand_veh_h);
+    return std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(demand_veh_h));
   }
   std::shared_ptr<traffic::ConstantArrivalRate> lane_demand() const {
-    return std::make_shared<traffic::ConstantArrivalRate>(demand_veh_h /
-                                                          sim_config.lane_equivalent_count);
+    return std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(demand_veh_h /
+                                                          sim_config.lane_equivalent_count));
   }
 
   core::PlannerConfig planner_config(core::SignalPolicy policy) const {
@@ -51,7 +51,7 @@ struct ExperimentWorld {
 
   core::PlannedProfile plan(core::SignalPolicy policy) const {
     const core::VelocityPlanner planner(corridor, energy, planner_config(policy));
-    return planner.plan(depart_s, lane_demand());
+    return planner.plan(Seconds(depart_s), lane_demand());
   }
 
   /// Executes a plan among background traffic; the returned profile is the

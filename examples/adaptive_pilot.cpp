@@ -18,8 +18,8 @@ int main() {
   const road::Corridor corridor = road::make_us25_corridor();
   const ev::EnergyModel energy;
   sim::MicrosimConfig sim_config;
-  const auto demand = std::make_shared<traffic::ConstantArrivalRate>(1530.0);
-  const auto lane_demand = std::make_shared<traffic::ConstantArrivalRate>(765.0);
+  const auto demand = std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(1530.0));
+  const auto lane_demand = std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(765.0));
 
   core::PlannerConfig cfg;
   cfg.vm = sim::calibrated_vm_params(sim_config.background_driver, 13.4,

@@ -23,9 +23,8 @@ int main() {
   const double depart = 600.0;         // enter warmed-up traffic
 
   sim::MicrosimConfig sim_config;
-  const auto demand = std::make_shared<traffic::ConstantArrivalRate>(demand_veh_h);
-  const auto lane_demand = std::make_shared<traffic::ConstantArrivalRate>(
-      demand_veh_h / sim_config.lane_equivalent_count);
+  const auto demand = std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(demand_veh_h));
+  const auto lane_demand = std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(demand_veh_h / sim_config.lane_equivalent_count));
 
   const auto execute = [&](const core::PlannedProfile& plan) {
     sim::Microsim simulator(corridor, sim_config, demand);
@@ -63,7 +62,7 @@ int main() {
                                        sim_config.straight_ratio);
     const core::VelocityPlanner planner(corridor, energy, cfg);
     const core::PlannedProfile plan =
-        planner.plan(depart, policy == core::SignalPolicy::kQueueAware ? lane_demand : nullptr);
+        planner.plan(Seconds(depart), policy == core::SignalPolicy::kQueueAware ? lane_demand : nullptr);
     const auto exec = execute(plan);
     if (!exec.completed) {
       std::cout << core::signal_policy_name(policy) << ": execution timed out\n";

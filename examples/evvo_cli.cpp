@@ -102,15 +102,14 @@ int main(int argc, char** argv) {
   if (lambda >= 0.0) cfg.time_weight_mah_per_s = lambda;
 
   const core::VelocityPlanner planner(corridor, energy, cfg);
-  const auto lane_demand = std::make_shared<traffic::ConstantArrivalRate>(
-      demand_veh_h / sim_config.lane_equivalent_count);
+  const auto lane_demand = std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(demand_veh_h / sim_config.lane_equivalent_count));
 
   std::cout << "corridor: " << corridor_spec << " (" << corridor.length() << " m, "
             << corridor.lights.size() << " lights, " << corridor.stop_signs.size()
             << " stop signs)\npolicy: " << core::signal_policy_name(policy) << ", demand "
             << demand_veh_h << " veh/h, depart " << depart_s << " s\n\n";
 
-  const core::PlannedProfile plan = planner.plan(depart_s, lane_demand);
+  const core::PlannedProfile plan = planner.plan(Seconds(depart_s), lane_demand);
   const auto plan_eval = core::evaluate_cycle(energy, corridor.route, plan.to_drive_cycle(0.5));
 
   TextTable table({"stage", "energy [mAh]", "trip [s]", "stops", "max speed [km/h]"});
@@ -120,7 +119,7 @@ int main(int argc, char** argv) {
 
   if (execute) {
     sim::Microsim simulator(corridor, sim_config,
-                            std::make_shared<traffic::ConstantArrivalRate>(demand_veh_h));
+                            std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(demand_veh_h)));
     simulator.run_until(depart_s);
     sim::DriverParams ego;
     ego.accel_ms2 = energy.params().max_acceleration;

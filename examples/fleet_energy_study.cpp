@@ -73,7 +73,7 @@ int main() {
     const int hour = hours[i];
     // Traffic of that hour's actual intensity; the plans used the forecast.
     const double actual_veh_h = ds.test.at(static_cast<std::size_t>(hour));
-    const auto demand = std::make_shared<traffic::ConstantArrivalRate>(actual_veh_h);
+    const auto demand = std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(actual_veh_h));
 
     const auto run = [&](const core::PlannedProfile& profile) {
       // Execute at simulator time 600 s: the absolute departure differs from

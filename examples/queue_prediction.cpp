@@ -51,7 +51,7 @@ int main() {
   const double am_peak = 7.5 * 3600.0;  // 07:30
   std::cout << "\nzero-queue windows at light 1 around 07:30 (morning peak):\n";
   TextTable windows({"window start", "window end", "usable [s]"});
-  for (const auto& w : predictor.zero_queue_windows(am_peak, am_peak + 5.0 * 60.0)) {
+  for (const auto& w : predictor.zero_queue_windows(Seconds(am_peak), Seconds(am_peak + 5.0 * 60.0))) {
     windows.add_row({format_double(w.start_s - am_peak, 1) + " s",
                      format_double(w.end_s - am_peak, 1) + " s", format_double(w.duration(), 1)});
   }
@@ -60,9 +60,9 @@ int main() {
   const double night = 3.0 * 3600.0;  // 03:00
   double peak_usable = 0.0;
   double night_usable = 0.0;
-  for (const auto& w : predictor.zero_queue_windows(am_peak, am_peak + 600.0))
+  for (const auto& w : predictor.zero_queue_windows(Seconds(am_peak), Seconds(am_peak + 600.0)))
     peak_usable += w.duration();
-  for (const auto& w : predictor.zero_queue_windows(night, night + 600.0))
+  for (const auto& w : predictor.zero_queue_windows(Seconds(night), Seconds(night + 600.0)))
     night_usable += w.duration();
   std::cout << "\nusable crossing time per 10 min: " << format_double(night_usable, 0)
             << " s at 03:00 vs " << format_double(peak_usable, 0)

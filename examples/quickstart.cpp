@@ -25,7 +25,7 @@ int main() {
 
   // 3. Traffic: a steady 1530 veh/h approaching each signal (the paper's
   //    probed arrival rate); per-lane demand feeds the queue-length model.
-  const auto arrivals = std::make_shared<traffic::ConstantArrivalRate>(1530.0 / 2.0);
+  const auto arrivals = std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(1530.0 / 2.0));
 
   // 4. Plan with the proposed queue-aware policy and the baseline.
   core::PlannerConfig config;
@@ -36,8 +36,8 @@ int main() {
   const core::VelocityPlanner baseline(corridor, energy, config);
 
   const double depart = 0.0;
-  const core::PlannedProfile plan_ours = proposed.plan(depart, arrivals);
-  const core::PlannedProfile plan_base = baseline.plan(depart, arrivals);
+  const core::PlannedProfile plan_ours = proposed.plan(Seconds(depart), arrivals);
+  const core::PlannedProfile plan_base = baseline.plan(Seconds(depart), arrivals);
 
   // 5. Account both plans with the same energy model.
   const auto eval = [&](const core::PlannedProfile& p) {

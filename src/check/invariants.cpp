@@ -98,7 +98,7 @@ std::optional<double> recost_profile(const Scenario& scenario, const PlannedProf
     const auto accel = static_cast<float>(
         (cur.speed_ms * cur.speed_ms - prev.speed_ms * prev.speed_ms) / (2.0 * ds));
     const auto raw = static_cast<float>(
-        ah_to_mah(as_to_ah(energy.current_a(v_mid, accel, grades[layer]) * hop_dt)));
+        ah_to_mah(as_to_ah(energy.current_a(MetersPerSecond(v_mid), MetersPerSecondSquared(accel), grades[layer]) * hop_dt)));
 
     const LayerEvent* event = event_at[layer];
     float hop_cost;
@@ -144,7 +144,7 @@ double integrate_profile_energy(const road::Route& route, const ev::EnergyModel&
       const double v = prev.speed_ms + a * tm;
       const double pos = prev.position_m + prev.speed_ms * tm + 0.5 * a * tm * tm;
       total += ah_to_mah(
-          as_to_ah(energy.current_a(v, a, route.grade_at(pos)) * (dt / kSub)));
+          as_to_ah(energy.current_a(MetersPerSecond(v), MetersPerSecondSquared(a), route.grade_at(pos)) * (dt / kSub)));
     }
   }
   return total;
@@ -212,7 +212,7 @@ void check_queue_model(Reporter& rep, const Scenario& scenario) {
     const road::TrafficLight& light = scenario.corridor().lights[li];
     const traffic::QueuePredictor predictor(light, model, scenario.arrivals());
 
-    const auto windows = predictor.zero_queue_windows(t0, t1);
+    const auto windows = predictor.zero_queue_windows(Seconds(t0), Seconds(t1));
     double prev_end = -1e18;
     for (const road::TimeWindow& w : windows) {
       if (!(w.duration() > 0.0)) {
@@ -242,7 +242,7 @@ void check_queue_model(Reporter& rep, const Scenario& scenario) {
 
     const double step = std::max(1.0, (t1 - t0) / 64.0);
     for (double t = t0; t <= t1; t += step) {
-      const double q = predictor.queue_length_m_at(t);
+      const double q = predictor.queue_length_m_at(Seconds(t));
       if (!(q >= -1e-9) || !std::isfinite(q)) {
         rep.add("queue.negative") << "light " << li << ": queue length " << q << " m at t=" << t;
         rep.commit();
@@ -614,7 +614,7 @@ CheckReport check_scenario(const ScenarioSpec& spec, const CheckOptions& options
     sim::MicrosimConfig cfg;
     cfg.seed = spec.seed | 1;
     sim::Microsim msim(scenario->corridor(), cfg,
-                       std::make_shared<traffic::ConstantArrivalRate>(0.0));
+                       std::make_shared<traffic::ConstantArrivalRate>(VehiclesPerSecond(0.0)));
     msim.run_until(spec.depart_time_s);
 
     const ev::VehicleParams& vp = scenario->energy().params();

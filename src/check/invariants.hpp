@@ -68,7 +68,7 @@ struct Violation {
   std::string detail;     ///< human-readable specifics (values, positions)
 };
 
-struct CheckReport {
+struct [[nodiscard]] CheckReport {
   std::uint64_t seed = 0;
   bool feasible = false;       ///< production solver found a trajectory
   double best_cost_mah = 0.0;  ///< spec-config solve (when feasible)

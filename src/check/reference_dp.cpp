@@ -87,8 +87,8 @@ std::optional<ReferenceSolution> solve_reference_dp(const core::DpProblem& probl
       throw std::invalid_argument("solve_reference_dp: boundary speed above the velocity grid");
     return j;
   };
-  const std::size_t j_source = snap_level(problem.initial_speed_ms);
-  const std::size_t j_dest = snap_level(problem.final_speed_ms);
+  const std::size_t j_source = snap_level(problem.initial_speed.value());
+  const std::size_t j_dest = snap_level(problem.final_speed.value());
 
   // Feasible hops per source level: the acceleration to go from v to v2 over
   // one distance step must lie in the comfort envelope (Eq. 7b).
@@ -118,7 +118,7 @@ std::optional<ReferenceSolution> solve_reference_dp(const core::DpProblem& probl
   };
 
   cost[at(0, j_source, 0)] = 0.0f;
-  time[at(0, j_source, 0)] = static_cast<float>(problem.depart_time_s);
+  time[at(0, j_source, 0)] = static_cast<float>(problem.depart_time.value());
 
   ReferenceSolution out{core::PlannedProfile({core::PlanNode{}, core::PlanNode{}}), 0.0, 0, 0};
 
@@ -174,7 +174,7 @@ std::optional<ReferenceSolution> solve_reference_dp(const core::DpProblem& probl
           if (next_is_sign && j2 != 0) continue;
           if (next_is_dest && j2 != j_dest) continue;
           const float arrive_t = t0 + hop.dt;
-          const double elapsed = static_cast<double>(arrive_t) - problem.depart_time_s;
+          const double elapsed = static_cast<double>(arrive_t) - problem.depart_time.value();
           if (elapsed >= res.horizon_s) continue;
 
           // Transition cost, term by term, with the exact float rounding the
@@ -182,7 +182,9 @@ std::optional<ReferenceSolution> solve_reference_dp(const core::DpProblem& probl
           // float first, then += lambda * dt, then += the smoothness term.
           const double v_mid = 0.5 * (v + v2);
           const auto raw = static_cast<float>(ah_to_mah(
-              as_to_ah(energy.current_a(v_mid, hop.accel, grade) * hop.dt)));
+              as_to_ah(energy.current_a(MetersPerSecond(v_mid),
+                                        MetersPerSecondSquared(hop.accel), grade) *
+                     hop.dt)));
           float hop_cost;
           if (check_windows) {
             hop_cost = static_cast<float>(
@@ -290,7 +292,8 @@ std::optional<ReferenceSolution> solve_reference_dp(const core::DpProblem& probl
       const double a =
           (cur.speed_ms * cur.speed_ms - prev.speed_ms * prev.speed_ms) / (2.0 * dist);
       const double g = route.grade_at(prev.position_m + 0.5 * dist);
-      delta = ah_to_mah(as_to_ah(energy.current_a(v_mid, a, g) * dt));
+      delta = ah_to_mah(as_to_ah(
+          energy.current_a(MetersPerSecond(v_mid), MetersPerSecondSquared(a), g) * dt));
     }
     cur.energy_mah = prev.energy_mah + delta;
   }

@@ -26,7 +26,7 @@
 
 namespace evvo::check {
 
-struct ReferenceSolution {
+struct [[nodiscard]] ReferenceSolution {
   core::PlannedProfile profile;
   double best_cost_mah = 0.0;
   /// Checksum of the final state tables (same scheme as

@@ -21,9 +21,10 @@ class BlockArrivalRate final : public traffic::ArrivalRateProvider {
   BlockArrivalRate(std::vector<double> veh_h, double block_s)
       : veh_h_(std::move(veh_h)), block_s_(block_s) {}
 
-  double arrival_rate_veh_h(double t) const override {
+  double arrival_rate_veh_h(Seconds t) const override {
     if (veh_h_.empty()) return 0.0;
-    const auto block = static_cast<std::size_t>(std::max(0.0, std::floor(t / block_s_)));
+    const auto block =
+        static_cast<std::size_t>(std::max(0.0, std::floor(t.value() / block_s_)));
     return veh_h_[std::min(block, veh_h_.size() - 1)];
   }
 
@@ -323,7 +324,7 @@ Scenario::Scenario(ScenarioSpec spec)
       energy_(spec_.vehicle, /*pack_voltage=*/399.0),
       arrivals_(std::make_shared<BlockArrivalRate>(spec_.arrival_veh_h, spec_.arrival_block_s)) {
   const core::VelocityPlanner planner(corridor_, energy_, spec_.planner);
-  events_ = planner.build_events(spec_.depart_time_s, arrivals_);
+  events_ = planner.build_events(Seconds(spec_.depart_time_s), arrivals_);
 }
 
 double Scenario::grid_ds() const {
@@ -337,7 +338,7 @@ core::DpProblem Scenario::problem() const {
   core::DpProblem problem;
   problem.route = &corridor_.route;
   problem.energy = &energy_;
-  problem.depart_time_s = spec_.depart_time_s;
+  problem.depart_time = Seconds(spec_.depart_time_s);
   problem.resolution = spec_.planner.resolution;
   problem.resolution.threads = 1;
   problem.penalty = spec_.planner.penalty;

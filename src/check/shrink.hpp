@@ -18,7 +18,7 @@
 
 namespace evvo::check {
 
-struct ShrinkResult {
+struct [[nodiscard]] ShrinkResult {
   ScenarioSpec spec;           ///< minimized spec (== input when nothing helped)
   std::string invariant;       ///< the invariant id the shrink preserved
   std::size_t checks_run = 0;  ///< check_scenario() calls spent shrinking

@@ -34,13 +34,15 @@ PlanService::PlanService(core::VelocityPlanner planner,
 
 PlanService::~PlanService() = default;
 
-PlanService::CacheKey PlanService::key_for(double depart_time_s) const {
+PlanService::CacheKey PlanService::key_for(Seconds depart_time) const {
+  const double depart_time_s = depart_time.value();  // .value() seam
   double phase = 0.0;
   if (hyperperiod_s_ > 0.0) {
     phase = std::fmod(depart_time_s, hyperperiod_s_);
     if (phase < 0.0) phase += hyperperiod_s_;
   }
-  const double demand = arrivals_ ? arrivals_->arrival_rate_veh_h(depart_time_s) : 0.0;
+  const double demand =
+      arrivals_ ? arrivals_->arrival_rate_veh_h(Seconds(depart_time_s)) : 0.0;
   return CacheKey{std::lround(phase / cache_config_.phase_quantum_s),
                   std::lround(demand / cache_config_.demand_quantum_veh_h)};
 }
@@ -61,12 +63,12 @@ void PlanService::insert_into_cache_locked(const CacheKey& key,
 }
 
 PlanResponse PlanService::request_plan(const PlanRequest& request) {
-  const CacheKey key = key_for(request.depart_time_s);
+  const CacheKey key = key_for(Seconds(request.depart_time_s));
 
   std::shared_ptr<InFlight> flight;
   bool leader = false;
   {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     ++stats_.requests;
     const auto it = cache_.find(key);
     if (it != cache_.end()) {
@@ -88,16 +90,16 @@ PlanResponse PlanService::request_plan(const PlanRequest& request) {
 
   if (leader) {
     try {
-      core::PlannedProfile profile = planner_.plan(request.depart_time_s, arrivals_);
+      core::PlannedProfile profile = planner_.plan(Seconds(request.depart_time_s), arrivals_);
       {
         // Publish to the cache and retire the flight atomically: any request
         // arriving from here on hits the cache instead of the flight.
-        std::lock_guard lock(mutex_);
+        common::MutexLock lock(mutex_);
         insert_into_cache_locked(key, profile, request.depart_time_s);
         in_flight_.erase(key);
       }
       {
-        std::lock_guard flight_lock(flight->mutex);
+        common::MutexLock flight_lock(flight->mutex);
         flight->profile = profile;
         flight->reference_depart = request.depart_time_s;
         flight->done = true;
@@ -106,11 +108,11 @@ PlanResponse PlanService::request_plan(const PlanRequest& request) {
       return PlanResponse{request.vehicle_id, std::move(profile), false};
     } catch (...) {
       {
-        std::lock_guard lock(mutex_);
+        common::MutexLock lock(mutex_);
         in_flight_.erase(key);
       }
       {
-        std::lock_guard flight_lock(flight->mutex);
+        common::MutexLock flight_lock(flight->mutex);
         flight->error = std::current_exception();
         flight->done = true;
       }
@@ -120,24 +122,26 @@ PlanResponse PlanService::request_plan(const PlanRequest& request) {
   }
 
   // Follower: coalesce onto the leader's solve.
-  std::unique_lock flight_lock(flight->mutex);
-  flight->completed.wait(flight_lock, [&] { return flight->done; });
-  if (flight->error) std::rethrow_exception(flight->error);
-  const double shift = request.depart_time_s - flight->reference_depart;
-  PlanResponse response{request.vehicle_id, flight->profile->time_shifted(shift), true};
-  flight_lock.unlock();
+  std::optional<PlanResponse> response;
   {
-    std::lock_guard lock(mutex_);
+    common::MutexLock flight_lock(flight->mutex);
+    while (!flight->done) flight->completed.wait(flight->mutex);
+    if (flight->error) std::rethrow_exception(flight->error);
+    const double shift = request.depart_time_s - flight->reference_depart;
+    response.emplace(PlanResponse{request.vehicle_id, flight->profile->time_shifted(shift), true});
+  }
+  {
+    common::MutexLock lock(mutex_);
     ++stats_.cache_hits;
     ++stats_.coalesced_hits;
   }
-  return response;
+  return std::move(*response);
 }
 
 common::ThreadPool* PlanService::batch_pool() {
   const unsigned want = common::ThreadPool::resolve_threads(cache_config_.batch_threads);
   if (want <= 1) return nullptr;
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (!batch_pool_) batch_pool_ = std::make_unique<common::ThreadPool>(want);
   return batch_pool_.get();
 }
@@ -158,7 +162,7 @@ std::vector<PlanResponse> PlanService::request_plans(std::span<const PlanRequest
 }
 
 ServiceStats PlanService::stats() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return stats_;
 }
 

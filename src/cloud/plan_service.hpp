@@ -20,15 +20,15 @@
 // solve. At quiescence, requests == cache_hits + solver_runs.
 #pragma once
 
-#include <condition_variable>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/planner.hpp"
 
 namespace evvo::common {
@@ -50,13 +50,13 @@ struct PlanRequest {
   double depart_time_s = 0.0;
 };
 
-struct PlanResponse {
+struct [[nodiscard]] PlanResponse {
   int vehicle_id = 0;
   core::PlannedProfile profile;
   bool cache_hit = false;
 };
 
-struct ServiceStats {
+struct [[nodiscard]] ServiceStats {
   long requests = 0;
   long cache_hits = 0;      ///< served from cache or a coalesced in-flight solve
   long coalesced_hits = 0;  ///< subset of cache_hits that waited on a leader
@@ -75,18 +75,19 @@ class PlanService {
 
   /// Computes or serves a plan. Thread-safe; see the single-flight notes in
   /// the header comment.
-  PlanResponse request_plan(const PlanRequest& request);
+  PlanResponse request_plan(const PlanRequest& request) EVVO_EXCLUDES(mutex_);
 
   /// Serves a whole batch, fanning the requests across the service's worker
   /// pool (CacheConfig::batch_threads). Responses are returned in request
   /// order. Same-key requests within the batch coalesce onto one solve.
-  std::vector<PlanResponse> request_plans(std::span<const PlanRequest> requests);
+  std::vector<PlanResponse> request_plans(std::span<const PlanRequest> requests)
+      EVVO_EXCLUDES(mutex_);
 
   /// Signals' hyperperiod H [s]; 0 when the corridor has no lights (every
   /// departure is then equivalent and one plan serves all).
   double hyperperiod() const { return hyperperiod_s_; }
 
-  ServiceStats stats() const;
+  ServiceStats stats() const EVVO_EXCLUDES(mutex_);
 
  private:
   struct CacheKey {
@@ -102,30 +103,30 @@ class PlanService {
   /// One in-flight solve. The leader fills profile/reference_depart (or
   /// error) and flips done under `mutex`; followers wait on `completed`.
   struct InFlight {
-    std::mutex mutex;
-    std::condition_variable completed;
-    bool done = false;
-    std::optional<core::PlannedProfile> profile;
-    double reference_depart = 0.0;
-    std::exception_ptr error;
+    common::Mutex mutex;
+    common::CondVar completed;
+    bool done EVVO_GUARDED_BY(mutex) = false;
+    std::optional<core::PlannedProfile> profile EVVO_GUARDED_BY(mutex);
+    double reference_depart EVVO_GUARDED_BY(mutex) = 0.0;
+    std::exception_ptr error EVVO_GUARDED_BY(mutex);
   };
 
-  CacheKey key_for(double depart_time_s) const;
+  CacheKey key_for(Seconds depart_time) const EVVO_EXCLUDES(mutex_);
   void insert_into_cache_locked(const CacheKey& key, const core::PlannedProfile& profile,
-                                double reference_depart);
-  common::ThreadPool* batch_pool();
+                                double reference_depart) EVVO_REQUIRES(mutex_);
+  common::ThreadPool* batch_pool() EVVO_EXCLUDES(mutex_);
 
   core::VelocityPlanner planner_;
   std::shared_ptr<const traffic::ArrivalRateProvider> arrivals_;
   CacheConfig cache_config_;
   double hyperperiod_s_;
 
-  mutable std::mutex mutex_;
-  std::map<CacheKey, CacheEntry> cache_;
-  std::list<CacheKey> lru_;  // front = most recent
-  std::map<CacheKey, std::shared_ptr<InFlight>> in_flight_;
-  ServiceStats stats_;
-  std::unique_ptr<common::ThreadPool> batch_pool_;  // lazily created
+  mutable common::Mutex mutex_;
+  std::map<CacheKey, CacheEntry> cache_ EVVO_GUARDED_BY(mutex_);
+  std::list<CacheKey> lru_ EVVO_GUARDED_BY(mutex_);  // front = most recent
+  std::map<CacheKey, std::shared_ptr<InFlight>> in_flight_ EVVO_GUARDED_BY(mutex_);
+  ServiceStats stats_ EVVO_GUARDED_BY(mutex_);
+  std::unique_ptr<common::ThreadPool> batch_pool_ EVVO_GUARDED_BY(mutex_);  // lazily created
 };
 
 /// lcm of the signal cycle durations [s] (integer deciseconds internally);

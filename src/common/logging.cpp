@@ -1,14 +1,15 @@
 #include "common/logging.hpp"
 
 #include <iostream>
-#include <mutex>
+
+#include "common/mutex.hpp"
 
 namespace evvo {
 
 namespace {
-std::mutex g_mutex;
-LogLevel g_level = LogLevel::kWarn;
-std::function<void(const std::string&)> g_sink;
+common::Mutex g_mutex;
+LogLevel g_level EVVO_GUARDED_BY(g_mutex) = LogLevel::kWarn;
+std::function<void(const std::string&)> g_sink EVVO_GUARDED_BY(g_mutex);
 }  // namespace
 
 const char* log_level_name(LogLevel level) {
@@ -28,22 +29,22 @@ const char* log_level_name(LogLevel level) {
 }
 
 void set_log_level(LogLevel level) {
-  std::lock_guard lock(g_mutex);
+  common::MutexLock lock(g_mutex);
   g_level = level;
 }
 
 LogLevel log_level() {
-  std::lock_guard lock(g_mutex);
+  common::MutexLock lock(g_mutex);
   return g_level;
 }
 
 void set_log_sink(std::function<void(const std::string&)> sink) {
-  std::lock_guard lock(g_mutex);
+  common::MutexLock lock(g_mutex);
   g_sink = std::move(sink);
 }
 
 void log_message(LogLevel level, const std::string& component, const std::string& message) {
-  std::lock_guard lock(g_mutex);
+  common::MutexLock lock(g_mutex);
   if (level < g_level || g_level == LogLevel::kOff) return;
   const std::string line = std::string("[") + log_level_name(level) + "] " + component + ": " + message;
   if (g_sink) {

@@ -1,0 +1,87 @@
+// Annotated synchronization primitives for clang Thread Safety Analysis.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no capability attributes,
+// so clang's `-Wthread-safety` cannot see through them. These thin wrappers
+// add the attributes and nothing else: Mutex is a std::mutex with an
+// EVVO_CAPABILITY tag, MutexLock is a scoped lock the analysis tracks, and
+// CondVar waits on a held Mutex (adopting its underlying std::mutex for the
+// duration of the wait, so a plain std::condition_variable does the actual
+// blocking). Zero overhead: every method is a one-line forward.
+//
+// Project rule (enforced by evvo_lint `raw-sync`): library code declares
+// Mutex/CondVar, never raw std::mutex/std::condition_variable, so every
+// mutex-protected structure participates in the static analysis.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace evvo::common {
+
+class CondVar;
+
+/// std::mutex with a thread-safety capability attribute.
+class EVVO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() EVVO_ACQUIRE() { inner_.lock(); }
+  void unlock() EVVO_RELEASE() { inner_.unlock(); }
+  bool try_lock() EVVO_TRY_ACQUIRE(true) { return inner_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex inner_;
+};
+
+/// Scoped lock over Mutex, visible to the analysis (std::lock_guard over an
+/// annotated mutex would acquire the capability inside an unannotated
+/// constructor, which the analysis rejects).
+class EVVO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) EVVO_ACQUIRE(mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~MutexLock() EVVO_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable that waits on a held Mutex.
+///
+/// wait() requires the capability: the caller provably holds the lock, and
+/// the analysis treats it as still held across the call (the wait reacquires
+/// before returning, so guarded reads in the caller's wait loop stay legal).
+/// There is no predicate overload on purpose — a predicate lambda would be
+/// analyzed as a separate function that reads guarded state without visibly
+/// holding the lock. Write the standard loop instead:
+///
+///   MutexLock lock(mutex_);
+///   while (!condition) cv_.wait(mutex_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex`, blocks, and reacquires before returning.
+  void wait(Mutex& mutex) EVVO_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> adopted(mutex.inner_, std::adopt_lock);
+    inner_.wait(adopted);
+    adopted.release();  // the caller's MutexLock keeps ownership
+  }
+
+  void notify_one() { inner_.notify_one(); }
+  void notify_all() { inner_.notify_all(); }
+
+ private:
+  std::condition_variable inner_;
+};
+
+}  // namespace evvo::common

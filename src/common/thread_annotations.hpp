@@ -1,0 +1,60 @@
+// Clang Thread Safety Analysis annotation macros (no-ops off clang).
+//
+// These wrap clang's `-Wthread-safety` attributes so the concurrency
+// invariants PR 1 documented in comments ("guarded by mutex_", "leader fills
+// X under the flight mutex") become compiler-checked contracts: a read of a
+// guarded member without the lock, a missing unlock on an exit path, or a
+// REQUIRES-violating call fails the dedicated `-Werror=thread-safety` CI
+// build instead of waiting for TSan to catch the interleaving at runtime.
+//
+// Use them through the `common::Mutex` / `common::CondVar` wrappers in
+// common/mutex.hpp — the libstdc++ `std::mutex` carries no capability
+// attributes, so the analysis can only track locks of an annotated type.
+// Under g++ (or any non-clang compiler) every macro expands to nothing and
+// the wrappers compile to the bare std primitives.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define EVVO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define EVVO_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Declares a type to be a lockable capability (goes on the class).
+#define EVVO_CAPABILITY(name) EVVO_THREAD_ANNOTATION(capability(name))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define EVVO_SCOPED_CAPABILITY EVVO_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member is protected by the given mutex; every access must hold it.
+#define EVVO_GUARDED_BY(x) EVVO_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex.
+#define EVVO_PT_GUARDED_BY(x) EVVO_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry (and does
+/// not release them).
+#define EVVO_REQUIRES(...) EVVO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held (guards
+/// against self-deadlock on a non-recursive mutex).
+#define EVVO_EXCLUDES(...) EVVO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define EVVO_ACQUIRE(...) EVVO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a held capability.
+#define EVVO_RELEASE(...) EVVO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts the capability; holds it iff the return value equals
+/// the first argument.
+#define EVVO_TRY_ACQUIRE(...) EVVO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function returns a reference to the given capability (lets accessors
+/// expose a member mutex to the analysis).
+#define EVVO_RETURN_CAPABILITY(x) EVVO_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's locking is deliberately invisible to the
+/// analysis. Every use must carry a comment saying why.
+#define EVVO_NO_THREAD_SAFETY_ANALYSIS EVVO_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -13,10 +13,10 @@ struct ThreadPool::Batch {
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> finished{0};
 
-  std::mutex mutex;
-  std::condition_variable completed;
-  bool done = false;
-  std::exception_ptr error;
+  Mutex mutex;
+  CondVar completed;
+  bool done EVVO_GUARDED_BY(mutex) = false;
+  std::exception_ptr error EVVO_GUARDED_BY(mutex);
 };
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -29,7 +29,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
   work_available_.notify_all();
@@ -49,7 +49,7 @@ void ThreadPool::run_batch(const std::shared_ptr<Batch>& batch) {
     try {
       (*batch->body)(i);
     } catch (...) {
-      std::lock_guard lock(batch->mutex);
+      MutexLock lock(batch->mutex);
       if (!batch->error) batch->error = std::current_exception();
     }
     ++ran;
@@ -57,7 +57,7 @@ void ThreadPool::run_batch(const std::shared_ptr<Batch>& batch) {
   if (ran == 0) return;
   if (batch->finished.fetch_add(ran, std::memory_order_acq_rel) + ran == batch->n) {
     {
-      std::lock_guard lock(batch->mutex);
+      MutexLock lock(batch->mutex);
       batch->done = true;
     }
     batch->completed.notify_all();
@@ -68,8 +68,8 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::shared_ptr<Batch> batch;
     {
-      std::unique_lock lock(mutex_);
-      work_available_.wait(lock, [this] { return shutdown_ || !pending_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && pending_.empty()) work_available_.wait(mutex_);
       if (pending_.empty()) return;  // shutdown with no work left
       batch = pending_.front();
       // Leave the batch queued until its indices are exhausted so every idle
@@ -80,7 +80,7 @@ void ThreadPool::worker_loop() {
       }
     }
     run_batch(batch);
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (!pending_.empty() && pending_.front() == batch) pending_.pop_front();
   }
 }
@@ -95,14 +95,18 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   batch->n = n;
   batch->body = &body;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     pending_.push_back(batch);
   }
   work_available_.notify_all();
   run_batch(batch);  // the caller participates, guaranteeing progress
-  std::unique_lock lock(batch->mutex);
-  batch->completed.wait(lock, [&] { return batch->done; });
-  if (batch->error) std::rethrow_exception(batch->error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(batch->mutex);
+    while (!batch->done) batch->completed.wait(batch->mutex);
+    error = batch->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace evvo::common

@@ -14,15 +14,16 @@
 //     solve and must stay in the microseconds.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace evvo::common {
 
@@ -53,11 +54,11 @@ class ThreadPool {
   void worker_loop();
   static void run_batch(const std::shared_ptr<Batch>& batch);
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::deque<std::shared_ptr<Batch>> pending_;
-  bool shutdown_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mutex_;
+  CondVar work_available_;
+  std::deque<std::shared_ptr<Batch>> pending_ EVVO_GUARDED_BY(mutex_);
+  bool shutdown_ EVVO_GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> workers_;  // written only in the ctor/dtor
 };
 
 }  // namespace evvo::common

@@ -1,10 +1,21 @@
-// Physical constants and unit conversions used throughout evvo.
+// Physical constants, unit conversions, and dimension-checked quantities.
 //
 // Convention: every quantity inside the library is SI unless the name says
 // otherwise (meters, seconds, kilograms, m/s, m/s^2, watts, volts, amperes).
 // Charge is tracked in ampere-hours (Ah) because the paper reports EV energy
 // consumption as electrical charge (Eq. (3) yields a current).
+//
+// The strong types below make that convention compiler-enforced at the
+// public API boundaries (planner, DP problem, GLOSA, queue model/predictor,
+// energy model): a km/h value, a vehicles-per-hour flow, or a plain double
+// cannot be passed where an SI quantity is expected without an explicit
+// construction naming the unit. Internals stay on raw double behind a
+// single `.value()` seam, so the DP hot loop and its golden checksums are
+// byte-identical to the unmigrated code.
 #pragma once
+
+#include <compare>
+#include <type_traits>
 
 namespace evvo {
 
@@ -45,5 +56,120 @@ constexpr double ah_to_mah(double ah) { return ah * 1000.0; }
 
 /// Converts watt-seconds (joules) to kilowatt-hours.
 constexpr double joule_to_kwh(double joules) { return joules / 3.6e6; }
+
+// ---------------------------------------------------------------------------
+// Dimension-checked quantities
+// ---------------------------------------------------------------------------
+
+/// A double tagged with its physical dimension, expressed as integer
+/// exponents over the library's base units (meter, second, vehicle,
+/// ampere-hour). The stored value is ALWAYS in the SI-convention unit of its
+/// dimension (m, s, m/s, veh/s, Ah, ...); constructors taking other scales
+/// are spelled out as named factories (`MetersPerSecond::from_kmh`, via the
+/// free helpers below).
+///
+/// Only dimensionally valid operators exist: same-dimension add/subtract/
+/// compare, scalar scale, and multiply/divide that add/subtract exponents
+/// (collapsing to a plain double when every exponent cancels). Construction
+/// from double is explicit — the one place a unit assumption is made is the
+/// place it is named.
+///
+/// Zero overhead by construction: trivially copyable, sizeof(double), every
+/// operation a constexpr one-liner. static_asserts below pin that down.
+template <int MeterExp, int SecondExp, int VehicleExp, int AmpereHourExp>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double value) : value_(value) {}
+
+  /// The raw SI-convention magnitude: the single seam between the strongly
+  /// typed API boundary and raw-double internals.
+  constexpr double value() const { return value_; }
+
+  constexpr Quantity operator-() const { return Quantity(-value_); }
+  constexpr Quantity& operator+=(Quantity other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other) {
+    value_ -= other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double scale) {
+    value_ *= scale;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double scale) {
+    value_ /= scale;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) { return Quantity(a.value_ + b.value_); }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) { return Quantity(a.value_ - b.value_); }
+  friend constexpr Quantity operator*(Quantity a, double s) { return Quantity(a.value_ * s); }
+  friend constexpr Quantity operator*(double s, Quantity a) { return Quantity(s * a.value_); }
+  friend constexpr Quantity operator/(Quantity a, double s) { return Quantity(a.value_ / s); }
+
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+/// quantity * quantity adds dimension exponents; a fully cancelled result
+/// decays to double (e.g. speed * time / distance).
+template <int M1, int S1, int V1, int A1, int M2, int S2, int V2, int A2>
+constexpr auto operator*(Quantity<M1, S1, V1, A1> a, Quantity<M2, S2, V2, A2> b) {
+  if constexpr (M1 + M2 == 0 && S1 + S2 == 0 && V1 + V2 == 0 && A1 + A2 == 0) {
+    return a.value() * b.value();
+  } else {
+    return Quantity<M1 + M2, S1 + S2, V1 + V2, A1 + A2>(a.value() * b.value());
+  }
+}
+
+/// quantity / quantity subtracts dimension exponents; a same-dimension ratio
+/// decays to double.
+template <int M1, int S1, int V1, int A1, int M2, int S2, int V2, int A2>
+constexpr auto operator/(Quantity<M1, S1, V1, A1> a, Quantity<M2, S2, V2, A2> b) {
+  if constexpr (M1 == M2 && S1 == S2 && V1 == V2 && A1 == A2) {
+    return a.value() / b.value();
+  } else {
+    return Quantity<M1 - M2, S1 - S2, V1 - V2, A1 - A2>(a.value() / b.value());
+  }
+}
+
+/// double / quantity inverts the dimension (e.g. 1.0 / Seconds).
+template <int M, int S, int V, int A>
+constexpr Quantity<-M, -S, -V, -A> operator/(double s, Quantity<M, S, V, A> q) {
+  return Quantity<-M, -S, -V, -A>(s / q.value());
+}
+
+using Meters = Quantity<1, 0, 0, 0>;
+using Seconds = Quantity<0, 1, 0, 0>;
+using MetersPerSecond = Quantity<1, -1, 0, 0>;
+using MetersPerSecondSquared = Quantity<1, -2, 0, 0>;
+using Vehicles = Quantity<0, 0, 1, 0>;
+using VehiclesPerSecond = Quantity<0, -1, 1, 0>;
+using AmpereHours = Quantity<0, 0, 0, 1>;
+
+static_assert(std::is_trivially_copyable_v<MetersPerSecond> && sizeof(MetersPerSecond) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Seconds> && sizeof(Seconds) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Meters> && sizeof(Meters) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<VehiclesPerSecond> && sizeof(VehiclesPerSecond) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<AmpereHours> && sizeof(AmpereHours) == sizeof(double));
+static_assert(std::is_same_v<decltype(Meters(1.0) / Seconds(1.0)), MetersPerSecond>);
+static_assert(std::is_same_v<decltype(MetersPerSecond(1.0) / Seconds(1.0)), MetersPerSecondSquared>);
+static_assert(std::is_same_v<decltype(MetersPerSecond(2.0) * Seconds(3.0)), Meters>);
+static_assert(std::is_same_v<decltype(Meters(6.0) / Meters(3.0)), double>);
+
+/// Named off-SI constructors: the scale conversion happens exactly where the
+/// foreign unit is named.
+constexpr MetersPerSecond speed_from_kmh(double kmh) { return MetersPerSecond(kmh_to_ms(kmh)); }
+constexpr MetersPerSecond speed_from_mph(double mph) { return MetersPerSecond(mph_to_ms(mph)); }
+constexpr double to_kmh(MetersPerSecond v) { return ms_to_kmh(v.value()); }
+constexpr VehiclesPerSecond flow_from_veh_h(double veh_h) {
+  return VehiclesPerSecond(per_hour_to_per_second(veh_h));
+}
+constexpr double to_veh_h(VehiclesPerSecond flow) { return per_second_to_per_hour(flow.value()); }
 
 }  // namespace evvo

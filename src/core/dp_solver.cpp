@@ -193,7 +193,9 @@ void DpEngine::ensure_model_tables() {
         const double v2 = static_cast<double>(hop.j_to) * res_.dv_ms;
         const double v_mid = 0.5 * (v + v2);
         const double mah =
-            ah_to_mah(as_to_ah(energy_.current_a(v_mid, hop.accel, grade) * hop.dt));
+            ah_to_mah(as_to_ah(
+                energy_.current_a(MetersPerSecond(v_mid), MetersPerSecondSquared(hop.accel), grade) *
+                hop.dt));
         const auto raw = static_cast<float>(mah);
         float fused = raw;
         fused += static_cast<float>(lambda * hop.dt);
@@ -269,8 +271,8 @@ std::optional<DpSolution> DpEngine::run() {
     if (j >= n_v_) throw std::invalid_argument("solve_dp: boundary speed above the velocity grid");
     return j;
   };
-  j_source_ = snap_level(problem_.initial_speed_ms);
-  j_dest_ = snap_level(problem_.final_speed_ms);
+  j_source_ = snap_level(problem_.initial_speed.value());
+  j_dest_ = snap_level(problem_.final_speed.value());
 
   ensure_model_tables();
   reset_state();
@@ -281,7 +283,7 @@ std::optional<DpSolution> DpEngine::run() {
   {
     const std::size_t id = cell_of(j_source_, 0);  // layer 0 base is 0
     ws_.cost_[id] = 0.0f;
-    ws_.time_[id] = static_cast<float>(problem_.depart_time_s);
+    ws_.time_[id] = static_cast<float>(problem_.depart_time.value());
     ws_.back_[id] = kNoPred;
   }
 
@@ -419,7 +421,7 @@ void DpEngine::relax_stripe(std::size_t i, std::size_t j2_begin, std::size_t j2_
   const bool next_is_sign = next_event && next_event->type == LayerEvent::Type::kStopSign;
   const bool next_is_dest = (i + 1 == n_layers_ - 1);
   const double next_limit = ws_.layer_limit_[i + 1];
-  const double depart = problem_.depart_time_s;
+  const double depart = problem_.depart_time.value();
   const double horizon = res_.horizon_s;
   const double dt_s = res_.dt_s;
   const double inv_dt = inv_dt_;
@@ -569,7 +571,8 @@ std::optional<DpSolution> DpEngine::extract_solution() {
       const double v_mid = 0.5 * (prev.speed_ms + cur.speed_ms);
       const double a = (cur.speed_ms * cur.speed_ms - prev.speed_ms * prev.speed_ms) / (2.0 * dist);
       const double grade = route_.grade_at(prev.position_m + 0.5 * dist);
-      delta = ah_to_mah(as_to_ah(energy_.current_a(v_mid, a, grade) * dt));
+      delta = ah_to_mah(
+          as_to_ah(energy_.current_a(MetersPerSecond(v_mid), MetersPerSecondSquared(a), grade) * dt));
     }
     cur.energy_mah = prev.energy_mah + delta;
   }

@@ -42,6 +42,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/units.hpp"
 #include "core/penalty.hpp"
 #include "core/planned_profile.hpp"
 #include "ev/energy_model.hpp"
@@ -86,7 +87,7 @@ struct LayerEvent {
 struct DpProblem {
   const road::Route* route = nullptr;
   const ev::EnergyModel* energy = nullptr;
-  double depart_time_s = 0.0;
+  Seconds depart_time{};
   DpResolution resolution{};
   PenaltyConfig penalty{};
   std::vector<LayerEvent> events;
@@ -94,8 +95,8 @@ struct DpProblem {
   /// Boundary speeds. The paper's Eq. (7d) fixes both to 0 (a full trip from
   /// rest to rest); a mid-route replan instead starts from the vehicle's
   /// current speed. Speeds are snapped to the velocity grid.
-  double initial_speed_ms = 0.0;
-  double final_speed_ms = 0.0;
+  MetersPerSecond initial_speed{};
+  MetersPerSecond final_speed{};
 
   /// Smoothness regularizer: extra cost per m/s of speed change across a
   /// hop [mAh per m/s]. Under the paper's symmetric Eq. (3) regeneration, a
@@ -132,7 +133,7 @@ struct DpProblem {
 };
 
 /// Solver diagnostics.
-struct DpStats {
+struct [[nodiscard]] DpStats {
   std::size_t layers = 0;
   std::size_t velocity_levels = 0;
   std::size_t time_bins = 0;
@@ -145,7 +146,7 @@ struct DpStats {
   std::uint64_t table_checksum = 0;
 };
 
-struct DpSolution {
+struct [[nodiscard]] DpSolution {
   PlannedProfile profile;
   DpStats stats;
 };
@@ -259,13 +260,13 @@ class DpWorkspace {
 /// Runs the DP. Returns std::nullopt only if no feasible trajectory reaches
 /// the destination within the horizon. This overload allocates a throwaway
 /// workspace and runs serially.
-std::optional<DpSolution> solve_dp(const DpProblem& problem);
+[[nodiscard]] std::optional<DpSolution> solve_dp(const DpProblem& problem);
 
 /// As above, reusing `workspace` across calls. If `pool` is non-null and
 /// problem.resolution.threads resolves to more than one thread, the
 /// per-layer relaxation runs on the pool; the result is bit-identical to the
 /// serial sweep either way.
-std::optional<DpSolution> solve_dp(const DpProblem& problem, DpWorkspace& workspace,
+[[nodiscard]] std::optional<DpSolution> solve_dp(const DpProblem& problem, DpWorkspace& workspace,
                                    common::ThreadPool* pool = nullptr);
 
 }  // namespace evvo::core

@@ -16,7 +16,8 @@ GlosaAdvisor::GlosaAdvisor(road::Corridor corridor, GlosaConfig config,
     throw std::invalid_argument("GlosaAdvisor: queue-aware mode needs arrival rates");
 }
 
-const road::TrafficLight* GlosaAdvisor::next_light(double position_m) const {
+const road::TrafficLight* GlosaAdvisor::next_light(Meters position) const {
+  const double position_m = position.value();  // .value() seam
   for (const auto& light : corridor_.lights) {
     if (light.position() > position_m + 1.0) return &light;
   }
@@ -27,13 +28,15 @@ std::vector<road::TimeWindow> GlosaAdvisor::windows_for(const road::TrafficLight
                                                         double t1) const {
   if (!config_.queue_aware) return light.green_windows(t0, t1);
   const traffic::QueuePredictor predictor(light, traffic::QueueModel(config_.vm), arrivals_);
-  return predictor.zero_queue_windows(t0, t1);
+  return predictor.zero_queue_windows(Seconds(t0), Seconds(t1));
 }
 
-double GlosaAdvisor::advise(double position_m, double time_s) const {
+double GlosaAdvisor::advise(Meters position, Seconds time) const {
+  const double position_m = position.value();  // .value() seam
+  const double time_s = time.value();
   const double cruise =
       config_.cruise_factor * corridor_.route.speed_limit_at(std::max(0.0, position_m));
-  const road::TrafficLight* light = next_light(position_m);
+  const road::TrafficLight* light = next_light(Meters(position_m));
   if (!light) return cruise;
 
   const double distance = light->position() - position_m;
@@ -58,7 +61,7 @@ double GlosaAdvisor::advise(double position_m, double time_s) const {
 
 std::function<double(double, double)> GlosaAdvisor::target_speed_fn() const {
   const auto self = std::make_shared<GlosaAdvisor>(*this);
-  return [self](double position, double time) { return self->advise(position, time); };
+  return [self](double position, double time) { return self->advise(Meters(position), Seconds(time)); };
 }
 
 }  // namespace evvo::core

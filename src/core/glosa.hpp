@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 
+#include "common/units.hpp"
 #include "road/corridor.hpp"
 #include "traffic/queue_model.hpp"
 #include "traffic/queue_predictor.hpp"
@@ -35,14 +36,14 @@ class GlosaAdvisor {
                std::shared_ptr<const traffic::ArrivalRateProvider> arrivals = nullptr);
 
   /// Advisory speed [m/s] at (position, time).
-  double advise(double position_m, double time_s) const;
+  double advise(Meters position, Seconds time) const;
 
-  /// Adapter for sim::execute_planned_profile.
+  /// Adapter for sim::execute_planned_profile (raw SI doubles by contract).
   std::function<double(double, double)> target_speed_fn() const;
 
  private:
   /// The next light strictly ahead of `position`, or nullptr.
-  const road::TrafficLight* next_light(double position_m) const;
+  const road::TrafficLight* next_light(Meters position) const;
 
   /// Windows for one light over [t0, t1] under the configured mode.
   std::vector<road::TimeWindow> windows_for(const road::TrafficLight& light, double t0,

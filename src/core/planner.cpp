@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <stdexcept>
 
 #include "common/math_util.hpp"
+#include "common/mutex.hpp"
 #include "common/thread_pool.hpp"
 
 namespace evvo::core {
@@ -15,21 +15,21 @@ namespace evvo::core {
 /// is created on first use. The configured thread count is fixed at
 /// construction, so the pool never needs resizing.
 struct VelocityPlanner::Runtime {
-  std::mutex mutex;
-  std::vector<std::unique_ptr<DpWorkspace>> free_workspaces;
-  std::unique_ptr<common::ThreadPool> pool;
+  common::Mutex mutex;
+  std::vector<std::unique_ptr<DpWorkspace>> free_workspaces EVVO_GUARDED_BY(mutex);
+  std::unique_ptr<common::ThreadPool> pool EVVO_GUARDED_BY(mutex);
 
-  common::ThreadPool* pool_for(unsigned thread_hint) {
+  common::ThreadPool* pool_for(unsigned thread_hint) EVVO_EXCLUDES(mutex) {
     const unsigned want = common::ThreadPool::resolve_threads(thread_hint);
     if (want <= 1) return nullptr;
-    std::lock_guard lock(mutex);
+    common::MutexLock lock(mutex);
     if (!pool) pool = std::make_unique<common::ThreadPool>(want);
     return pool.get();
   }
 
-  std::unique_ptr<DpWorkspace> acquire() {
+  std::unique_ptr<DpWorkspace> acquire() EVVO_EXCLUDES(mutex) {
     {
-      std::lock_guard lock(mutex);
+      common::MutexLock lock(mutex);
       if (!free_workspaces.empty()) {
         auto workspace = std::move(free_workspaces.back());
         free_workspaces.pop_back();
@@ -39,8 +39,8 @@ struct VelocityPlanner::Runtime {
     return std::make_unique<DpWorkspace>();
   }
 
-  void release(std::unique_ptr<DpWorkspace> workspace) {
-    std::lock_guard lock(mutex);
+  void release(std::unique_ptr<DpWorkspace> workspace) EVVO_EXCLUDES(mutex) {
+    common::MutexLock lock(mutex);
     free_workspaces.push_back(std::move(workspace));
   }
 };
@@ -104,7 +104,7 @@ std::vector<LayerEvent> build_events_for(
           throw std::invalid_argument("VelocityPlanner: queue-aware planning needs arrival rates");
         const traffic::QueuePredictor predictor(
             light, traffic::QueueModel(config.vm, config.discharge), arrivals);
-        e.windows = predictor.zero_queue_windows(t0, t1);
+        e.windows = predictor.zero_queue_windows(Seconds(t0), Seconds(t1));
         e.enforce_windows = true;
         break;
       }
@@ -147,7 +147,7 @@ DpProblem make_problem(const road::Route& route, const ev::EnergyModel& energy,
   DpProblem problem;
   problem.route = &route;
   problem.energy = &energy;
-  problem.depart_time_s = depart_time_s;
+  problem.depart_time = Seconds(depart_time_s);
   problem.resolution = config.resolution;
   problem.penalty = config.penalty;
   problem.time_weight_mah_per_s = config.time_weight_mah_per_s;
@@ -160,8 +160,8 @@ DpProblem make_problem(const road::Route& route, const ev::EnergyModel& energy,
 }  // namespace
 
 std::vector<LayerEvent> VelocityPlanner::build_events(
-    double depart_time_s, std::shared_ptr<const traffic::ArrivalRateProvider> arrivals) const {
-  return build_events_for(corridor_, config_, depart_time_s, arrivals);
+    Seconds depart_time, std::shared_ptr<const traffic::ArrivalRateProvider> arrivals) const {
+  return build_events_for(corridor_, config_, depart_time.value(), arrivals);
 }
 
 std::optional<DpSolution> VelocityPlanner::solve_problem(const DpProblem& problem) const {
@@ -179,7 +179,8 @@ std::optional<DpSolution> VelocityPlanner::solve_problem(const DpProblem& proble
 }
 
 DpSolution VelocityPlanner::plan_with_stats(
-    double depart_time_s, std::shared_ptr<const traffic::ArrivalRateProvider> arrivals) const {
+    Seconds depart_time, std::shared_ptr<const traffic::ArrivalRateProvider> arrivals) const {
+  const double depart_time_s = depart_time.value();  // .value() seam
   DpProblem problem = make_problem(corridor_.route, energy_, config_, depart_time_s,
                                    build_events_for(corridor_, config_, depart_time_s, arrivals));
   auto solution = solve_problem(problem);
@@ -189,13 +190,16 @@ DpSolution VelocityPlanner::plan_with_stats(
 }
 
 PlannedProfile VelocityPlanner::plan(
-    double depart_time_s, std::shared_ptr<const traffic::ArrivalRateProvider> arrivals) const {
-  return plan_with_stats(depart_time_s, std::move(arrivals)).profile;
+    Seconds depart_time, std::shared_ptr<const traffic::ArrivalRateProvider> arrivals) const {
+  return plan_with_stats(depart_time, std::move(arrivals)).profile;
 }
 
 PlannedProfile VelocityPlanner::replan(
-    double position_m, double speed_ms, double time_s,
+    Meters position, MetersPerSecond speed, Seconds time,
     std::shared_ptr<const traffic::ArrivalRateProvider> arrivals) const {
+  const double position_m = position.value();  // .value() seam
+  const double speed_ms = speed.value();
+  const double time_s = time.value();
   if (position_m < 0.0 || position_m >= corridor_.length())
     throw std::invalid_argument("VelocityPlanner::replan: position outside the corridor");
   road::Corridor rest = road::corridor_suffix(corridor_, position_m);
@@ -210,8 +214,8 @@ PlannedProfile VelocityPlanner::replan(
 
   DpProblem problem = make_problem(rest.route, energy_, config_, time_s,
                                    build_events_for(rest, config_, time_s, arrivals));
-  problem.initial_speed_ms =
-      clamp(speed_ms, 0.0, rest.route.speed_limit_at(0.0));
+  problem.initial_speed =
+      MetersPerSecond(clamp(speed_ms, 0.0, rest.route.speed_limit_at(0.0)));
   auto solution = solve_problem(problem);
   if (!solution.has_value())
     throw std::runtime_error("VelocityPlanner::replan: no feasible trajectory within the horizon");

@@ -11,6 +11,7 @@
 
 #include <memory>
 
+#include "common/units.hpp"
 #include "core/dp_solver.hpp"
 #include "ev/energy_model.hpp"
 #include "road/corridor.hpp"
@@ -67,17 +68,17 @@ class VelocityPlanner {
   /// policy) for a trip departing at `depart_time_s`. Exposed so experiments
   /// can inspect the windows the optimizer targets. `arrivals` feeds the QL
   /// model and is required for kQueueAware.
-  std::vector<LayerEvent> build_events(
-      double depart_time_s, std::shared_ptr<const traffic::ArrivalRateProvider> arrivals) const;
+  [[nodiscard]] std::vector<LayerEvent> build_events(
+      Seconds depart_time, std::shared_ptr<const traffic::ArrivalRateProvider> arrivals) const;
 
   /// Plans the full trip (source and destination at rest, Eq. 7d). Throws
   /// std::runtime_error if no feasible trajectory exists within the horizon.
-  PlannedProfile plan(double depart_time_s,
+  [[nodiscard]] PlannedProfile plan(Seconds depart_time,
                       std::shared_ptr<const traffic::ArrivalRateProvider> arrivals = nullptr) const;
 
   /// plan() plus solver diagnostics.
-  DpSolution plan_with_stats(
-      double depart_time_s,
+  [[nodiscard]] DpSolution plan_with_stats(
+      Seconds depart_time,
       std::shared_ptr<const traffic::ArrivalRateProvider> arrivals = nullptr) const;
 
   /// Replans the remaining trip from a mid-route state: current position on
@@ -85,7 +86,7 @@ class VelocityPlanner {
   /// time. The returned profile is expressed in the original corridor
   /// coordinates (it starts at `position_m`). Regulatory elements within one
   /// grid step of the position are treated as already passed.
-  PlannedProfile replan(double position_m, double speed_ms, double time_s,
+  [[nodiscard]] PlannedProfile replan(Meters position, MetersPerSecond speed, Seconds time,
                         std::shared_ptr<const traffic::ArrivalRateProvider> arrivals = nullptr) const;
 
  private:

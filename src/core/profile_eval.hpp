@@ -9,7 +9,7 @@
 
 namespace evvo::core {
 
-struct ProfileEvaluation {
+struct [[nodiscard]] ProfileEvaluation {
   ev::TripEnergy energy;
   double trip_time_s = 0.0;
   double distance_m = 0.0;

@@ -13,7 +13,7 @@
 namespace evvo::data {
 
 /// A recorded human-style drive over a corridor.
-struct TraceResult {
+struct [[nodiscard]] TraceResult {
   ev::DriveCycle cycle{std::vector<double>{}, 1.0};
   std::vector<double> positions;
   double depart_time_s = 0.0;

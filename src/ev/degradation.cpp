@@ -20,7 +20,7 @@ BatteryStress battery_stress(const EnergyModel& model, const BatteryPack& pack,
     const double v_mid = 0.5 * (speeds[i] + speeds[i + 1]);
     const double a = (speeds[i + 1] - speeds[i]) / dt;
     const double theta = grade ? grade(0.5 * (cum[i] + cum[i + 1])) : 0.0;
-    const double amps = model.current_a(v_mid, a, theta);
+    const double amps = model.current_a(MetersPerSecond(v_mid), MetersPerSecondSquared(a), theta);
     stress.ah_throughput += as_to_ah(std::abs(amps) * dt);
     sq_sum += amps * amps * dt;
     stress.peak_discharge_a = std::max(stress.peak_discharge_a, amps);

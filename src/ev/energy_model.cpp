@@ -16,7 +16,12 @@ EnergyModel::EnergyModel(VehicleParams params, double pack_voltage, RegenConvent
 
 EnergyModel::EnergyModel() : EnergyModel(VehicleParams{}, BatteryPack{}.max_voltage()) {}
 
-double EnergyModel::traction_current_a(double speed_ms, double accel_ms2, double grade_rad) const {
+double EnergyModel::traction_current_a(MetersPerSecond speed, MetersPerSecondSquared accel,
+                                       double grade_rad) const {
+  // .value() seam: everything below runs on raw SI doubles, bit-identical to
+  // the pre-units code.
+  const double speed_ms = speed.value();
+  const double accel_ms2 = accel.value();
   const double power_w = wheel_power(params_, speed_ms, accel_ms2, grade_rad);
   const double eta_powertrain =
       map_ ? map_->at(speed_ms, power_w) : params_.powertrain_efficiency;
@@ -35,12 +40,14 @@ double EnergyModel::accessory_current_a() const {
   return params_.accessory_power_w / (voltage_ * params_.battery_efficiency);
 }
 
-double EnergyModel::current_a(double speed_ms, double accel_ms2, double grade_rad) const {
-  return traction_current_a(speed_ms, accel_ms2, grade_rad) + accessory_current_a();
+double EnergyModel::current_a(MetersPerSecond speed, MetersPerSecondSquared accel,
+                              double grade_rad) const {
+  return traction_current_a(speed, accel, grade_rad) + accessory_current_a();
 }
 
-double EnergyModel::charge_ah(double speed_ms, double accel_ms2, double dt_s, double grade_rad) const {
-  return as_to_ah(current_a(speed_ms, accel_ms2, grade_rad) * dt_s);
+double EnergyModel::charge_ah(MetersPerSecond speed, MetersPerSecondSquared accel, Seconds dt,
+                              double grade_rad) const {
+  return as_to_ah(current_a(speed, accel, grade_rad) * dt.value());
 }
 
 TripEnergy EnergyModel::trip(const DriveCycle& cycle, const GradeFn& grade) const {
@@ -54,7 +61,7 @@ TripEnergy EnergyModel::trip(const DriveCycle& cycle, const GradeFn& grade) cons
     const double a = (speeds[i + 1] - speeds[i]) / dt;
     const double s_mid = 0.5 * (cum[i] + cum[i + 1]);
     const double theta = grade ? grade(s_mid) : 0.0;
-    const double traction = traction_current_a(v_mid, a, theta);
+    const double traction = traction_current_a(MetersPerSecond(v_mid), MetersPerSecondSquared(a), theta);
     const double traction_mah = ah_to_mah(as_to_ah(traction * dt));
     if (traction >= 0.0) {
       e.driving_mah += traction_mah;
@@ -69,13 +76,16 @@ TripEnergy EnergyModel::trip(const DriveCycle& cycle, const GradeFn& grade) cons
   return e;
 }
 
-double EnergyModel::most_efficient_cruise_speed(double v_lo, double v_hi, double step) const {
+double EnergyModel::most_efficient_cruise_speed(MetersPerSecond v_lo_q, MetersPerSecond v_hi_q,
+                                                MetersPerSecond step_q) const {
+  const double v_lo = v_lo_q.value(), v_hi = v_hi_q.value(), step = step_q.value();
   if (v_lo <= 0.0 || v_hi < v_lo || step <= 0.0)
     throw std::invalid_argument("most_efficient_cruise_speed: bad range");
   double best_v = v_lo;
   double best_rate = std::numeric_limits<double>::infinity();
   for (double v = v_lo; v <= v_hi + 1e-9; v += step) {
-    const double per_meter = current_a(v, 0.0) / v;  // A*s per meter
+    const double per_meter =
+        current_a(MetersPerSecond(v), MetersPerSecondSquared(0.0)) / v;  // A*s per meter
     if (per_meter < best_rate) {
       best_rate = per_meter;
       best_v = v;

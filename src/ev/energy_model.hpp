@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "common/units.hpp"
 #include "ev/battery.hpp"
 #include "ev/efficiency_map.hpp"
 #include "ev/drive_cycle.hpp"
@@ -63,25 +64,30 @@ class EnergyModel {
   RegenConvention regen_convention() const { return regen_; }
 
   /// Eq. (3): instantaneous pack current [A] to drive at speed v with
-  /// acceleration a on gradient theta. Includes the accessory load.
-  double current_a(double speed_ms, double accel_ms2, double grade_rad = 0.0) const;
+  /// acceleration a on gradient theta [rad]. Includes the accessory load.
+  double current_a(MetersPerSecond speed, MetersPerSecondSquared accel,
+                   double grade_rad = 0.0) const;
 
   /// Traction-only part of current_a (no accessory load) — the literal Eq. (3).
-  double traction_current_a(double speed_ms, double accel_ms2, double grade_rad = 0.0) const;
+  double traction_current_a(MetersPerSecond speed, MetersPerSecondSquared accel,
+                            double grade_rad = 0.0) const;
 
   /// Accessory current [A], constant while the vehicle is on.
   double accessory_current_a() const;
 
-  /// Charge [Ah] for holding (v, a, theta) during dt seconds.
-  double charge_ah(double speed_ms, double accel_ms2, double dt_s, double grade_rad = 0.0) const;
+  /// Charge [Ah] for holding (v, a, theta) during `dt`.
+  double charge_ah(MetersPerSecond speed, MetersPerSecondSquared accel, Seconds dt,
+                   double grade_rad = 0.0) const;
 
   /// Integrates a time-domain cycle. `grade` maps position to gradient
   /// (defaults to flat road).
   TripEnergy trip(const DriveCycle& cycle, const GradeFn& grade = {}) const;
 
-  /// Speed that minimizes charge-per-meter on flat ground within [v_lo, v_hi];
-  /// the natural cruise point the optimizer gravitates to (test oracle).
-  double most_efficient_cruise_speed(double v_lo, double v_hi, double step = 0.1) const;
+  /// Speed [m/s] that minimizes charge-per-meter on flat ground within
+  /// [v_lo, v_hi]; the natural cruise point the optimizer gravitates to
+  /// (test oracle).
+  double most_efficient_cruise_speed(MetersPerSecond v_lo, MetersPerSecond v_hi,
+                                     MetersPerSecond step = MetersPerSecond(0.1)) const;
 
  private:
   VehicleParams params_;

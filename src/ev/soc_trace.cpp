@@ -22,7 +22,8 @@ SocTrace run_battery(const EnergyModel& model, BatteryPack& pack, const DriveCyc
     const double v_mid = 0.5 * (speeds[i] + speeds[i + 1]);
     const double a = (speeds[i + 1] - speeds[i]) / dt;
     const double theta = grade ? grade(0.5 * (cum[i] + cum[i + 1])) : 0.0;
-    const double ah = as_to_ah(model.current_a(v_mid, a, theta) * dt);
+    const double ah =
+        as_to_ah(model.current_a(MetersPerSecond(v_mid), MetersPerSecondSquared(a), theta) * dt);
     const double moved = pack.discharge_ah(ah);
     trace.consumed_ah += moved;
     if (ah > 0.0 && moved < ah - 1e-12) trace.depleted = true;
@@ -36,7 +37,7 @@ double estimated_range_m(const EnergyModel& model, const BatteryPack& pack,
                          double cruise_speed_ms) {
   if (cruise_speed_ms <= 0.0)
     throw std::invalid_argument("estimated_range_m: cruise speed must be positive");
-  const double amps = model.current_a(cruise_speed_ms, 0.0);
+  const double amps = model.current_a(MetersPerSecond(cruise_speed_ms), MetersPerSecondSquared(0.0));
   if (amps <= 0.0) return 0.0;
   const double seconds = pack.remaining_ah() * kSecondsPerHour / amps;
   return seconds * cruise_speed_ms;

@@ -15,7 +15,7 @@ PilotResult drive_with_replanning(sim::Microsim& simulator, const core::Velocity
                                   std::shared_ptr<const traffic::ArrivalRateProvider> arrivals,
                                   const PilotConfig& config) {
   const double end = planner.corridor().length();
-  core::PlannedProfile plan = planner.plan(simulator.time(), arrivals);
+  core::PlannedProfile plan = planner.plan(Seconds(simulator.time()), arrivals);
 
   const int ego_id = simulator.spawn_ego(0.0, config.ego);
   PilotResult result;
@@ -40,7 +40,8 @@ PilotResult drive_with_replanning(sim::Microsim& simulator, const core::Velocity
       next_check = simulator.time() + config.check_interval_s;
       const double drift = simulator.time() - plan.time_at_position(pos);
       if (std::abs(drift) > config.replan_drift_s) {
-        plan = planner.replan(pos, ego->speed_ms, simulator.time(), arrivals);
+        plan = planner.replan(Meters(pos), MetersPerSecond(ego->speed_ms),
+                              Seconds(simulator.time()), arrivals);
         ++result.replans;
         EVVO_LOG(kInfo, "pilot") << "replan #" << result.replans << " at " << pos << " m, drift "
                                  << drift << " s";

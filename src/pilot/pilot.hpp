@@ -6,7 +6,7 @@
 // vehicle that is delayed - a slower leader, an unexpected queue - will miss
 // its zero-queue windows at downstream signals, so the natural extension is
 // to re-run the DP from the current (position, speed, time), which the
-// time-expanded solver supports directly (DpProblem::initial_speed_ms).
+// time-expanded solver supports directly (DpProblem::initial_speed).
 #pragma once
 
 #include <memory>
@@ -31,7 +31,7 @@ struct PilotConfig {
   sim::DriverParams ego{};
 };
 
-struct PilotResult {
+struct [[nodiscard]] PilotResult {
   ev::DriveCycle cycle{std::vector<double>{}, 1.0};  ///< recorded ego speeds per step
   std::vector<double> positions;
   bool completed = false;

@@ -46,7 +46,8 @@ void Microsim::step() {
 
 void Microsim::maybe_insert_background() {
   const double rate_veh_s =
-      per_hour_to_per_second(demand_->arrival_rate_veh_h(time_s_)) / config_.lane_equivalent_count;
+      per_hour_to_per_second(demand_->arrival_rate_veh_h(Seconds(time_s_))) /
+      config_.lane_equivalent_count;
   if (rate_veh_s <= 0.0) {
     next_arrival_s_ = -1.0;  // re-seed the arrival process when demand resumes
     return;
@@ -82,7 +83,7 @@ void Microsim::maybe_insert_background() {
     }
     if (!inserted) ++stats_.insertion_blocked;
     const double next_rate =
-        per_hour_to_per_second(demand_->arrival_rate_veh_h(next_arrival_s_)) /
+        per_hour_to_per_second(demand_->arrival_rate_veh_h(Seconds(next_arrival_s_))) /
         config_.lane_equivalent_count;
     if (next_rate <= 0.0) {
       next_arrival_s_ = -1.0;

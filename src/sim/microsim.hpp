@@ -48,7 +48,7 @@ struct MicrosimConfig {
 };
 
 /// Aggregate counters for tests and experiment logs.
-struct MicrosimStats {
+struct [[nodiscard]] MicrosimStats {
   long inserted = 0;
   long removed_at_exit = 0;
   long turned_off = 0;

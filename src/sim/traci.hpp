@@ -39,7 +39,7 @@ class TraciClient {
 using TargetSpeedFn = std::function<double(double, double)>;
 
 /// The trajectory the simulator permitted while executing a plan.
-struct ExecutionResult {
+struct [[nodiscard]] ExecutionResult {
   ev::DriveCycle cycle{std::vector<double>{}, 1.0};  ///< recorded ego speed per sim step
   std::vector<double> positions; ///< ego position per sim step (same indexing)
   bool completed = false;        ///< ego reached the end position

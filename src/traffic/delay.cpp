@@ -9,10 +9,12 @@ CycleDelay estimate_cycle_delay(const QueueModel& model, const CyclePhases& phas
                                 double arrival_veh_s, double dt, double initial_queue_m) {
   if (dt <= 0.0) throw std::invalid_argument("estimate_cycle_delay: dt must be positive");
   CycleDelay delay;
-  double prev = model.queue_vehicles(0.0, phases, arrival_veh_s, initial_queue_m);
+  double prev = model.queue_vehicles(Seconds(0.0), phases, VehiclesPerSecond(arrival_veh_s),
+                                     Meters(initial_queue_m));
   delay.max_queue_veh = prev;
   for (double t = dt; t <= phases.cycle() + 1e-9; t += dt) {
-    const double q = model.queue_vehicles(t, phases, arrival_veh_s, initial_queue_m);
+    const double q = model.queue_vehicles(Seconds(t), phases, VehiclesPerSecond(arrival_veh_s),
+                                          Meters(initial_queue_m));
     delay.total_veh_s += 0.5 * (prev + q) * dt;
     delay.max_queue_veh = std::max(delay.max_queue_veh, q);
     prev = q;

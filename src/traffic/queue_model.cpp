@@ -11,7 +11,8 @@ namespace evvo::traffic {
 QueueModel::QueueModel(VmParams params, DischargeModel discharge)
     : params_(params), discharge_(discharge), vm_(params) {}
 
-double QueueModel::discharged_length(double tau, const CyclePhases& phases) const {
+double QueueModel::discharged_length(Seconds tau_q, const CyclePhases& phases) const {
+  const double tau = tau_q.value();  // .value() seam: raw SI internals below
   switch (discharge_) {
     case DischargeModel::kVmAcceleration:
       return vm_.discharged_length(tau, phases);
@@ -21,22 +22,26 @@ double QueueModel::discharged_length(double tau, const CyclePhases& phases) cons
   return 0.0;  // unreachable
 }
 
-double QueueModel::queue_length_m(double tau, const CyclePhases& phases, double arrival_veh_s,
-                                  double initial_queue_m) const {
+double QueueModel::queue_length_m(Seconds tau, const CyclePhases& phases,
+                                  VehiclesPerSecond arrival, Meters initial_queue) const {
+  const double arrival_veh_s = arrival.value();
+  const double initial_queue_m = initial_queue.value();
   if (arrival_veh_s < 0.0) throw std::invalid_argument("QueueModel: arrival rate must be >= 0");
   if (initial_queue_m < 0.0) throw std::invalid_argument("QueueModel: initial queue must be >= 0");
-  const double t = clamp(tau, 0.0, phases.cycle());
+  const double t = clamp(tau.value(), 0.0, phases.cycle());
   const double arrivals_m = params_.spacing_m * arrival_veh_s * t;
-  return std::max(0.0, initial_queue_m + arrivals_m - discharged_length(t, phases));
+  return std::max(0.0, initial_queue_m + arrivals_m - discharged_length(Seconds(t), phases));
 }
 
-double QueueModel::queue_vehicles(double tau, const CyclePhases& phases, double arrival_veh_s,
-                                  double initial_queue_m) const {
-  return queue_length_m(tau, phases, arrival_veh_s, initial_queue_m) / params_.spacing_m;
+double QueueModel::queue_vehicles(Seconds tau, const CyclePhases& phases,
+                                  VehiclesPerSecond arrival, Meters initial_queue) const {
+  return queue_length_m(tau, phases, arrival, initial_queue) / params_.spacing_m;
 }
 
-std::optional<double> QueueModel::clear_time(const CyclePhases& phases, double arrival_veh_s,
-                                             double initial_queue_m) const {
+std::optional<double> QueueModel::clear_time(const CyclePhases& phases, VehiclesPerSecond arrival,
+                                             Meters initial_queue) const {
+  const double arrival_veh_s = arrival.value();
+  const double initial_queue_m = initial_queue.value();
   const double d_vin = params_.spacing_m * arrival_veh_s;  // queue growth rate [m/s]
   const double t_red = phases.red_s;
   const double t_end = phases.cycle();
@@ -71,18 +76,19 @@ std::optional<double> QueueModel::clear_time(const CyclePhases& phases, double a
   return std::max(t_star, t1);
 }
 
-double QueueModel::residual_queue_m(const CyclePhases& phases, double arrival_veh_s,
-                                    double initial_queue_m) const {
-  if (clear_time(phases, arrival_veh_s, initial_queue_m).has_value()) return 0.0;
-  return queue_length_m(phases.cycle(), phases, arrival_veh_s, initial_queue_m);
+double QueueModel::residual_queue_m(const CyclePhases& phases, VehiclesPerSecond arrival,
+                                    Meters initial_queue) const {
+  if (clear_time(phases, arrival, initial_queue).has_value()) return 0.0;
+  return queue_length_m(Seconds(phases.cycle()), phases, arrival, initial_queue);
 }
 
-std::vector<double> QueueModel::queue_profile(const CyclePhases& phases, double arrival_veh_s,
-                                              double dt, double initial_queue_m) const {
+std::vector<double> QueueModel::queue_profile(const CyclePhases& phases, VehiclesPerSecond arrival,
+                                              Seconds dt_q, Meters initial_queue) const {
+  const double dt = dt_q.value();
   if (dt <= 0.0) throw std::invalid_argument("QueueModel::queue_profile: dt must be positive");
   std::vector<double> out;
   for (double t = 0.0; t <= phases.cycle() + 1e-9; t += dt) {
-    out.push_back(queue_length_m(t, phases, arrival_veh_s, initial_queue_m));
+    out.push_back(queue_length_m(Seconds(t), phases, arrival, initial_queue));
   }
   return out;
 }

@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/units.hpp"
 #include "traffic/vm_model.hpp"
 
 namespace evvo::traffic {
@@ -33,30 +34,32 @@ class QueueModel {
   const VmParams& params() const { return params_; }
   DischargeModel discharge_model() const { return discharge_; }
 
-  /// Length discharged by `tau` seconds into the cycle [m].
-  double discharged_length(double tau, const CyclePhases& phases) const;
+  /// Length discharged [m] by `tau` into the cycle.
+  double discharged_length(Seconds tau, const CyclePhases& phases) const;
 
-  /// Queue length [m] at `tau` into the cycle. `arrival_veh_s` is V_in in
-  /// vehicles/second; `initial_queue_m` is the residual from the prior cycle.
-  double queue_length_m(double tau, const CyclePhases& phases, double arrival_veh_s,
-                        double initial_queue_m = 0.0) const;
+  /// Queue length [m] at `tau` into the cycle. `arrival` is V_in; `initial_queue`
+  /// is the residual from the prior cycle. Flow is vehicles/second — callers
+  /// holding veh/h convert explicitly via flow_from_veh_h (the exact mixup
+  /// this signature exists to reject).
+  double queue_length_m(Seconds tau, const CyclePhases& phases, VehiclesPerSecond arrival,
+                        Meters initial_queue = Meters(0.0)) const;
 
   /// Queue length in vehicles (length / spacing).
-  double queue_vehicles(double tau, const CyclePhases& phases, double arrival_veh_s,
-                        double initial_queue_m = 0.0) const;
+  double queue_vehicles(Seconds tau, const CyclePhases& phases, VehiclesPerSecond arrival,
+                        Meters initial_queue = Meters(0.0)) const;
 
-  /// Time into the cycle at which the queue first reaches zero, if it does
+  /// Time into the cycle [s] at which the queue first reaches zero, if it does
   /// before the cycle ends (the paper's t* that opens the T_q window).
-  std::optional<double> clear_time(const CyclePhases& phases, double arrival_veh_s,
-                                   double initial_queue_m = 0.0) const;
+  std::optional<double> clear_time(const CyclePhases& phases, VehiclesPerSecond arrival,
+                                   Meters initial_queue = Meters(0.0)) const;
 
   /// Queue remaining at the end of the cycle [m] (0 if it cleared).
-  double residual_queue_m(const CyclePhases& phases, double arrival_veh_s,
-                          double initial_queue_m = 0.0) const;
+  double residual_queue_m(const CyclePhases& phases, VehiclesPerSecond arrival,
+                          Meters initial_queue = Meters(0.0)) const;
 
-  /// Queue-length samples over one cycle every dt seconds (Fig. 5(b) series).
-  std::vector<double> queue_profile(const CyclePhases& phases, double arrival_veh_s, double dt,
-                                    double initial_queue_m = 0.0) const;
+  /// Queue-length samples over one cycle every dt (Fig. 5(b) series).
+  std::vector<double> queue_profile(const CyclePhases& phases, VehiclesPerSecond arrival,
+                                    Seconds dt, Meters initial_queue = Meters(0.0)) const;
 
  private:
   VmParams params_;

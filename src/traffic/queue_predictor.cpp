@@ -7,19 +7,19 @@
 
 namespace evvo::traffic {
 
-ConstantArrivalRate::ConstantArrivalRate(double veh_h) : veh_h_(veh_h) {
-  if (veh_h < 0.0) throw std::invalid_argument("ConstantArrivalRate: rate must be >= 0");
+ConstantArrivalRate::ConstantArrivalRate(VehiclesPerSecond rate) : veh_h_(to_veh_h(rate)) {
+  if (veh_h_ < 0.0) throw std::invalid_argument("ConstantArrivalRate: rate must be >= 0");
 }
 
-double ConstantArrivalRate::arrival_rate_veh_h(double) const { return veh_h_; }
+double ConstantArrivalRate::arrival_rate_veh_h(Seconds) const { return veh_h_; }
 
-SeriesArrivalRate::SeriesArrivalRate(HourlyVolumeSeries series, double series_start_s)
-    : series_(std::move(series)), start_s_(series_start_s) {
+SeriesArrivalRate::SeriesArrivalRate(HourlyVolumeSeries series, Seconds series_start)
+    : series_(std::move(series)), start_s_(series_start.value()) {
   if (series_.empty()) throw std::invalid_argument("SeriesArrivalRate: empty series");
 }
 
-double SeriesArrivalRate::arrival_rate_veh_h(double t) const {
-  return series_.volume_at_time(t - start_s_);
+double SeriesArrivalRate::arrival_rate_veh_h(Seconds t) const {
+  return series_.volume_at_time(t.value() - start_s_);
 }
 
 QueuePredictor::QueuePredictor(road::TrafficLight light, QueueModel model,
@@ -37,49 +37,53 @@ double QueuePredictor::residual_at_cycle_start(double cycle_start) const {
   double start = cycle_start - kWarmupCycles * light_.cycle_duration();
   double residual = 0.0;
   while (start < cycle_start - 1e-9) {
-    const double v_in = per_hour_to_per_second(arrivals_->arrival_rate_veh_h(start));
-    residual = model_.residual_queue_m(phases, v_in, residual);
+    const auto v_in = flow_from_veh_h(arrivals_->arrival_rate_veh_h(Seconds(start)));
+    residual = model_.residual_queue_m(phases, v_in, Meters(residual));
     start += light_.cycle_duration();
   }
   return residual;
 }
 
-std::vector<road::TimeWindow> QueuePredictor::zero_queue_windows(double t0, double t1) const {
+std::vector<road::TimeWindow> QueuePredictor::zero_queue_windows(Seconds t0_q, Seconds t1_q) const {
+  const double t0 = t0_q.value(), t1 = t1_q.value();
   std::vector<road::TimeWindow> windows;
   if (t1 <= t0) return windows;
   const CyclePhases phases{light_.red_duration(), light_.green_duration()};
   const double first_cycle = light_.cycle_start(t0);
   double residual = residual_at_cycle_start(first_cycle);
   for (double start = first_cycle; start < t1; start += light_.cycle_duration()) {
-    const double v_in = per_hour_to_per_second(arrivals_->arrival_rate_veh_h(start));
-    const auto clear = model_.clear_time(phases, v_in, residual);
+    const auto v_in = flow_from_veh_h(arrivals_->arrival_rate_veh_h(Seconds(start)));
+    const auto clear = model_.clear_time(phases, v_in, Meters(residual));
     if (clear.has_value()) {
       const road::TimeWindow open{start + *clear, start + phases.cycle()};
       const road::TimeWindow clipped{std::max(open.start_s, t0), std::min(open.end_s, t1)};
       if (clipped.duration() > 0.0) windows.push_back(clipped);
     }
-    residual = model_.residual_queue_m(phases, v_in, residual);
+    residual = model_.residual_queue_m(phases, v_in, Meters(residual));
   }
   return windows;
 }
 
-double QueuePredictor::queue_length_m_at(double t) const {
+double QueuePredictor::queue_length_m_at(Seconds t_q) const {
+  const double t = t_q.value();
   const CyclePhases phases{light_.red_duration(), light_.green_duration()};
   const double start = light_.cycle_start(t);
   const double residual = residual_at_cycle_start(start);
-  const double v_in = per_hour_to_per_second(arrivals_->arrival_rate_veh_h(start));
-  return model_.queue_length_m(t - start, phases, v_in, residual);
+  const auto v_in = flow_from_veh_h(arrivals_->arrival_rate_veh_h(Seconds(start)));
+  return model_.queue_length_m(Seconds(t - start), phases, v_in, Meters(residual));
 }
 
-bool QueuePredictor::in_zero_queue_window(double t) const {
-  const auto windows = zero_queue_windows(t - light_.cycle_duration(), t + light_.cycle_duration());
+bool QueuePredictor::in_zero_queue_window(Seconds t_q) const {
+  const double t = t_q.value();
+  const auto windows = zero_queue_windows(Seconds(t - light_.cycle_duration()),
+                                          Seconds(t + light_.cycle_duration()));
   return std::any_of(windows.begin(), windows.end(),
                      [t](const road::TimeWindow& w) { return w.contains(t); });
 }
 
-std::vector<road::TimeWindow> green_windows_as_queue_free(const road::TrafficLight& light, double t0,
-                                                          double t1) {
-  return light.green_windows(t0, t1);
+std::vector<road::TimeWindow> green_windows_as_queue_free(const road::TrafficLight& light,
+                                                          Seconds t0, Seconds t1) {
+  return light.green_windows(t0.value(), t1.value());
 }
 
 }  // namespace evvo::traffic

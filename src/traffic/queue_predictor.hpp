@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/units.hpp"
 #include "road/signals.hpp"
 #include "traffic/queue_model.hpp"
 #include "traffic/volume_series.hpp"
@@ -20,15 +21,17 @@ class ArrivalRateProvider {
  public:
   virtual ~ArrivalRateProvider() = default;
 
-  /// Predicted arrival rate [veh/h] at absolute time t [s].
-  virtual double arrival_rate_veh_h(double t) const = 0;
+  /// Predicted arrival rate [veh/h] at absolute time t.
+  virtual double arrival_rate_veh_h(Seconds t) const = 0;
 };
 
-/// Fixed arrival rate (tests, single-cycle studies).
+/// Fixed arrival rate (tests, single-cycle studies). Constructed from a
+/// flow quantity so veh/h callers convert explicitly: 
+///   ConstantArrivalRate(flow_from_veh_h(600.0)).
 class ConstantArrivalRate final : public ArrivalRateProvider {
  public:
-  explicit ConstantArrivalRate(double veh_h);
-  double arrival_rate_veh_h(double t) const override;
+  explicit ConstantArrivalRate(VehiclesPerSecond rate);
+  double arrival_rate_veh_h(Seconds t) const override;
 
  private:
   double veh_h_;
@@ -38,8 +41,8 @@ class ConstantArrivalRate final : public ArrivalRateProvider {
 /// absolute time `series_start_s`.
 class SeriesArrivalRate final : public ArrivalRateProvider {
  public:
-  SeriesArrivalRate(HourlyVolumeSeries series, double series_start_s = 0.0);
-  double arrival_rate_veh_h(double t) const override;
+  SeriesArrivalRate(HourlyVolumeSeries series, Seconds series_start = Seconds(0.0));
+  double arrival_rate_veh_h(Seconds t) const override;
 
  private:
   HourlyVolumeSeries series_;
@@ -58,13 +61,13 @@ class QueuePredictor {
   /// Absolute zero-queue windows T_q intersecting [t0, t1]. Residual queues
   /// are carried across oversaturated cycles (warm-started a few cycles before
   /// t0 so the state at t0 is settled).
-  std::vector<road::TimeWindow> zero_queue_windows(double t0, double t1) const;
+  std::vector<road::TimeWindow> zero_queue_windows(Seconds t0, Seconds t1) const;
 
   /// Predicted queue length [m] at absolute time t.
-  double queue_length_m_at(double t) const;
+  double queue_length_m_at(Seconds t) const;
 
   /// Paper Eq. (11): is t inside T_q?
-  bool in_zero_queue_window(double t) const;
+  bool in_zero_queue_window(Seconds t) const;
 
  private:
   /// Residual queue [m] at the start of the cycle containing t.
@@ -78,6 +81,6 @@ class QueuePredictor {
 /// Convenience: green windows treated as queue-free — the "current DP"
 /// baseline's belief (it ignores queue dynamics entirely).
 std::vector<road::TimeWindow> green_windows_as_queue_free(const road::TrafficLight& light,
-                                                          double t0, double t1);
+                                                          Seconds t0, Seconds t1);
 
 }  // namespace evvo::traffic

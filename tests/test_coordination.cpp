@@ -71,8 +71,8 @@ TEST(Coordination, CoordinatedCorridorNeedsNoWaitingInThePlan) {
   const core::VelocityPlanner with_lights(wave, ev::EnergyModel{}, cfg);
   cfg.policy = core::SignalPolicy::kIgnoreSignals;
   const core::VelocityPlanner no_lights(wave, ev::EnergyModel{}, cfg);
-  const auto plan_lights = with_lights.plan(0.0);
-  const auto plan_free = no_lights.plan(0.0);
+  const auto plan_lights = with_lights.plan(Seconds(0.0));
+  const auto plan_free = no_lights.plan(Seconds(0.0));
   EXPECT_LT(plan_lights.trip_time() - plan_free.trip_time(), 12.0);
   EXPECT_LE(plan_lights.planned_stops(), 1);  // only the stop sign
 }

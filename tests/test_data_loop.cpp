@@ -24,7 +24,7 @@ TEST(DataLoop, LoopMeasuredVolumesTrackDemand) {
   cfg.seed = 41;
   std::vector<double> hourly{1200.0, 600.0};
   auto demand = std::make_shared<traffic::SeriesArrivalRate>(
-      traffic::HourlyVolumeSeries(hourly, 0), 0.0);
+      traffic::HourlyVolumeSeries(hourly, 0), Seconds(0.0));
   sim::Microsim simulator(corridor, cfg, demand);
   sim::InductionLoop loop(150.0, 3600.0);
   while (simulator.time() < 7200.0) {
@@ -43,7 +43,7 @@ TEST(DataLoop, MeasuredSeriesDrivesQueuePredictionAndPlanning) {
   const road::Corridor corridor = road::make_us25_corridor();
   sim::MicrosimConfig cfg;
   cfg.seed = 43;
-  auto demand = std::make_shared<traffic::ConstantArrivalRate>(1530.0);
+  auto demand = std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(1530.0));
   sim::Microsim simulator(corridor, cfg, demand);
   sim::InductionLoop loop(150.0, 3600.0);
   while (simulator.time() < 3600.0) {
@@ -55,16 +55,16 @@ TEST(DataLoop, MeasuredSeriesDrivesQueuePredictionAndPlanning) {
   EXPECT_GT(measured.at(0), 400.0);  // a real measurement, not noise
 
   // Plan against the measured series directly.
-  const auto arrivals = std::make_shared<traffic::SeriesArrivalRate>(measured, 0.0);
+  const auto arrivals = std::make_shared<traffic::SeriesArrivalRate>(measured, Seconds(0.0));
   core::PlannerConfig planner_cfg;
   planner_cfg.policy = core::SignalPolicy::kQueueAware;
   planner_cfg.vm =
       sim::calibrated_vm_params(cfg.background_driver, 13.4, cfg.straight_ratio);
   const core::VelocityPlanner planner(corridor, ev::EnergyModel{}, planner_cfg);
-  const core::PlannedProfile plan = planner.plan(600.0, arrivals);
+  const core::PlannedProfile plan = planner.plan(Seconds(600.0), arrivals);
   EXPECT_NEAR(plan.length(), corridor.length(), 1e-6);
   // The measured-demand windows must open strictly after green onset.
-  const auto events = planner.build_events(600.0, arrivals);
+  const auto events = planner.build_events(Seconds(600.0), arrivals);
   for (const auto& e : events) {
     if (e.type != core::LayerEvent::Type::kSignal) continue;
     ASSERT_FALSE(e.windows.empty());
@@ -76,7 +76,7 @@ TEST(MicrosimConservation, EveryInsertedVehicleIsAccountedFor) {
   sim::MicrosimConfig cfg;
   cfg.seed = 47;
   sim::Microsim simulator(corridor, cfg,
-                          std::make_shared<traffic::ConstantArrivalRate>(1800.0));
+                          std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(1800.0)));
   simulator.run_until(1800.0);
   const auto& stats = simulator.stats();
   const long present = static_cast<long>(simulator.vehicles().size());
@@ -90,7 +90,7 @@ TEST(MicrosimConservation, HoldsAcrossSeedsAndDemands) {
       sim::MicrosimConfig cfg;
       cfg.seed = seed;
       sim::Microsim simulator(road::make_us25_corridor(), cfg,
-                              std::make_shared<traffic::ConstantArrivalRate>(demand));
+                              std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(demand)));
       simulator.run_until(600.0);
       const auto& stats = simulator.stats();
       EXPECT_EQ(stats.inserted, stats.removed_at_exit + stats.turned_off +
@@ -110,7 +110,7 @@ TEST(DpMonotonicity, HeavierPredictedTrafficNeverSpeedsUpTheTrip) {
   double prev_trip = 0.0;
   for (const double rate : {100.0, 400.0, 765.0, 1100.0}) {
     const auto plan =
-        planner.plan(0.0, std::make_shared<traffic::ConstantArrivalRate>(rate));
+        planner.plan(Seconds(0.0), std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(rate)));
     EXPECT_GE(plan.trip_time(), prev_trip - 1.0) << "rate " << rate;
     prev_trip = plan.trip_time();
   }

@@ -39,12 +39,12 @@ struct Scenario {
     cfg.policy = SignalPolicy::kQueueAware;
     cfg.resolution.horizon_s = 700.0;
     const VelocityPlanner planner(corridor, energy, cfg);
-    const auto arrivals = std::make_shared<traffic::ConstantArrivalRate>(500.0);
-    events = planner.build_events(depart_time_s, arrivals);
+    const auto arrivals = std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(500.0));
+    events = planner.build_events(Seconds(depart_time_s), arrivals);
 
     problem.route = &corridor.route;
     problem.energy = &energy;
-    problem.depart_time_s = depart_time_s;
+    problem.depart_time = Seconds(depart_time_s);
     problem.resolution = cfg.resolution;
     problem.time_weight_mah_per_s = cfg.time_weight_mah_per_s;
     problem.smoothness_weight_mah_per_ms = cfg.smoothness_weight_mah_per_ms;
@@ -180,16 +180,16 @@ TEST(Us25GoldenChecksum, TablesAndProfilePinnedAcrossThreadsAndPruning) {
   cfg.resolution.dt_s = 1.0;
   cfg.resolution.horizon_s = 480.0;
   const VelocityPlanner planner(corridor, energy, cfg);
-  const auto arrivals = std::make_shared<traffic::ConstantArrivalRate>(600.0);
+  const auto arrivals = std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(600.0));
 
   DpProblem problem;
   problem.route = &corridor.route;
   problem.energy = &energy;
-  problem.depart_time_s = 60.0;
+  problem.depart_time = Seconds(60.0);
   problem.resolution = cfg.resolution;
   problem.time_weight_mah_per_s = cfg.time_weight_mah_per_s;
   problem.smoothness_weight_mah_per_ms = cfg.smoothness_weight_mah_per_ms;
-  problem.events = planner.build_events(problem.depart_time_s, arrivals);
+  problem.events = planner.build_events(Seconds(problem.depart_time.value()), arrivals);
   problem.checksum_tables = true;
 
   common::ThreadPool pool(8);
@@ -274,14 +274,14 @@ TEST(DpWorkspace, ConcurrentPlannerCallsAgree) {
   cfg.policy = SignalPolicy::kQueueAware;
   cfg.resolution.horizon_s = 700.0;
   const VelocityPlanner planner(scenario.corridor, scenario.energy, cfg);
-  const auto arrivals = std::make_shared<traffic::ConstantArrivalRate>(500.0);
-  const PlannedProfile reference = planner.plan(0.0, arrivals);
+  const auto arrivals = std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(500.0));
+  const PlannedProfile reference = planner.plan(Seconds(0.0), arrivals);
 
   constexpr int kThreads = 4;
   std::vector<std::optional<PlannedProfile>> results(kThreads);
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&, t] { results[t] = planner.plan(0.0, arrivals); });
+    threads.emplace_back([&, t] { results[t] = planner.plan(Seconds(0.0), arrivals); });
   }
   for (auto& thread : threads) thread.join();
   for (int t = 0; t < kThreads; ++t) {

@@ -193,7 +193,9 @@ TEST(DpSolver, SpeedLimitDropIsObeyed) {
   const auto solution = solve_dp(base_problem(route, energy));
   ASSERT_TRUE(solution.has_value());
   for (const PlanNode& node : solution->profile.nodes()) {
-    if (node.position_m > 300.0 + 1e-9) EXPECT_LE(node.speed_ms, 8.0 + 1e-9);
+    if (node.position_m > 300.0 + 1e-9) {
+      EXPECT_LE(node.speed_ms, 8.0 + 1e-9);
+    }
   }
 }
 

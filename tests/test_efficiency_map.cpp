@@ -51,22 +51,22 @@ TEST(EfficiencyMap, TypicalMotorShape) {
 
 TEST(EnergyModelWithMap, LookupReplacesConstantEta) {
   EnergyModel model;
-  const double constant_amps = model.traction_current_a(15.0, 0.5);
+  const double constant_amps = model.traction_current_a(MetersPerSecond(15.0), MetersPerSecondSquared(0.5));
   model.set_powertrain_map(std::make_shared<EfficiencyMap>(EfficiencyMap::typical_ev_motor()));
-  const double mapped_amps = model.traction_current_a(15.0, 0.5);
+  const double mapped_amps = model.traction_current_a(MetersPerSecond(15.0), MetersPerSecondSquared(0.5));
   EXPECT_NE(constant_amps, mapped_amps);
   // At the motor's sweet spot the map (~0.93) beats the paper constant (0.85),
   // so the same wheel power draws less current.
   EXPECT_LT(mapped_amps, constant_amps);
   model.set_powertrain_map(nullptr);
-  EXPECT_DOUBLE_EQ(model.traction_current_a(15.0, 0.5), constant_amps);
+  EXPECT_DOUBLE_EQ(model.traction_current_a(MetersPerSecond(15.0), MetersPerSecondSquared(0.5)), constant_amps);
 }
 
 TEST(EnergyModelWithMap, LowSpeedCrawlBecomesExpensive) {
   EnergyModel model;
-  const double constant_per_m = model.traction_current_a(1.0, 0.0) / 1.0;
+  const double constant_per_m = model.traction_current_a(MetersPerSecond(1.0), MetersPerSecondSquared(0.0)) / 1.0;
   model.set_powertrain_map(std::make_shared<EfficiencyMap>(EfficiencyMap::typical_ev_motor()));
-  const double mapped_per_m = model.traction_current_a(1.0, 0.0) / 1.0;
+  const double mapped_per_m = model.traction_current_a(MetersPerSecond(1.0), MetersPerSecondSquared(0.0)) / 1.0;
   EXPECT_GT(mapped_per_m, constant_per_m);  // ~0.72 at crawl vs the constant 0.85
 }
 
@@ -76,7 +76,7 @@ TEST(EnergyModelWithMap, PlannerStillSolvesAndStaysComparable) {
   core::PlannerConfig cfg;
   cfg.policy = core::SignalPolicy::kIgnoreSignals;
   const core::VelocityPlanner planner(road::make_us25_corridor(), model, cfg);
-  const auto plan = planner.plan(0.0);
+  const auto plan = planner.plan(Seconds(0.0));
   EXPECT_GT(plan.total_energy_mah(), 500.0);
   EXPECT_LT(plan.total_energy_mah(), 3000.0);
 }

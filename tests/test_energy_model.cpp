@@ -81,7 +81,7 @@ TEST(EnergyModel, Eq3MatchesHandComputation) {
   const double f = drive_force(m.params(), v, a);
   const double expected =
       f * v / (m.pack_voltage() * m.params().battery_efficiency * m.params().powertrain_efficiency);
-  EXPECT_NEAR(m.traction_current_a(v, a), expected, 1e-9);
+  EXPECT_NEAR(m.traction_current_a(MetersPerSecond(v), MetersPerSecondSquared(a)), expected, 1e-9);
 }
 
 TEST(EnergyModel, AccessoryCurrentConstant) {
@@ -89,13 +89,13 @@ TEST(EnergyModel, AccessoryCurrentConstant) {
   const double expected = m.params().accessory_power_w /
                           (m.pack_voltage() * m.params().battery_efficiency);
   EXPECT_NEAR(m.accessory_current_a(), expected, 1e-12);
-  EXPECT_NEAR(m.current_a(10.0, 0.0) - m.traction_current_a(10.0, 0.0), expected, 1e-12);
+  EXPECT_NEAR(m.current_a(MetersPerSecond(10.0), MetersPerSecondSquared(0.0)) - m.traction_current_a(MetersPerSecond(10.0), MetersPerSecondSquared(0.0)), expected, 1e-12);
 }
 
 TEST(EnergyModel, RegenIsNegativeUnderDeceleration) {
   const EnergyModel m;
   // Fig. 3: energy consumption of a pure EV is negative when it decelerates.
-  EXPECT_LT(m.traction_current_a(15.0, -1.5), 0.0);
+  EXPECT_LT(m.traction_current_a(MetersPerSecond(15.0), MetersPerSecondSquared(-1.5)), 0.0);
 }
 
 TEST(EnergyModel, PaperConventionSymmetricAboutForce) {
@@ -103,7 +103,7 @@ TEST(EnergyModel, PaperConventionSymmetricAboutForce) {
   const EnergyModel m;
   const double f = drive_force(m.params(), 10.0, -1.0);
   const double eta = m.params().battery_efficiency * m.params().powertrain_efficiency;
-  EXPECT_NEAR(m.traction_current_a(10.0, -1.0), f * 10.0 / (m.pack_voltage() * eta), 1e-9);
+  EXPECT_NEAR(m.traction_current_a(MetersPerSecond(10.0), MetersPerSecondSquared(-1.0)), f * 10.0 / (m.pack_voltage() * eta), 1e-9);
 }
 
 TEST(EnergyModel, PhysicalConventionRecoversLess) {
@@ -111,8 +111,8 @@ TEST(EnergyModel, PhysicalConventionRecoversLess) {
   p.regen_efficiency = 0.7;
   const EnergyModel paper(p, 399.0, RegenConvention::kPaperEq3);
   const EnergyModel physical(p, 399.0, RegenConvention::kPhysical);
-  const double i_paper = paper.traction_current_a(15.0, -1.5);
-  const double i_phys = physical.traction_current_a(15.0, -1.5);
+  const double i_paper = paper.traction_current_a(MetersPerSecond(15.0), MetersPerSecondSquared(-1.5));
+  const double i_phys = physical.traction_current_a(MetersPerSecond(15.0), MetersPerSecondSquared(-1.5));
   ASSERT_LT(i_paper, 0.0);
   ASSERT_LT(i_phys, 0.0);
   EXPECT_GT(i_phys, i_paper);  // physical recovers less charge
@@ -122,7 +122,7 @@ TEST(EnergyModel, CurrentIncreasesWithAcceleration) {
   const EnergyModel m;
   double prev = -1e9;
   for (double a = -1.5; a <= 2.5; a += 0.25) {
-    const double i = m.traction_current_a(10.0, a);
+    const double i = m.traction_current_a(MetersPerSecond(10.0), MetersPerSecondSquared(a));
     EXPECT_GT(i, prev);
     prev = i;
   }
@@ -132,7 +132,7 @@ TEST(EnergyModel, CruiseCurrentIncreasesWithSpeed) {
   const EnergyModel m;
   double prev = 0.0;
   for (double v = 1.0; v <= 30.0; v += 1.0) {
-    const double i = m.traction_current_a(v, 0.0);
+    const double i = m.traction_current_a(MetersPerSecond(v), MetersPerSecondSquared(0.0));
     EXPECT_GT(i, prev);
     prev = i;
   }
@@ -140,14 +140,14 @@ TEST(EnergyModel, CruiseCurrentIncreasesWithSpeed) {
 
 TEST(EnergyModel, ChargeAhMatchesCurrentTimesTime) {
   const EnergyModel m;
-  EXPECT_NEAR(m.charge_ah(12.0, 0.3, 10.0), m.current_a(12.0, 0.3) * 10.0 / 3600.0, 1e-12);
+  EXPECT_NEAR(m.charge_ah(MetersPerSecond(12.0), MetersPerSecondSquared(0.3), Seconds(10.0)), m.current_a(MetersPerSecond(12.0), MetersPerSecondSquared(0.3)) * 10.0 / 3600.0, 1e-12);
 }
 
 TEST(EnergyModel, MostEfficientCruiseSpeedIsInterior) {
   // With accessory load, charge-per-meter is U-shaped; the optimum lies
   // strictly inside a generous bracket.
   const EnergyModel m;
-  const double v = m.most_efficient_cruise_speed(1.0, 40.0);
+  const double v = m.most_efficient_cruise_speed(MetersPerSecond(1.0), MetersPerSecond(40.0));
   EXPECT_GT(v, 2.0);
   EXPECT_LT(v, 25.0);
 }
@@ -163,7 +163,7 @@ TEST(TripEnergy, ConstantCruiseTripMatchesClosedForm) {
   const DriveCycle cycle(speeds, 1.0);
   const TripEnergy e = m.trip(cycle);
   EXPECT_NEAR(e.distance_m, 1500.0, 1e-6);
-  EXPECT_NEAR(e.charge_mah, ah_to_mah(as_to_ah(m.current_a(v, 0.0) * 100.0)), 1e-6);
+  EXPECT_NEAR(e.charge_mah, ah_to_mah(as_to_ah(m.current_a(MetersPerSecond(v), MetersPerSecondSquared(0.0)) * 100.0)), 1e-6);
   EXPECT_DOUBLE_EQ(e.regenerated_mah, 0.0);
 }
 
@@ -210,8 +210,8 @@ class EnergyMapSweep : public ::testing::TestWithParam<double> {};
 TEST_P(EnergyMapSweep, MonotoneInAccelerationAndSignedAtExtremes) {
   const EnergyModel m;
   const double v = GetParam();
-  EXPECT_GT(m.traction_current_a(v, 2.5), 0.0);
-  EXPECT_LT(m.traction_current_a(v, -1.5), 0.0);
+  EXPECT_GT(m.traction_current_a(MetersPerSecond(v), MetersPerSecondSquared(2.5)), 0.0);
+  EXPECT_LT(m.traction_current_a(MetersPerSecond(v), MetersPerSecondSquared(-1.5)), 0.0);
 }
 INSTANTIATE_TEST_SUITE_P(Speeds, EnergyMapSweep, ::testing::Values(2.0, 5.0, 10.0, 15.0, 20.0, 25.0));
 

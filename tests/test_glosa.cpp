@@ -14,7 +14,7 @@ namespace evvo::core {
 namespace {
 
 std::shared_ptr<traffic::ConstantArrivalRate> demand(double veh_h) {
-  return std::make_shared<traffic::ConstantArrivalRate>(veh_h);
+  return std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(veh_h));
 }
 
 TEST(Glosa, Validation) {
@@ -33,7 +33,7 @@ TEST(Glosa, Validation) {
 TEST(Glosa, CruisesWhenNoLightAhead) {
   const road::Corridor c = road::make_single_light_corridor(1000.0, 600.0, 30.0, 30.0, 20.0);
   const GlosaAdvisor advisor(c, GlosaConfig{});
-  EXPECT_NEAR(advisor.advise(700.0, 0.0), 0.95 * 20.0, 1e-9);
+  EXPECT_NEAR(advisor.advise(Meters(700.0), Seconds(0.0)), 0.95 * 20.0, 1e-9);
 }
 
 TEST(Glosa, CruisesWhenArrivalFallsInGreen) {
@@ -41,7 +41,7 @@ TEST(Glosa, CruisesWhenArrivalFallsInGreen) {
   // arrives at ~56 - inside the green, no slowdown needed.
   const road::Corridor c = road::make_single_light_corridor(1000.0, 600.0, 30.0, 30.0, 15.0);
   const GlosaAdvisor advisor(c, GlosaConfig{});
-  EXPECT_NEAR(advisor.advise(300.0, 35.0), 0.95 * 15.0, 1e-9);
+  EXPECT_NEAR(advisor.advise(Meters(300.0), Seconds(35.0)), 0.95 * 15.0, 1e-9);
 }
 
 TEST(Glosa, SlowsToMeetTheNextGreen) {
@@ -50,7 +50,7 @@ TEST(Glosa, SlowsToMeetTheNextGreen) {
   // 300 m / 30 s = 10 m/s.
   const road::Corridor c = road::make_single_light_corridor(1000.0, 600.0, 30.0, 30.0, 15.0);
   const GlosaAdvisor advisor(c, GlosaConfig{});
-  const double advice = advisor.advise(300.0, 0.0);
+  const double advice = advisor.advise(Meters(300.0), Seconds(0.0));
   EXPECT_NEAR(advice, 10.0, 0.2);
 }
 
@@ -58,7 +58,7 @@ TEST(Glosa, CrawlsWhenEvenTheFloorCannotMakeAWindow) {
   // 20 m from the line, 25 s of red left: required speed 0.8 m/s < floor.
   const road::Corridor c = road::make_single_light_corridor(1000.0, 600.0, 30.0, 30.0, 15.0);
   const GlosaAdvisor advisor(c, GlosaConfig{});
-  EXPECT_DOUBLE_EQ(advisor.advise(580.0, 5.0), GlosaConfig{}.min_advisory_ms);
+  EXPECT_DOUBLE_EQ(advisor.advise(Meters(580.0), Seconds(5.0)), GlosaConfig{}.min_advisory_ms);
 }
 
 TEST(Glosa, QueueAwareAdvisesLaterArrival) {
@@ -70,8 +70,8 @@ TEST(Glosa, QueueAwareAdvisesLaterArrival) {
   const GlosaAdvisor aware_adv(c, aware, demand(800.0));
   // Both must slow for the red, but the queue-aware advisory is slower (its
   // window opens after the queue clears, later than green onset).
-  const double v_classic = classic_adv.advise(300.0, 0.0);
-  const double v_aware = aware_adv.advise(300.0, 0.0);
+  const double v_classic = classic_adv.advise(Meters(300.0), Seconds(0.0));
+  const double v_aware = aware_adv.advise(Meters(300.0), Seconds(0.0));
   EXPECT_LT(v_aware, v_classic);
   EXPECT_GE(v_aware, GlosaConfig{}.min_advisory_ms);
 }

@@ -65,7 +65,7 @@ MicrosimConfig idm_config(std::uint64_t seed = 3) {
 
 TEST(IdmMicrosim, NoCollisionsUnderHeavyTraffic) {
   Microsim sim(road::make_us25_corridor(), idm_config(),
-               std::make_shared<traffic::ConstantArrivalRate>(2500.0));
+               std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(2500.0)));
   for (int i = 0; i < 2400; ++i) {
     sim.step();
     ASSERT_FALSE(sim.has_collision()) << "t=" << sim.time();
@@ -75,7 +75,7 @@ TEST(IdmMicrosim, NoCollisionsUnderHeavyTraffic) {
 
 TEST(IdmMicrosim, VehiclesStopAtRedAndDischarge) {
   Microsim sim(road::make_us25_corridor(), idm_config(7),
-               std::make_shared<traffic::ConstantArrivalRate>(1530.0));
+               std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(1530.0)));
   sim.run_until(600.0);
   const auto& light = sim.corridor().lights[0];
   double red_end = 0.0;
@@ -94,7 +94,7 @@ TEST(IdmMicrosim, VehiclesStopAtRedAndDischarge) {
 
 TEST(IdmMicrosim, ConservationHolds) {
   Microsim sim(road::make_us25_corridor(), idm_config(11),
-               std::make_shared<traffic::ConstantArrivalRate>(1800.0));
+               std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(1800.0)));
   sim.run_until(900.0);
   const auto& stats = sim.stats();
   EXPECT_EQ(stats.inserted, stats.removed_at_exit + stats.turned_off +
@@ -104,7 +104,7 @@ TEST(IdmMicrosim, ConservationHolds) {
 TEST(IdmMicrosim, EgoStillTracksCommands) {
   // The ego keeps Krauss command-tracking regardless of the background model.
   Microsim sim(road::make_single_light_corridor(3000.0, 2800.0, 30.0, 30.0, 20.0), idm_config(),
-               std::make_shared<traffic::ConstantArrivalRate>(0.0));
+               std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(0.0)));
   sim.spawn_ego(0.0, DriverParams{});
   sim.command_ego_speed(7.0);
   sim.run_until(30.0);

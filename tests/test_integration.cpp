@@ -27,11 +27,11 @@ struct World {
   ev::EnergyModel energy{};
   sim::MicrosimConfig sim_config{};
   std::shared_ptr<traffic::ConstantArrivalRate> demand =
-      std::make_shared<traffic::ConstantArrivalRate>(kArrival_veh_h);
+      std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(kArrival_veh_h));
 
   /// Arrival rate per simulated lane, as the QL model sees it.
   std::shared_ptr<traffic::ConstantArrivalRate> lane_demand =
-      std::make_shared<traffic::ConstantArrivalRate>(kArrival_veh_h / 2.0);
+      std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(kArrival_veh_h / 2.0));
 
   core::PlannerConfig planner_config(core::SignalPolicy policy) const {
     core::PlannerConfig cfg;
@@ -43,7 +43,7 @@ struct World {
 
   core::PlannedProfile plan(core::SignalPolicy policy) const {
     const core::VelocityPlanner planner(corridor, energy, planner_config(policy));
-    return planner.plan(kDepart_s, lane_demand);
+    return planner.plan(Seconds(kDepart_s), lane_demand);
   }
 
   sim::ExecutionResult execute(const core::PlannedProfile& plan, std::uint64_t seed) const {
@@ -186,14 +186,14 @@ TEST(Integration, PredictedQueueTracksSimulatedQueueShape) {
     simulator.run_until(start + light.cycle_duration() - 0.5);
     measured_cycle_end += simulator.measured_queue(0).second / cycles;
   }
-  const double predicted_red_end = paper_model.queue_length_m(phases.red_s, phases, v_in);
+  const double predicted_red_end = paper_model.queue_length_m(Seconds(phases.red_s), phases, VehiclesPerSecond(v_in));
   EXPECT_GT(measured_red_end, predicted_red_end * 0.3);
   EXPECT_LT(measured_red_end, predicted_red_end * 2.5);
   EXPECT_LT(measured_cycle_end, measured_red_end * 0.5);
   // The sim-calibrated model predicts clearance within the green, as observed.
   const traffic::QueueModel calibrated{
       sim::calibrated_vm_params(cfg.background_driver, 13.4, cfg.straight_ratio)};
-  ASSERT_TRUE(calibrated.clear_time(phases, v_in).has_value());
+  ASSERT_TRUE(calibrated.clear_time(phases, VehiclesPerSecond(v_in)).has_value());
 }
 
 }  // namespace

@@ -15,7 +15,7 @@ namespace evvo::sim {
 namespace {
 
 std::shared_ptr<traffic::ConstantArrivalRate> demand(double veh_h) {
-  return std::make_shared<traffic::ConstantArrivalRate>(veh_h);
+  return std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(veh_h));
 }
 
 MicrosimConfig default_config(std::uint64_t seed = 1) {

@@ -27,7 +27,7 @@ TEST_F(PlanIoTest, RoundTripPreservesPlan) {
   core::PlannerConfig cfg;
   cfg.policy = core::SignalPolicy::kIgnoreSignals;
   const core::VelocityPlanner planner(road::make_us25_corridor(), ev::EnergyModel{}, cfg);
-  const core::PlannedProfile original = planner.plan(100.0);
+  const core::PlannedProfile original = planner.plan(Seconds(100.0));
 
   core::save_plan_csv(path_, original);
   const core::PlannedProfile loaded = core::load_plan_csv(path_);

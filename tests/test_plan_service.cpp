@@ -17,7 +17,7 @@ namespace evvo::cloud {
 namespace {
 
 std::shared_ptr<traffic::ConstantArrivalRate> demand(double veh_h) {
-  return std::make_shared<traffic::ConstantArrivalRate>(veh_h);
+  return std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(veh_h));
 }
 
 core::VelocityPlanner make_planner() {
@@ -81,7 +81,7 @@ TEST(PlanService, ShiftedPlanCrossesSignalsAtCongruentTimes) {
 
 TEST(PlanService, DifferentPhaseMisses) {
   PlanService service(make_planner(), demand(765.0));
-  service.request_plan({1, 600.0});
+  (void)service.request_plan({1, 600.0});
   const PlanResponse other = service.request_plan({2, 617.0});  // different phase bin
   EXPECT_FALSE(other.cache_hit);
 }
@@ -90,9 +90,9 @@ TEST(PlanService, LruEvictionBounded) {
   CacheConfig cache;
   cache.capacity = 2;
   PlanService service(make_planner(), demand(765.0), cache);
-  service.request_plan({1, 600.0});
-  service.request_plan({2, 610.0});
-  service.request_plan({3, 620.0});  // evicts the 600.0 entry
+  (void)service.request_plan({1, 600.0});
+  (void)service.request_plan({2, 610.0});
+  (void)service.request_plan({3, 620.0});  // evicts the 600.0 entry
   const ServiceStats mid = service.stats();
   EXPECT_EQ(mid.evictions, 1);
   const PlanResponse again = service.request_plan({4, 600.0});

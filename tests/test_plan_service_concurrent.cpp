@@ -20,7 +20,7 @@ namespace evvo::cloud {
 namespace {
 
 std::shared_ptr<traffic::ConstantArrivalRate> demand(double veh_h) {
-  return std::make_shared<traffic::ConstantArrivalRate>(veh_h);
+  return std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(veh_h));
 }
 
 /// A small corridor so each solve is fast enough to hammer from many
@@ -136,9 +136,9 @@ TEST(PlanServiceConcurrent, HitsServeWhileSolveInFlight) {
   // Prime one key, then hammer it while a different key's solve is running;
   // hits must complete without waiting for the in-flight solve.
   PlanService service(make_planner(), demand(500.0));
-  service.request_plan({0, 5.0});  // prime key A
+  (void)service.request_plan({0, 5.0});  // prime key A
 
-  std::thread slow([&] { service.request_plan({1, 40.0}); });  // key B (miss)
+  std::thread slow([&] { (void)service.request_plan({1, 40.0}); });  // key B (miss)
   for (int i = 0; i < 16; ++i) {
     const PlanResponse hit = service.request_plan({2 + i, 5.0 + 60.0 * (i + 1)});
     EXPECT_TRUE(hit.cache_hit);

@@ -13,7 +13,7 @@ namespace evvo::core {
 namespace {
 
 std::shared_ptr<traffic::ConstantArrivalRate> demand(double veh_h) {
-  return std::make_shared<traffic::ConstantArrivalRate>(veh_h);
+  return std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(veh_h));
 }
 
 PlannerConfig config_for(SignalPolicy policy) {
@@ -31,7 +31,7 @@ TEST(Planner, PolicyNames) {
 TEST(Planner, BuildEventsSnapsElementsToLayers) {
   const VelocityPlanner planner(road::make_us25_corridor(), ev::EnergyModel{},
                                 config_for(SignalPolicy::kGreenWindow));
-  const auto events = planner.build_events(0.0, nullptr);
+  const auto events = planner.build_events(Seconds(0.0), nullptr);
   ASSERT_EQ(events.size(), 3u);  // 1 sign + 2 lights
   EXPECT_EQ(events[0].type, LayerEvent::Type::kStopSign);
   EXPECT_EQ(events[0].layer, 49u);   // 490 m / 10 m
@@ -42,15 +42,15 @@ TEST(Planner, BuildEventsSnapsElementsToLayers) {
 TEST(Planner, QueueAwareRequiresArrivals) {
   const VelocityPlanner planner(road::make_us25_corridor(), ev::EnergyModel{},
                                 config_for(SignalPolicy::kQueueAware));
-  EXPECT_THROW(planner.build_events(0.0, nullptr), std::invalid_argument);
+  EXPECT_THROW(planner.build_events(Seconds(0.0), nullptr), std::invalid_argument);
 }
 
 TEST(Planner, QueueAwareWindowsAreSubsetsOfGreenWindows) {
   const road::Corridor corridor = road::make_us25_corridor();
   const VelocityPlanner ours(corridor, ev::EnergyModel{}, config_for(SignalPolicy::kQueueAware));
   const VelocityPlanner base(corridor, ev::EnergyModel{}, config_for(SignalPolicy::kGreenWindow));
-  const auto ours_events = ours.build_events(0.0, demand(765.0));
-  const auto base_events = base.build_events(0.0, demand(765.0));
+  const auto ours_events = ours.build_events(Seconds(0.0), demand(765.0));
+  const auto base_events = base.build_events(Seconds(0.0), demand(765.0));
   for (std::size_t e = 1; e < ours_events.size(); ++e) {  // signal events
     ASSERT_FALSE(ours_events[e].windows.empty());
     for (const auto& w : ours_events[e].windows) {
@@ -68,8 +68,10 @@ TEST(Planner, QueueAwareWindowsAreSubsetsOfGreenWindows) {
 TEST(Planner, IgnoreSignalsDisablesWindowChecks) {
   const VelocityPlanner planner(road::make_us25_corridor(), ev::EnergyModel{},
                                 config_for(SignalPolicy::kIgnoreSignals));
-  for (const auto& e : planner.build_events(0.0, nullptr)) {
-    if (e.type == LayerEvent::Type::kSignal) EXPECT_FALSE(e.enforce_windows);
+  for (const auto& e : planner.build_events(Seconds(0.0), nullptr)) {
+    if (e.type == LayerEvent::Type::kSignal) {
+      EXPECT_FALSE(e.enforce_windows);
+    }
   }
 }
 
@@ -82,8 +84,8 @@ TEST(Planner, MarginsTrimQueueAwareWindowsOnly) {
   no_margin.window_end_margin_s = 0.0;
   const road::Corridor corridor = road::make_us25_corridor();
   const auto arrivals = demand(765.0);
-  const auto a = VelocityPlanner(corridor, ev::EnergyModel{}, with_margin).build_events(0.0, arrivals);
-  const auto b = VelocityPlanner(corridor, ev::EnergyModel{}, no_margin).build_events(0.0, arrivals);
+  const auto a = VelocityPlanner(corridor, ev::EnergyModel{}, with_margin).build_events(Seconds(0.0), arrivals);
+  const auto b = VelocityPlanner(corridor, ev::EnergyModel{}, no_margin).build_events(Seconds(0.0), arrivals);
   EXPECT_NEAR(a[1].windows[0].start_s - b[1].windows[0].start_s, 4.0, 1e-9);
   EXPECT_NEAR(b[1].windows[0].end_s - a[1].windows[0].end_s, 3.0, 1e-9);
 
@@ -91,7 +93,7 @@ TEST(Planner, MarginsTrimQueueAwareWindowsOnly) {
   // assumption): margins do not apply.
   PlannerConfig base_cfg = config_for(SignalPolicy::kGreenWindow);
   base_cfg.window_start_margin_s = 4.0;
-  const auto c = VelocityPlanner(corridor, ev::EnergyModel{}, base_cfg).build_events(0.0, nullptr);
+  const auto c = VelocityPlanner(corridor, ev::EnergyModel{}, base_cfg).build_events(Seconds(0.0), nullptr);
   const auto& light = corridor.lights[0];
   EXPECT_DOUBLE_EQ(c[1].windows[0].start_s, light.green_windows(0.0, 500.0)[0].start_s);
 }
@@ -100,14 +102,14 @@ TEST(Planner, RejectsElementsSharingALayer) {
   road::Corridor corridor = road::make_single_light_corridor(1000.0, 600.0);
   corridor.stop_signs.push_back(road::StopSign{602.0});  // same 10 m layer as the light
   const VelocityPlanner planner(corridor, ev::EnergyModel{}, config_for(SignalPolicy::kGreenWindow));
-  EXPECT_THROW(planner.build_events(0.0, nullptr), std::invalid_argument);
+  EXPECT_THROW(planner.build_events(Seconds(0.0), nullptr), std::invalid_argument);
 }
 
 TEST(Planner, RejectsElementAtBoundary) {
   road::Corridor corridor = road::make_single_light_corridor(1000.0, 600.0);
   corridor.stop_signs.push_back(road::StopSign{2.0});  // snaps to layer 0
   const VelocityPlanner planner(corridor, ev::EnergyModel{}, config_for(SignalPolicy::kGreenWindow));
-  EXPECT_THROW(planner.build_events(0.0, nullptr), std::invalid_argument);
+  EXPECT_THROW(planner.build_events(Seconds(0.0), nullptr), std::invalid_argument);
 }
 
 TEST(Planner, PlanCrossesLightsInsideTargetWindows) {
@@ -115,8 +117,8 @@ TEST(Planner, PlanCrossesLightsInsideTargetWindows) {
   PlannerConfig cfg = config_for(SignalPolicy::kQueueAware);
   const VelocityPlanner planner(corridor, ev::EnergyModel{}, cfg);
   const auto arrivals = demand(765.0);
-  const PlannedProfile plan = planner.plan(0.0, arrivals);
-  const auto events = planner.build_events(0.0, arrivals);
+  const PlannedProfile plan = planner.plan(Seconds(0.0), arrivals);
+  const auto events = planner.build_events(Seconds(0.0), arrivals);
   for (const auto& e : events) {
     if (e.type != LayerEvent::Type::kSignal) continue;
     const double crossing = plan.departure_time_at(static_cast<double>(e.layer) * 10.0);
@@ -127,7 +129,7 @@ TEST(Planner, PlanCrossesLightsInsideTargetWindows) {
 TEST(Planner, PlanWithStatsExposesGridDiagnostics) {
   const VelocityPlanner planner(road::make_us25_corridor(), ev::EnergyModel{},
                                 config_for(SignalPolicy::kIgnoreSignals));
-  const DpSolution solution = planner.plan_with_stats(0.0);
+  const DpSolution solution = planner.plan_with_stats(Seconds(0.0));
   EXPECT_EQ(solution.stats.layers, 421u);
   EXPECT_GT(solution.stats.relaxations, 10000u);
   EXPECT_GT(solution.profile.total_energy_mah(), 0.0);
@@ -136,7 +138,7 @@ TEST(Planner, PlanWithStatsExposesGridDiagnostics) {
 TEST(Planner, DepartureTimeShiftsPlanTimes) {
   const VelocityPlanner planner(road::make_us25_corridor(), ev::EnergyModel{},
                                 config_for(SignalPolicy::kIgnoreSignals));
-  const PlannedProfile later = planner.plan(500.0);
+  const PlannedProfile later = planner.plan(Seconds(500.0));
   EXPECT_DOUBLE_EQ(later.depart_time(), 500.0);
   EXPECT_GT(later.arrival_time(), 500.0);
 }

@@ -23,7 +23,7 @@ TEST_P(GradeSweep, CurrentMonotoneInGrade) {
   const double v = GetParam();
   double prev = -1e18;
   for (double theta = -0.06; theta <= 0.06; theta += 0.01) {
-    const double amps = model.traction_current_a(v, 0.0, theta);
+    const double amps = model.traction_current_a(MetersPerSecond(v), MetersPerSecondSquared(0.0), theta);
     EXPECT_GT(amps, prev) << "v=" << v << " theta=" << theta;
     prev = amps;
   }
@@ -36,10 +36,10 @@ class SymmetrySweep : public ::testing::TestWithParam<double> {};
 TEST_P(SymmetrySweep, PaperRegenIsSymmetricInForce) {
   const ev::EnergyModel model;  // kPaperEq3, regen 1.0
   const double v = GetParam();
-  const double cruise = model.traction_current_a(v, 0.0);
+  const double cruise = model.traction_current_a(MetersPerSecond(v), MetersPerSecondSquared(0.0));
   for (double a = 0.25; a <= 2.0; a += 0.25) {
-    const double up = model.traction_current_a(v, a) - cruise;
-    const double down = model.traction_current_a(v, -a) - cruise;
+    const double up = model.traction_current_a(MetersPerSecond(v), MetersPerSecondSquared(a)) - cruise;
+    const double down = model.traction_current_a(MetersPerSecond(v), MetersPerSecondSquared(-a)) - cruise;
     EXPECT_NEAR(up + down, 0.0, 1e-9) << "v=" << v << " a=" << a;
   }
 }
@@ -59,13 +59,13 @@ TEST_P(PhaseSweep, ClearTimeInsideGreenWhenFeasible) {
   const traffic::CyclePhases phases{red, green};
   const traffic::QueueModel model{traffic::VmParams{}};
   for (double rate = 0.02; rate <= 0.6; rate += 0.06) {
-    const auto clear = model.clear_time(phases, rate);
+    const auto clear = model.clear_time(phases, VehiclesPerSecond(rate));
     if (!clear.has_value()) continue;
     EXPECT_GE(*clear, red) << "red=" << red << " green=" << green << " rate=" << rate;
     EXPECT_LE(*clear, red + green + 1e-9);
     // Queue really is zero there and stays zero to the cycle end.
-    EXPECT_NEAR(model.queue_length_m(*clear, phases, rate), 0.0, 1e-6);
-    EXPECT_NEAR(model.queue_length_m(red + green, phases, rate), 0.0, 1e-6);
+    EXPECT_NEAR(model.queue_length_m(Seconds(*clear), phases, VehiclesPerSecond(rate)), 0.0, 1e-6);
+    EXPECT_NEAR(model.queue_length_m(Seconds(red + green), phases, VehiclesPerSecond(rate)), 0.0, 1e-6);
   }
 }
 INSTANTIATE_TEST_SUITE_P(Phases, PhaseSweep,
@@ -81,12 +81,12 @@ TEST(QueueDerivative, MatchesArrivalMinusDischargeBeforeClearance) {
   const traffic::VmModel vm{params};
   const traffic::CyclePhases phases{30.0, 30.0};
   const double rate = 0.425;
-  const auto clear = model.clear_time(phases, rate);
+  const auto clear = model.clear_time(phases, VehiclesPerSecond(rate));
   ASSERT_TRUE(clear.has_value());
   const double h = 1e-4;
   for (double t = 1.0; t < *clear - 0.5; t += 2.3) {
-    const double numeric = (model.queue_length_m(t + h, phases, rate) -
-                            model.queue_length_m(t - h, phases, rate)) /
+    const double numeric = (model.queue_length_m(Seconds(t + h), phases, VehiclesPerSecond(rate)) -
+                            model.queue_length_m(Seconds(t - h), phases, VehiclesPerSecond(rate))) /
                            (2.0 * h);
     const double analytic = params.spacing_m * rate - vm.platoon_speed(t, phases);
     EXPECT_NEAR(numeric, analytic, 0.05) << "t=" << t;
@@ -150,7 +150,7 @@ TEST_P(SimSweep, SafeAndConservative) {
   cfg.seed = seed;
   cfg.car_following = model;
   sim::Microsim simulator(road::make_us25_corridor(), cfg,
-                          std::make_shared<traffic::ConstantArrivalRate>(2200.0));
+                          std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(2200.0)));
   for (int i = 0; i < 1200; ++i) {
     simulator.step();
     ASSERT_FALSE(simulator.has_collision()) << "seed " << seed << " t=" << simulator.time();
@@ -173,7 +173,7 @@ TEST_P(SpeedLimitSweep, BackgroundRespectsLimits) {
   cfg.seed = GetParam();
   const double tolerance = 1.08;  // insertion-time speed-factor jitter
   sim::Microsim simulator(road::make_us25_corridor(), cfg,
-                          std::make_shared<traffic::ConstantArrivalRate>(1000.0));
+                          std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(1000.0)));
   for (int i = 0; i < 1200; ++i) {
     simulator.step();
     for (const auto& v : simulator.vehicles()) {

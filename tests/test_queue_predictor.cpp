@@ -18,22 +18,22 @@ road::TrafficLight paper_light(double offset = 0.0) {
 
 QueuePredictor make_predictor(double veh_h, double offset = 0.0) {
   return QueuePredictor(paper_light(offset), QueueModel(VmParams{}),
-                        std::make_shared<ConstantArrivalRate>(veh_h));
+                        std::make_shared<ConstantArrivalRate>(flow_from_veh_h(veh_h)));
 }
 
 TEST(ArrivalProviders, ConstantRate) {
-  const ConstantArrivalRate r(765.0);
-  EXPECT_DOUBLE_EQ(r.arrival_rate_veh_h(0.0), 765.0);
-  EXPECT_DOUBLE_EQ(r.arrival_rate_veh_h(1e6), 765.0);
-  EXPECT_THROW(ConstantArrivalRate(-1.0), std::invalid_argument);
+  const ConstantArrivalRate r(flow_from_veh_h(765.0));
+  EXPECT_DOUBLE_EQ(r.arrival_rate_veh_h(Seconds(0.0)), 765.0);
+  EXPECT_DOUBLE_EQ(r.arrival_rate_veh_h(Seconds(1e6)), 765.0);
+  EXPECT_THROW(ConstantArrivalRate(flow_from_veh_h(-1.0)), std::invalid_argument);
 }
 
 TEST(ArrivalProviders, SeriesRateWithOffset) {
   const HourlyVolumeSeries s({100.0, 200.0}, 0);
-  const SeriesArrivalRate r(s, 1000.0);
-  EXPECT_DOUBLE_EQ(r.arrival_rate_veh_h(1000.0), 100.0);
-  EXPECT_DOUBLE_EQ(r.arrival_rate_veh_h(1000.0 + 3600.0), 200.0);
-  EXPECT_DOUBLE_EQ(r.arrival_rate_veh_h(0.0), 100.0);  // clamped before start
+  const SeriesArrivalRate r(s, Seconds(1000.0));
+  EXPECT_DOUBLE_EQ(r.arrival_rate_veh_h(Seconds(1000.0)), 100.0);
+  EXPECT_DOUBLE_EQ(r.arrival_rate_veh_h(Seconds(1000.0 + 3600.0)), 200.0);
+  EXPECT_DOUBLE_EQ(r.arrival_rate_veh_h(Seconds(0.0)), 100.0);  // clamped before start
 }
 
 TEST(QueuePredictor, RejectsNullProvider) {
@@ -43,7 +43,7 @@ TEST(QueuePredictor, RejectsNullProvider) {
 
 TEST(QueuePredictor, WindowsArePerCycleAndInsideGreen) {
   const QueuePredictor p = make_predictor(765.0);
-  const auto windows = p.zero_queue_windows(0.0, 300.0);
+  const auto windows = p.zero_queue_windows(Seconds(0.0), Seconds(300.0));
   ASSERT_EQ(windows.size(), 5u);  // one per 60 s cycle
   const road::TrafficLight light = paper_light();
   for (const auto& w : windows) {
@@ -56,8 +56,8 @@ TEST(QueuePredictor, WindowsArePerCycleAndInsideGreen) {
 }
 
 TEST(QueuePredictor, HeavierTrafficShortensWindows) {
-  const auto light_w = make_predictor(300.0).zero_queue_windows(0.0, 60.0);
-  const auto heavy_w = make_predictor(1200.0).zero_queue_windows(0.0, 60.0);
+  const auto light_w = make_predictor(300.0).zero_queue_windows(Seconds(0.0), Seconds(60.0));
+  const auto heavy_w = make_predictor(1200.0).zero_queue_windows(Seconds(0.0), Seconds(60.0));
   ASSERT_EQ(light_w.size(), 1u);
   ASSERT_EQ(heavy_w.size(), 1u);
   EXPECT_GT(light_w[0].duration(), heavy_w[0].duration());
@@ -65,7 +65,7 @@ TEST(QueuePredictor, HeavierTrafficShortensWindows) {
 
 TEST(QueuePredictor, ZeroTrafficWindowsEqualGreenPhases) {
   const QueuePredictor p = make_predictor(0.0);
-  const auto windows = p.zero_queue_windows(0.0, 120.0);
+  const auto windows = p.zero_queue_windows(Seconds(0.0), Seconds(120.0));
   ASSERT_EQ(windows.size(), 2u);
   EXPECT_DOUBLE_EQ(windows[0].start_s, 30.0);
   EXPECT_DOUBLE_EQ(windows[0].end_s, 60.0);
@@ -74,12 +74,12 @@ TEST(QueuePredictor, ZeroTrafficWindowsEqualGreenPhases) {
 TEST(QueuePredictor, OversaturatedHasNoWindows) {
   // v_min/d capacity is ~5676 veh/h; demand far above it never clears.
   const QueuePredictor p = make_predictor(6500.0);
-  EXPECT_TRUE(p.zero_queue_windows(0.0, 300.0).empty());
+  EXPECT_TRUE(p.zero_queue_windows(Seconds(0.0), Seconds(300.0)).empty());
 }
 
 TEST(QueuePredictor, OffsetShiftsWindows) {
-  const auto base = make_predictor(765.0).zero_queue_windows(0.0, 60.0);
-  const auto shifted = make_predictor(765.0, 10.0).zero_queue_windows(10.0, 70.0);
+  const auto base = make_predictor(765.0).zero_queue_windows(Seconds(0.0), Seconds(60.0));
+  const auto shifted = make_predictor(765.0, 10.0).zero_queue_windows(Seconds(10.0), Seconds(70.0));
   ASSERT_EQ(base.size(), 1u);
   ASSERT_EQ(shifted.size(), 1u);
   EXPECT_NEAR(shifted[0].start_s - base[0].start_s, 10.0, 1e-9);
@@ -87,39 +87,39 @@ TEST(QueuePredictor, OffsetShiftsWindows) {
 
 TEST(QueuePredictor, WindowsClippedToQueryRange) {
   const QueuePredictor p = make_predictor(765.0);
-  const auto full = p.zero_queue_windows(0.0, 60.0);
+  const auto full = p.zero_queue_windows(Seconds(0.0), Seconds(60.0));
   ASSERT_EQ(full.size(), 1u);
   const double mid = 0.5 * (full[0].start_s + full[0].end_s);
-  const auto clipped = p.zero_queue_windows(mid, 60.0);
+  const auto clipped = p.zero_queue_windows(Seconds(mid), Seconds(60.0));
   ASSERT_EQ(clipped.size(), 1u);
   EXPECT_DOUBLE_EQ(clipped[0].start_s, mid);
 }
 
 TEST(QueuePredictor, EmptyRangeYieldsNothing) {
-  EXPECT_TRUE(make_predictor(765.0).zero_queue_windows(50.0, 50.0).empty());
+  EXPECT_TRUE(make_predictor(765.0).zero_queue_windows(Seconds(50.0), Seconds(50.0)).empty());
 }
 
 TEST(QueuePredictor, QueueLengthAtMatchesModel) {
   const QueuePredictor p = make_predictor(765.0);
   const QueueModel model{VmParams{}};
   const double expected =
-      model.queue_length_m(20.0, CyclePhases{30.0, 30.0}, per_hour_to_per_second(765.0));
-  EXPECT_NEAR(p.queue_length_m_at(20.0), expected, 1e-9);
+      model.queue_length_m(Seconds(20.0), CyclePhases{30.0, 30.0}, VehiclesPerSecond(per_hour_to_per_second(765.0)));
+  EXPECT_NEAR(p.queue_length_m_at(Seconds(20.0)), expected, 1e-9);
   // Periodic: same point one cycle later (steady demand, cleared queues).
-  EXPECT_NEAR(p.queue_length_m_at(80.0), expected, 1e-9);
+  EXPECT_NEAR(p.queue_length_m_at(Seconds(80.0)), expected, 1e-9);
 }
 
 TEST(QueuePredictor, InWindowAgreesWithWindows) {
   const QueuePredictor p = make_predictor(765.0);
-  const auto windows = p.zero_queue_windows(0.0, 120.0);
+  const auto windows = p.zero_queue_windows(Seconds(0.0), Seconds(120.0));
   ASSERT_FALSE(windows.empty());
   const double inside = 0.5 * (windows[0].start_s + windows[0].end_s);
-  EXPECT_TRUE(p.in_zero_queue_window(inside));
-  EXPECT_FALSE(p.in_zero_queue_window(10.0));  // mid-red
+  EXPECT_TRUE(p.in_zero_queue_window(Seconds(inside)));
+  EXPECT_FALSE(p.in_zero_queue_window(Seconds(10.0)));  // mid-red
 }
 
 TEST(QueuePredictor, GreenWindowBaselineIgnoresQueues) {
-  const auto windows = green_windows_as_queue_free(paper_light(), 0.0, 120.0);
+  const auto windows = green_windows_as_queue_free(paper_light(), Seconds(0.0), Seconds(120.0));
   ASSERT_EQ(windows.size(), 2u);
   EXPECT_DOUBLE_EQ(windows[0].start_s, 30.0);  // opens at green onset: no queue modeled
 }
@@ -133,7 +133,7 @@ TEST_P(DemandSweep, WindowsSortedDisjointAndGreen) {
   for (int h = 0; h < 4; ++h) volumes.push_back(h % 2 == 0 ? GetParam() : GetParam() / 2.0);
   const QueuePredictor p(paper_light(), QueueModel(VmParams{}),
                          std::make_shared<SeriesArrivalRate>(HourlyVolumeSeries(volumes, 0)));
-  const auto windows = p.zero_queue_windows(0.0, 4.0 * 3600.0);
+  const auto windows = p.zero_queue_windows(Seconds(0.0), Seconds(4.0 * 3600.0));
   const road::TrafficLight light = paper_light();
   for (std::size_t i = 0; i < windows.size(); ++i) {
     EXPECT_TRUE(light.is_green(windows[i].start_s));

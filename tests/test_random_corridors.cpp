@@ -57,9 +57,9 @@ TEST_P(RandomWorldSweep, QueueAwarePlanIsFeasibleAndHitsWindows) {
   cfg.policy = core::SignalPolicy::kQueueAware;
   cfg.resolution.horizon_s = 700.0;  // longer random corridors need headroom
   const core::VelocityPlanner planner(corridor, energy, cfg);
-  const auto arrivals = std::make_shared<traffic::ConstantArrivalRate>(500.0);
+  const auto arrivals = std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(500.0));
 
-  const core::PlannedProfile plan = planner.plan(0.0, arrivals);
+  const core::PlannedProfile plan = planner.plan(Seconds(0.0), arrivals);
   const auto& nodes = plan.nodes();
   EXPECT_DOUBLE_EQ(nodes.front().speed_ms, 0.0);
   EXPECT_DOUBLE_EQ(nodes.back().speed_ms, 0.0);
@@ -81,7 +81,7 @@ TEST_P(RandomWorldSweep, QueueAwarePlanIsFeasibleAndHitsWindows) {
 
   // Regulatory elements snap to the DP grid; check at the snapped positions.
   const double ds_eff = corridor.length() / std::round(corridor.length() / cfg.resolution.ds_m);
-  const auto events = planner.build_events(0.0, arrivals);
+  const auto events = planner.build_events(Seconds(0.0), arrivals);
   for (const auto& e : events) {
     const double layer_pos = static_cast<double>(e.layer) * ds_eff;
     if (e.type == core::LayerEvent::Type::kStopSign) {
@@ -105,7 +105,7 @@ TEST_P(RandomWorldBaselineSweep, GreenWindowPlanFeasible) {
   cfg.policy = core::SignalPolicy::kGreenWindow;
   cfg.resolution.horizon_s = 700.0;
   const core::VelocityPlanner planner(corridor, ev::EnergyModel{}, cfg);
-  const core::PlannedProfile plan = planner.plan(0.0);
+  const core::PlannedProfile plan = planner.plan(Seconds(0.0));
   EXPECT_NEAR(plan.nodes().back().position_m, corridor.length(), 1e-6);
   const double ds_eff = corridor.length() / std::round(corridor.length() / cfg.resolution.ds_m);
   for (const auto& light : corridor.lights) {

@@ -14,7 +14,7 @@ namespace evvo {
 namespace {
 
 std::shared_ptr<traffic::ConstantArrivalRate> demand(double veh_h) {
-  return std::make_shared<traffic::ConstantArrivalRate>(veh_h);
+  return std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(veh_h));
 }
 
 TEST(RouteSuffix, RebasesSegments) {
@@ -57,14 +57,14 @@ TEST(DpSolver, InitialSpeedBoundary) {
   p.energy = &energy;
   p.resolution = core::DpResolution{10.0, 0.5, 1.0, 120.0};
   p.time_weight_mah_per_s = 3.0;
-  p.initial_speed_ms = 15.0;
+  p.initial_speed = MetersPerSecond(15.0);
   const auto solution = core::solve_dp(p);
   ASSERT_TRUE(solution.has_value());
   EXPECT_DOUBLE_EQ(solution->profile.nodes().front().speed_ms, 15.0);
   EXPECT_DOUBLE_EQ(solution->profile.nodes().back().speed_ms, 0.0);
   // A moving start finishes the 500 m faster than a standing start.
   core::DpProblem standing = p;
-  standing.initial_speed_ms = 0.0;
+  standing.initial_speed = MetersPerSecond(0.0);
   const auto from_rest = core::solve_dp(standing);
   ASSERT_TRUE(from_rest.has_value());
   EXPECT_LT(solution->profile.trip_time(), from_rest->profile.trip_time());
@@ -78,7 +78,7 @@ TEST(DpSolver, FinalSpeedBoundary) {
   p.energy = &energy;
   p.resolution = core::DpResolution{10.0, 0.5, 1.0, 120.0};
   p.time_weight_mah_per_s = 3.0;
-  p.final_speed_ms = 10.0;
+  p.final_speed = MetersPerSecond(10.0);
   const auto solution = core::solve_dp(p);
   ASSERT_TRUE(solution.has_value());
   EXPECT_DOUBLE_EQ(solution->profile.nodes().back().speed_ms, 10.0);
@@ -90,7 +90,7 @@ TEST(DpSolver, RejectsBoundarySpeedAboveGrid) {
   core::DpProblem p;
   p.route = &route;
   p.energy = &energy;
-  p.initial_speed_ms = 35.0;  // above the 20 m/s limit grid
+  p.initial_speed = MetersPerSecond(35.0);  // above the 20 m/s limit grid
   EXPECT_THROW(core::solve_dp(p), std::invalid_argument);
 }
 
@@ -106,7 +106,7 @@ core::VelocityPlanner make_planner(core::SignalPolicy policy = core::SignalPolic
 TEST(Replan, ContinuesInOriginalCoordinates) {
   const core::VelocityPlanner planner = make_planner();
   const auto arrivals = demand(765.0);
-  const core::PlannedProfile rest = planner.replan(2000.0, 15.0, 700.0, arrivals);
+  const core::PlannedProfile rest = planner.replan(Meters(2000.0), MetersPerSecond(15.0), Seconds(700.0), arrivals);
   EXPECT_DOUBLE_EQ(rest.nodes().front().position_m, 2000.0);
   EXPECT_NEAR(rest.nodes().back().position_m, 4200.0, 1e-6);
   EXPECT_DOUBLE_EQ(rest.depart_time(), 700.0);
@@ -116,34 +116,34 @@ TEST(Replan, ContinuesInOriginalCoordinates) {
 TEST(Replan, CrossesRemainingLightInsideWindow) {
   const core::VelocityPlanner planner = make_planner();
   const auto arrivals = demand(765.0);
-  const core::PlannedProfile rest = planner.replan(2000.0, 15.0, 700.0, arrivals);
+  const core::PlannedProfile rest = planner.replan(Meters(2000.0), MetersPerSecond(15.0), Seconds(700.0), arrivals);
   const double crossing = rest.departure_time_at(3460.0);
   const traffic::QueuePredictor predictor(planner.corridor().lights[1],
                                           traffic::QueueModel(planner.config().vm), arrivals);
   // Inside the un-margined window at least.
   bool ok = false;
-  for (const auto& w : predictor.zero_queue_windows(700.0, 1200.0)) ok |= w.contains(crossing);
+  for (const auto& w : predictor.zero_queue_windows(Seconds(700.0), Seconds(1200.0))) ok |= w.contains(crossing);
   EXPECT_TRUE(ok) << "crossing at " << crossing;
 }
 
 TEST(Replan, NearDestinationStillFeasible) {
   const core::VelocityPlanner planner = make_planner(core::SignalPolicy::kIgnoreSignals);
-  const core::PlannedProfile rest = planner.replan(4100.0, 10.0, 900.0);
+  const core::PlannedProfile rest = planner.replan(Meters(4100.0), MetersPerSecond(10.0), Seconds(900.0));
   EXPECT_NEAR(rest.length(), 100.0, 1e-6);
   EXPECT_DOUBLE_EQ(rest.nodes().back().speed_ms, 0.0);
 }
 
 TEST(Replan, RejectsPositionOutsideCorridor) {
   const core::VelocityPlanner planner = make_planner(core::SignalPolicy::kIgnoreSignals);
-  EXPECT_THROW(planner.replan(-5.0, 0.0, 0.0), std::invalid_argument);
-  EXPECT_THROW(planner.replan(4200.0, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(planner.replan(Meters(-5.0), MetersPerSecond(0.0), Seconds(0.0)), std::invalid_argument);
+  EXPECT_THROW(planner.replan(Meters(4200.0), MetersPerSecond(0.0), Seconds(0.0)), std::invalid_argument);
 }
 
 TEST(Replan, ElementJustAheadIsDropped) {
   // Replanning 5 m before the stop sign: the sign is within 1.5 grid steps
   // and treated as passed; the plan must still be solvable.
   const core::VelocityPlanner planner = make_planner(core::SignalPolicy::kIgnoreSignals);
-  const core::PlannedProfile rest = planner.replan(487.0, 2.0, 100.0);
+  const core::PlannedProfile rest = planner.replan(Meters(487.0), MetersPerSecond(2.0), Seconds(100.0));
   EXPECT_GT(rest.length(), 3700.0);
 }
 

@@ -35,7 +35,7 @@ TEST(BatteryStress, CruiseHasNoReversals) {
   EXPECT_EQ(stress.direction_reversals, 0);
   EXPECT_GT(stress.ah_throughput, 0.0);
   EXPECT_DOUBLE_EQ(stress.peak_regen_a, 0.0);
-  EXPECT_NEAR(stress.rms_current_a, model.current_a(15.0, 0.0), 1e-6);
+  EXPECT_NEAR(stress.rms_current_a, model.current_a(MetersPerSecond(15.0), MetersPerSecondSquared(0.0)), 1e-6);
 }
 
 TEST(BatteryStress, StopAndGoStressesThePackMore) {
@@ -138,7 +138,7 @@ TEST(TravelTimeProbe, MeasuresDelayThroughASignal) {
   sim::MicrosimConfig cfg;
   cfg.seed = 31;
   sim::Microsim simulator(corridor, cfg,
-                          std::make_shared<traffic::ConstantArrivalRate>(1530.0));
+                          std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(1530.0)));
   sim::TravelTimeProbe through_light(1820.0 - 400.0, 1820.0 + 100.0);
   sim::TravelTimeProbe free_section(200.0, 400.0);
   while (simulator.time() < 1500.0) {

@@ -1,0 +1,136 @@
+// Dimension-checked quantity types: conversion round-trips, operator
+// closure, and the zero-overhead guarantees the migration relies on.
+#include "common/units.hpp"
+
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+namespace evvo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Zero-overhead guarantees, pinned at compile time. If any of these break,
+// the DP hot loop's byte-identity argument breaks with them.
+// ---------------------------------------------------------------------------
+static_assert(std::is_trivially_copyable_v<Meters>);
+static_assert(std::is_trivially_copyable_v<Seconds>);
+static_assert(std::is_trivially_copyable_v<MetersPerSecond>);
+static_assert(std::is_trivially_copyable_v<MetersPerSecondSquared>);
+static_assert(std::is_trivially_copyable_v<Vehicles>);
+static_assert(std::is_trivially_copyable_v<VehiclesPerSecond>);
+static_assert(std::is_trivially_copyable_v<AmpereHours>);
+static_assert(sizeof(Meters) == sizeof(double));
+static_assert(sizeof(Seconds) == sizeof(double));
+static_assert(sizeof(MetersPerSecond) == sizeof(double));
+static_assert(sizeof(VehiclesPerSecond) == sizeof(double));
+static_assert(sizeof(AmpereHours) == sizeof(double));
+
+// Construction from raw double must be explicit: a plain double must not
+// silently become a quantity.
+static_assert(!std::is_convertible_v<double, Seconds>);
+static_assert(!std::is_convertible_v<double, MetersPerSecond>);
+static_assert(std::is_constructible_v<Seconds, double>);
+
+// Cross-dimension conversions must not exist.
+static_assert(!std::is_convertible_v<Seconds, Meters>);
+static_assert(!std::is_convertible_v<MetersPerSecond, MetersPerSecondSquared>);
+static_assert(!std::is_constructible_v<Meters, Seconds>);
+
+// ---------------------------------------------------------------------------
+// Operator closure: each operation lands on exactly the dimension the
+// physics says it should.
+// ---------------------------------------------------------------------------
+static_assert(std::is_same_v<decltype(Meters(1.0) / Seconds(1.0)), MetersPerSecond>);
+static_assert(std::is_same_v<decltype(MetersPerSecond(1.0) / Seconds(1.0)),
+                             MetersPerSecondSquared>);
+static_assert(std::is_same_v<decltype(MetersPerSecond(1.0) * Seconds(1.0)), Meters>);
+static_assert(std::is_same_v<decltype(MetersPerSecondSquared(1.0) * Seconds(1.0)),
+                             MetersPerSecond>);
+static_assert(std::is_same_v<decltype(VehiclesPerSecond(1.0) * Seconds(1.0)), Vehicles>);
+static_assert(std::is_same_v<decltype(Meters(1.0) + Meters(1.0)), Meters>);
+static_assert(std::is_same_v<decltype(Meters(1.0) - Meters(1.0)), Meters>);
+static_assert(std::is_same_v<decltype(-Meters(1.0)), Meters>);
+static_assert(std::is_same_v<decltype(Meters(1.0) * 2.0), Meters>);
+static_assert(std::is_same_v<decltype(2.0 * Meters(1.0)), Meters>);
+static_assert(std::is_same_v<decltype(Meters(1.0) / 2.0), Meters>);
+
+// Full cancellation decays to plain double — ratios are dimensionless.
+static_assert(std::is_same_v<decltype(Meters(6.0) / Meters(3.0)), double>);
+static_assert(std::is_same_v<decltype(Seconds(6.0) / Seconds(3.0)), double>);
+static_assert(std::is_same_v<decltype(MetersPerSecond(2.0) * Seconds(3.0) / Meters(6.0)),
+                             double>);
+
+// Inversion: double / quantity flips every exponent.
+static_assert(std::is_same_v<decltype(1.0 / Seconds(2.0)), Quantity<0, -1, 0, 0>>);
+static_assert(std::is_same_v<decltype(Vehicles(1.0) / Seconds(2.0)), VehiclesPerSecond>);
+
+TEST(Units, ArithmeticMatchesRawDoubles) {
+  const Meters d = MetersPerSecond(12.5) * Seconds(8.0);
+  EXPECT_DOUBLE_EQ(d.value(), 100.0);
+  const MetersPerSecond v = Meters(100.0) / Seconds(8.0);
+  EXPECT_DOUBLE_EQ(v.value(), 12.5);
+  EXPECT_DOUBLE_EQ((Meters(100.0) / Meters(40.0)), 2.5);
+
+  Meters acc(1.0);
+  acc += Meters(2.0);
+  acc -= Meters(0.5);
+  acc *= 4.0;
+  acc /= 2.0;
+  EXPECT_DOUBLE_EQ(acc.value(), 5.0);
+  EXPECT_DOUBLE_EQ((-acc).value(), -5.0);
+}
+
+TEST(Units, ComparisonOrdersBySiValue) {
+  EXPECT_LT(Seconds(1.0), Seconds(2.0));
+  EXPECT_GT(MetersPerSecond(3.0), MetersPerSecond(2.0));
+  EXPECT_EQ(Meters(4.0), Meters(4.0));
+  EXPECT_NE(Meters(4.0), Meters(5.0));
+}
+
+TEST(Units, DefaultConstructsToZero) {
+  EXPECT_DOUBLE_EQ(Seconds{}.value(), 0.0);
+  EXPECT_DOUBLE_EQ(MetersPerSecond{}.value(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Conversion round-trips: every named factory composes with its inverse to
+// the identity (up to floating-point), and agrees with the legacy helpers.
+// ---------------------------------------------------------------------------
+TEST(Units, SpeedConversionRoundTrips) {
+  for (const double kmh : {0.0, 1.0, 35.0, 64.4, 120.0}) {
+    EXPECT_DOUBLE_EQ(to_kmh(speed_from_kmh(kmh)), kmh);
+    EXPECT_DOUBLE_EQ(speed_from_kmh(kmh).value(), kmh_to_ms(kmh));
+  }
+  EXPECT_DOUBLE_EQ(speed_from_mph(40.0).value(), mph_to_ms(40.0));
+  // The paper's US-25 speed limit: 40 mph = 17.8816 m/s.
+  EXPECT_NEAR(speed_from_mph(40.0).value(), 17.8816, 1e-12);
+}
+
+TEST(Units, FlowConversionRoundTrips) {
+  for (const double veh_h : {0.0, 600.0, 765.0, 1530.0, 2200.0}) {
+    EXPECT_DOUBLE_EQ(to_veh_h(flow_from_veh_h(veh_h)), veh_h);
+    EXPECT_DOUBLE_EQ(flow_from_veh_h(veh_h).value(), per_hour_to_per_second(veh_h));
+  }
+  // 3600 veh/h is one vehicle per second.
+  EXPECT_DOUBLE_EQ(flow_from_veh_h(3600.0).value(), 1.0);
+}
+
+TEST(Units, FlowTimesTimeIsVehicles) {
+  // 765 veh/h over one signal cycle of 60 s = 12.75 vehicles.
+  const Vehicles queued = flow_from_veh_h(765.0) * Seconds(60.0);
+  EXPECT_NEAR(queued.value(), 12.75, 1e-12);
+}
+
+TEST(Units, ValueIsTheOnlySeam) {
+  // The stored magnitude is bit-for-bit what was passed in: wrapping and
+  // unwrapping is a no-op, so typed boundaries cannot perturb golden sums.
+  for (const double x : {0.0, -3.25, 17.88, 1e300, 1e-300}) {
+    EXPECT_EQ(Seconds(x).value(), x);
+    EXPECT_EQ(MetersPerSecond(x).value(), x);
+    EXPECT_EQ(Meters(x).value(), x);
+  }
+}
+
+}  // namespace
+}  // namespace evvo
