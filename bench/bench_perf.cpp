@@ -3,12 +3,17 @@
 // 4.2 km corridor, SAE training epochs, and microsim step throughput.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "cloud/plan_service.hpp"
+#include "common/simd.hpp"
 #include "core/planner.hpp"
 #include "data/synthetic_volume.hpp"
 #include "ev/energy_model.hpp"
+#include "learn/sae.hpp"
 #include "road/corridor.hpp"
 #include "sim/calibration.hpp"
 #include "sim/microsim.hpp"
@@ -100,6 +105,31 @@ void BM_SaeTrainEpoch(benchmark::State& state) {
 }
 BENCHMARK(BM_SaeTrainEpoch)->Unit(benchmark::kMillisecond);
 
+learn::Matrix deterministic_matrix(std::size_t rows, std::size_t cols, double scale) {
+  learn::Matrix m(rows, cols);
+  std::size_t k = 0;
+  for (double& v : m.flat()) v = scale * (0.5 + 0.5 * std::sin(0.7 * static_cast<double>(++k)));
+  return m;
+}
+
+void BM_SaeForward(benchmark::State& state) {
+  // Raw SAE forward pass (the matmul_bt hot path) on a batch of `rows`
+  // feature vectors: isolates the GEMM kernel from feature building.
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  learn::SaeConfig cfg;
+  cfg.input_dim = 26;
+  cfg.pretrain_epochs = 0;
+  learn::StackedAutoencoder sae(cfg);
+  (void)sae.finetune(deterministic_matrix(64, cfg.input_dim, 1.0), deterministic_matrix(64, 1, 1.0),
+                     1);
+  const learn::Matrix x = deterministic_matrix(rows, cfg.input_dim, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sae.predict(x));
+  }
+  state.SetLabel("batch=" + std::to_string(rows) + ", 26-32-16-1");
+}
+BENCHMARK(BM_SaeForward)->Arg(1)->Arg(64);
+
 void BM_SaePredict(benchmark::State& state) {
   const auto ds = data::make_us25_dataset(data::VolumePatternConfig{}, 4, 1);
   traffic::PredictorConfig cfg;
@@ -113,6 +143,28 @@ void BM_SaePredict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SaePredict);
+
+void BM_SaePredictBatch(benchmark::State& state) {
+  // Corridor-wide forecast: one predict_batch over `n` calendar slots vs n
+  // predict_next calls (the amortization predict_batch exists for).
+  const auto ds = data::make_us25_dataset(data::VolumePatternConfig{}, 4, 1);
+  traffic::PredictorConfig cfg;
+  cfg.sae.pretrain_epochs = 2;
+  cfg.sae.finetune_epochs = 5;
+  traffic::SaeVolumePredictor predictor(cfg);
+  predictor.fit(ds.train);
+  const std::vector<double> window(cfg.window_hours, 700.0);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<traffic::VolumeQuery> queries(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    queries[i] = {window, static_cast<int>(i % 24), static_cast<int>(i / 24 % 7)};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.predict_batch(queries));
+  }
+  state.SetLabel(std::to_string(n) + " queries, one stack pass");
+}
+BENCHMARK(BM_SaePredictBatch)->Arg(24);
 
 void BM_QueueClearTime(benchmark::State& state) {
   const traffic::QueueModel model{traffic::VmParams{}};
@@ -170,4 +222,29 @@ BENCHMARK(BM_PlanServiceConcurrentMisses)->Arg(1)->Arg(4)->Unit(benchmark::kMill
 }  // namespace
 }  // namespace evvo
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): debug builds produced a bogus
+// committed baseline once (BENCH_dp.json recorded with asserts on), so a
+// non-NDEBUG binary refuses to run unless explicitly overridden, and every
+// JSON report carries build + SIMD-backend tags that tools/bench_compare
+// checks before trusting the numbers.
+int main(int argc, char** argv) {
+#if defined(NDEBUG)
+  const bool release_build = true;
+#else
+  const bool release_build = false;
+#endif
+  if (!release_build && std::getenv("EVVO_ALLOW_DEBUG_BENCH") == nullptr) {
+    std::fprintf(stderr,
+                 "bench_perf: this binary was compiled without NDEBUG; debug numbers must never\n"
+                 "become a baseline. Rebuild with -DCMAKE_BUILD_TYPE=Release, or set\n"
+                 "EVVO_ALLOW_DEBUG_BENCH=1 to run anyway (output stays tagged evvo_build=debug).\n");
+    return 1;
+  }
+  benchmark::AddCustomContext("evvo_build", release_build ? "release" : "debug");
+  benchmark::AddCustomContext("evvo_simd", evvo::common::simd::kBackendName);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -203,6 +203,41 @@ void check_thread_identity(Reporter& rep, const char* mode, const SolveSet& set,
   }
 }
 
+/// Asserts a scalar-kernel solve (DpResolution::simd off, serial) is
+/// bit-identical to the vectorized serial baseline. The SIMD layer promises
+/// lane-exact IEEE arithmetic and scalar tie-breaking (common/simd.hpp); this
+/// is the oracle that holds it to that promise on every generated scenario.
+void check_simd_identity(Reporter& rep, const DpProblem& base, core::DpWorkspace& ws,
+                         const SolveSet& un) {
+  DpProblem p = base;
+  p.checksum_tables = true;
+  p.resolution.threads = 1;
+  p.resolution.simd = false;
+  const std::optional<DpSolution> scalar = core::solve_dp(p, ws, nullptr);
+  if (scalar.has_value() != un.serial.has_value()) {
+    rep.add("simd.feasibility") << "simd-off feasible=" << scalar.has_value()
+                                << " but simd-on feasible=" << un.serial.has_value();
+    rep.commit();
+    return;
+  }
+  if (!scalar) return;
+  if (scalar->stats.table_checksum != un.serial->stats.table_checksum) {
+    rep.add("simd.checksum") << std::hex << "simd-off table checksum "
+                             << scalar->stats.table_checksum << " != simd-on "
+                             << un.serial->stats.table_checksum;
+    rep.commit();
+  }
+  if (scalar->stats.best_cost_mah != un.serial->stats.best_cost_mah) {
+    rep.add("simd.cost") << "simd-off best cost " << scalar->stats.best_cost_mah
+                         << " != simd-on " << un.serial->stats.best_cost_mah;
+    rep.commit();
+  }
+  if (!profiles_bit_identical(scalar->profile, un.serial->profile)) {
+    rep.add("simd.profile") << "simd-off extracted profile differs from the simd-on profile";
+    rep.commit();
+  }
+}
+
 void check_queue_model(Reporter& rep, const Scenario& scenario) {
   const ScenarioSpec& spec = scenario.spec();
   const double t0 = spec.depart_time_s;
@@ -470,6 +505,9 @@ CheckReport check_scenario(const ScenarioSpec& spec, const CheckOptions& options
   }
 
   check_thread_identity(rep, "unpruned", un, options.thread_counts);
+
+  // --- solver identity: vectorized vs scalar kernel ---
+  if (options.run_simd_identity) check_simd_identity(rep, unpruned, ws, un);
 
   // --- solver identity: pruned (forced on, whatever the spec says) ---
   DpProblem pruned = base;

@@ -1,11 +1,13 @@
 #include "core/dp_solver.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
 
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "core/dp_common.hpp"
@@ -82,10 +84,17 @@ class DpEngine {
 
   double lambda_ = 0.0, idle_mah_s_ = 0.0;
   float idle_step_cost_ = 0.0f;
+  /// Vector relaxation kernel enabled (compiled backend has lanes AND the
+  /// resolution asks for it). Either value is bit-identical (see header).
+  bool use_simd_ = false;
   /// 1 / dt_s when dt_s is a power of two (incl. the default 1.0), else 0.
   /// Multiplying by an exact power-of-two reciprocal is bit-identical to the
   /// division and far cheaper in the time-binning hot path.
   double inv_dt_ = 0.0;
+  /// Smallest float arrival time whose double-precision elapsed time reaches
+  /// the horizon (see run()); lets the vector kernel do the horizon check as
+  /// a single float compare.
+  float over_thresh_f_ = std::numeric_limits<float>::infinity();
   std::vector<const LayerEvent*> event_at_;
   /// Last layer whose crossing is checked against enforced windows; states
   /// strictly past it face only time-independent costs, enabling dominance
@@ -259,6 +268,26 @@ std::optional<DpSolution> DpEngine::run() {
   int dt_exp = 0;
   inv_dt_ = std::frexp(res_.dt_s, &dt_exp) == 0.5 ? 1.0 / res_.dt_s : 0.0;
 
+  use_simd_ = common::simd::kHasSimd && res_.simd;
+
+  // Exact float image of the horizon test. The scalar relaxation checks
+  // `(double)arrive - depart >= horizon`; that predicate is monotone in the
+  // float `arrive`, so it equals `arrive >= T` for the smallest float T that
+  // satisfies it. The vector kernel then tests the horizon with one float
+  // compare and no widening, bit-identically. T is found by an exact
+  // ulp-walk from the rounded seed (at most a few steps).
+  {
+    const double depart = problem_.depart_time.value();
+    const double horizon = res_.horizon_s;
+    const auto over = [&](float a) { return static_cast<double>(a) - depart >= horizon; };
+    constexpr float kFInf = std::numeric_limits<float>::infinity();
+    float t = static_cast<float>(horizon + depart);
+    if (std::isnan(t)) t = kFInf;
+    while (!over(t)) t = std::nextafterf(t, kFInf);
+    for (float p = std::nextafterf(t, -kFInf); over(p); p = std::nextafterf(t, -kFInf)) t = p;
+    over_thresh_f_ = t;
+  }
+
   smooth_by_diff_.resize(n_v_);
   for (std::size_t d = 0; d < n_v_; ++d) {
     smooth_by_diff_[d] = static_cast<float>(problem_.smoothness_weight_mah_per_ms *
@@ -351,21 +380,56 @@ bool DpEngine::relax_layer(std::size_t i) {
   const bool check_windows = is_signal && event->enforce_windows;
   const bool prune =
       problem_.dominance_pruning && static_cast<std::ptrdiff_t>(i) > last_window_layer_;
-  ws_.src_pred_.clear();
-  ws_.src_cost_.clear();
-  ws_.src_time_.clear();
-  ws_.src_inside_.clear();
   ws_.row_begin_.assign(n_v_ + 1, 0);
   const std::size_t j_end = is_sign ? 1 : n_v_;
+  // Indexed writes into capacity-sized arrays instead of push_back: the
+  // four size bumps per kept state are measurable at frontier scale, and the
+  // window-membership column is only consulted by the relaxation when
+  // check_windows is set, so ordinary layers skip writing it entirely.
+  {
+    const std::size_t cap = j_end * n_t_ + common::simd::VecF::kWidth;
+    if (ws_.src_pred_.size() < cap) {
+      ws_.src_pred_.resize(cap);
+      ws_.src_cost_.resize(cap);
+      ws_.src_time_.resize(cap);
+      ws_.src_inside_.resize(cap);
+    }
+  }
+  std::uint32_t* const out_pred = ws_.src_pred_.data();
+  float* const out_cost = ws_.src_cost_.data();
+  float* const out_time = ws_.src_time_.data();
+  std::uint8_t* const out_inside = ws_.src_inside_.data();
+  std::uint32_t n = 0;
   for (std::size_t j = 0; j < j_end; ++j) {
-    ws_.row_begin_[j] = static_cast<std::uint32_t>(ws_.src_pred_.size());
+    ws_.row_begin_[j] = n;
     const float* row_cost = layer_cost + j * n_t_;
     const float* row_time = layer_time + j * n_t_;
     float row_min = kInf;
+    const bool prune_row = prune && j >= 1;
+    if (!check_windows && !is_sign) {
+      // Hot variant: no dwell, no window membership; arithmetic is the
+      // same `c0 + extra_f` (extra_f == 0 here) so table bits cannot move.
+      for (std::size_t k = 0; k < n_t_; ++k) {
+        const float c0 = row_cost[k];
+        if (c0 >= kInf) continue;
+        if (prune_row) {
+          if (c0 > row_min + kPruneMargin) {
+            ++stats_.pruned_states;
+            continue;
+          }
+          row_min = std::min(row_min, c0);
+        }
+        out_pred[n] = pack_pred(j, k, /*dwell=*/false);
+        out_cost[n] = c0 + extra_f;
+        out_time[n] = row_time[k];
+        ++n;
+      }
+      continue;
+    }
     for (std::size_t k = 0; k < n_t_; ++k) {
       const float c0 = row_cost[k];
       if (c0 >= kInf) continue;
-      if (prune && j >= 1) {
+      if (prune_row) {
         if (c0 > row_min + kPruneMargin) {
           ++stats_.pruned_states;
           continue;
@@ -374,23 +438,38 @@ bool DpEngine::relax_layer(std::size_t i) {
       }
       float t0 = row_time[k];
       if (is_sign) t0 += dwell_f;  // mandatory standstill before proceeding (Eq. 7c + dwell)
-      ws_.src_pred_.push_back(pack_pred(j, k, /*dwell=*/false));
-      ws_.src_cost_.push_back(c0 + extra_f);
-      ws_.src_time_.push_back(t0);
-      ws_.src_inside_.push_back(
-          check_windows ? (in_any_window(event->windows, static_cast<double>(t0)) ? 1 : 0) : 1);
+      out_pred[n] = pack_pred(j, k, /*dwell=*/false);
+      out_cost[n] = c0 + extra_f;
+      out_time[n] = t0;
+      out_inside[n] =
+          check_windows ? (in_any_window(event->windows, static_cast<double>(t0)) ? 1 : 0) : 1;
+      ++n;
     }
   }
   for (std::size_t j = j_end; j <= n_v_; ++j) {
-    ws_.row_begin_[j] = static_cast<std::uint32_t>(ws_.src_pred_.size());
+    ws_.row_begin_[j] = n;
   }
-  const std::size_t n_src = ws_.src_pred_.size();
+  const std::size_t n_src = n;
   stats_.frontier_states += n_src;
   // An empty layer can never be recovered from (later layers are fed only
   // from here), so the solve is infeasible and the sweep stops; stopping
   // before the stripes also keeps the next layer's rows from being read
   // uninitialized.
   if (n_src == 0) return false;
+
+  // Sentinel padding: the vector kernel loads full VecF-width chunks, so the
+  // last row's final chunk may read up to kWidth-1 entries past the list.
+  // +inf times make those lanes permanently over-horizon (never scattered);
+  // row_begin_ is already final, so no row sees them as sources. Appended
+  // after the frontier stats so counters stay identical to the scalar build
+  // (kWidth == 1 appends nothing).
+  for (std::size_t p = 0; p + 1 < common::simd::VecF::kWidth; ++p) {
+    out_pred[n] = 0;
+    out_cost[n] = std::numeric_limits<float>::infinity();
+    out_time[n] = std::numeric_limits<float>::infinity();
+    out_inside[n] = 1;
+    ++n;
+  }
 
   // Gather relaxation into layer i+1 over destination-velocity stripes; each
   // stripe owns a disjoint range of destination rows (which it first resets
@@ -435,6 +514,21 @@ void DpEngine::relax_stripe(std::size_t i, std::size_t j2_begin, std::size_t j2_
   std::uint32_t* back = ws_.back_.data() + next_base;
   std::size_t relaxations = 0;
 
+  // Loop invariants of the vector kernel, hoisted: rows can be short, so
+  // per-hop setup cost is visible. (Cheap no-ops on the scalar backend.)
+  namespace sd = common::simd;
+  constexpr auto W = static_cast<std::uint32_t>(sd::VecF::kWidth);
+  constexpr auto Dw = static_cast<std::uint32_t>(sd::VecD::kWidth);
+  constexpr unsigned full = (1u << W) - 1u;
+  const bool vec_path = use_simd_ && !check_windows;
+  const bool use_inv = inv_dt != 0.0;
+  const sd::VecF v_thresh = sd::VecF::broadcast(over_thresh_f_);
+  const sd::VecD v_depart = sd::VecD::broadcast(depart);
+  const sd::VecD v_scale = sd::VecD::broadcast(use_inv ? inv_dt : dt_s);
+  float arrive_buf[W];
+  float cost_buf[W];
+  std::int32_t k2_buf[2 * Dw];  // == W on vector backends; 2 on scalar (dead path)
+
   // Lazy reset: this stripe owns rows [j2_begin, j2_end) of layer i + 1, so
   // it clears exactly those before relaxing into them. (No memset: +inf is
   // not a repeated-byte pattern.)
@@ -454,6 +548,55 @@ void DpEngine::relax_stripe(std::size_t i, std::size_t j2_begin, std::size_t j2_
       const float lambda_dt = static_cast<float>(lambda_ * hop.dt);
       const float smooth_f =
           smooth_by_diff_[j2 >= j ? j2 - j : j - j2];
+      if (vec_path) {
+        // Vector relaxation, kWidth sources per step. Every arithmetic step
+        // is the scalar sequence applied lane-wise (float add for the
+        // arrival, the exact float image of the horizon test, widen-to-double
+        // subtract for the elapsed time, the same *inv_dt-or-/dt binning,
+        // float add for the candidate cost), and the strict-< scatter below
+        // runs scalar in ascending source order, so tie-breaking, stats, and
+        // tables match the scalar path bit for bit.
+        const sd::VecF v_hop_dt = sd::VecF::broadcast(hop.dt);
+        const sd::VecF v_fused = sd::VecF::broadcast(fused);
+        float* crow = cost + j2 * n_t_;
+        float* trow = time + j2 * n_t_;
+        std::uint32_t* brow = back + j2 * n_t_;
+        const std::uint32_t row_end = ws_.row_begin_[j + 1];
+        for (std::uint32_t s = ws_.row_begin_[j]; s < row_end; s += W) {
+          const auto n = std::min<std::uint32_t>(W, row_end - s);
+          // Full-width loads are safe: the gather appended W-1 sentinels
+          // past the last row, and interior rows are followed by real data.
+          const sd::VecF arrive = sd::VecF::load(ws_.src_time_.data() + s) + v_hop_dt;
+          const auto over = static_cast<unsigned>(sd::movemask(sd::cmp_ge(arrive, v_thresh)));
+          const sd::VecD e_lo = sd::widen_low(arrive) - v_depart;
+          const sd::VecD e_hi = sd::widen_high(arrive) - v_depart;
+          const sd::VecD k_lo = use_inv ? e_lo * v_scale : e_lo / v_scale;
+          const sd::VecD k_hi = use_inv ? e_hi * v_scale : e_hi / v_scale;
+          sd::trunc_store_i32(k_lo, k2_buf);
+          sd::trunc_store_i32(k_hi, k2_buf + Dw);
+          (sd::VecF::load(ws_.src_cost_.data() + s) + v_fused).store(cost_buf);
+          arrive.store(arrive_buf);
+          // Lanes beyond the row (n < W) count as stopped; processing halts
+          // at the first over-horizon or out-of-row lane, exactly where the
+          // scalar `break` would (source times ascend within a row).
+          const unsigned valid = n == W ? full : (1u << n) - 1u;
+          const unsigned stop = ((over & valid) | ~valid) & full;
+          const std::uint32_t n_ok =
+              stop != 0 ? static_cast<std::uint32_t>(std::countr_zero(stop)) : W;
+          for (std::uint32_t l = 0; l < n_ok; ++l) {
+            const auto k2 = static_cast<std::size_t>(k2_buf[l]);
+            const float new_cost = cost_buf[l];
+            if (new_cost < crow[k2]) {
+              crow[k2] = new_cost;
+              trow[k2] = arrive_buf[l];
+              brow[k2] = ws_.src_pred_[s + l];
+            }
+          }
+          relaxations += n_ok;
+          if (n_ok < W) break;
+        }
+        continue;
+      }
       for (std::uint32_t s = ws_.row_begin_[j]; s < ws_.row_begin_[j + 1]; ++s) {
         const float arrive_t = ws_.src_time_[s] + hop.dt;
         const double elapsed = static_cast<double>(arrive_t) - depart;

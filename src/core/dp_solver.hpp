@@ -35,6 +35,13 @@
 //    destination-velocity stripes; each worker owns a disjoint range of
 //    destination rows and scans source states, so no two threads ever write
 //    the same cell and results are bit-identical at every thread count.
+//  - SIMD relaxation: away from enforced signal windows the inner source
+//    scan runs VecF::kWidth states per step (common/simd.hpp) - the arrival
+//    time, horizon test, time binning, and candidate cost are computed
+//    lane-wise with exactly the scalar operation sequence, and the strict-<
+//    scatter stays scalar in source order, so the solve (tables, stats,
+//    ties) is bit-identical to the scalar path. DpResolution::simd toggles
+//    the kernel at runtime for differential checking.
 #pragma once
 
 #include <cstdint>
@@ -69,6 +76,12 @@ struct DpResolution {
   /// Any value yields bit-identical solutions (gather formulation); 1 runs
   /// the serial path with no pool involvement at all.
   unsigned threads = 0;
+  /// Use the vectorized relaxation kernel (common/simd.hpp) when the build
+  /// compiled a non-scalar backend. Either setting yields bit-identical
+  /// solutions and stats - the check harness solves both ways and compares
+  /// table checksums - so this exists for differential testing and triage,
+  /// not tuning. No effect on cached model tables (not part of ModelKey).
+  bool simd = true;
 
   void validate() const;
 };

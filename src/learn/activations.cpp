@@ -1,21 +1,61 @@
 #include "learn/activations.hpp"
 
 #include <cmath>
+#include <cstddef>
+
+#include "common/simd.hpp"
 
 namespace evvo::learn {
+
+namespace {
+
+// Single-value sigmoid through the SIMD-layer exp: a broadcast lane runs the
+// exact instruction sequence of the vector loop in activate_span, so scalar
+// call sites (training inner loops, tails) match the vectorized path
+// bit-for-bit on every backend.
+double sigmoid_one(double x) {
+  namespace sd = common::simd;
+  double lanes[sd::VecD::kWidth];
+  sd::exp(sd::VecD::broadcast(0.0 - x)).store(lanes);
+  return 1.0 / (1.0 + lanes[0]);
+}
+
+}  // namespace
 
 double activate(Activation act, double x) {
   switch (act) {
     case Activation::kIdentity:
       return x;
     case Activation::kSigmoid:
-      return 1.0 / (1.0 + std::exp(-x));
+      return sigmoid_one(x);
     case Activation::kTanh:
       return std::tanh(x);
     case Activation::kRelu:
       return x > 0.0 ? x : 0.0;
   }
   return x;  // unreachable
+}
+
+void activate_span(Activation act, std::span<double> xs) {
+  if (act == Activation::kIdentity) return;
+  if (act == Activation::kSigmoid) {
+    // 1/(1 + exp(-x)) with vector lanes; the tail reuses the same lane ops
+    // via sigmoid_one, so ragged sizes change nothing numerically.
+    namespace sd = common::simd;
+    constexpr std::size_t W = sd::VecD::kWidth;
+    const sd::VecD one = sd::VecD::broadcast(1.0);
+    const sd::VecD zero = sd::VecD::broadcast(0.0);
+    double* p = xs.data();
+    const std::size_t n = xs.size();
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) {
+      const sd::VecD x = sd::VecD::load(p + i);
+      (one / (one + sd::exp(zero - x))).store(p + i);
+    }
+    for (; i < n; ++i) p[i] = sigmoid_one(p[i]);
+    return;
+  }
+  for (double& x : xs) x = activate(act, x);
 }
 
 double activate_derivative_from_output(Activation act, double y) {
@@ -32,9 +72,7 @@ double activate_derivative_from_output(Activation act, double y) {
   return 1.0;  // unreachable
 }
 
-void activate_inplace(Activation act, Matrix& m) {
-  for (double& x : m.flat()) x = activate(act, x);
-}
+void activate_inplace(Activation act, Matrix& m) { activate_span(act, m.flat()); }
 
 const char* activation_name(Activation act) {
   switch (act) {

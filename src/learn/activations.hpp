@@ -1,6 +1,8 @@
 // Activation functions for the dense layers.
 #pragma once
 
+#include <span>
+
 #include "learn/matrix.hpp"
 
 namespace evvo::learn {
@@ -12,8 +14,14 @@ enum class Activation {
   kRelu,
 };
 
-/// Applies the activation elementwise.
+/// Applies the activation elementwise. Sigmoid is computed with the SIMD
+/// layer's polynomial exp (~1 ulp from std::exp) so scalar and vectorized
+/// call sites produce the same value on every backend.
 double activate(Activation act, double x);
+
+/// Elementwise activation over a contiguous span (in place); the vectorized
+/// hot path behind both activate_inplace and DenseLayer::infer.
+void activate_span(Activation act, std::span<double> xs);
 
 /// Derivative expressed in terms of the *activated* output y = f(x); all four
 /// supported activations admit this form, which avoids caching pre-activations.

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/simd.hpp"
+
 namespace evvo::learn {
 
 DenseLayer::DenseLayer(std::size_t in_dim, std::size_t out_dim, Activation act, Rng& rng)
@@ -27,8 +29,8 @@ Matrix DenseLayer::infer(const Matrix& x) const {
   if (x.cols() != in_dim_) throw std::invalid_argument("DenseLayer: input width mismatch");
   Matrix y = matmul_bt(x, w_);  // [n x out]
   for (std::size_t i = 0; i < y.rows(); ++i) {
-    auto row = y.row(i);
-    for (std::size_t j = 0; j < out_dim_; ++j) row[j] = activate(act_, row[j] + b_(0, j));
+    axpy(y.row(i), b_.flat());           // bias
+    activate_span(act_, y.row(i));       // vectorized activation
   }
   return y;
 }
@@ -52,9 +54,9 @@ Matrix DenseLayer::backward(const Matrix& grad_output) {
   }
   // dL/dW = grad_z^T * X, dL/db = column sums of grad_z, dL/dX = grad_z * W.
   axpy(grad_w_, matmul_at(grad_z, cached_input_));
-  for (std::size_t i = 0; i < grad_z.rows(); ++i) {
-    for (std::size_t j = 0; j < out_dim_; ++j) grad_b_(0, j) += grad_z(i, j);
-  }
+  // Vector lanes run over columns, so each column still accumulates in
+  // ascending-row order (same sum as the scalar loop).
+  for (std::size_t i = 0; i < grad_z.rows(); ++i) axpy(grad_b_.flat(), grad_z.row(i));
   return matmul(grad_z, w_);
 }
 
@@ -67,7 +69,32 @@ void adam_update(Matrix& param, Matrix& grad, Matrix& m, Matrix& v, const AdamCo
   auto vf = v.flat();
   const double bc1 = 1.0 - std::pow(cfg.beta1, static_cast<double>(step));
   const double bc2 = 1.0 - std::pow(cfg.beta2, static_cast<double>(step));
-  for (std::size_t i = 0; i < p.size(); ++i) {
+  // Elementwise moment/parameter update, vector lanes over the flat index
+  // (per-element arithmetic matches the scalar tail exactly).
+  namespace sd = common::simd;
+  constexpr std::size_t W = sd::VecD::kWidth;
+  const sd::VecD vb1 = sd::VecD::broadcast(cfg.beta1);
+  const sd::VecD vb2 = sd::VecD::broadcast(cfg.beta2);
+  const sd::VecD vo1 = sd::VecD::broadcast(1.0 - cfg.beta1);
+  const sd::VecD vo2 = sd::VecD::broadcast(1.0 - cfg.beta2);
+  const sd::VecD vbc1 = sd::VecD::broadcast(bc1);
+  const sd::VecD vbc2 = sd::VecD::broadcast(bc2);
+  const sd::VecD vl2 = sd::VecD::broadcast(l2);
+  const sd::VecD vlr = sd::VecD::broadcast(cfg.learning_rate);
+  const sd::VecD veps = sd::VecD::broadcast(cfg.epsilon);
+  std::size_t i = 0;
+  for (; i + W <= p.size(); i += W) {
+    const sd::VecD pv = sd::VecD::load(p.data() + i);
+    const sd::VecD gi = sd::VecD::load(g.data() + i) + vl2 * pv;
+    const sd::VecD mv = vb1 * sd::VecD::load(mf.data() + i) + vo1 * gi;
+    const sd::VecD vv = vb2 * sd::VecD::load(vf.data() + i) + vo2 * gi * gi;
+    mv.store(mf.data() + i);
+    vv.store(vf.data() + i);
+    const sd::VecD m_hat = mv / vbc1;
+    const sd::VecD v_hat = vv / vbc2;
+    (pv - vlr * m_hat / (sd::sqrt(v_hat) + veps)).store(p.data() + i);
+  }
+  for (; i < p.size(); ++i) {
     const double gi = g[i] + l2 * p[i];
     mf[i] = cfg.beta1 * mf[i] + (1.0 - cfg.beta1) * gi;
     vf[i] = cfg.beta2 * vf[i] + (1.0 - cfg.beta2) * gi * gi;

@@ -2,7 +2,11 @@
 
 #include <stdexcept>
 
+#include "common/simd.hpp"
+
 namespace evvo::learn {
+
+namespace sd = common::simd;
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -33,6 +37,24 @@ void require(bool ok, const char* msg) {
 }
 }  // namespace
 
+namespace {
+
+/// crow[j] += scale * brow[j] over `cols` elements, vector lanes over j.
+/// Each output element sees exactly the scalar operation sequence (one
+/// multiply, one add, k-order controlled by the caller), so the axpy-style
+/// products below are bit-identical to the naive triple loops they replace.
+void row_axpy(double* crow, const double* brow, double scale, std::size_t cols) {
+  constexpr std::size_t W = sd::VecD::kWidth;
+  const sd::VecD vs = sd::VecD::broadcast(scale);
+  std::size_t j = 0;
+  for (; j + W <= cols; j += W) {
+    (sd::VecD::load(crow + j) + vs * sd::VecD::load(brow + j)).store(crow + j);
+  }
+  for (; j < cols; ++j) crow[j] += scale * brow[j];
+}
+
+}  // namespace
+
 Matrix matmul(const Matrix& a, const Matrix& b) {
   require(a.cols() == b.rows(), "matmul: dimension mismatch");
   Matrix c(a.rows(), b.cols());
@@ -40,24 +62,72 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
     for (std::size_t k = 0; k < a.cols(); ++k) {
       const double aik = a(i, k);
       if (aik == 0.0) continue;
-      const auto brow = b.row(k);
-      auto crow = c.row(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+      row_axpy(c.row(i).data(), b.row(k).data(), aik, b.cols());
     }
   }
   return c;
 }
 
 Matrix matmul_bt(const Matrix& a, const Matrix& b) {
+  // The inference hot path (DenseLayer::infer): rows of `a` are samples,
+  // rows of `b` are neurons, every output is a dot product over the shared
+  // k axis. gcc cannot auto-vectorize the FP reduction (it reorders the
+  // sum), so this kernel does it explicitly: 4 destination neurons per
+  // block, one VecD accumulator each over k, lanes summed low-to-high, then
+  // the scalar k-tail. For a fixed k-width the summation order is a function
+  // of k alone - independent of the batch size or position - so a batched
+  // forward pass equals the row-at-a-time pass to the last bit (the
+  // predict_batch tests assert that). The order differs from the old naive
+  // sequential sum; every consumer is tolerance-based.
   require(a.cols() == b.cols(), "matmul_bt: dimension mismatch");
+  constexpr std::size_t W = sd::VecD::kWidth;
+  constexpr std::size_t JB = 4;  // b-rows (output neurons) per block
   Matrix c(a.rows(), b.rows());
+  const std::size_t n_k = a.cols();
+  const std::size_t kv = n_k - n_k % W;  // vectorized prefix of the k axis
   for (std::size_t i = 0; i < a.rows(); ++i) {
-    const auto arow = a.row(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const auto brow = b.row(j);
-      double sum = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
-      c(i, j) = sum;
+    const double* arow = a.row(i).data();
+    auto crow = c.row(i);
+    std::size_t j = 0;
+    for (; j + JB <= b.rows(); j += JB) {
+      const double* b0 = b.row(j).data();
+      const double* b1 = b.row(j + 1).data();
+      const double* b2 = b.row(j + 2).data();
+      const double* b3 = b.row(j + 3).data();
+      sd::VecD acc0 = sd::VecD::broadcast(0.0);
+      sd::VecD acc1 = acc0, acc2 = acc0, acc3 = acc0;
+      for (std::size_t k = 0; k < kv; k += W) {
+        const sd::VecD av = sd::VecD::load(arow + k);
+        acc0 = acc0 + av * sd::VecD::load(b0 + k);
+        acc1 = acc1 + av * sd::VecD::load(b1 + k);
+        acc2 = acc2 + av * sd::VecD::load(b2 + k);
+        acc3 = acc3 + av * sd::VecD::load(b3 + k);
+      }
+      double s0 = sd::hsum(acc0);
+      double s1 = sd::hsum(acc1);
+      double s2 = sd::hsum(acc2);
+      double s3 = sd::hsum(acc3);
+      for (std::size_t k = kv; k < n_k; ++k) {
+        const double ak = arow[k];
+        s0 += ak * b0[k];
+        s1 += ak * b1[k];
+        s2 += ak * b2[k];
+        s3 += ak * b3[k];
+      }
+      crow[j] = s0;
+      crow[j + 1] = s1;
+      crow[j + 2] = s2;
+      crow[j + 3] = s3;
+    }
+    for (; j < b.rows(); ++j) {
+      const double* brow = b.row(j).data();
+      sd::VecD acc = sd::VecD::broadcast(0.0);
+      for (std::size_t k = 0; k < kv; k += W) {
+        acc = acc + sd::VecD::load(arow + k) * sd::VecD::load(brow + k);
+      }
+      double s = sd::hsum(acc);
+      for (std::size_t k = kv; k < n_k; ++k) s += arow[k] * brow[k];
+      crow[j] = s;
     }
   }
   return c;
@@ -68,12 +138,11 @@ Matrix matmul_at(const Matrix& a, const Matrix& b) {
   Matrix c(a.cols(), b.cols());
   for (std::size_t k = 0; k < a.rows(); ++k) {
     const auto arow = a.row(k);
-    const auto brow = b.row(k);
+    const double* brow = b.row(k).data();
     for (std::size_t i = 0; i < a.cols(); ++i) {
       const double aki = arow[i];
       if (aki == 0.0) continue;
-      auto crow = c.row(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+      row_axpy(c.row(i).data(), brow, aki, b.cols());
     }
   }
   return c;
@@ -89,18 +158,26 @@ Matrix transpose(const Matrix& m) {
 
 void axpy(Matrix& a, const Matrix& b, double scale) {
   require(a.rows() == b.rows() && a.cols() == b.cols(), "axpy: shape mismatch");
-  auto af = a.flat();
-  const auto bf = b.flat();
-  for (std::size_t i = 0; i < af.size(); ++i) af[i] += scale * bf[i];
+  row_axpy(a.flat().data(), b.flat().data(), scale, a.size());
+}
+
+void axpy(std::span<double> a, std::span<const double> b, double scale) {
+  require(a.size() == b.size(), "axpy: span length mismatch");
+  row_axpy(a.data(), b.data(), scale, a.size());
 }
 
 Matrix hadamard(const Matrix& a, const Matrix& b) {
   require(a.rows() == b.rows() && a.cols() == b.cols(), "hadamard: shape mismatch");
+  constexpr std::size_t W = sd::VecD::kWidth;
   Matrix c(a.rows(), a.cols());
   auto cf = c.flat();
   const auto af = a.flat();
   const auto bf = b.flat();
-  for (std::size_t i = 0; i < af.size(); ++i) cf[i] = af[i] * bf[i];
+  std::size_t i = 0;
+  for (; i + W <= af.size(); i += W) {
+    (sd::VecD::load(af.data() + i) * sd::VecD::load(bf.data() + i)).store(cf.data() + i);
+  }
+  for (; i < af.size(); ++i) cf[i] = af[i] * bf[i];
   return c;
 }
 

@@ -55,6 +55,10 @@ Matrix transpose(const Matrix& m);
 /// a += scale * b (elementwise, same shape).
 void axpy(Matrix& a, const Matrix& b, double scale = 1.0);
 
+/// a[i] += scale * b[i] over two equal-length spans (row-level axpy; the
+/// Matrix overload above forwards here). Throws on length mismatch.
+void axpy(std::span<double> a, std::span<const double> b, double scale = 1.0);
+
 /// Elementwise product, same shape.
 Matrix hadamard(const Matrix& a, const Matrix& b);
 

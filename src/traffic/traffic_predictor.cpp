@@ -36,16 +36,20 @@ SaeVolumePredictor::SaeVolumePredictor(PredictorConfig config)
     throw std::invalid_argument("SaeVolumePredictor: window must be >= 1 hour");
 }
 
-learn::Matrix SaeVolumePredictor::build_features(std::span<const double> recent, int hour_of_day,
-                                                 int day_of_week) const {
+void SaeVolumePredictor::fill_feature_row(std::span<double> row, std::span<const double> recent,
+                                          int hour_of_day, int day_of_week) const {
   if (recent.size() != config_.window_hours)
     throw std::invalid_argument("SaeVolumePredictor: lag window size mismatch");
-  learn::Matrix x(1, config_.feature_dim());
-  auto row = x.row(0);
   for (std::size_t i = 0; i < recent.size(); ++i) {
     row[i] = volume_scaler_.transform_value(recent[i], 0);
   }
   write_time_features(row.subspan(config_.window_hours), hour_of_day, day_of_week);
+}
+
+learn::Matrix SaeVolumePredictor::build_features(std::span<const double> recent, int hour_of_day,
+                                                 int day_of_week) const {
+  learn::Matrix x(1, config_.feature_dim());
+  fill_feature_row(x.row(0), recent, hour_of_day, day_of_week);
   return x;
 }
 
@@ -82,6 +86,21 @@ double SaeVolumePredictor::predict_next(std::span<const double> recent, int hour
   const learn::Matrix pred = sae_.predict(build_features(recent, hour_of_day, day_of_week));
   // Volumes are nonnegative by construction; clamp regression output.
   return std::max(0.0, volume_scaler_.inverse_value(pred(0, 0), 0));
+}
+
+std::vector<double> SaeVolumePredictor::predict_batch(std::span<const VolumeQuery> queries) const {
+  if (!trained_) throw std::logic_error("SaeVolumePredictor: fit() has not run");
+  if (queries.empty()) return {};
+  learn::Matrix x(queries.size(), config_.feature_dim());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    fill_feature_row(x.row(q), queries[q].recent, queries[q].hour_of_day, queries[q].day_of_week);
+  }
+  const learn::Matrix pred = sae_.predict(x);
+  std::vector<double> out(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    out[q] = std::max(0.0, volume_scaler_.inverse_value(pred(q, 0), 0));
+  }
+  return out;
 }
 
 NaivePredictor::NaivePredictor(std::size_t window_hours) : window_hours_(window_hours) {

@@ -43,6 +43,15 @@ class VolumePredictor {
   virtual std::size_t window_hours() const = 0;
 };
 
+/// One prediction request for SaeVolumePredictor::predict_batch: the
+/// `window_hours` most recent volumes (oldest first) and the calendar slot
+/// being predicted.
+struct VolumeQuery {
+  std::span<const double> recent;
+  int hour_of_day = 0;
+  int day_of_week = 0;
+};
+
 /// The paper's deep SAE predictor.
 class SaeVolumePredictor final : public VolumePredictor {
  public:
@@ -57,9 +66,20 @@ class SaeVolumePredictor final : public VolumePredictor {
 
   double predict_next(std::span<const double> recent, int hour_of_day,
                       int day_of_week) const override;
+
+  /// Batched forward pass: one feature matrix, one trip through the SAE
+  /// stack for all queries (a corridor-wide signal forecast amortizes the
+  /// per-layer overheads). Element i equals
+  /// predict_next(q[i].recent, q[i].hour_of_day, q[i].day_of_week) to the
+  /// last bit: the blocked GEMM's per-row summation order is independent of
+  /// the batch (see matmul_bt).
+  std::vector<double> predict_batch(std::span<const VolumeQuery> queries) const;
+
   std::size_t window_hours() const override { return config_.window_hours; }
 
  private:
+  void fill_feature_row(std::span<double> row, std::span<const double> recent, int hour_of_day,
+                        int day_of_week) const;
   learn::Matrix build_features(std::span<const double> recent, int hour_of_day,
                                int day_of_week) const;
 

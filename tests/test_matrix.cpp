@@ -74,6 +74,40 @@ TEST(Matmul, TransposedVariantsAgreeWithExplicitTranspose) {
   }
 }
 
+TEST(Matmul, BlockedKernelsMatchNaiveAtRaggedShapes) {
+  // Shapes chosen to straddle every vector width in use (2, 4, 8) plus the
+  // 4-column register block of matmul_bt: prefixes, exact multiples, and
+  // ragged tails all appear. The reference is the textbook triple loop; the
+  // blocked kernels reassociate sums, hence EXPECT_NEAR.
+  const std::size_t shapes[][3] = {{1, 1, 1}, {2, 3, 5},  {3, 4, 4},  {5, 7, 3},
+                                   {4, 8, 9}, {7, 9, 2},  {3, 17, 5}, {6, 5, 11}};
+  for (const auto& s : shapes) {
+    const std::size_t m = s[0], k = s[1], n = s[2];
+    Matrix a(m, k);
+    Matrix b(k, n);
+    for (std::size_t i = 0; i < a.size(); ++i)
+      a.flat()[i] = 0.25 * static_cast<double>(i % 13) - 1.0;
+    for (std::size_t i = 0; i < b.size(); ++i)
+      b.flat()[i] = 0.5 * static_cast<double>(i % 7) - 1.5;
+    Matrix expect(m, n);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (std::size_t kk = 0; kk < k; ++kk) acc += a(i, kk) * b(kk, j);
+        expect(i, j) = acc;
+      }
+    const Matrix got = matmul(a, b);
+    const Matrix got_bt = matmul_bt(a, transpose(b));
+    const Matrix got_at = matmul_at(transpose(a), b);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(got(i, j), expect(i, j), 1e-12) << m << "x" << k << "x" << n;
+        EXPECT_NEAR(got_bt(i, j), expect(i, j), 1e-12) << m << "x" << k << "x" << n;
+        EXPECT_NEAR(got_at(i, j), expect(i, j), 1e-12) << m << "x" << k << "x" << n;
+      }
+  }
+}
+
 TEST(Transpose, RoundTrip) {
   const Matrix m(2, 3, std::vector<double>{1, 2, 3, 4, 5, 6});
   const Matrix tt = transpose(transpose(m));

@@ -57,6 +57,30 @@ TEST(SaeVolumePredictor, PredictionsAreNonNegative) {
   EXPECT_GE(p.predict_next(window, 3, 2), 0.0);
 }
 
+TEST(SaeVolumePredictor, BatchMatchesSingleQueryExactly) {
+  // predict_batch stacks the queries into one matrix pass through the same
+  // dense layers; every result must equal the per-query predict_next
+  // bit-for-bit (same kernels, same summation order per row).
+  SaeVolumePredictor p(small_config());
+  p.fit(small_dataset().train);
+  std::vector<std::vector<double>> windows;
+  for (int q = 0; q < 7; ++q) {
+    std::vector<double> w(6);
+    for (int h = 0; h < 6; ++h) w[static_cast<std::size_t>(h)] = 40.0 * q + 11.0 * h;
+    windows.push_back(std::move(w));
+  }
+  std::vector<VolumeQuery> queries;
+  for (int q = 0; q < 7; ++q)
+    queries.push_back({windows[static_cast<std::size_t>(q)], (5 * q) % 24, q % 7});
+  const std::vector<double> batch = p.predict_batch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_DOUBLE_EQ(batch[q], p.predict_next(queries[q].recent, queries[q].hour_of_day,
+                                              queries[q].day_of_week))
+        << "query " << q;
+  }
+}
+
 TEST(SaeVolumePredictor, BeatsNaiveOnPeriodicData) {
   const auto ds = small_dataset();
   SaeVolumePredictor sae(small_config());

@@ -10,6 +10,7 @@
 //   evvo_fuzz --seed 41                 # re-run exactly one scenario
 //   evvo_fuzz --inject window-shift     # prove the harness catches a fault
 //   evvo_fuzz --replay-spec bad.spec    # re-check a shrunk spec file
+//   evvo_fuzz --simd-only --count 100   # cheap vector-vs-scalar identity sweep
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -35,6 +36,7 @@ struct Options {
   bool shrink = true;
   bool replay = true;
   bool reference = true;
+  bool simd_only = false;  ///< strip everything but the simd-vs-scalar oracle
   std::string inject = "none";
   std::string replay_spec;  // path: check this spec instead of generating
   std::string spec_out;     // path: write the (shrunk) failing spec here
@@ -45,7 +47,7 @@ int usage(const char* argv0) {
                "usage: %s [--count N] [--seed N] [--seed-start N] [--jobs N]\n"
                "          [--inject none|window-shift|accel-tamper|energy-tamper|cost-tamper]\n"
                "          [--replay-spec FILE] [--spec-out FILE] [--no-shrink] [--no-replay]\n"
-               "          [--no-reference]\n",
+               "          [--no-reference] [--simd-only]\n",
                argv0);
   return 2;
 }
@@ -88,6 +90,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.replay = false;
     } else if (arg == "--no-reference") {
       opt.reference = false;
+    } else if (arg == "--simd-only") {
+      opt.simd_only = true;
     } else {
       return false;
     }
@@ -110,6 +114,15 @@ int main(int argc, char** argv) {
   }
   check.run_replay = opt.replay;
   check.run_reference = opt.reference;
+  if (opt.simd_only) {
+    // Vector-vs-scalar identity sweep: skip the expensive oracles and the
+    // threaded solves so many scenarios fit in a CI timeslot. The pruned,
+    // feasibility, compliance, and energy invariants still run - they are
+    // byproducts of the solves the identity check needs anyway.
+    check.run_reference = false;
+    check.run_replay = false;
+    check.thread_counts.clear();
+  }
 
   // One pool shared by every scenario's threaded-identity solves; sized for
   // the largest requested thread count (solve width is capped per problem).

@@ -24,6 +24,11 @@
 //   include-hygiene    headers carry #pragma once, no `#include "../"`
 //                      parent-relative includes, no `using namespace` at
 //                      header scope.
+//   raw-intrinsics     <immintrin.h>/<arm_neon.h> includes and _mm_*/vld1q*
+//                      intrinsic identifiers are forbidden outside
+//                      common/simd.hpp — every vector kernel goes through the
+//                      portable wrappers so the scalar fallback and the
+//                      bit-identity contract stay in one place.
 //
 // Suppression: append `// evvo-lint: allow(<rule>)` to the offending line or
 // place it alone on the line above. Each suppression names one rule; the
@@ -266,6 +271,41 @@ void check_raw_sync(const FileUnderLint& file, const std::string& code, std::siz
   }
 }
 
+/// Raw SIMD intrinsics outside the portable wrapper layer. Fires on both the
+/// intrinsic headers and the identifier prefixes, so neither a stray include
+/// nor a copy-pasted kernel slips past; common/simd.hpp itself is the one
+/// legitimate home for them.
+void check_raw_intrinsics(const FileUnderLint& file, const std::string& code,
+                          std::size_t idx, std::vector<Violation>& out) {
+  if (file.path.ends_with("common/simd.hpp")) return;
+  // Include paths live in the raw line (strip_noncode blanks string literals
+  // and <...> survives, but match the raw text like include-hygiene does).
+  const std::string& raw = file.lines[idx];
+  if (raw.find("#include") != std::string::npos) {
+    static constexpr std::string_view kHeaders[] = {"immintrin.h", "x86intrin.h",
+                                                    "emmintrin.h", "arm_neon.h"};
+    for (const auto h : kHeaders) {
+      if (raw.find(h) != std::string::npos) {
+        out.push_back({file.path, idx + 1, "raw-intrinsics",
+                       std::string("#include <") + std::string(h) +
+                           "> outside common/simd.hpp: all vector code goes through the "
+                           "portable wrappers (scalar fallback + bit-identity live there)"});
+        return;
+      }
+    }
+  }
+  static constexpr std::string_view kPrefixes[] = {"_mm_", "_mm256_", "_mm512_", "vld1q",
+                                                   "vst1q"};
+  for (const auto p : kPrefixes) {
+    if (code.find(p) != std::string::npos) {
+      out.push_back({file.path, idx + 1, "raw-intrinsics",
+                     "raw SIMD intrinsic '" + std::string(p) +
+                         "...' outside common/simd.hpp: use the evvo::common::simd wrappers"});
+      return;
+    }
+  }
+}
+
 /// File-scope rule: a common::Mutex member without any EVVO_GUARDED_BY /
 /// EVVO_REQUIRES in the same file is a mutex the analyzer cannot check.
 void check_guarded_mutex(const FileUnderLint& file, const std::vector<std::string>& code_lines,
@@ -368,6 +408,7 @@ std::vector<Violation> lint_file(const FileUnderLint& file) {
     check_banned_random(file, code, idx, line_hits);
     check_nodiscard_result(file, code, idx, line_hits);
     check_raw_sync(file, code, idx, line_hits);
+    check_raw_intrinsics(file, code, idx, line_hits);
     for (auto& v : line_hits) {
       if (!suppressed(file, idx, v.rule)) out.push_back(std::move(v));
     }
@@ -503,6 +544,25 @@ int self_test() {
   expect(!fires(snippet("src/common/mutex.hpp", "#pragma once\nstd::mutex inner_;\n"),
                 "raw-sync"),
          "raw-sync is silent inside common/mutex.hpp");
+
+  // raw-intrinsics
+  expect(fires(snippet("src/core/k.cpp", "#include <immintrin.h>\n"), "raw-intrinsics"),
+         "raw-intrinsics fires on an intrinsic header include");
+  expect(fires(snippet("src/core/k.cpp", "auto v = _mm_add_ps(a, b);\n"), "raw-intrinsics"),
+         "raw-intrinsics fires on an _mm_ identifier");
+  expect(fires(snippet("src/core/k.cpp", "auto v = vld1q_f32(p);\n"), "raw-intrinsics"),
+         "raw-intrinsics fires on a NEON vld1q identifier");
+  expect(!fires(snippet("src/common/simd.hpp",
+                        "#pragma once\n#include <immintrin.h>\nauto v = _mm_add_ps(a, b);\n"),
+                "raw-intrinsics"),
+         "raw-intrinsics is silent inside common/simd.hpp");
+  expect(!fires(snippet("src/core/k.cpp",
+                        "#include <immintrin.h>  // evvo-lint: allow(raw-intrinsics)\n"),
+                "raw-intrinsics"),
+         "raw-intrinsics honors suppression");
+  expect(!fires(snippet("src/core/k.cpp", "// _mm_add_ps would be wrong here\n"),
+                "raw-intrinsics"),
+         "raw-intrinsics ignores comments");
 
   // guarded-mutex
   expect(fires(snippet("src/core/d.hpp",
