@@ -1,5 +1,6 @@
 #include "cloud/plan_service.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
@@ -25,6 +26,12 @@ PlanService::PlanService(core::VelocityPlanner planner,
                          CacheConfig cache)
     : planner_(std::move(planner)), arrivals_(std::move(arrivals)), cache_config_(cache),
       hyperperiod_s_(signal_hyperperiod(planner_.corridor().lights)) {
+  // Replan keys quantize position to the solver's own grid (the same
+  // rounding solve_dp applies to ds_m).
+  const double length = planner_.corridor().length();
+  const double n_hops =
+      std::max(1.0, std::round(length / planner_.config().resolution.ds_m));
+  grid_ds_m_ = length / n_hops;
   if (cache_config_.capacity == 0) throw std::invalid_argument("PlanService: zero cache capacity");
   if (cache_config_.phase_quantum_s <= 0.0 || cache_config_.demand_quantum_veh_h <= 0.0)
     throw std::invalid_argument("PlanService: quanta must be positive");
@@ -49,10 +56,10 @@ PlanService::CacheKey PlanService::key_for(Seconds depart_time) const {
 
 void PlanService::insert_into_cache_locked(const CacheKey& key,
                                            const core::PlannedProfile& profile,
-                                           double reference_depart) {
+                                           double reference_time) {
   if (cache_.find(key) != cache_.end()) return;
   lru_.push_front(key);
-  cache_.emplace(key, CacheEntry{profile, reference_depart, lru_.begin()});
+  cache_.emplace(key, CacheEntry{profile, reference_time, lru_.begin()});
   if (cache_.size() > cache_config_.capacity) {
     const CacheKey victim = lru_.back();
     lru_.pop_back();
@@ -62,20 +69,20 @@ void PlanService::insert_into_cache_locked(const CacheKey& key,
   }
 }
 
-PlanResponse PlanService::request_plan(const PlanRequest& request) {
-  const CacheKey key = key_for(Seconds(request.depart_time_s));
-
+PlanResponse PlanService::serve_cached(const CacheKey& key, int vehicle_id, Seconds request_time,
+                                       const std::function<core::PlannedProfile()>& solve) {
   std::shared_ptr<InFlight> flight;
   bool leader = false;
   {
     common::MutexLock lock(mutex_);
     ++stats_.requests;
+    if (key.layer >= 0) ++stats_.replans;
     const auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++stats_.cache_hits;
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-      const double shift = request.depart_time_s - it->second.reference_depart;
-      return PlanResponse{request.vehicle_id, it->second.profile.time_shifted(shift), true};
+      const double shift = request_time.value() - it->second.reference_time;
+      return PlanResponse{vehicle_id, it->second.profile.time_shifted(shift), true};
     }
     auto& slot = in_flight_[key];
     if (!slot) {
@@ -90,22 +97,22 @@ PlanResponse PlanService::request_plan(const PlanRequest& request) {
 
   if (leader) {
     try {
-      core::PlannedProfile profile = planner_.plan(Seconds(request.depart_time_s), arrivals_);
+      core::PlannedProfile profile = solve();
       {
         // Publish to the cache and retire the flight atomically: any request
         // arriving from here on hits the cache instead of the flight.
         common::MutexLock lock(mutex_);
-        insert_into_cache_locked(key, profile, request.depart_time_s);
+        insert_into_cache_locked(key, profile, request_time.value());
         in_flight_.erase(key);
       }
       {
         common::MutexLock flight_lock(flight->mutex);
         flight->profile = profile;
-        flight->reference_depart = request.depart_time_s;
+        flight->reference_time = request_time.value();
         flight->done = true;
       }
       flight->completed.notify_all();
-      return PlanResponse{request.vehicle_id, std::move(profile), false};
+      return PlanResponse{vehicle_id, std::move(profile), false};
     } catch (...) {
       {
         common::MutexLock lock(mutex_);
@@ -127,8 +134,8 @@ PlanResponse PlanService::request_plan(const PlanRequest& request) {
     common::MutexLock flight_lock(flight->mutex);
     while (!flight->done) flight->completed.wait(flight->mutex);
     if (flight->error) std::rethrow_exception(flight->error);
-    const double shift = request.depart_time_s - flight->reference_depart;
-    response.emplace(PlanResponse{request.vehicle_id, flight->profile->time_shifted(shift), true});
+    const double shift = request_time.value() - flight->reference_time;
+    response.emplace(PlanResponse{vehicle_id, flight->profile->time_shifted(shift), true});
   }
   {
     common::MutexLock lock(mutex_);
@@ -136,6 +143,52 @@ PlanResponse PlanService::request_plan(const PlanRequest& request) {
     ++stats_.coalesced_hits;
   }
   return std::move(*response);
+}
+
+PlanResponse PlanService::request_plan(const PlanRequest& request) {
+  const CacheKey key = key_for(Seconds(request.depart_time_s));
+  return serve_cached(key, request.vehicle_id, Seconds(request.depart_time_s), [&] {
+    return planner_.plan(Seconds(request.depart_time_s), arrivals_);
+  });
+}
+
+PlanResponse PlanService::request_replan(const ReplanRequest& request) {
+  if (request.position_m < 0.0 || request.position_m >= planner_.corridor().length())
+    throw std::invalid_argument("PlanService::request_replan: position outside the corridor");
+
+  // Segment-memo quantization: snap the state to its bin's grid point. Every
+  // request in the bin is served the canonical state's plan (misses solve it,
+  // hits time-shift it) - the same approximation the phase and demand bins
+  // already make for departures.
+  const double dv = planner_.config().resolution.dv_ms;
+  const long n_hops = std::lround(planner_.corridor().length() / grid_ds_m_);
+  const long layer =
+      std::min(std::max(0L, std::lround(request.position_m / grid_ds_m_)), n_hops - 1);
+  const long vlevel = std::max(0L, std::lround(request.speed_ms / dv));
+
+  CacheKey key = key_for(Seconds(request.time_s));
+  key.layer = layer;
+  key.vlevel = vlevel;
+  return serve_cached(key, request.vehicle_id, Seconds(request.time_s), [&, layer, vlevel] {
+    return planner_.replan(Meters(static_cast<double>(layer) * grid_ds_m_),
+                           MetersPerSecond(static_cast<double>(vlevel) * dv),
+                           Seconds(request.time_s), arrivals_);
+  });
+}
+
+std::vector<PlanResponse> PlanService::request_replans(std::span<const ReplanRequest> requests) {
+  std::vector<std::optional<PlanResponse>> slots(requests.size());
+  common::ThreadPool* pool = batch_pool();
+  if (pool && requests.size() > 1) {
+    pool->parallel_for(requests.size(),
+                       [&](std::size_t i) { slots[i] = request_replan(requests[i]); });
+  } else {
+    for (std::size_t i = 0; i < requests.size(); ++i) slots[i] = request_replan(requests[i]);
+  }
+  std::vector<PlanResponse> responses;
+  responses.reserve(slots.size());
+  for (auto& slot : slots) responses.push_back(std::move(*slot));
+  return responses;
 }
 
 common::ThreadPool* PlanService::batch_pool() {

@@ -11,6 +11,15 @@
 // (policy, departure phase bin, demand bin); hits are served by time-shifting
 // the cached profile.
 //
+// Replanning (rolling horizon) extends the same idea to mid-route requests:
+// the segment memo keys a cached plan *tail* by the quantized vehicle state -
+// (grid layer of the position, velocity level, cycle offset of the request
+// time, demand bin). Two vehicles at the same layer and speed whose clocks
+// are congruent mod H face the same remaining problem, so the cached tail is
+// served time-shifted; misses canonicalize the state to the bin's grid point
+// and run VelocityPlanner::replan, which itself warm-starts the DP from the
+// pooled previous solve (core/dp_replan.hpp).
+//
 // Concurrency: misses are deduplicated per key with a single-flight
 // protocol. The first requester of a key becomes its leader and runs the
 // solver outside every service lock; concurrent requesters of the same key
@@ -20,6 +29,7 @@
 // solve. At quiescence, requests == cache_hits + solver_runs.
 #pragma once
 
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -50,6 +60,14 @@ struct PlanRequest {
   double depart_time_s = 0.0;
 };
 
+/// Mid-route replan: the vehicle's current state on the service's corridor.
+struct ReplanRequest {
+  int vehicle_id = 0;
+  double position_m = 0.0;  ///< corridor coordinate, [0, corridor length)
+  double speed_ms = 0.0;
+  double time_s = 0.0;      ///< absolute time of the request
+};
+
 struct [[nodiscard]] PlanResponse {
   int vehicle_id = 0;
   core::PlannedProfile profile;
@@ -57,7 +75,8 @@ struct [[nodiscard]] PlanResponse {
 };
 
 struct [[nodiscard]] ServiceStats {
-  long requests = 0;
+  long requests = 0;        ///< full-trip and replan requests combined
+  long replans = 0;         ///< subset of requests that were replans
   long cache_hits = 0;      ///< served from cache or a coalesced in-flight solve
   long coalesced_hits = 0;  ///< subset of cache_hits that waited on a leader
   long solver_runs = 0;
@@ -83,6 +102,19 @@ class PlanService {
   std::vector<PlanResponse> request_plans(std::span<const PlanRequest> requests)
       EVVO_EXCLUDES(mutex_);
 
+  /// Computes or serves a replan for a mid-route vehicle state. The returned
+  /// profile starts at the state's grid point in corridor coordinates.
+  /// Throws std::invalid_argument for positions outside the corridor. Same
+  /// single-flight and caching behavior as request_plan, over the segment
+  /// memo keyed by quantized (position layer, velocity level, cycle offset,
+  /// demand) - see the header comment.
+  PlanResponse request_replan(const ReplanRequest& request) EVVO_EXCLUDES(mutex_);
+
+  /// Batch replanning, the per-tick fleet path: responses in request order,
+  /// same-state vehicles coalesce onto one warm solve.
+  std::vector<PlanResponse> request_replans(std::span<const ReplanRequest> requests)
+      EVVO_EXCLUDES(mutex_);
+
   /// Signals' hyperperiod H [s]; 0 when the corridor has no lights (every
   /// departure is then equivalent and one plan serves all).
   double hyperperiod() const { return hyperperiod_s_; }
@@ -93,33 +125,45 @@ class PlanService {
   struct CacheKey {
     long phase_bin;
     long demand_bin;
+    /// Replan quantization (the segment-memo half of the key): grid layer of
+    /// the position and velocity level of the speed. Full-trip plans use
+    /// (-1, -1) so they can never collide with a replan of the same phase.
+    long layer = -1;
+    long vlevel = -1;
     auto operator<=>(const CacheKey&) const = default;
   };
   struct CacheEntry {
-    core::PlannedProfile profile;          // planned at reference_depart
-    double reference_depart;
+    core::PlannedProfile profile;          // planned at reference_time
+    double reference_time;
     std::list<CacheKey>::iterator lru_pos;
   };
-  /// One in-flight solve. The leader fills profile/reference_depart (or
+  /// One in-flight solve. The leader fills profile/reference_time (or
   /// error) and flips done under `mutex`; followers wait on `completed`.
   struct InFlight {
     common::Mutex mutex;
     common::CondVar completed;
     bool done EVVO_GUARDED_BY(mutex) = false;
     std::optional<core::PlannedProfile> profile EVVO_GUARDED_BY(mutex);
-    double reference_depart EVVO_GUARDED_BY(mutex) = 0.0;
+    double reference_time EVVO_GUARDED_BY(mutex) = 0.0;
     std::exception_ptr error EVVO_GUARDED_BY(mutex);
   };
 
   CacheKey key_for(Seconds depart_time) const EVVO_EXCLUDES(mutex_);
+  /// Cache lookup + single-flight around an arbitrary solve (full plan or
+  /// replan). `request_time` anchors the time shift cached hits are served
+  /// with; `solve` runs outside every service lock on the leader.
+  PlanResponse serve_cached(const CacheKey& key, int vehicle_id, Seconds request_time,
+                            const std::function<core::PlannedProfile()>& solve)
+      EVVO_EXCLUDES(mutex_);
   void insert_into_cache_locked(const CacheKey& key, const core::PlannedProfile& profile,
-                                double reference_depart) EVVO_REQUIRES(mutex_);
+                                double reference_time) EVVO_REQUIRES(mutex_);
   common::ThreadPool* batch_pool() EVVO_EXCLUDES(mutex_);
 
   core::VelocityPlanner planner_;
   std::shared_ptr<const traffic::ArrivalRateProvider> arrivals_;
   CacheConfig cache_config_;
   double hyperperiod_s_;
+  double grid_ds_m_;  ///< layer spacing the solver will use on this corridor
 
   mutable common::Mutex mutex_;
   std::map<CacheKey, CacheEntry> cache_ EVVO_GUARDED_BY(mutex_);

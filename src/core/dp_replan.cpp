@@ -1,0 +1,148 @@
+// Replan classification: the pure (no-solve) half of the incremental DP.
+// The warm execution paths live in dp_solver.cpp next to the engine.
+#include "core/dp_replan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/dp_common.hpp"
+
+namespace evvo::core {
+
+DpProblemKey DpProblemKey::of(const DpProblem& problem) {
+  DpProblemKey key;
+  key.route_hash = detail::hash_route(*problem.route);
+  key.energy = problem.energy;
+  key.route_length_m = problem.route->length();
+  key.depart_time_s = problem.depart_time.value();
+  key.ds_m = problem.resolution.ds_m;
+  key.dv_ms = problem.resolution.dv_ms;
+  key.dt_s = problem.resolution.dt_s;
+  key.horizon_s = problem.resolution.horizon_s;
+  key.initial_speed_ms = problem.initial_speed.value();
+  key.final_speed_ms = problem.final_speed.value();
+  key.smoothness_weight = problem.smoothness_weight_mah_per_ms;
+  key.time_weight = problem.time_weight_mah_per_s;
+  key.penalty_mode = static_cast<int>(problem.penalty.mode);
+  key.penalty_m = problem.penalty.m;
+  key.penalty_additive_mah = problem.penalty.additive_mah;
+  key.penalty_min_cost_mah = problem.penalty.min_cost_mah;
+  return key;
+}
+
+namespace {
+
+/// The event view a relaxation actually reads at one layer. A signal that
+/// does not enforce its windows is indistinguishable from no event at all
+/// (relax_layer tests only `is_signal && enforce_windows`; extract reads only
+/// stop-sign dwells), so it canonicalizes to "absent" - which is what makes
+/// window edits on non-enforcing signals no-ops.
+const LayerEvent* canonical_view(const LayerEvent* e) {
+  if (!e) return nullptr;
+  if (e->type == LayerEvent::Type::kSignal && !e->enforce_windows) return nullptr;
+  return e;
+}
+
+bool windows_equal(const std::vector<road::TimeWindow>& a, const std::vector<road::TimeWindow>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].start_s != b[i].start_s || a[i].end_s != b[i].end_s) return false;
+  }
+  return true;
+}
+
+bool views_equal(const LayerEvent* a, const LayerEvent* b) {
+  if (!a || !b) return a == b;
+  if (a->type != b->type) return false;
+  if (a->type == LayerEvent::Type::kStopSign) return a->dwell_s == b->dwell_s;
+  // Enforced signal (canonical_view stripped the non-enforcing ones).
+  return windows_equal(a->windows, b->windows);
+}
+
+bool is_stop(const LayerEvent* e) { return e && e->type == LayerEvent::Type::kStopSign; }
+
+/// Last layer whose crossing is window-checked (mirrors the engine's
+/// last_window_layer_); -1 when no window is enforced anywhere.
+std::ptrdiff_t last_window_layer(const std::vector<const LayerEvent*>& at) {
+  std::ptrdiff_t last = -1;
+  for (std::size_t layer = 0; layer < at.size(); ++layer) {
+    const LayerEvent* e = at[layer];
+    if (e && e->type == LayerEvent::Type::kSignal && e->enforce_windows) {
+      last = static_cast<std::ptrdiff_t>(layer);
+    }
+  }
+  return last;
+}
+
+std::vector<const LayerEvent*> views_by_layer(const std::vector<LayerEvent>& events,
+                                              std::size_t n_layers) {
+  std::vector<const LayerEvent*> at(n_layers, nullptr);
+  for (const LayerEvent& e : events) {
+    // Out-of-range layers are the engine's (throwing) problem, not the
+    // frontier rule's; skip them so classification never indexes past the grid.
+    if (e.layer < n_layers) at[e.layer] = canonical_view(&e);
+  }
+  return at;
+}
+
+}  // namespace
+
+std::optional<std::size_t> first_dirty_relax(const std::vector<LayerEvent>& prev_events,
+                                             const std::vector<LayerEvent>& next_events,
+                                             std::size_t n_layers, bool prev_pruning,
+                                             bool next_pruning) {
+  if (n_layers < 2) return std::nullopt;  // nothing to relax at all
+  const std::size_t n_relax = n_layers - 1;
+  const std::vector<const LayerEvent*> prev_at = views_by_layer(prev_events, n_layers);
+  const std::vector<const LayerEvent*> next_at = views_by_layer(next_events, n_layers);
+
+  std::size_t dirty = n_relax;  // sentinel: clean
+  for (std::size_t layer = 0; layer < n_layers; ++layer) {
+    const LayerEvent* a = prev_at[layer];
+    const LayerEvent* b = next_at[layer];
+    if (views_equal(a, b)) continue;
+    // The full view at `layer` is read by relaxation `layer` (the final
+    // layer's view is read by no relaxation: windows there are never
+    // crossed, which is why an edit at the last layer alone splices).
+    if (layer < n_relax) dirty = std::min(dirty, layer);
+    // "Is layer+1 a stop sign" is additionally read one relaxation earlier
+    // (arrivals into a stop layer must come to rest).
+    if (is_stop(a) != is_stop(b) && layer >= 1) dirty = std::min(dirty, layer - 1);
+  }
+
+  // Dominance pruning: relaxation i prunes iff `pruning && i > lw`. Find the
+  // first index where that predicate flips.
+  const std::ptrdiff_t lw_prev = last_window_layer(prev_at);
+  const std::ptrdiff_t lw_next = last_window_layer(next_at);
+  if (prev_pruning != next_pruning || lw_prev != lw_next) {
+    for (std::size_t i = 0; i < n_relax; ++i) {
+      const bool p = prev_pruning && static_cast<std::ptrdiff_t>(i) > lw_prev;
+      const bool q = next_pruning && static_cast<std::ptrdiff_t>(i) > lw_next;
+      if (p != q) {
+        dirty = std::min(dirty, i);
+        break;
+      }
+    }
+  }
+
+  if (dirty == n_relax) return std::nullopt;
+  return dirty;
+}
+
+ReplanDelta classify_replan(const DpProblemKey& prev_key,
+                            const std::vector<LayerEvent>& prev_events, bool prev_pruning,
+                            const DpProblem& next) {
+  if (!(DpProblemKey::of(next) == prev_key)) {
+    return ReplanDelta{ReplanDelta::Path::kCold, 0, "problem fingerprint changed"};
+  }
+  const auto n_hops = static_cast<std::size_t>(
+      std::max(1.0, std::round(next.route->length() / next.resolution.ds_m)));
+  const std::size_t n_layers = n_hops + 1;
+  const std::optional<std::size_t> dirty = first_dirty_relax(
+      prev_events, next.events, n_layers, prev_pruning, next.dominance_pruning);
+  if (!dirty) return ReplanDelta{ReplanDelta::Path::kSpliced, 0, ""};
+  if (*dirty == 0) return ReplanDelta{ReplanDelta::Path::kCold, 0, "edit reaches the first layer"};
+  return ReplanDelta{ReplanDelta::Path::kStripes, *dirty, ""};
+}
+
+}  // namespace evvo::core

@@ -222,6 +222,13 @@ class DpWorkspace {
            back_.size() * sizeof(std::uint32_t);
   }
 
+  /// Monotone count of engine runs over this workspace, bumped before a run
+  /// touches any table (a throwing or infeasible run still counts). The
+  /// incremental solver (core/dp_replan.hpp) records it alongside its
+  /// previous-solve snapshot: a mismatch proves another solve reused the
+  /// tables in between, so warm-starting from them would be unsound.
+  std::uint64_t solve_serial() const { return solve_serial_; }
+
  private:
   friend class detail::DpEngine;
 
@@ -268,6 +275,8 @@ class DpWorkspace {
   std::vector<float> src_time_;             ///< arrival time + mandatory dwell
   std::vector<std::uint8_t> src_inside_;    ///< inside the signal window T_q
   std::vector<std::uint32_t> row_begin_;    ///< n_v + 1 offsets into the source list
+
+  std::uint64_t solve_serial_ = 0;  ///< see solve_serial()
 };
 
 /// Runs the DP. Returns std::nullopt only if no feasible trajectory reaches

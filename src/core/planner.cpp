@@ -7,16 +7,20 @@
 #include "common/math_util.hpp"
 #include "common/mutex.hpp"
 #include "common/thread_pool.hpp"
+#include "core/dp_common.hpp"
+#include "core/dp_replan.hpp"
+#include "core/workspace_pool.hpp"
 
 namespace evvo::core {
 
-/// Shared across planner copies: solver workspaces are checked out per call
-/// (reuse of the state tables + cached cost model), and the relaxation pool
-/// is created on first use. The configured thread count is fixed at
-/// construction, so the pool never needs resizing.
+/// Shared across planner copies: solver contexts (workspace + previous-solve
+/// snapshot, keyed by route-content affinity so replans of the same corridor
+/// suffix warm-start; see core/workspace_pool.hpp) are checked out per call,
+/// and the relaxation pool is created on first use. The configured thread
+/// count is fixed at construction, so the pool never needs resizing.
 struct VelocityPlanner::Runtime {
   common::Mutex mutex;
-  std::vector<std::unique_ptr<DpWorkspace>> free_workspaces EVVO_GUARDED_BY(mutex);
+  WorkspacePool workspaces;
   std::unique_ptr<common::ThreadPool> pool EVVO_GUARDED_BY(mutex);
 
   common::ThreadPool* pool_for(unsigned thread_hint) EVVO_EXCLUDES(mutex) {
@@ -25,23 +29,6 @@ struct VelocityPlanner::Runtime {
     common::MutexLock lock(mutex);
     if (!pool) pool = std::make_unique<common::ThreadPool>(want);
     return pool.get();
-  }
-
-  std::unique_ptr<DpWorkspace> acquire() EVVO_EXCLUDES(mutex) {
-    {
-      common::MutexLock lock(mutex);
-      if (!free_workspaces.empty()) {
-        auto workspace = std::move(free_workspaces.back());
-        free_workspaces.pop_back();
-        return workspace;
-      }
-    }
-    return std::make_unique<DpWorkspace>();
-  }
-
-  void release(std::unique_ptr<DpWorkspace> workspace) EVVO_EXCLUDES(mutex) {
-    common::MutexLock lock(mutex);
-    free_workspaces.push_back(std::move(workspace));
   }
 };
 
@@ -165,16 +152,23 @@ std::vector<LayerEvent> VelocityPlanner::build_events(
 }
 
 std::optional<DpSolution> VelocityPlanner::solve_problem(const DpProblem& problem) const {
-  std::unique_ptr<DpWorkspace> workspace = runtime_->acquire();
+  // Affinity = route content: a replan of the same corridor suffix gets the
+  // context whose tables and previous-solve snapshot it can warm-start from
+  // (bit-identically; see core/dp_replan.hpp). Cross-corridor checkouts
+  // still reuse the allocations, they just solve cold.
+  const std::uint64_t affinity = detail::hash_route(*problem.route);
+  std::unique_ptr<WorkspacePool::Entry> entry = runtime_->workspaces.acquire(affinity);
   common::ThreadPool* pool = runtime_->pool_for(config_.resolution.threads);
   std::optional<DpSolution> solution;
   try {
-    solution = solve_dp(problem, *workspace, pool);
+    solution = solve_dp_incremental(problem, entry->prev, entry->workspace, pool);
   } catch (...) {
-    runtime_->release(std::move(workspace));
+    entry->affinity = affinity;
+    runtime_->workspaces.release(std::move(entry));
     throw;
   }
-  runtime_->release(std::move(workspace));
+  entry->affinity = affinity;
+  runtime_->workspaces.release(std::move(entry));
   return solution;
 }
 

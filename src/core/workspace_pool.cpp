@@ -1,0 +1,37 @@
+#include "core/workspace_pool.hpp"
+
+#include <algorithm>
+
+namespace evvo::core {
+
+std::unique_ptr<WorkspacePool::Entry> WorkspacePool::acquire(std::uint64_t affinity) {
+  {
+    common::MutexLock lock(mutex_);
+    if (!free_.empty()) {
+      // Most recently released first, so ties go to the warmest entry.
+      for (std::size_t i = free_.size(); i-- > 0;) {
+        if (free_[i]->affinity == affinity) {
+          std::unique_ptr<Entry> entry = std::move(free_[i]);
+          free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+          return entry;
+        }
+      }
+      std::unique_ptr<Entry> entry = std::move(free_.back());
+      free_.pop_back();
+      return entry;
+    }
+  }
+  return std::make_unique<Entry>();
+}
+
+void WorkspacePool::release(std::unique_ptr<Entry> entry) {
+  common::MutexLock lock(mutex_);
+  free_.push_back(std::move(entry));
+}
+
+std::size_t WorkspacePool::idle_count() const {
+  common::MutexLock lock(mutex_);
+  return free_.size();
+}
+
+}  // namespace evvo::core

@@ -1,0 +1,50 @@
+// Free-list of DP solver contexts with warm-state affinity.
+//
+// A solver context is a DpWorkspace plus the DpPrevSolution snapshot of the
+// last solve it ran (core/dp_replan.hpp): the pair is what makes a replan
+// warm. A plain LIFO free-list defeats that pairing under interleaved
+// traffic - vehicle A's replan would check out the workspace vehicle B just
+// released, and both solves go cold. acquire() therefore prefers the most
+// recently released entry whose affinity tag (the planner uses the route
+// content hash of the problem about to be solved) matches, and falls back to
+// LIFO only when nothing matches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+#include "core/dp_replan.hpp"
+
+namespace evvo::core {
+
+class WorkspacePool {
+ public:
+  struct Entry {
+    DpWorkspace workspace;
+    DpPrevSolution prev;
+    /// Caller-maintained tag of what this entry last solved; matched by
+    /// acquire(). 0 = never used.
+    std::uint64_t affinity = 0;
+  };
+
+  /// Checks an entry out of the pool: the most recently released entry
+  /// tagged `affinity` if any, else the most recently released entry of any
+  /// tag (LIFO keeps caches hot), else a fresh one. Never blocks on a solve.
+  std::unique_ptr<Entry> acquire(std::uint64_t affinity) EVVO_EXCLUDES(mutex_);
+
+  /// Returns an entry to the pool. The caller sets entry->affinity to the
+  /// tag of the solve it just ran before releasing.
+  void release(std::unique_ptr<Entry> entry) EVVO_EXCLUDES(mutex_);
+
+  /// Entries currently idle in the pool (diagnostics/tests).
+  std::size_t idle_count() const EVVO_EXCLUDES(mutex_);
+
+ private:
+  mutable common::Mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> free_ EVVO_GUARDED_BY(mutex_);  // back = most recent
+};
+
+}  // namespace evvo::core

@@ -1,0 +1,189 @@
+// Dirty-stripe frontier computation and replan classification
+// (core/dp_replan.hpp): a window edit must dirty exactly the edited event's
+// relaxation, no-op edits must yield an empty frontier, and edits reaching
+// the first layer (or any fingerprint change) must degrade to a cold solve.
+#include "core/dp_replan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dp_solver.hpp"
+#include "ev/energy_model.hpp"
+#include "road/route.hpp"
+
+namespace evvo::core {
+namespace {
+
+constexpr std::size_t kLayers = 43;  // 42 hops, relaxations 0..41
+
+LayerEvent signal(std::size_t layer, std::vector<road::TimeWindow> windows,
+                  bool enforce = true) {
+  LayerEvent e;
+  e.type = LayerEvent::Type::kSignal;
+  e.layer = layer;
+  e.enforce_windows = enforce;
+  e.windows = std::move(windows);
+  return e;
+}
+
+LayerEvent stop_sign(std::size_t layer, double dwell_s = 2.0) {
+  LayerEvent e;
+  e.type = LayerEvent::Type::kStopSign;
+  e.layer = layer;
+  e.dwell_s = dwell_s;
+  return e;
+}
+
+std::vector<LayerEvent> base_events() {
+  return {stop_sign(5), signal(17, {{40.0, 70.0}, {100.0, 130.0}}),
+          signal(30, {{20.0, 50.0}})};
+}
+
+TEST(DirtyFrontier, IdenticalEventsAreClean) {
+  const auto events = base_events();
+  EXPECT_FALSE(first_dirty_relax(events, events, kLayers, true, true).has_value());
+  // Same values through a copy, different storage: compared by content.
+  auto copy = events;
+  copy[1].windows = {{40.0, 70.0}, {100.0, 130.0}};
+  EXPECT_FALSE(first_dirty_relax(events, copy, kLayers, true, true).has_value());
+}
+
+TEST(DirtyFrontier, WindowEditDirtiesExactlyTheEventLayer) {
+  const auto prev = base_events();
+  auto next = prev;
+  next[2].windows[0].end_s += 1.0;  // edit the layer-30 signal
+  const auto dirty = first_dirty_relax(prev, next, kLayers, true, true);
+  ASSERT_TRUE(dirty.has_value());
+  EXPECT_EQ(*dirty, 30u);
+
+  auto earlier = prev;
+  earlier[1].windows[1].start_s -= 2.0;  // layer-17 signal wins over layer 30
+  earlier[2].windows[0].end_s += 1.0;
+  const auto dirty2 = first_dirty_relax(prev, earlier, kLayers, true, true);
+  ASSERT_TRUE(dirty2.has_value());
+  EXPECT_EQ(*dirty2, 17u);
+}
+
+TEST(DirtyFrontier, UnenforcedWindowEditIsClean) {
+  // The relaxation never reads windows of a non-enforcing signal; such an
+  // event is canonically identical to no event at all.
+  const std::vector<LayerEvent> prev{signal(12, {{10.0, 20.0}}, /*enforce=*/false)};
+  std::vector<LayerEvent> next{signal(12, {{11.0, 25.0}}, /*enforce=*/false)};
+  EXPECT_FALSE(first_dirty_relax(prev, next, kLayers, true, true).has_value());
+  // Dropping the unenforced event entirely is equally invisible.
+  EXPECT_FALSE(first_dirty_relax(prev, {}, kLayers, true, true).has_value());
+}
+
+TEST(DirtyFrontier, FinalLayerWindowEditIsClean) {
+  // Relaxation i exists for i < n_layers - 1; an enforced signal parked on
+  // the last layer is read by no relaxation, so its windows cannot matter.
+  const std::vector<LayerEvent> prev{signal(kLayers - 1, {{10.0, 20.0}})};
+  std::vector<LayerEvent> next{signal(kLayers - 1, {{12.0, 22.0}})};
+  EXPECT_FALSE(first_dirty_relax(prev, next, kLayers, false, false).has_value());
+}
+
+TEST(DirtyFrontier, StopSignChangesReachBackOneLayer) {
+  const auto prev = base_events();
+  // Dwell change: read only while relaxing the sign's own layer.
+  auto next = prev;
+  next[0].dwell_s += 1.0;
+  auto dirty = first_dirty_relax(prev, next, kLayers, true, true);
+  ASSERT_TRUE(dirty.has_value());
+  EXPECT_EQ(*dirty, 5u);
+  // Presence flip: relax_layer(4) reads "is layer 5 a stop sign" to force
+  // v = 0 on arrival, so removing the sign dirties layer 4 as well.
+  next = prev;
+  next.erase(next.begin());
+  dirty = first_dirty_relax(prev, next, kLayers, true, true);
+  ASSERT_TRUE(dirty.has_value());
+  EXPECT_EQ(*dirty, 4u);
+}
+
+TEST(DirtyFrontier, PruningPredicateFlipDirtiesItsFirstLayer) {
+  const auto events = base_events();  // last enforced window layer = 30
+  const auto dirty = first_dirty_relax(events, events, kLayers, true, false);
+  ASSERT_TRUE(dirty.has_value());
+  EXPECT_EQ(*dirty, 31u);  // predicate `pruning && i > 30` first differs at 31
+  // With no enforced windows at all the predicate flips from relaxation 0 on.
+  const std::vector<LayerEvent> bare{stop_sign(5)};
+  const auto dirty0 = first_dirty_relax(bare, bare, kLayers, true, false);
+  ASSERT_TRUE(dirty0.has_value());
+  EXPECT_EQ(*dirty0, 0u);
+}
+
+road::Route replan_route() { return road::Route({{0.0, 420.0, 20.0, 0.0, 0.0}}); }
+
+DpProblem replan_problem(const road::Route& route, const ev::EnergyModel& energy) {
+  DpProblem p;
+  p.route = &route;
+  p.energy = &energy;
+  p.resolution = DpResolution{10.0, 0.5, 1.0, 200.0};
+  p.time_weight_mah_per_s = 2.0;
+  p.events = base_events();
+  return p;
+}
+
+TEST(ClassifyReplan, CleanResubmissionSplices) {
+  const road::Route route = replan_route();
+  const ev::EnergyModel energy;
+  const DpProblem p = replan_problem(route, energy);
+  const ReplanDelta d = classify_replan(DpProblemKey::of(p), p.events, p.dominance_pruning, p);
+  EXPECT_EQ(d.path, ReplanDelta::Path::kSpliced);
+}
+
+TEST(ClassifyReplan, WindowEditTakesStripes) {
+  const road::Route route = replan_route();
+  const ev::EnergyModel energy;
+  const DpProblem prev = replan_problem(route, energy);
+  DpProblem next = prev;
+  next.events[2].windows[0].start_s += 3.0;
+  const ReplanDelta d =
+      classify_replan(DpProblemKey::of(prev), prev.events, prev.dominance_pruning, next);
+  EXPECT_EQ(d.path, ReplanDelta::Path::kStripes);
+  EXPECT_EQ(d.first_relax, 30u);
+}
+
+TEST(ClassifyReplan, FingerprintChangesGoCold) {
+  const road::Route route = replan_route();
+  const ev::EnergyModel energy;
+  const DpProblem prev = replan_problem(route, energy);
+  const DpProblemKey key = DpProblemKey::of(prev);
+
+  DpProblem next = prev;
+  next.depart_time = Seconds(7.0);
+  EXPECT_EQ(classify_replan(key, prev.events, true, next).path, ReplanDelta::Path::kCold);
+
+  next = prev;
+  next.initial_speed = MetersPerSecond(4.0);
+  EXPECT_EQ(classify_replan(key, prev.events, true, next).path, ReplanDelta::Path::kCold);
+
+  next = prev;
+  next.resolution.horizon_s += 25.0;
+  EXPECT_EQ(classify_replan(key, prev.events, true, next).path, ReplanDelta::Path::kCold);
+
+  // Excluded from the fingerprint on purpose: any thread count or SIMD
+  // setting is bit-identical, so neither invalidates a warm start.
+  next = prev;
+  next.resolution.threads = 8;
+  next.resolution.simd = !next.resolution.simd;
+  next.checksum_tables = !next.checksum_tables;
+  EXPECT_EQ(classify_replan(key, prev.events, true, next).path, ReplanDelta::Path::kSpliced);
+}
+
+TEST(ClassifyReplan, EditReachingTheFirstLayerGoesCold) {
+  // An edit whose frontier is relaxation 0 re-relaxes everything; that IS
+  // the cold solve, and classify reports it as such.
+  const road::Route route = replan_route();
+  const ev::EnergyModel energy;
+  DpProblem prev = replan_problem(route, energy);
+  prev.events = {signal(1, {{40.0, 70.0}})};
+  DpProblem next = prev;
+  next.events[0].windows[0].end_s += 1.0;  // dirties relaxation 1
+  EXPECT_EQ(classify_replan(DpProblemKey::of(prev), prev.events, true, next).path,
+            ReplanDelta::Path::kStripes);
+  next.events[0].type = LayerEvent::Type::kStopSign;  // presence change: dirties 0
+  EXPECT_EQ(classify_replan(DpProblemKey::of(prev), prev.events, true, next).path,
+            ReplanDelta::Path::kCold);
+}
+
+}  // namespace
+}  // namespace evvo::core

@@ -101,6 +101,75 @@ TEST(PlanService, LruEvictionBounded) {
   EXPECT_LE(service.stats().solver_runs, 5);
 }
 
+TEST(PlanService, ReplanMissesThenServesPhaseCongruentStates) {
+  PlanService service(make_planner(), demand(765.0));
+
+  // Mid-route state on the 10 m grid: layer 200, velocity level 30.
+  const PlanResponse a = service.request_replan({1, 2000.0, 15.0, 600.0});
+  EXPECT_FALSE(a.cache_hit);
+  EXPECT_DOUBLE_EQ(a.profile.nodes().front().position_m, 2000.0);
+  EXPECT_DOUBLE_EQ(a.profile.nodes().front().speed_ms, 15.0);
+  EXPECT_DOUBLE_EQ(a.profile.depart_time(), 600.0);
+
+  // Same quantized state one hyperperiod later: served from the segment
+  // memo, time-shifted to the new request time.
+  const PlanResponse b = service.request_replan({2, 2000.0, 15.0, 660.0});
+  EXPECT_TRUE(b.cache_hit);
+  EXPECT_DOUBLE_EQ(b.profile.depart_time(), 660.0);
+  EXPECT_NEAR(b.profile.trip_time(), a.profile.trip_time(), 1e-9);
+  EXPECT_NEAR(b.profile.total_energy_mah(), a.profile.total_energy_mah(), 1e-9);
+
+  // Off-grid states snap into the same bin and hit too.
+  const PlanResponse c = service.request_replan({3, 2003.0, 15.2, 720.0});
+  EXPECT_TRUE(c.cache_hit);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 3);
+  EXPECT_EQ(stats.replans, 3);
+  EXPECT_EQ(stats.cache_hits, 2);
+  EXPECT_EQ(stats.solver_runs, 1);
+}
+
+TEST(PlanService, ReplanKeysNeverCollideWithFullTripPlans) {
+  PlanService service(make_planner(), demand(765.0));
+  const PlanResponse trip = service.request_plan({1, 600.0});
+  // A replan from the departure state at the same phase is a different kind
+  // of request (full-trip keys use layer = -1) and must solve on its own.
+  const PlanResponse replan = service.request_replan({2, 0.0, 0.0, 600.0});
+  EXPECT_FALSE(trip.cache_hit);
+  EXPECT_FALSE(replan.cache_hit);
+  EXPECT_EQ(service.stats().solver_runs, 2);
+  EXPECT_EQ(service.stats().replans, 1);
+}
+
+TEST(PlanService, ReplanValidatesPosition) {
+  PlanService service(make_planner(), demand(765.0));
+  EXPECT_THROW((void)service.request_replan({1, -1.0, 10.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)service.request_replan({1, 4200.0, 10.0, 0.0}), std::invalid_argument);
+}
+
+TEST(PlanService, BatchReplansCoalesceOntoOneSolve) {
+  CacheConfig cache;
+  cache.batch_threads = 2;
+  PlanService service(make_planner(), demand(765.0), cache);
+  std::vector<ReplanRequest> fleet;
+  for (int i = 0; i < 6; ++i) {
+    // Same quantized state, phase-congruent request times.
+    fleet.push_back({i, 2000.0, 15.0, 600.0 + 60.0 * i});
+  }
+  const std::vector<PlanResponse> responses = service.request_replans(fleet);
+  ASSERT_EQ(responses.size(), fleet.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].vehicle_id, static_cast<int>(i));
+    EXPECT_DOUBLE_EQ(responses[i].profile.depart_time(), fleet[i].time_s);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 6);
+  EXPECT_EQ(stats.replans, 6);
+  EXPECT_EQ(stats.solver_runs, 1);
+  EXPECT_EQ(stats.cache_hits, 5);
+}
+
 TEST(PlanService, ConcurrentRequestsAreConsistent) {
   PlanService service(make_planner(), demand(765.0));
   constexpr int kThreads = 4;

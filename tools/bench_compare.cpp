@@ -314,15 +314,26 @@ int run_compare(const BenchReport& baseline, const BenchReport& candidate,
     std::printf("%-48s %12.1f -> %12.1f ns  %+7.1f%%%s\n", name.c_str(), base.time_ns,
                 it->second.time_ns, delta_pct, regressed ? "  REGRESSION" : "");
   }
-  if (compared == 0) {
+  // Candidate benchmarks with no baseline entry are new (a benchmark added in
+  // the same change that will record its baseline): reported for visibility,
+  // never gated - there is no number to regress against.
+  std::size_t fresh = 0;
+  for (const auto& [name, cand] : candidate.entries) {
+    if (!opt.filter.empty() && name.find(opt.filter) == std::string::npos) continue;
+    if (baseline.entries.find(name) != baseline.entries.end()) continue;
+    ++fresh;
+    std::printf("%-48s %12s -> %12.1f ns      NEW (no baseline)\n", name.c_str(), "-",
+                cand.time_ns);
+  }
+  if (compared == 0 && fresh == 0) {
     std::fprintf(stderr,
-                 "bench_compare: no benchmark appears in both reports%s%s - nothing gated\n",
+                 "bench_compare: no benchmark appears in either report%s%s - nothing gated\n",
                  opt.filter.empty() ? "" : " under filter ",
                  opt.filter.c_str());
     return 2;
   }
-  std::printf("%zu benchmark(s) compared, %zu regression(s) beyond %.0f%%\n", compared,
-              regressions, opt.max_regress * 100.0);
+  std::printf("%zu benchmark(s) compared, %zu new, %zu regression(s) beyond %.0f%%\n", compared,
+              fresh, regressions, opt.max_regress * 100.0);
   return regressions == 0 ? 0 : 1;
 }
 
@@ -388,9 +399,30 @@ int self_test() {
              agg_report->entries.at("BM_X/10").time_ns == 100.0,
          "mean aggregate preferred over iteration entry");
 
-  // Disjoint reports are a config error, not a silent pass.
+  // A candidate-only benchmark is "new": reported, never gated, and it does
+  // not mask a real regression elsewhere in the same report.
+  const std::string grown = R"({"context": {"evvo_build": "release"}, "benchmarks": [
+    {"name": "BM_X/10", "run_type": "iteration", "cpu_time": 100.0, "time_unit": "ns"},
+    {"name": "BM_New/1", "run_type": "iteration", "cpu_time": 42.0, "time_unit": "ns"}]})";
+  const auto grown_report = parse(grown, "cpu_time");
+  expect(run_compare(*base, *grown_report, opt) == 0, "new benchmark passes alongside baseline");
+  const std::string grown_slow = R"({"context": {"evvo_build": "release"}, "benchmarks": [
+    {"name": "BM_X/10", "run_type": "iteration", "cpu_time": 130.0, "time_unit": "ns"},
+    {"name": "BM_New/1", "run_type": "iteration", "cpu_time": 42.0, "time_unit": "ns"}]})";
+  const auto grown_slow_report = parse(grown_slow, "cpu_time");
+  expect(run_compare(*base, *grown_slow_report, opt) == 1,
+         "new benchmark does not mask a regression");
+
+  // An all-new candidate (first run after adding benchmarks to the filter)
+  // passes with the additions reported; nothing exists to gate yet.
   const auto other = parse(report_json("release", "BM_Y/1", 100.0, "ns"), "cpu_time");
-  expect(run_compare(*base, *other, opt) == 2, "disjoint reports are an error");
+  expect(run_compare(*base, *other, opt) == 0, "all-new candidate passes, reported as new");
+
+  // Two reports with nothing in them at all still flag a config error.
+  const std::string empty_report =
+      R"({"context": {"evvo_build": "release"}, "benchmarks": []})";
+  const auto none = parse(empty_report, "cpu_time");
+  expect(run_compare(*none, *none, opt) == 2, "empty reports are an error");
 
   if (failures == 0) std::printf("bench_compare self-test: all checks passed\n");
   return failures == 0 ? 0 : 1;
