@@ -307,6 +307,56 @@ void BM_PlanServiceCachedRequest(benchmark::State& state) {
 }
 BENCHMARK(BM_PlanServiceCachedRequest);
 
+void BM_PlanServiceTicketHit(benchmark::State& state) {
+  // The zero-copy hit path: same traffic as BM_PlanServiceCachedRequest but
+  // served as a PlanTicket (shared reference + shift), so the node-vector
+  // copy the PlanResponse API materializes never happens.
+  sim::MicrosimConfig sim_cfg;
+  core::PlannerConfig cfg;
+  cfg.vm = sim::calibrated_vm_params(sim_cfg.background_driver, 13.4, sim_cfg.straight_ratio);
+  cloud::PlanService service(
+      core::VelocityPlanner(road::make_us25_corridor(), ev::EnergyModel{}, cfg),
+      std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(765.0)));
+  (void)service.request_plan({0, 600.0});  // warm the cache
+  long depart = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.request_plan_ticket({1, 600.0 + 60.0 * (++depart)}));
+  }
+  state.SetLabel("cache hits served as tickets, no profile copy");
+}
+BENCHMARK(BM_PlanServiceTicketHit);
+
+void BM_PlanServiceShardedBatchHit(benchmark::State& state) {
+  // Fleet tick on an 8-shard service: a 64-request batch over a handful of
+  // phase-congruent departure bins, served through the grouped ticket path
+  // (one cache transaction per distinct key per tick).
+  sim::MicrosimConfig sim_cfg;
+  core::PlannerConfig cfg;
+  cfg.vm = sim::calibrated_vm_params(sim_cfg.background_driver, 13.4, sim_cfg.straight_ratio);
+  cloud::CacheConfig cache;
+  cache.shards = 8;
+  cache.batch_threads = 1;
+  cloud::PlanService service(
+      core::VelocityPlanner(road::make_us25_corridor(), ev::EnergyModel{}, cfg),
+      std::make_shared<traffic::ConstantArrivalRate>(flow_from_veh_h(765.0)), cache);
+  constexpr int kBatch = 64;
+  constexpr int kBins = 4;
+  for (int b = 0; b < kBins; ++b) (void)service.request_plan({b, 600.0 + 11.0 * b});
+  std::vector<cloud::PlanRequest> requests;
+  long tick = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    requests.clear();
+    const double epoch = 600.0 + 60.0 * (++tick);
+    for (int i = 0; i < kBatch; ++i) requests.push_back({i, epoch + 11.0 * (i % kBins)});
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(service.request_plan_tickets(requests));
+  }
+  state.SetLabel(std::to_string(kBatch) + " requests over " + std::to_string(kBins) +
+                 " bins, grouped ticket dispatch");
+}
+BENCHMARK(BM_PlanServiceShardedBatchHit);
+
 void BM_PlanServiceConcurrentMisses(benchmark::State& state) {
   // A batch of distinct-key misses fanned across the service pool: measures
   // miss throughput now that the solver runs outside the cache lock.

@@ -25,7 +25,8 @@ PlanService::PlanService(core::VelocityPlanner planner,
                          std::shared_ptr<const traffic::ArrivalRateProvider> arrivals,
                          CacheConfig cache)
     : planner_(std::move(planner)), arrivals_(std::move(arrivals)), cache_config_(cache),
-      hyperperiod_s_(signal_hyperperiod(planner_.corridor().lights)) {
+      hyperperiod_s_(signal_hyperperiod(planner_.corridor().lights)),
+      route_hash_(hash_corridor(planner_.corridor())) {
   // Replan keys quantize position to the solver's own grid (the same
   // rounding solve_dp applies to ds_m).
   const double length = planner_.corridor().length();
@@ -33,13 +34,31 @@ PlanService::PlanService(core::VelocityPlanner planner,
       std::max(1.0, std::round(length / planner_.config().resolution.ds_m));
   grid_ds_m_ = length / n_hops;
   if (cache_config_.capacity == 0) throw std::invalid_argument("PlanService: zero cache capacity");
+  if (cache_config_.shards == 0) throw std::invalid_argument("PlanService: zero shards");
   if (cache_config_.phase_quantum_s <= 0.0 || cache_config_.demand_quantum_veh_h <= 0.0)
     throw std::invalid_argument("PlanService: quanta must be positive");
+  if (cache_config_.ttl_s < 0.0) throw std::invalid_argument("PlanService: negative TTL");
   if (planner_.config().policy == core::SignalPolicy::kQueueAware && !arrivals_)
     throw std::invalid_argument("PlanService: queue-aware planning needs arrival rates");
+  shards_.reserve(cache_config_.shards);
+  for (unsigned s = 0; s < cache_config_.shards; ++s) shards_.push_back(std::make_unique<Shard>());
 }
 
 PlanService::~PlanService() = default;
+
+ServiceStats PlanService::Shard::snapshot() const {
+  ServiceStats out;
+  out.requests = requests.load(std::memory_order_relaxed);
+  out.replans = replans.load(std::memory_order_relaxed);
+  out.cache_hits = cache_hits.load(std::memory_order_relaxed);
+  out.coalesced_hits = coalesced_hits.load(std::memory_order_relaxed);
+  out.solver_runs = solver_runs.load(std::memory_order_relaxed);
+  out.evictions = evictions.load(std::memory_order_relaxed);
+  out.expirations = expirations.load(std::memory_order_relaxed);
+  out.rejections = rejections.load(std::memory_order_relaxed);
+  out.queue_depth = queue_depth.load(std::memory_order_relaxed);
+  return out;
+}
 
 PlanService::CacheKey PlanService::key_for(Seconds depart_time) const {
   const double depart_time_s = depart_time.value();  // .value() seam
@@ -54,105 +73,7 @@ PlanService::CacheKey PlanService::key_for(Seconds depart_time) const {
                   std::lround(demand / cache_config_.demand_quantum_veh_h)};
 }
 
-void PlanService::insert_into_cache_locked(const CacheKey& key,
-                                           const core::PlannedProfile& profile,
-                                           double reference_time) {
-  if (cache_.find(key) != cache_.end()) return;
-  lru_.push_front(key);
-  cache_.emplace(key, CacheEntry{profile, reference_time, lru_.begin()});
-  if (cache_.size() > cache_config_.capacity) {
-    const CacheKey victim = lru_.back();
-    lru_.pop_back();
-    cache_.erase(victim);
-    ++stats_.evictions;
-    EVVO_LOG(kDebug, "plan-service") << "evicted phase bin " << victim.phase_bin;
-  }
-}
-
-PlanResponse PlanService::serve_cached(const CacheKey& key, int vehicle_id, Seconds request_time,
-                                       const std::function<core::PlannedProfile()>& solve) {
-  std::shared_ptr<InFlight> flight;
-  bool leader = false;
-  {
-    common::MutexLock lock(mutex_);
-    ++stats_.requests;
-    if (key.layer >= 0) ++stats_.replans;
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      ++stats_.cache_hits;
-      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-      const double shift = request_time.value() - it->second.reference_time;
-      return PlanResponse{vehicle_id, it->second.profile.time_shifted(shift), true};
-    }
-    auto& slot = in_flight_[key];
-    if (!slot) {
-      slot = std::make_shared<InFlight>();
-      leader = true;
-      // Counted at takeoff so requests == cache_hits + solver_runs holds at
-      // quiescence even if the solve throws.
-      ++stats_.solver_runs;
-    }
-    flight = slot;
-  }
-
-  if (leader) {
-    try {
-      core::PlannedProfile profile = solve();
-      {
-        // Publish to the cache and retire the flight atomically: any request
-        // arriving from here on hits the cache instead of the flight.
-        common::MutexLock lock(mutex_);
-        insert_into_cache_locked(key, profile, request_time.value());
-        in_flight_.erase(key);
-      }
-      {
-        common::MutexLock flight_lock(flight->mutex);
-        flight->profile = profile;
-        flight->reference_time = request_time.value();
-        flight->done = true;
-      }
-      flight->completed.notify_all();
-      return PlanResponse{vehicle_id, std::move(profile), false};
-    } catch (...) {
-      {
-        common::MutexLock lock(mutex_);
-        in_flight_.erase(key);
-      }
-      {
-        common::MutexLock flight_lock(flight->mutex);
-        flight->error = std::current_exception();
-        flight->done = true;
-      }
-      flight->completed.notify_all();
-      throw;
-    }
-  }
-
-  // Follower: coalesce onto the leader's solve.
-  std::optional<PlanResponse> response;
-  {
-    common::MutexLock flight_lock(flight->mutex);
-    while (!flight->done) flight->completed.wait(flight->mutex);
-    if (flight->error) std::rethrow_exception(flight->error);
-    const double shift = request_time.value() - flight->reference_time;
-    response.emplace(PlanResponse{vehicle_id, flight->profile->time_shifted(shift), true});
-  }
-  {
-    common::MutexLock lock(mutex_);
-    ++stats_.cache_hits;
-    ++stats_.coalesced_hits;
-  }
-  return std::move(*response);
-}
-
-PlanResponse PlanService::request_plan(const PlanRequest& request) {
-  const CacheKey key = key_for(Seconds(request.depart_time_s));
-  return serve_cached(key, request.vehicle_id, Seconds(request.depart_time_s), [&] {
-    return planner_.plan(Seconds(request.depart_time_s), arrivals_);
-  });
-}
-
-PlanResponse PlanService::request_replan(const ReplanRequest& request) {
+PlanService::CacheKey PlanService::replan_key_for(const ReplanRequest& request) const {
   if (request.position_m < 0.0 || request.position_m >= planner_.corridor().length())
     throw std::invalid_argument("PlanService::request_replan: position outside the corridor");
 
@@ -169,54 +90,299 @@ PlanResponse PlanService::request_replan(const ReplanRequest& request) {
   CacheKey key = key_for(Seconds(request.time_s));
   key.layer = layer;
   key.vlevel = vlevel;
-  return serve_cached(key, request.vehicle_id, Seconds(request.time_s), [&, layer, vlevel] {
-    return planner_.replan(Meters(static_cast<double>(layer) * grid_ds_m_),
-                           MetersPerSecond(static_cast<double>(vlevel) * dv),
-                           Seconds(request.time_s), arrivals_);
+  return key;
+}
+
+std::size_t PlanService::shard_of(const CacheKey& key) const {
+  return shard_index(
+      ShardKey{route_hash_, key.phase_bin, key.demand_bin, key.layer, key.vlevel},
+      shards_.size());
+}
+
+PlanService::Shard& PlanService::shard_for(const CacheKey& key) const {
+  return *shards_[shard_of(key)];
+}
+
+PlanService::RequestSlot PlanService::slot_for_plan(Seconds depart_time) const {
+  const CacheKey key = key_for(depart_time);
+  const ShardKey shard_key{route_hash_, key.phase_bin, key.demand_bin, key.layer, key.vlevel};
+  return RequestSlot{shard_key, shard_index(shard_key, shards_.size())};
+}
+
+PlanService::RequestSlot PlanService::slot_for_replan(Meters position, MetersPerSecond speed,
+                                                      Seconds request_time) const {
+  const CacheKey key = replan_key_for(
+      ReplanRequest{0, position.value(), speed.value(), request_time.value()});
+  const ShardKey shard_key{route_hash_, key.phase_bin, key.demand_bin, key.layer, key.vlevel};
+  return RequestSlot{shard_key, shard_index(shard_key, shards_.size())};
+}
+
+void PlanService::insert_into_cache_locked(Shard& shard, const CacheKey& key,
+                                           std::shared_ptr<const core::PlannedProfile> profile,
+                                           double reference_time) {
+  if (shard.cache.find(key) != shard.cache.end()) return;
+  shard.lru.push_front(key);
+  shard.cache.emplace(key, CacheEntry{std::move(profile), reference_time, shard.lru.begin()});
+  if (shard.cache.size() > cache_config_.capacity) {
+    const CacheKey victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.cache.erase(victim);
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
+    EVVO_LOG(kDebug, "plan-service") << "evicted phase bin " << victim.phase_bin;
+  }
+}
+
+PlanTicket PlanService::serve_ticket(const CacheKey& key, int vehicle_id, Seconds request_time,
+                                     const std::function<core::PlannedProfile()>& solve) {
+  Shard& shard = shard_for(key);
+  const double request_time_s = request_time.value();  // .value() seam
+  shard.requests.fetch_add(1, std::memory_order_relaxed);
+  if (key.layer >= 0) shard.replans.fetch_add(1, std::memory_order_relaxed);
+
+  std::shared_ptr<InFlight> flight;
+  bool leader = false;
+  {
+    common::MutexLock lock(shard.mutex);
+    const auto it = shard.cache.find(key);
+    if (it != shard.cache.end()) {
+      const double age = request_time_s - it->second.reference_time;
+      if (cache_config_.ttl_s > 0.0 && age > cache_config_.ttl_s) {
+        // Logical-time TTL: the cached demand snapshot is too old to trust,
+        // so this request re-solves and becomes the bin's fresh reference.
+        shard.lru.erase(it->second.lru_pos);
+        shard.cache.erase(it);
+        shard.expirations.fetch_add(1, std::memory_order_relaxed);
+        EVVO_LOG(kDebug, "plan-service") << "expired phase bin " << key.phase_bin;
+      } else {
+        shard.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+        return PlanTicket{vehicle_id, it->second.profile, age, true};
+      }
+    }
+    const auto fit = shard.in_flight.find(key);
+    if (fit != shard.in_flight.end()) {
+      flight = fit->second;
+    } else {
+      if (cache_config_.max_pending_per_shard != 0 &&
+          shard.in_flight.size() >= cache_config_.max_pending_per_shard) {
+        // Admission control: only would-be leaders are shed. Hits and
+        // followers cost no solver time and are always served.
+        shard.rejections.fetch_add(1, std::memory_order_relaxed);
+        throw ServiceOverload("PlanService: shard at max_pending_per_shard, request shed");
+      }
+      flight = std::make_shared<InFlight>();
+      shard.in_flight.emplace(key, flight);
+      leader = true;
+      // Counted at takeoff so requests == cache_hits + solver_runs +
+      // rejections holds at quiescence even if the solve throws.
+      shard.solver_runs.fetch_add(1, std::memory_order_relaxed);
+      shard.queue_depth.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  if (leader) {
+    try {
+      auto profile = std::make_shared<const core::PlannedProfile>(solve());
+      {
+        // Publish to the cache and retire the flight atomically: any request
+        // arriving from here on hits the cache instead of the flight.
+        common::MutexLock lock(shard.mutex);
+        insert_into_cache_locked(shard, key, profile, request_time_s);
+        shard.in_flight.erase(key);
+      }
+      shard.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+      {
+        common::MutexLock flight_lock(flight->mutex);
+        flight->profile = profile;
+        flight->reference_time = request_time_s;
+        flight->done = true;
+      }
+      flight->completed.notify_all();
+      return PlanTicket{vehicle_id, std::move(profile), 0.0, false};
+    } catch (...) {
+      {
+        common::MutexLock lock(shard.mutex);
+        shard.in_flight.erase(key);
+      }
+      shard.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+      {
+        common::MutexLock flight_lock(flight->mutex);
+        flight->error = std::current_exception();
+        flight->done = true;
+      }
+      flight->completed.notify_all();
+      throw;
+    }
+  }
+
+  // Follower: coalesce onto the leader's solve.
+  std::optional<PlanTicket> ticket;
+  {
+    common::MutexLock flight_lock(flight->mutex);
+    while (!flight->done) flight->completed.wait(flight->mutex);
+    if (flight->error) std::rethrow_exception(flight->error);
+    ticket.emplace(
+        PlanTicket{vehicle_id, flight->profile, request_time_s - flight->reference_time, true});
+  }
+  shard.cache_hits.fetch_add(1, std::memory_order_relaxed);
+  shard.coalesced_hits.fetch_add(1, std::memory_order_relaxed);
+  return std::move(*ticket);
+}
+
+PlanTicket PlanService::serve_item(const BatchItem& item) {
+  if (!item.replan) {
+    return serve_ticket(item.key, item.vehicle_id, Seconds(item.time_s), [&] {
+      return planner_.plan(Seconds(item.time_s), arrivals_);
+    });
+  }
+  const double dv = planner_.config().resolution.dv_ms;
+  return serve_ticket(item.key, item.vehicle_id, Seconds(item.time_s), [&, dv] {
+    // The miss solves the bin's canonical grid state, not the raw request
+    // state, so every member of the bin is served a consistent tail.
+    return planner_.replan(Meters(static_cast<double>(item.key.layer) * grid_ds_m_),
+                           MetersPerSecond(static_cast<double>(item.key.vlevel) * dv),
+                           Seconds(item.time_s), arrivals_);
   });
 }
 
-std::vector<PlanResponse> PlanService::request_replans(std::span<const ReplanRequest> requests) {
-  std::vector<std::optional<PlanResponse>> slots(requests.size());
+std::vector<PlanTicket> PlanService::serve_batch(const std::vector<BatchItem>& items) {
+  // Group same-key requests (first-occurrence order, so dispatch is
+  // deterministic) and serve each group with one cache transaction: the
+  // group's first member runs the full single-flight path, every other
+  // member reuses its reference profile with a per-request time shift.
+  std::map<CacheKey, std::size_t> group_of;
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto [it, inserted] = group_of.emplace(items[i].key, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+
+  std::vector<PlanTicket> out(items.size());
+  const auto serve_group = [&](std::size_t g) {
+    const std::vector<std::size_t>& members = groups[g];
+    const BatchItem& lead = items[members.front()];
+    const PlanTicket lead_ticket = serve_item(lead);
+    out[members.front()] = lead_ticket;
+    Shard& shard = shard_for(lead.key);
+    for (std::size_t m = 1; m < members.size(); ++m) {
+      const BatchItem& item = items[members[m]];
+      shard.requests.fetch_add(1, std::memory_order_relaxed);
+      if (item.replan) shard.replans.fetch_add(1, std::memory_order_relaxed);
+      shard.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      shard.coalesced_hits.fetch_add(1, std::memory_order_relaxed);
+      out[members[m]] =
+          PlanTicket{item.vehicle_id, lead_ticket.reference,
+                     lead_ticket.time_shift_s + (item.time_s - lead.time_s), true};
+    }
+  };
+
   common::ThreadPool* pool = batch_pool();
-  if (pool && requests.size() > 1) {
-    pool->parallel_for(requests.size(),
-                       [&](std::size_t i) { slots[i] = request_replan(requests[i]); });
+  if (pool && groups.size() > 1) {
+    pool->parallel_for(groups.size(), serve_group);
   } else {
-    for (std::size_t i = 0; i < requests.size(); ++i) slots[i] = request_replan(requests[i]);
+    for (std::size_t g = 0; g < groups.size(); ++g) serve_group(g);
+  }
+  return out;
+}
+
+PlanTicket PlanService::request_plan_ticket(const PlanRequest& request) {
+  return serve_item(BatchItem{key_for(Seconds(request.depart_time_s)), request.vehicle_id,
+                              request.depart_time_s, false});
+}
+
+PlanTicket PlanService::request_replan_ticket(const ReplanRequest& request) {
+  return serve_item(
+      BatchItem{replan_key_for(request), request.vehicle_id, request.time_s, true});
+}
+
+std::vector<PlanTicket> PlanService::request_plan_tickets(std::span<const PlanRequest> requests) {
+  std::vector<BatchItem> items;
+  items.reserve(requests.size());
+  for (const PlanRequest& request : requests) {
+    items.push_back(BatchItem{key_for(Seconds(request.depart_time_s)), request.vehicle_id,
+                              request.depart_time_s, false});
+  }
+  return serve_batch(items);
+}
+
+std::vector<PlanTicket> PlanService::request_replan_tickets(
+    std::span<const ReplanRequest> requests) {
+  std::vector<BatchItem> items;
+  items.reserve(requests.size());
+  for (const ReplanRequest& request : requests) {
+    items.push_back(
+        BatchItem{replan_key_for(request), request.vehicle_id, request.time_s, true});
+  }
+  return serve_batch(items);
+}
+
+PlanResponse PlanService::request_plan(const PlanRequest& request) {
+  const PlanTicket ticket = request_plan_ticket(request);
+  return PlanResponse{ticket.vehicle_id, ticket.materialize(), ticket.cache_hit};
+}
+
+PlanResponse PlanService::request_replan(const ReplanRequest& request) {
+  const PlanTicket ticket = request_replan_ticket(request);
+  return PlanResponse{ticket.vehicle_id, ticket.materialize(), ticket.cache_hit};
+}
+
+std::vector<PlanResponse> PlanService::materialize_all(std::vector<PlanTicket> tickets) {
+  std::vector<std::optional<PlanResponse>> slots(tickets.size());
+  const auto materialize = [&](std::size_t i) {
+    slots[i] =
+        PlanResponse{tickets[i].vehicle_id, tickets[i].materialize(), tickets[i].cache_hit};
+  };
+  common::ThreadPool* pool = batch_pool();
+  if (pool && tickets.size() > 1) {
+    pool->parallel_for(tickets.size(), materialize);
+  } else {
+    for (std::size_t i = 0; i < tickets.size(); ++i) materialize(i);
   }
   std::vector<PlanResponse> responses;
   responses.reserve(slots.size());
   for (auto& slot : slots) responses.push_back(std::move(*slot));
   return responses;
+}
+
+std::vector<PlanResponse> PlanService::request_plans(std::span<const PlanRequest> requests) {
+  return materialize_all(request_plan_tickets(requests));
+}
+
+std::vector<PlanResponse> PlanService::request_replans(std::span<const ReplanRequest> requests) {
+  return materialize_all(request_replan_tickets(requests));
 }
 
 common::ThreadPool* PlanService::batch_pool() {
   const unsigned want = common::ThreadPool::resolve_threads(cache_config_.batch_threads);
   if (want <= 1) return nullptr;
-  common::MutexLock lock(mutex_);
+  common::MutexLock lock(pool_mutex_);
   if (!batch_pool_) batch_pool_ = std::make_unique<common::ThreadPool>(want);
   return batch_pool_.get();
 }
 
-std::vector<PlanResponse> PlanService::request_plans(std::span<const PlanRequest> requests) {
-  std::vector<std::optional<PlanResponse>> slots(requests.size());
-  common::ThreadPool* pool = batch_pool();
-  if (pool && requests.size() > 1) {
-    pool->parallel_for(requests.size(),
-                       [&](std::size_t i) { slots[i] = request_plan(requests[i]); });
-  } else {
-    for (std::size_t i = 0; i < requests.size(); ++i) slots[i] = request_plan(requests[i]);
+ServiceStats PlanService::stats() const {
+  ServiceStats total;
+  for (const auto& shard : shards_) {
+    const ServiceStats s = shard->snapshot();
+    total.requests += s.requests;
+    total.replans += s.replans;
+    total.cache_hits += s.cache_hits;
+    total.coalesced_hits += s.coalesced_hits;
+    total.solver_runs += s.solver_runs;
+    total.evictions += s.evictions;
+    total.expirations += s.expirations;
+    total.rejections += s.rejections;
+    total.queue_depth += s.queue_depth;
   }
-  std::vector<PlanResponse> responses;
-  responses.reserve(slots.size());
-  for (auto& slot : slots) responses.push_back(std::move(*slot));
-  return responses;
+  return total;
 }
 
-ServiceStats PlanService::stats() const {
-  common::MutexLock lock(mutex_);
-  return stats_;
+std::vector<ServiceStats> PlanService::shard_stats() const {
+  std::vector<ServiceStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) out.push_back(shard->snapshot());
+  return out;
 }
 
 }  // namespace evvo::cloud

@@ -20,23 +20,43 @@
 // and run VelocityPlanner::replan, which itself warm-starts the DP from the
 // pooled previous solve (core/dp_replan.hpp).
 //
+// Sharding: the cache is partitioned into CacheConfig::shards independent
+// shards, each with its own mutex, bounded LRU+TTL cache, in-flight table,
+// and statistics. A request's cache identity - (corridor hash, phase bin,
+// demand bin, layer, vlevel) - routes to its shard through the stable
+// integer mix in cloud/shard.hpp, so the same identity always lands on the
+// same shard and single-flight dedup stays global. shards = 1 reproduces the
+// original single-mutex layout exactly.
+//
 // Concurrency: misses are deduplicated per key with a single-flight
 // protocol. The first requester of a key becomes its leader and runs the
 // solver outside every service lock; concurrent requesters of the same key
 // wait on the leader's in-flight record and are served (as cache hits) from
 // its result; requesters of distinct keys solve fully in parallel. Cache
-// lookups only ever take the short service lock, so hits never wait behind a
-// solve. At quiescence, requests == cache_hits + solver_runs.
+// lookups only ever take the short shard lock, so hits never wait behind a
+// solve. Statistics are per-shard relaxed atomics (stats() aggregates
+// without stopping the service). At quiescence,
+// requests == cache_hits + solver_runs + rejections, per shard and overall.
+//
+// Serving is zero-copy: the cache stores immutable reference profiles behind
+// shared_ptr, and the ticket APIs return {reference, time shift} without
+// copying a node vector under any lock. The PlanResponse APIs materialize
+// the shifted profile outside the locks; high-throughput callers (the batch
+// fleet path, tools/evvo_load) keep the ticket and materialize lazily or
+// never.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <list>
 #include <map>
 #include <memory>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
+#include "cloud/shard.hpp"
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
 #include "core/planner.hpp"
@@ -48,11 +68,23 @@ class ThreadPool;
 namespace evvo::cloud {
 
 struct CacheConfig {
-  std::size_t capacity = 256;        ///< cached plans (LRU eviction)
+  std::size_t capacity = 256;        ///< cached plans per shard (LRU eviction)
   double phase_quantum_s = 1.0;      ///< departure-phase bin width
   double demand_quantum_veh_h = 50.0;///< arrival-rate bin width
   /// Worker threads for request_plans() batches; 0 = hardware_concurrency.
   unsigned batch_threads = 0;
+  /// Cache shards (independent mutex + LRU + in-flight table each). 1 keeps
+  /// the original single-mutex layout; fleet serving uses 8+.
+  unsigned shards = 1;
+  /// Logical-time TTL [s]: a hit whose request time is more than ttl_s past
+  /// the entry's reference time is expired (re-solved) instead of served.
+  /// Logical, not wall-clock, time keeps replays deterministic. 0 = no TTL.
+  double ttl_s = 0.0;
+  /// Admission control: a miss that would start a solve on a shard already
+  /// running this many in-flight solves is rejected with ServiceOverload.
+  /// Followers joining an existing flight and cache hits are never rejected.
+  /// 0 = unbounded.
+  std::size_t max_pending_per_shard = 0;
 };
 
 struct PlanRequest {
@@ -74,17 +106,51 @@ struct [[nodiscard]] PlanResponse {
   bool cache_hit = false;
 };
 
+/// Zero-copy serving handle: the immutable cached reference profile plus the
+/// time shift that maps it onto this request. materialize() performs the
+/// node-vector copy the PlanResponse APIs would have done; callers that only
+/// need a few nodes (or none) never pay it.
+struct [[nodiscard]] PlanTicket {
+  int vehicle_id = 0;
+  std::shared_ptr<const core::PlannedProfile> reference;
+  double time_shift_s = 0.0;
+  bool cache_hit = false;
+
+  core::PlannedProfile materialize() const { return reference->time_shifted(time_shift_s); }
+};
+
 struct [[nodiscard]] ServiceStats {
   long requests = 0;        ///< full-trip and replan requests combined
   long replans = 0;         ///< subset of requests that were replans
   long cache_hits = 0;      ///< served from cache or a coalesced in-flight solve
-  long coalesced_hits = 0;  ///< subset of cache_hits that waited on a leader
+  long coalesced_hits = 0;  ///< subset of cache_hits that waited on (or batch-
+                            ///< grouped onto) a leader's solve
   long solver_runs = 0;
-  long evictions = 0;
+  long evictions = 0;       ///< LRU capacity evictions
+  long expirations = 0;     ///< TTL expiries (count as misses, not evictions)
+  long rejections = 0;      ///< admission-control rejections (ServiceOverload)
+  long queue_depth = 0;     ///< in-flight solves at snapshot time (gauge)
+};
+
+/// Thrown by the request APIs when admission control turns a miss away
+/// (CacheConfig::max_pending_per_shard). The request was counted but no
+/// solve was started; the caller sheds or retries it.
+class ServiceOverload : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 class PlanService {
  public:
+  /// The routing decision for one request: its full cache identity (the
+  /// corridor hash plus every quantized bin) and the shard it lands on.
+  /// Exposed for routing tests and workload harnesses; the same structure a
+  /// distributed front-end would use to pick a rank (ShardRank::owns).
+  struct [[nodiscard]] RequestSlot {
+    ShardKey key;
+    std::size_t shard = 0;
+  };
+
   /// The service owns a planner (route + policy + energy model) and a demand
   /// source shared with the queue predictor.
   PlanService(core::VelocityPlanner planner,
@@ -94,13 +160,13 @@ class PlanService {
 
   /// Computes or serves a plan. Thread-safe; see the single-flight notes in
   /// the header comment.
-  PlanResponse request_plan(const PlanRequest& request) EVVO_EXCLUDES(mutex_);
+  PlanResponse request_plan(const PlanRequest& request);
 
-  /// Serves a whole batch, fanning the requests across the service's worker
-  /// pool (CacheConfig::batch_threads). Responses are returned in request
-  /// order. Same-key requests within the batch coalesce onto one solve.
-  std::vector<PlanResponse> request_plans(std::span<const PlanRequest> requests)
-      EVVO_EXCLUDES(mutex_);
+  /// Serves a whole batch, fanning same-shard groups across the service's
+  /// worker pool (CacheConfig::batch_threads). Responses are returned in
+  /// request order. Same-key requests within the batch coalesce onto one
+  /// cache lookup (and, on a miss, one solve).
+  std::vector<PlanResponse> request_plans(std::span<const PlanRequest> requests);
 
   /// Computes or serves a replan for a mid-route vehicle state. The returned
   /// profile starts at the state's grid point in corridor coordinates.
@@ -108,18 +174,45 @@ class PlanService {
   /// single-flight and caching behavior as request_plan, over the segment
   /// memo keyed by quantized (position layer, velocity level, cycle offset,
   /// demand) - see the header comment.
-  PlanResponse request_replan(const ReplanRequest& request) EVVO_EXCLUDES(mutex_);
+  PlanResponse request_replan(const ReplanRequest& request);
 
   /// Batch replanning, the per-tick fleet path: responses in request order,
   /// same-state vehicles coalesce onto one warm solve.
-  std::vector<PlanResponse> request_replans(std::span<const ReplanRequest> requests)
-      EVVO_EXCLUDES(mutex_);
+  std::vector<PlanResponse> request_replans(std::span<const ReplanRequest> requests);
+
+  /// Zero-copy variants: same caching, single-flight, and statistics as the
+  /// PlanResponse APIs, but the returned tickets share the cached reference
+  /// profile instead of copying it. The fleet serving path.
+  PlanTicket request_plan_ticket(const PlanRequest& request);
+  PlanTicket request_replan_ticket(const ReplanRequest& request);
+  std::vector<PlanTicket> request_plan_tickets(std::span<const PlanRequest> requests);
+  std::vector<PlanTicket> request_replan_tickets(std::span<const ReplanRequest> requests);
+
+  /// Where a departure-time request routes. Pure function of the request and
+  /// the service configuration (stable across processes and rebuilds).
+  RequestSlot slot_for_plan(Seconds depart_time) const;
+
+  /// Where a mid-route replan routes; performs the same position/speed
+  /// quantization the serving path uses. Throws std::invalid_argument for
+  /// positions outside the corridor.
+  RequestSlot slot_for_replan(Meters position, MetersPerSecond speed, Seconds request_time) const;
 
   /// Signals' hyperperiod H [s]; 0 when the corridor has no lights (every
   /// departure is then equivalent and one plan serves all).
   double hyperperiod() const { return hyperperiod_s_; }
 
-  ServiceStats stats() const EVVO_EXCLUDES(mutex_);
+  /// Content hash of the service's corridor (the route_hash of every
+  /// RequestSlot this service produces).
+  std::uint64_t corridor_hash() const { return route_hash_; }
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Aggregate counters across all shards (relaxed snapshot; exact once the
+  /// service is quiescent).
+  ServiceStats stats() const;
+
+  /// Per-shard counters, indexed by shard. Fieldwise, their sum is stats().
+  std::vector<ServiceStats> shard_stats() const;
 
  private:
   struct CacheKey {
@@ -133,7 +226,7 @@ class PlanService {
     auto operator<=>(const CacheKey&) const = default;
   };
   struct CacheEntry {
-    core::PlannedProfile profile;          // planned at reference_time
+    std::shared_ptr<const core::PlannedProfile> profile;  // planned at reference_time
     double reference_time;
     std::list<CacheKey>::iterator lru_pos;
   };
@@ -143,34 +236,75 @@ class PlanService {
     common::Mutex mutex;
     common::CondVar completed;
     bool done EVVO_GUARDED_BY(mutex) = false;
-    std::optional<core::PlannedProfile> profile EVVO_GUARDED_BY(mutex);
+    std::shared_ptr<const core::PlannedProfile> profile EVVO_GUARDED_BY(mutex);
     double reference_time EVVO_GUARDED_BY(mutex) = 0.0;
     std::exception_ptr error EVVO_GUARDED_BY(mutex);
   };
+  /// One cache shard: its own lock, LRU+TTL cache, in-flight table, and
+  /// statistics. Counters are relaxed atomics so followers and the batch
+  /// grouping path account without taking the shard lock, and stats() reads
+  /// without stopping traffic.
+  struct Shard {
+    mutable common::Mutex mutex;
+    std::map<CacheKey, CacheEntry> cache EVVO_GUARDED_BY(mutex);
+    std::list<CacheKey> lru EVVO_GUARDED_BY(mutex);  // front = most recent
+    std::map<CacheKey, std::shared_ptr<InFlight>> in_flight EVVO_GUARDED_BY(mutex);
 
-  CacheKey key_for(Seconds depart_time) const EVVO_EXCLUDES(mutex_);
+    std::atomic<long> requests{0};
+    std::atomic<long> replans{0};
+    std::atomic<long> cache_hits{0};
+    std::atomic<long> coalesced_hits{0};
+    std::atomic<long> solver_runs{0};
+    std::atomic<long> evictions{0};
+    std::atomic<long> expirations{0};
+    std::atomic<long> rejections{0};
+    std::atomic<long> queue_depth{0};
+
+    ServiceStats snapshot() const;
+  };
+
+  CacheKey key_for(Seconds depart_time) const;
+  CacheKey replan_key_for(const ReplanRequest& request) const;
+  Shard& shard_for(const CacheKey& key) const;
+  std::size_t shard_of(const CacheKey& key) const;
   /// Cache lookup + single-flight around an arbitrary solve (full plan or
   /// replan). `request_time` anchors the time shift cached hits are served
   /// with; `solve` runs outside every service lock on the leader.
-  PlanResponse serve_cached(const CacheKey& key, int vehicle_id, Seconds request_time,
-                            const std::function<core::PlannedProfile()>& solve)
-      EVVO_EXCLUDES(mutex_);
-  void insert_into_cache_locked(const CacheKey& key, const core::PlannedProfile& profile,
-                                double reference_time) EVVO_REQUIRES(mutex_);
-  common::ThreadPool* batch_pool() EVVO_EXCLUDES(mutex_);
+  PlanTicket serve_ticket(const CacheKey& key, int vehicle_id, Seconds request_time,
+                          const std::function<core::PlannedProfile()>& solve);
+  void insert_into_cache_locked(Shard& shard, const CacheKey& key,
+                                std::shared_ptr<const core::PlannedProfile> profile,
+                                double reference_time) EVVO_REQUIRES(shard.mutex);
+  /// A request after quantization: its cache key plus what is needed to
+  /// serve it (the solve closure is derived from `key`/`time_s`/`replan`).
+  struct BatchItem {
+    CacheKey key;
+    int vehicle_id = 0;
+    double time_s = 0.0;
+    bool replan = false;
+  };
+  PlanTicket serve_item(const BatchItem& item);
+  /// Cross-request batch dispatch: groups same-key items, serves each
+  /// group's first member through the single-flight path, and derives every
+  /// other member's ticket from the leader's (one cache transaction per
+  /// group). Groups fan across the batch pool.
+  std::vector<PlanTicket> serve_batch(const std::vector<BatchItem>& items);
+  std::vector<PlanResponse> materialize_all(std::vector<PlanTicket> tickets);
+  common::ThreadPool* batch_pool();
 
   core::VelocityPlanner planner_;
   std::shared_ptr<const traffic::ArrivalRateProvider> arrivals_;
   CacheConfig cache_config_;
   double hyperperiod_s_;
   double grid_ds_m_;  ///< layer spacing the solver will use on this corridor
+  std::uint64_t route_hash_;
 
-  mutable common::Mutex mutex_;
-  std::map<CacheKey, CacheEntry> cache_ EVVO_GUARDED_BY(mutex_);
-  std::list<CacheKey> lru_ EVVO_GUARDED_BY(mutex_);  // front = most recent
-  std::map<CacheKey, std::shared_ptr<InFlight>> in_flight_ EVVO_GUARDED_BY(mutex_);
-  ServiceStats stats_ EVVO_GUARDED_BY(mutex_);
-  std::unique_ptr<common::ThreadPool> batch_pool_ EVVO_GUARDED_BY(mutex_);  // lazily created
+  /// Shards are heap-allocated because Mutex and the atomics pin them in
+  /// place; the vector itself is immutable after construction.
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable common::Mutex pool_mutex_;
+  std::unique_ptr<common::ThreadPool> batch_pool_ EVVO_GUARDED_BY(pool_mutex_);
 };
 
 /// lcm of the signal cycle durations [s] (integer deciseconds internally);

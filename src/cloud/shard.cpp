@@ -1,0 +1,68 @@
+#include "cloud/shard.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/dp_common.hpp"
+
+namespace evvo::cloud {
+
+namespace {
+
+/// FNV-1a continuation over a double's bit pattern, matching the byte order
+/// core::detail::hash_route uses so corridor hashes extend route hashes.
+std::uint64_t fnv_mix(std::uint64_t h, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof bits);
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (bits >> (8 * byte)) & 0xFFu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+#if defined(EVVO_DISTRIBUTED)
+std::atomic<int> g_rank{0};
+std::atomic<int> g_n_ranks{1};
+#endif
+
+}  // namespace
+
+std::uint64_t hash_corridor(const road::Corridor& corridor) {
+  std::uint64_t h = core::detail::hash_route(corridor.route);
+  for (const road::TrafficLight& light : corridor.lights) {
+    h = fnv_mix(h, light.position());
+    h = fnv_mix(h, light.red_duration());
+    h = fnv_mix(h, light.green_duration());
+    h = fnv_mix(h, light.offset());
+  }
+  for (const road::StopSign& sign : corridor.stop_signs) {
+    h = fnv_mix(h, sign.position_m);
+    h = fnv_mix(h, sign.min_stop_s);
+  }
+  return h;
+}
+
+#if defined(EVVO_DISTRIBUTED)
+
+int ShardRank::rank() { return g_rank.load(std::memory_order_relaxed); }
+int ShardRank::n_ranks() { return g_n_ranks.load(std::memory_order_relaxed); }
+
+void ShardRank::configure(int rank, int n_ranks) {
+  if (n_ranks < 1 || rank < 0 || rank >= n_ranks)
+    throw std::invalid_argument("ShardRank::configure: rank outside [0, n_ranks)");
+  g_rank.store(rank, std::memory_order_relaxed);
+  g_n_ranks.store(n_ranks, std::memory_order_relaxed);
+}
+
+#else
+
+// Serial stub: one rank owning every shard. Kept out-of-line so the
+// distributed build can swap the definition without touching call sites.
+int ShardRank::rank() { return 0; }
+int ShardRank::n_ranks() { return 1; }
+
+#endif
+
+}  // namespace evvo::cloud

@@ -151,5 +151,121 @@ TEST(PlanServiceConcurrent, HitsServeWhileSolveInFlight) {
   EXPECT_EQ(stats.requests, stats.cache_hits + stats.solver_runs);
 }
 
+TEST(PlanServiceConcurrent, MixedStormAcrossShardsNoDuplicateSolvesPerKey) {
+  // A hot-key-skewed storm of plans and replans over 8 shards, with a
+  // concurrent stats() reader (the per-shard counters are relaxed atomics -
+  // TSan must see no race between serving threads and the reader). With no
+  // eviction or TTL, global single-flight means every distinct key solves
+  // exactly once no matter how many threads race it across shards.
+  CacheConfig cache;
+  cache.shards = 8;
+  PlanService service(make_planner(), demand(500.0), cache);
+
+  // The key universe: 3 plan phase bins and 4 quantized replan states. The
+  // modulus skews ~2/3 of all traffic onto the first plan key (hot key).
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 24;
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const ServiceStats snapshot = service.stats();
+      EXPECT_GE(snapshot.requests, 0);
+      (void)service.shard_stats();
+    }
+  });
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int pick = (t * 7 + i) % 12;
+        const double cycle = 60.0 * (t * kPerThread + i);
+        try {
+          if (pick < 8) {  // hot plan key
+            (void)service.request_plan({t, 5.0 + cycle});
+          } else if (pick < 10) {
+            (void)service.request_plan({t, 5.0 + 10.0 * (pick - 7) + cycle});
+          } else {
+            (void)service.request_replan(
+                {t, 200.0 * (pick - 9), 10.0 + 2.0 * (pick - 10), 30.0 + cycle});
+          }
+        } catch (...) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, kThreads * kPerThread);
+  EXPECT_EQ(stats.solver_runs, 5);  // 3 plan bins + 2 replan states, once each
+  EXPECT_EQ(stats.requests, stats.cache_hits + stats.solver_runs + stats.rejections);
+  EXPECT_EQ(stats.rejections, 0);
+  EXPECT_EQ(stats.queue_depth, 0);
+  EXPECT_GE(stats.cache_hits, stats.coalesced_hits);
+
+  // Per-shard identity holds too, and the storm exercised several shards.
+  int populated = 0;
+  for (const ServiceStats& s : service.shard_stats()) {
+    EXPECT_EQ(s.requests, s.cache_hits + s.solver_runs + s.rejections);
+    if (s.requests > 0) ++populated;
+  }
+  EXPECT_GE(populated, 2);
+}
+
+TEST(PlanServiceConcurrent, OneVsEightShardsAreByteIdentical) {
+  // Sharding is a pure partitioning of the cache: replaying one schedule on
+  // a single-mutex service and an 8-shard service must produce bit-equal
+  // profiles and identical aggregate statistics.
+  CacheConfig one;
+  one.shards = 1;
+  CacheConfig eight;
+  eight.shards = 8;
+  PlanService service1(make_planner(), demand(500.0), one);
+  PlanService service8(make_planner(), demand(500.0), eight);
+
+  for (int i = 0; i < 30; ++i) {
+    const double cycle = 60.0 * (i / 5);
+    if (i % 3 == 0) {
+      const ReplanRequest request{i, 150.0 + 50.0 * (i % 5), 8.0 + (i % 4), 30.0 + cycle};
+      const PlanResponse a = service1.request_replan(request);
+      const PlanResponse b = service8.request_replan(request);
+      ASSERT_EQ(a.profile.nodes().size(), b.profile.nodes().size());
+      EXPECT_EQ(a.cache_hit, b.cache_hit);
+      for (std::size_t n = 0; n < a.profile.nodes().size(); ++n) {
+        EXPECT_EQ(a.profile.nodes()[n].position_m, b.profile.nodes()[n].position_m);
+        EXPECT_EQ(a.profile.nodes()[n].speed_ms, b.profile.nodes()[n].speed_ms);
+        EXPECT_EQ(a.profile.nodes()[n].time_s, b.profile.nodes()[n].time_s);
+        EXPECT_EQ(a.profile.nodes()[n].energy_mah, b.profile.nodes()[n].energy_mah);
+      }
+    } else {
+      const PlanRequest request{i, 5.0 + 10.0 * (i % 5) + cycle};
+      const PlanResponse a = service1.request_plan(request);
+      const PlanResponse b = service8.request_plan(request);
+      ASSERT_EQ(a.profile.nodes().size(), b.profile.nodes().size());
+      EXPECT_EQ(a.cache_hit, b.cache_hit);
+      for (std::size_t n = 0; n < a.profile.nodes().size(); ++n) {
+        EXPECT_EQ(a.profile.nodes()[n].position_m, b.profile.nodes()[n].position_m);
+        EXPECT_EQ(a.profile.nodes()[n].speed_ms, b.profile.nodes()[n].speed_ms);
+        EXPECT_EQ(a.profile.nodes()[n].time_s, b.profile.nodes()[n].time_s);
+        EXPECT_EQ(a.profile.nodes()[n].energy_mah, b.profile.nodes()[n].energy_mah);
+      }
+    }
+  }
+
+  const ServiceStats s1 = service1.stats();
+  const ServiceStats s8 = service8.stats();
+  EXPECT_EQ(s1.requests, s8.requests);
+  EXPECT_EQ(s1.replans, s8.replans);
+  EXPECT_EQ(s1.cache_hits, s8.cache_hits);
+  EXPECT_EQ(s1.solver_runs, s8.solver_runs);
+  EXPECT_EQ(s1.evictions, 0);
+  EXPECT_EQ(s8.evictions, 0);
+}
+
 }  // namespace
 }  // namespace evvo::cloud
