@@ -142,7 +142,7 @@ PlanTicket PlanService::serve_ticket(const CacheKey& key, int vehicle_id, Second
   std::shared_ptr<InFlight> flight;
   bool leader = false;
   {
-    common::MutexLock lock(shard.mutex);
+    common::MutexLock lock(shard.shard_mutex);
     const auto it = shard.cache.find(key);
     if (it != shard.cache.end()) {
       const double age = request_time_s - it->second.reference_time;
@@ -186,13 +186,13 @@ PlanTicket PlanService::serve_ticket(const CacheKey& key, int vehicle_id, Second
       {
         // Publish to the cache and retire the flight atomically: any request
         // arriving from here on hits the cache instead of the flight.
-        common::MutexLock lock(shard.mutex);
+        common::MutexLock lock(shard.shard_mutex);
         insert_into_cache_locked(shard, key, profile, request_time_s);
         shard.in_flight.erase(key);
       }
       shard.queue_depth.fetch_sub(1, std::memory_order_relaxed);
       {
-        common::MutexLock flight_lock(flight->mutex);
+        common::MutexLock flight_lock(flight->flight_mutex);
         flight->profile = profile;
         flight->reference_time = request_time_s;
         flight->done = true;
@@ -201,12 +201,12 @@ PlanTicket PlanService::serve_ticket(const CacheKey& key, int vehicle_id, Second
       return PlanTicket{vehicle_id, std::move(profile), 0.0, false};
     } catch (...) {
       {
-        common::MutexLock lock(shard.mutex);
+        common::MutexLock lock(shard.shard_mutex);
         shard.in_flight.erase(key);
       }
       shard.queue_depth.fetch_sub(1, std::memory_order_relaxed);
       {
-        common::MutexLock flight_lock(flight->mutex);
+        common::MutexLock flight_lock(flight->flight_mutex);
         flight->error = std::current_exception();
         flight->done = true;
       }
@@ -218,8 +218,8 @@ PlanTicket PlanService::serve_ticket(const CacheKey& key, int vehicle_id, Second
   // Follower: coalesce onto the leader's solve.
   std::optional<PlanTicket> ticket;
   {
-    common::MutexLock flight_lock(flight->mutex);
-    while (!flight->done) flight->completed.wait(flight->mutex);
+    common::MutexLock flight_lock(flight->flight_mutex);
+    while (!flight->done) flight->completed.wait(flight->flight_mutex);
     if (flight->error) std::rethrow_exception(flight->error);
     ticket.emplace(
         PlanTicket{vehicle_id, flight->profile, request_time_s - flight->reference_time, true});

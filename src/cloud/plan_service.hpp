@@ -57,6 +57,7 @@
 #include <vector>
 
 #include "cloud/shard.hpp"
+#include "common/lock_ranks.hpp"
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
 #include "core/planner.hpp"
@@ -233,22 +234,22 @@ class PlanService {
   /// One in-flight solve. The leader fills profile/reference_time (or
   /// error) and flips done under `mutex`; followers wait on `completed`.
   struct InFlight {
-    common::Mutex mutex;
+    common::Mutex flight_mutex{common::LockRank::kPlanFlight};
     common::CondVar completed;
-    bool done EVVO_GUARDED_BY(mutex) = false;
-    std::shared_ptr<const core::PlannedProfile> profile EVVO_GUARDED_BY(mutex);
-    double reference_time EVVO_GUARDED_BY(mutex) = 0.0;
-    std::exception_ptr error EVVO_GUARDED_BY(mutex);
+    bool done EVVO_GUARDED_BY(flight_mutex) = false;
+    std::shared_ptr<const core::PlannedProfile> profile EVVO_GUARDED_BY(flight_mutex);
+    double reference_time EVVO_GUARDED_BY(flight_mutex) = 0.0;
+    std::exception_ptr error EVVO_GUARDED_BY(flight_mutex);
   };
   /// One cache shard: its own lock, LRU+TTL cache, in-flight table, and
   /// statistics. Counters are relaxed atomics so followers and the batch
   /// grouping path account without taking the shard lock, and stats() reads
   /// without stopping traffic.
   struct Shard {
-    mutable common::Mutex mutex;
-    std::map<CacheKey, CacheEntry> cache EVVO_GUARDED_BY(mutex);
-    std::list<CacheKey> lru EVVO_GUARDED_BY(mutex);  // front = most recent
-    std::map<CacheKey, std::shared_ptr<InFlight>> in_flight EVVO_GUARDED_BY(mutex);
+    mutable common::Mutex shard_mutex{common::LockRank::kPlanShard};
+    std::map<CacheKey, CacheEntry> cache EVVO_GUARDED_BY(shard_mutex);
+    std::list<CacheKey> lru EVVO_GUARDED_BY(shard_mutex);  // front = most recent
+    std::map<CacheKey, std::shared_ptr<InFlight>> in_flight EVVO_GUARDED_BY(shard_mutex);
 
     std::atomic<long> requests{0};
     std::atomic<long> replans{0};
@@ -274,7 +275,7 @@ class PlanService {
                           const std::function<core::PlannedProfile()>& solve);
   void insert_into_cache_locked(Shard& shard, const CacheKey& key,
                                 std::shared_ptr<const core::PlannedProfile> profile,
-                                double reference_time) EVVO_REQUIRES(shard.mutex);
+                                double reference_time) EVVO_REQUIRES(shard.shard_mutex);
   /// A request after quantization: its cache key plus what is needed to
   /// serve it (the solve closure is derived from `key`/`time_s`/`replan`).
   struct BatchItem {
@@ -303,7 +304,7 @@ class PlanService {
   /// place; the vector itself is immutable after construction.
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  mutable common::Mutex pool_mutex_;
+  mutable common::Mutex pool_mutex_{common::LockRank::kServiceBatchPool};
   std::unique_ptr<common::ThreadPool> batch_pool_ EVVO_GUARDED_BY(pool_mutex_);
 };
 

@@ -1,0 +1,92 @@
+// Runtime half of the lock-rank deadlock validator (common/mutex.hpp).
+//
+// A thread-local stack records every Mutex the thread currently holds, with
+// its declared LockRank and the source location of the acquisition. A
+// blocking acquisition whose rank is <= the highest ranked lock already held
+// violates the global order in common/lock_ranks.hpp and aborts immediately
+// with both sites — catching the inversion deterministically on its first
+// execution, instead of waiting for the adversarial interleaving to wedge a
+// production fleet. try_lock successes are recorded but not validated (a
+// failed try_lock backs off, so it cannot close a waits-for cycle), and
+// unranked mutexes (tests, scratch tools) participate in bookkeeping only.
+//
+// The whole translation unit compiles away unless EVVO_DEADLOCK_CHECK is
+// defined; the TSan CI leg turns it on.
+#if defined(EVVO_DEADLOCK_CHECK)
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/mutex.hpp"
+
+namespace evvo::common::deadlock {
+
+namespace {
+
+struct Held {
+  const void* mutex = nullptr;
+  LockRank rank = LockRank::kUnranked;
+  std::source_location site;
+};
+
+/// Plain vector, not a fancier structure: nesting depth is tiny (2-3 locks)
+/// and the validator must not itself allocate under contention-sensitive
+/// paths more than necessary.
+thread_local std::vector<Held> t_held;
+
+/// The most recently acquired *ranked* hold, or nullptr. Unranked holds are
+/// transparent to the order check.
+const Held* top_ranked() {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->rank != LockRank::kUnranked) return &*it;
+  }
+  return nullptr;
+}
+
+[[noreturn]] void die_on_inversion(const Held& held, LockRank rank,
+                                   const std::source_location& site) {
+  std::fprintf(stderr,
+               "evvo deadlock check: lock-rank inversion (acquisitions must be "
+               "strictly rank-increasing; see common/lock_ranks.hpp)\n"
+               "  holding   %s (rank %d), acquired at %s:%u\n"
+               "  acquiring %s (rank %d) at %s:%u\n",
+               lock_rank_name(held.rank), static_cast<int>(held.rank),
+               held.site.file_name(), static_cast<unsigned>(held.site.line()),
+               lock_rank_name(rank), static_cast<int>(rank), site.file_name(),
+               static_cast<unsigned>(site.line()));
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void note_acquire(const void* mutex, LockRank rank, std::source_location site) {
+  if (rank != LockRank::kUnranked) {
+    if (const Held* held = top_ranked(); held && held->rank >= rank) {
+      die_on_inversion(*held, rank, site);
+    }
+  }
+  t_held.push_back(Held{mutex, rank, site});
+}
+
+void note_acquire_unchecked(const void* mutex, LockRank rank, std::source_location site) {
+  t_held.push_back(Held{mutex, rank, site});
+}
+
+void note_release(const void* mutex) {
+  // Most recent matching hold: scoped locks release LIFO, but out-of-order
+  // release of distinct mutexes is legal and must not corrupt the stack.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mutex == mutex) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+std::size_t held_count() { return t_held.size(); }
+
+}  // namespace evvo::common::deadlock
+
+#endif  // EVVO_DEADLOCK_CHECK

@@ -7,9 +7,11 @@
 namespace evvo {
 
 namespace {
-common::Mutex g_mutex;
-LogLevel g_level EVVO_GUARDED_BY(g_mutex) = LogLevel::kWarn;
-std::function<void(const std::string&)> g_sink EVVO_GUARDED_BY(g_mutex);
+// Logging is a leaf lock: any subsystem may log while holding its own locks,
+// so kLogging is the highest rank in common/lock_ranks.hpp.
+common::Mutex g_log_mutex{common::LockRank::kLogging};
+LogLevel g_level EVVO_GUARDED_BY(g_log_mutex) = LogLevel::kWarn;
+std::function<void(const std::string&)> g_sink EVVO_GUARDED_BY(g_log_mutex);
 }  // namespace
 
 const char* log_level_name(LogLevel level) {
@@ -29,22 +31,22 @@ const char* log_level_name(LogLevel level) {
 }
 
 void set_log_level(LogLevel level) {
-  common::MutexLock lock(g_mutex);
+  common::MutexLock lock(g_log_mutex);
   g_level = level;
 }
 
 LogLevel log_level() {
-  common::MutexLock lock(g_mutex);
+  common::MutexLock lock(g_log_mutex);
   return g_level;
 }
 
 void set_log_sink(std::function<void(const std::string&)> sink) {
-  common::MutexLock lock(g_mutex);
+  common::MutexLock lock(g_log_mutex);
   g_sink = std::move(sink);
 }
 
 void log_message(LogLevel level, const std::string& component, const std::string& message) {
-  common::MutexLock lock(g_mutex);
+  common::MutexLock lock(g_log_mutex);
   if (level < g_level || g_level == LogLevel::kOff) return;
   const std::string line = std::string("[") + log_level_name(level) + "] " + component + ": " + message;
   if (g_sink) {

@@ -1,4 +1,5 @@
-// Annotated synchronization primitives for clang Thread Safety Analysis.
+// Annotated synchronization primitives for clang Thread Safety Analysis,
+// with an optional compile-in lock-rank deadlock validator.
 //
 // libstdc++'s std::mutex / std::lock_guard carry no capability attributes,
 // so clang's `-Wthread-safety` cannot see through them. These thin wrappers
@@ -6,7 +7,18 @@
 // EVVO_CAPABILITY tag, MutexLock is a scoped lock the analysis tracks, and
 // CondVar waits on a held Mutex (adopting its underlying std::mutex for the
 // duration of the wait, so a plain std::condition_variable does the actual
-// blocking). Zero overhead: every method is a one-line forward.
+// blocking). Zero overhead in the default build: every method is a one-line
+// forward and the rank argument compiles away.
+//
+// Deadlock validation: TSA proves each mutex is *held* where required but
+// says nothing about acquisition *order*. Every library mutex therefore
+// declares a LockRank (common/lock_ranks.hpp) at construction, and under
+// -DEVVO_DEADLOCK_CHECK=ON each acquisition is checked against a
+// thread-local stack of held ranks: acquiring a rank <= the highest ranked
+// lock already held aborts immediately, printing both acquisition sites —
+// the held lock's and the offending one's — whether or not the interleaving
+// would have deadlocked this run. The TSan CI leg builds with the validator
+// on; tools/evvo_lint `lock-order` enforces the same order statically.
 //
 // Project rule (enforced by evvo_lint `raw-sync`): library code declares
 // Mutex/CondVar, never raw std::mutex/std::condition_variable, so every
@@ -16,26 +28,76 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/lock_ranks.hpp"
 #include "common/thread_annotations.hpp"
+
+#if defined(EVVO_DEADLOCK_CHECK)
+#include <source_location>
+
+namespace evvo::common::deadlock {
+/// Validates `rank` against the calling thread's held-lock stack (aborting
+/// with both sites on a non-increasing acquisition), then records the hold.
+void note_acquire(const void* mutex, LockRank rank, std::source_location site);
+/// Records the hold without validating (try_lock success cannot deadlock).
+void note_acquire_unchecked(const void* mutex, LockRank rank, std::source_location site);
+/// Removes the most recent hold of `mutex` from the thread's stack.
+void note_release(const void* mutex);
+/// Held-stack depth of the calling thread (diagnostics/tests).
+std::size_t held_count();
+}  // namespace evvo::common::deadlock
+#endif
 
 namespace evvo::common {
 
 class CondVar;
 
-/// std::mutex with a thread-safety capability attribute.
+/// std::mutex with a thread-safety capability attribute and a deadlock rank.
 class EVVO_CAPABILITY("mutex") Mutex {
  public:
+  /// Unranked: exempt from the deadlock validator. Library code declares a
+  /// rank instead (evvo_lint `lock-order` rejects unranked mutexes in src/).
   Mutex() = default;
+  explicit Mutex(LockRank rank) noexcept
+#if defined(EVVO_DEADLOCK_CHECK)
+      : rank_(rank)
+#endif
+  {
+    (void)rank;
+  }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+#if defined(EVVO_DEADLOCK_CHECK)
+  void lock(std::source_location site = std::source_location::current()) EVVO_ACQUIRE() {
+    // Validate before blocking: the inversion is reported even on the lucky
+    // interleavings where the lock happens to be free.
+    deadlock::note_acquire(this, rank_, site);
+    inner_.lock();
+  }
+  void unlock() EVVO_RELEASE() {
+    inner_.unlock();
+    deadlock::note_release(this);
+  }
+  bool try_lock(std::source_location site = std::source_location::current())
+      EVVO_TRY_ACQUIRE(true) {
+    const bool acquired = inner_.try_lock();
+    if (acquired) deadlock::note_acquire_unchecked(this, rank_, site);
+    return acquired;
+  }
+  LockRank rank() const noexcept { return rank_; }
+#else
   void lock() EVVO_ACQUIRE() { inner_.lock(); }
   void unlock() EVVO_RELEASE() { inner_.unlock(); }
   bool try_lock() EVVO_TRY_ACQUIRE(true) { return inner_.try_lock(); }
+  LockRank rank() const noexcept { return LockRank::kUnranked; }
+#endif
 
  private:
   friend class CondVar;
   std::mutex inner_;
+#if defined(EVVO_DEADLOCK_CHECK)
+  LockRank rank_ = LockRank::kUnranked;
+#endif
 };
 
 /// Scoped lock over Mutex, visible to the analysis (std::lock_guard over an
@@ -43,7 +105,16 @@ class EVVO_CAPABILITY("mutex") Mutex {
 /// constructor, which the analysis rejects).
 class EVVO_SCOPED_CAPABILITY MutexLock {
  public:
+#if defined(EVVO_DEADLOCK_CHECK)
+  explicit MutexLock(Mutex& mutex,
+                     std::source_location site = std::source_location::current())
+      EVVO_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock(site);
+  }
+#else
   explicit MutexLock(Mutex& mutex) EVVO_ACQUIRE(mutex) : mutex_(mutex) { mutex_.lock(); }
+#endif
   ~MutexLock() EVVO_RELEASE() { mutex_.unlock(); }
 
   MutexLock(const MutexLock&) = delete;
@@ -60,7 +131,8 @@ class EVVO_SCOPED_CAPABILITY MutexLock {
 /// before returning, so guarded reads in the caller's wait loop stay legal).
 /// There is no predicate overload on purpose — a predicate lambda would be
 /// analyzed as a separate function that reads guarded state without visibly
-/// holding the lock. Write the standard loop instead:
+/// holding the lock. Write the standard loop instead (evvo_lint
+/// `wait-predicate` rejects a wait outside one):
 ///
 ///   MutexLock lock(mutex_);
 ///   while (!condition) cv_.wait(mutex_);
@@ -71,11 +143,25 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   /// Atomically releases `mutex`, blocks, and reacquires before returning.
+#if defined(EVVO_DEADLOCK_CHECK)
+  void wait(Mutex& mutex, std::source_location site = std::source_location::current())
+      EVVO_REQUIRES(mutex) {
+    // The wait releases and reacquires the mutex, so mirror that on the
+    // held-rank stack: the reacquisition is re-validated against whatever
+    // else the thread still holds.
+    deadlock::note_release(&mutex);
+    std::unique_lock<std::mutex> adopted(mutex.inner_, std::adopt_lock);
+    inner_.wait(adopted);
+    adopted.release();  // the caller's MutexLock keeps ownership
+    deadlock::note_acquire(&mutex, mutex.rank_, site);
+  }
+#else
   void wait(Mutex& mutex) EVVO_REQUIRES(mutex) {
     std::unique_lock<std::mutex> adopted(mutex.inner_, std::adopt_lock);
     inner_.wait(adopted);
     adopted.release();  // the caller's MutexLock keeps ownership
   }
+#endif
 
   void notify_one() { inner_.notify_one(); }
   void notify_all() { inner_.notify_all(); }

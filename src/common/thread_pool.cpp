@@ -13,10 +13,10 @@ struct ThreadPool::Batch {
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> finished{0};
 
-  Mutex mutex;
+  Mutex batch_mutex{LockRank::kPoolBatch};
   CondVar completed;
-  bool done EVVO_GUARDED_BY(mutex) = false;
-  std::exception_ptr error EVVO_GUARDED_BY(mutex);
+  bool done EVVO_GUARDED_BY(batch_mutex) = false;
+  std::exception_ptr error EVVO_GUARDED_BY(batch_mutex);
 };
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -29,7 +29,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    MutexLock lock(mutex_);
+    MutexLock lock(queue_mutex_);
     shutdown_ = true;
   }
   work_available_.notify_all();
@@ -44,12 +44,16 @@ unsigned ThreadPool::resolve_threads(unsigned hint) {
 
 void ThreadPool::run_batch(const std::shared_ptr<Batch>& batch) {
   std::size_t ran = 0;
+  // The claimed index only selects work (bodies own disjoint data per index);
+  // the acq_rel `finished` counter below is what publishes the batch, so the
+  // relaxed claim is not a synchronization edge.
+  // evvo-lint: allow(atomics-misuse)
   for (std::size_t i = batch->next.fetch_add(1, std::memory_order_relaxed); i < batch->n;
-       i = batch->next.fetch_add(1, std::memory_order_relaxed)) {
+       i = batch->next.fetch_add(1, std::memory_order_relaxed)) {  // evvo-lint: allow(atomics-misuse)
     try {
       (*batch->body)(i);
     } catch (...) {
-      MutexLock lock(batch->mutex);
+      MutexLock lock(batch->batch_mutex);
       if (!batch->error) batch->error = std::current_exception();
     }
     ++ran;
@@ -57,7 +61,7 @@ void ThreadPool::run_batch(const std::shared_ptr<Batch>& batch) {
   if (ran == 0) return;
   if (batch->finished.fetch_add(ran, std::memory_order_acq_rel) + ran == batch->n) {
     {
-      MutexLock lock(batch->mutex);
+      MutexLock lock(batch->batch_mutex);
       batch->done = true;
     }
     batch->completed.notify_all();
@@ -68,8 +72,8 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::shared_ptr<Batch> batch;
     {
-      MutexLock lock(mutex_);
-      while (!shutdown_ && pending_.empty()) work_available_.wait(mutex_);
+      MutexLock lock(queue_mutex_);
+      while (!shutdown_ && pending_.empty()) work_available_.wait(queue_mutex_);
       if (pending_.empty()) return;  // shutdown with no work left
       batch = pending_.front();
       // Leave the batch queued until its indices are exhausted so every idle
@@ -80,7 +84,7 @@ void ThreadPool::worker_loop() {
       }
     }
     run_batch(batch);
-    MutexLock lock(mutex_);
+    MutexLock lock(queue_mutex_);
     if (!pending_.empty() && pending_.front() == batch) pending_.pop_front();
   }
 }
@@ -95,15 +99,15 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   batch->n = n;
   batch->body = &body;
   {
-    MutexLock lock(mutex_);
+    MutexLock lock(queue_mutex_);
     pending_.push_back(batch);
   }
   work_available_.notify_all();
   run_batch(batch);  // the caller participates, guaranteeing progress
   std::exception_ptr error;
   {
-    MutexLock lock(batch->mutex);
-    while (!batch->done) batch->completed.wait(batch->mutex);
+    MutexLock lock(batch->batch_mutex);
+    while (!batch->done) batch->completed.wait(batch->batch_mutex);
     error = batch->error;
   }
   if (error) std::rethrow_exception(error);

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/lock_ranks.hpp"
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
 
@@ -54,10 +55,10 @@ class ThreadPool {
   void worker_loop();
   static void run_batch(const std::shared_ptr<Batch>& batch);
 
-  Mutex mutex_;
+  Mutex queue_mutex_{LockRank::kThreadPoolQueue};
   CondVar work_available_;
-  std::deque<std::shared_ptr<Batch>> pending_ EVVO_GUARDED_BY(mutex_);
-  bool shutdown_ EVVO_GUARDED_BY(mutex_) = false;
+  std::deque<std::shared_ptr<Batch>> pending_ EVVO_GUARDED_BY(queue_mutex_);
+  bool shutdown_ EVVO_GUARDED_BY(queue_mutex_) = false;
   std::vector<std::thread> workers_;  // written only in the ctor/dtor
 };
 

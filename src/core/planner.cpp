@@ -19,14 +19,14 @@ namespace evvo::core {
 /// and the relaxation pool is created on first use. The configured thread
 /// count is fixed at construction, so the pool never needs resizing.
 struct VelocityPlanner::Runtime {
-  common::Mutex mutex;
+  common::Mutex runtime_mutex{common::LockRank::kPlannerRuntime};
   WorkspacePool workspaces;
-  std::unique_ptr<common::ThreadPool> pool EVVO_GUARDED_BY(mutex);
+  std::unique_ptr<common::ThreadPool> pool EVVO_GUARDED_BY(runtime_mutex);
 
-  common::ThreadPool* pool_for(unsigned thread_hint) EVVO_EXCLUDES(mutex) {
+  common::ThreadPool* pool_for(unsigned thread_hint) EVVO_EXCLUDES(runtime_mutex) {
     const unsigned want = common::ThreadPool::resolve_threads(thread_hint);
     if (want <= 1) return nullptr;
-    common::MutexLock lock(mutex);
+    common::MutexLock lock(runtime_mutex);
     if (!pool) pool = std::make_unique<common::ThreadPool>(want);
     return pool.get();
   }

@@ -6,7 +6,7 @@ namespace evvo::core {
 
 std::unique_ptr<WorkspacePool::Entry> WorkspacePool::acquire(std::uint64_t affinity) {
   {
-    common::MutexLock lock(mutex_);
+    common::MutexLock lock(free_mutex_);
     if (!free_.empty()) {
       // Most recently released first, so ties go to the warmest entry.
       for (std::size_t i = free_.size(); i-- > 0;) {
@@ -25,12 +25,12 @@ std::unique_ptr<WorkspacePool::Entry> WorkspacePool::acquire(std::uint64_t affin
 }
 
 void WorkspacePool::release(std::unique_ptr<Entry> entry) {
-  common::MutexLock lock(mutex_);
+  common::MutexLock lock(free_mutex_);
   free_.push_back(std::move(entry));
 }
 
 std::size_t WorkspacePool::idle_count() const {
-  common::MutexLock lock(mutex_);
+  common::MutexLock lock(free_mutex_);
   return free_.size();
 }
 

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/lock_ranks.hpp"
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
 #include "core/dp_replan.hpp"
@@ -33,18 +34,18 @@ class WorkspacePool {
   /// Checks an entry out of the pool: the most recently released entry
   /// tagged `affinity` if any, else the most recently released entry of any
   /// tag (LIFO keeps caches hot), else a fresh one. Never blocks on a solve.
-  std::unique_ptr<Entry> acquire(std::uint64_t affinity) EVVO_EXCLUDES(mutex_);
+  std::unique_ptr<Entry> acquire(std::uint64_t affinity) EVVO_EXCLUDES(free_mutex_);
 
   /// Returns an entry to the pool. The caller sets entry->affinity to the
   /// tag of the solve it just ran before releasing.
-  void release(std::unique_ptr<Entry> entry) EVVO_EXCLUDES(mutex_);
+  void release(std::unique_ptr<Entry> entry) EVVO_EXCLUDES(free_mutex_);
 
   /// Entries currently idle in the pool (diagnostics/tests).
-  std::size_t idle_count() const EVVO_EXCLUDES(mutex_);
+  std::size_t idle_count() const EVVO_EXCLUDES(free_mutex_);
 
  private:
-  mutable common::Mutex mutex_;
-  std::vector<std::unique_ptr<Entry>> free_ EVVO_GUARDED_BY(mutex_);  // back = most recent
+  mutable common::Mutex free_mutex_{common::LockRank::kWorkspacePool};
+  std::vector<std::unique_ptr<Entry>> free_ EVVO_GUARDED_BY(free_mutex_);  // back = most recent
 };
 
 }  // namespace evvo::core

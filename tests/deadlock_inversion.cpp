@@ -1,0 +1,48 @@
+// Seeded lock-rank inversion, caught twice by two independent mechanisms:
+//
+//  1. Statically: the `lint_detects_lock_inversion` ctest (tools/CMakeLists)
+//     runs `evvo_lint src/common/lock_ranks.hpp tests/deadlock_inversion.cpp`
+//     and must exit nonzero — the lock-order rule resolves the two member
+//     mutexes below against the real LockRank enumerators and flags the
+//     high-then-low nesting in main().
+//  2. At runtime: built with -DEVVO_DEADLOCK_CHECK=ON, executing main()
+//     aborts inside deadlock::note_acquire (both acquisition sites printed)
+//     before the second lock ever blocks. The `deadlock_inversion_runtime`
+//     ctest (registered only in validator builds) expects that death via
+//     WILL_FAIL.
+//
+// If either mechanism rots — the lint rule stops resolving, or the validator
+// stops aborting — the corresponding WILL_FAIL test starts "passing" its
+// inner command and CI goes red.
+
+#include <cstdio>
+
+#include "common/lock_ranks.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+struct Inverted {
+  // kLogging (90) outranks kPlanShard (10): the only legal nesting is
+  // shard -> logging. main() takes them in the opposite order.
+  evvo::common::Mutex inv_shard_mutex{evvo::common::LockRank::kPlanShard};
+  evvo::common::Mutex inv_log_mutex{evvo::common::LockRank::kLogging};
+  int guarded EVVO_GUARDED_BY(inv_shard_mutex) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Inverted state;
+  // evvo-lint note: the nesting below is the seeded violation under test; it
+  // must NOT carry an allow(lock-order) suppression.
+  evvo::common::MutexLock outer(state.inv_log_mutex);
+  evvo::common::MutexLock inner(state.inv_shard_mutex);
+  {
+    state.guarded = 1;  // silence unused-field pedantry; never reached under
+                        // EVVO_DEADLOCK_CHECK (the line above aborts)
+  }
+  std::printf("deadlock_inversion: ran to completion (validator compiled out)\n");
+  return 0;
+}

@@ -1,0 +1,534 @@
+// Unit tests for the evvo_lint analyzer library (tools/lint/). The embedded
+// `evvo_lint --self-test` proves every rule fires and suppresses end-to-end;
+// these tests pin down the layers underneath — tokenizer, scope walker,
+// symbol tables, suppression grammar, JSON escaping, and the baseline
+// ratchet — at the edge cases the self-test snippets don't isolate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/driver.hpp"
+#include "lint/lexer.hpp"
+#include "lint/rules.hpp"
+#include "lint/scope.hpp"
+#include "lint/symbols.hpp"
+
+namespace lint = evvo::lint;
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+TEST(Tokenizer, StripsLineComments) {
+  lint::Tokenizer tok;
+  EXPECT_EQ(tok.strip("int x;  // std::rand()"), "int x;  ");
+}
+
+TEST(Tokenizer, BlockCommentStateCarriesAcrossLines) {
+  lint::Tokenizer tok;
+  EXPECT_EQ(tok.strip("int a; /* begin"), "int a; ");
+  EXPECT_TRUE(tok.in_block_comment());
+  EXPECT_EQ(tok.strip("still comment srand(time(0))"), "");
+  EXPECT_EQ(tok.strip("end */ int b;"), " int b;");
+  EXPECT_FALSE(tok.in_block_comment());
+}
+
+TEST(Tokenizer, StripsStringContentsButKeepsMarker) {
+  lint::Tokenizer tok;
+  EXPECT_EQ(tok.strip("auto s = \"std::rand()\";"), "auto s = \";");
+}
+
+TEST(Tokenizer, HandlesEscapedQuotesInsideStrings) {
+  lint::Tokenizer tok;
+  // The escaped quote must not terminate the literal early.
+  EXPECT_EQ(tok.strip("auto s = \"a\\\"b\"; int x;"), "auto s = \"; int x;");
+}
+
+TEST(Tokenizer, CommentMarkersInsideStringsAreNotComments) {
+  lint::Tokenizer tok;
+  EXPECT_EQ(tok.strip("auto s = \"http://x\"; int y;"), "auto s = \"; int y;");
+}
+
+TEST(Tokenizer, StripsCharLiterals) {
+  lint::Tokenizer tok;
+  EXPECT_EQ(tok.strip("char c = ';'; int x;"), "char c = '; int x;");
+  EXPECT_EQ(tok.strip("char q = '\\''; int y;"), "char q = '; int y;");
+}
+
+TEST(Tokenizer, DigitSeparatorsAreNotCharLiterals) {
+  lint::Tokenizer tok;
+  EXPECT_EQ(tok.strip("int n = 1'000'000;"), "int n = 1'000'000;");
+}
+
+// ---------------------------------------------------------------------------
+// Suppression grammar
+// ---------------------------------------------------------------------------
+
+TEST(Suppression, ParsesSingleAllow) {
+  const auto rules = lint::allowed_rules("x();  // evvo-lint: allow(lock-order)");
+  EXPECT_EQ(rules.size(), 1u);
+  EXPECT_TRUE(rules.count("lock-order"));
+}
+
+TEST(Suppression, ParsesMultipleAllowGroupsOnOneLine) {
+  const auto rules =
+      lint::allowed_rules("// evvo-lint: allow(lock-order) allow(atomics-misuse)");
+  EXPECT_TRUE(rules.count("lock-order"));
+  EXPECT_TRUE(rules.count("atomics-misuse"));
+}
+
+TEST(Suppression, ParsesCommaSeparatedList) {
+  const auto rules = lint::allowed_rules("// evvo-lint: allow(raw-sync, fp-determinism)");
+  EXPECT_TRUE(rules.count("raw-sync"));
+  EXPECT_TRUE(rules.count("fp-determinism"));
+}
+
+TEST(Suppression, NoMarkerMeansNoRules) {
+  EXPECT_TRUE(lint::allowed_rules("int allow_list(int);").empty());
+}
+
+TEST(Suppression, SameLineAndLineAboveApply) {
+  const auto file = lint::make_source(
+      "src/core/x.cpp",
+      "// evvo-lint: allow(banned-random)\n"
+      "int a = std::rand();\n"
+      "int b = std::rand();  // evvo-lint: allow(banned-random)\n");
+  EXPECT_TRUE(lint::suppressed(file, 1, "banned-random"));
+  EXPECT_TRUE(lint::suppressed(file, 2, "banned-random"));
+}
+
+TEST(Suppression, BlankLineBreaksAllowAbove) {
+  const auto file = lint::make_source("src/core/x.cpp",
+                                      "// evvo-lint: allow(banned-random)\n"
+                                      "\n"
+                                      "int a = std::rand();\n");
+  EXPECT_FALSE(lint::suppressed(file, 2, "banned-random"));
+}
+
+TEST(Suppression, WrongRuleDoesNotApply) {
+  const auto file = lint::make_source("src/core/x.cpp",
+                                      "int a = std::rand();  // evvo-lint: allow(raw-sync)\n");
+  EXPECT_FALSE(lint::suppressed(file, 0, "banned-random"));
+}
+
+// ---------------------------------------------------------------------------
+// Scope walker
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Records every event the walker emits, for structural assertions.
+struct RecordingSink : lint::ScopeSink {
+  struct Open {
+    int depth;
+    std::string keyword;
+    std::size_t line;
+  };
+  std::vector<Open> opens;
+  std::vector<int> close_depths;
+  std::vector<std::string> loop_scope_idents;  // idents seen while in a loop scope
+  std::vector<std::string> loop_stmt_idents;   // idents in a loop-headed statement
+
+  void on_scope_open(const lint::ScopeInfo& s, const lint::WalkState&) override {
+    opens.push_back({s.depth, s.keyword, s.open_line});
+  }
+  void on_scope_close(const lint::ScopeInfo& s, std::size_t, const lint::WalkState&) override {
+    close_depths.push_back(s.depth);
+  }
+  void on_identifier(std::size_t, std::size_t, std::string_view ident,
+                     const lint::WalkState& st) override {
+    if (st.in_loop_scope()) loop_scope_idents.emplace_back(ident);
+    if (st.statement_has_loop) loop_stmt_idents.emplace_back(ident);
+  }
+};
+
+std::vector<std::string> lines_of(const std::string& text) {
+  return lint::make_source("x.cpp", text).code;
+}
+
+}  // namespace
+
+TEST(ScopeWalker, TracksDepthAndKeywords) {
+  RecordingSink sink;
+  lint::walk_scopes(lines_of("void f() {\n"
+                             "  while (x) {\n"
+                             "    if (y) {\n"
+                             "    }\n"
+                             "  }\n"
+                             "}\n"),
+                    sink);
+  ASSERT_EQ(sink.opens.size(), 3u);
+  EXPECT_EQ(sink.opens[0].depth, 1);
+  EXPECT_EQ(sink.opens[1].depth, 2);
+  EXPECT_EQ(sink.opens[1].keyword, "while");
+  EXPECT_EQ(sink.opens[2].depth, 3);
+  EXPECT_EQ(sink.opens[2].keyword, "if");
+  // Closes arrive innermost-first.
+  EXPECT_EQ(sink.close_depths, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(ScopeWalker, LoopScopeVisibleToIdentifiers) {
+  RecordingSink sink;
+  lint::walk_scopes(lines_of("void f() {\n"
+                             "  before();\n"
+                             "  for (int i = 0; i < n; ++i) {\n"
+                             "    inside();\n"
+                             "  }\n"
+                             "  after();\n"
+                             "}\n"),
+                    sink);
+  const auto saw = [&](const char* ident) {
+    return std::find(sink.loop_scope_idents.begin(), sink.loop_scope_idents.end(), ident) !=
+           sink.loop_scope_idents.end();
+  };
+  EXPECT_FALSE(saw("before"));
+  EXPECT_TRUE(saw("inside"));
+  EXPECT_FALSE(saw("after"));
+}
+
+TEST(ScopeWalker, UnbracedLoopBodyKeepsStatementFlag) {
+  RecordingSink sink;
+  lint::walk_scopes(lines_of("void f() {\n"
+                             "  while (!done) cv_wait();\n"
+                             "  bare_call();\n"
+                             "}\n"),
+                    sink);
+  const auto& idents = sink.loop_stmt_idents;
+  EXPECT_NE(std::find(idents.begin(), idents.end(), "cv_wait"), idents.end());
+  EXPECT_EQ(std::find(idents.begin(), idents.end(), "bare_call"), idents.end());
+}
+
+TEST(ScopeWalker, ForLoopSemicolonsDoNotEndTheStatement) {
+  // The two ';' inside the for-header parens must not clear the loop flag
+  // before the body runs.
+  RecordingSink sink;
+  lint::walk_scopes(lines_of("void f() {\n"
+                             "  for (i = 0; i < n; ++i) body_call();\n"
+                             "}\n"),
+                    sink);
+  const auto& idents = sink.loop_stmt_idents;
+  EXPECT_NE(std::find(idents.begin(), idents.end(), "body_call"), idents.end());
+}
+
+// ---------------------------------------------------------------------------
+// Symbol tables
+// ---------------------------------------------------------------------------
+
+TEST(Symbols, ParsesRankEnumWithExplicitAndImplicitValues) {
+  const auto file = lint::make_source("src/common/ranks_x.hpp",
+                                      "#pragma once\n"
+                                      "enum class LockRank : int {\n"
+                                      "  kUnranked = 0,\n"
+                                      "  // a doc comment between enumerators\n"
+                                      "  kLow = 10,\n"
+                                      "  kNext,\n"
+                                      "  kHigh = 90,\n"
+                                      "};\n");
+  const auto symbols = lint::collect_symbols(file);
+  lint::SymbolTable table;
+  table.absorb(symbols);
+  int v = -1;
+  EXPECT_TRUE(table.rank_value("kLow", &v));
+  EXPECT_EQ(v, 10);
+  EXPECT_TRUE(table.rank_value("kNext", &v));
+  EXPECT_EQ(v, 11);
+  EXPECT_TRUE(table.rank_value("kHigh", &v));
+  EXPECT_EQ(v, 90);
+  EXPECT_FALSE(table.rank_value("kMissing", &v));
+}
+
+TEST(Symbols, CollectsRankedAndUnrankedMutexes) {
+  const auto file = lint::make_source(
+      "src/core/x.hpp",
+      "#pragma once\n"
+      "struct S {\n"
+      "  common::Mutex ranked_mutex{common::LockRank::kLow};\n"
+      "  Mutex plain_mutex;\n"
+      "  int v EVVO_GUARDED_BY(ranked_mutex);\n"
+      "};\n");
+  const auto symbols = lint::collect_symbols(file);
+  ASSERT_EQ(symbols.mutexes.size(), 2u);
+  EXPECT_EQ(symbols.mutexes[0].name, "ranked_mutex");
+  EXPECT_TRUE(symbols.mutexes[0].ranked);
+  EXPECT_EQ(symbols.mutexes[0].rank_name, "kLow");
+  EXPECT_EQ(symbols.mutexes[1].name, "plain_mutex");
+  EXPECT_FALSE(symbols.mutexes[1].ranked);
+}
+
+TEST(Symbols, MutexLockDeclarationsAreNotMutexes) {
+  const auto file = lint::make_source("src/core/x.cpp",
+                                      "void f(S& s) {\n"
+                                      "  common::MutexLock lock(s.ranked_mutex);\n"
+                                      "}\n");
+  EXPECT_TRUE(lint::collect_symbols(file).mutexes.empty());
+}
+
+TEST(Symbols, MutexReferencesAndClassDefinitionsAreNotDeclarations) {
+  const auto file = lint::make_source("src/core/x.hpp",
+                                      "#pragma once\n"
+                                      "class Mutex {\n"
+                                      "};\n"
+                                      "void lock_it(Mutex& m);\n"
+                                      "Mutex* pick(int i);\n");
+  EXPECT_TRUE(lint::collect_symbols(file).mutexes.empty());
+}
+
+TEST(Symbols, CollectsAtomicsThroughNestedTemplates) {
+  const auto file = lint::make_source(
+      "src/core/x.hpp",
+      "#pragma once\n"
+      "struct S {\n"
+      "  std::atomic<std::size_t> counter{0};\n"
+      "  std::atomic<bool> flag{false};\n"
+      "};\n");
+  const auto symbols = lint::collect_symbols(file);
+  lint::SymbolTable table;
+  table.absorb(symbols);
+  EXPECT_TRUE(table.is_atomic("counter"));
+  EXPECT_TRUE(table.is_atomic("flag"));
+  EXPECT_FALSE(table.is_atomic("other"));
+}
+
+TEST(Symbols, CollectsCondVars) {
+  const auto file = lint::make_source("src/core/x.hpp",
+                                      "#pragma once\n"
+                                      "struct S {\n"
+                                      "  CondVar work_ready;\n"
+                                      "};\n"
+                                      "void wake(CondVar& cv);\n");
+  const auto symbols = lint::collect_symbols(file);
+  ASSERT_EQ(symbols.condvars.size(), 1u);
+  EXPECT_EQ(symbols.condvars[0].name, "work_ready");
+}
+
+TEST(Symbols, WrapperHeadersAreExempt) {
+  const auto file = lint::make_source("src/common/mutex.hpp",
+                                      "#pragma once\n"
+                                      "class Mutex {\n"
+                                      "  std::atomic<int> spin_;\n"
+                                      "};\n");
+  const auto symbols = lint::collect_symbols(file);
+  EXPECT_TRUE(symbols.mutexes.empty());
+  EXPECT_TRUE(symbols.atomics.empty());
+}
+
+// ---------------------------------------------------------------------------
+// JSON escaping + parse-back (the v1 escaper dropped backslashes and control
+// characters; a Windows-style path or a tab in a message produced invalid
+// JSON that broke CI annotators)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Minimal JSON string unescaper for the round-trip assertions.
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out.push_back(s[i]);
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        const int code = std::stoi(s.substr(i + 1, 4), nullptr, 16);
+        out.push_back(static_cast<char>(code));
+        i += 4;
+        break;
+      }
+      default: ADD_FAILURE() << "unknown escape \\" << s[i];
+    }
+  }
+  return out;
+}
+
+/// Extracts the value of a string field from a single-line JSON object.
+std::string json_field(const std::string& line, const std::string& key) {
+  const std::string marker = "\"" + key + "\":\"";
+  const std::size_t start = line.find(marker);
+  EXPECT_NE(start, std::string::npos) << "field " << key << " in " << line;
+  std::size_t p = start + marker.size();
+  std::string rawval;
+  for (; p < line.size(); ++p) {
+    if (line[p] == '\\') {
+      rawval.push_back(line[p]);
+      rawval.push_back(line[p + 1]);
+      ++p;
+      continue;
+    }
+    if (line[p] == '"') break;
+    rawval.push_back(line[p]);
+  }
+  return json_unescape(rawval);
+}
+
+}  // namespace
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(lint::json_escape("plain"), "plain");
+  EXPECT_EQ(lint::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(lint::json_escape("C:\\path\\file"), "C:\\\\path\\\\file");
+  EXPECT_EQ(lint::json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(lint::json_escape(std::string("x\x01y")), "x\\u0001y");
+}
+
+TEST(JsonEscape, ReportRoundTripsHostileStrings) {
+  const std::string hostile_file = "src\\core\\a \"quoted\".cpp";
+  const std::string hostile_msg = "tab\there\nnewline \\ backslash \x02 ctrl";
+  const std::vector<lint::Violation> vs = {{hostile_file, 42, "lock-order", hostile_msg}};
+  std::ostringstream out;
+  lint::report(vs, /*json=*/true, out);
+  std::string line = out.str();
+  ASSERT_FALSE(line.empty());
+  line.pop_back();  // trailing newline
+  // The line between the braces must contain no raw control characters.
+  for (const char c : line) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << "raw control char in JSON output";
+  }
+  EXPECT_EQ(json_field(line, "file"), hostile_file);
+  EXPECT_EQ(json_field(line, "rule"), "lock-order");
+  EXPECT_EQ(json_field(line, "message"), hostile_msg);
+  EXPECT_NE(line.find("\"line\":42"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline ratchet
+// ---------------------------------------------------------------------------
+
+namespace {
+
+lint::Violation make_violation(const std::string& file, std::size_t line,
+                               const std::string& rule) {
+  return {file, line, rule, "msg"};
+}
+
+}  // namespace
+
+TEST(Baseline, ParsesCountsCommentsAndBlanks) {
+  std::istringstream in(
+      "# comment\n"
+      "\n"
+      "2 lock-order src/cloud/plan_service.cpp\n"
+      "1 fp-determinism src/core/dp_solver.cpp\n");
+  lint::Baseline baseline;
+  std::ostringstream err;
+  ASSERT_TRUE(lint::parse_baseline(in, &baseline, err));
+  EXPECT_EQ(baseline.size(), 2u);
+  EXPECT_EQ((baseline[{"src/cloud/plan_service.cpp", "lock-order"}]), 2u);
+}
+
+TEST(Baseline, RejectsMalformedLines) {
+  std::istringstream in("lock-order without a count\n");
+  lint::Baseline baseline;
+  std::ostringstream err;
+  EXPECT_FALSE(lint::parse_baseline(in, &baseline, err));
+  EXPECT_NE(err.str().find("malformed"), std::string::npos);
+}
+
+TEST(Baseline, GrandfathersGroupsWithinAllowance) {
+  lint::Baseline baseline;
+  baseline[{"a.cpp", "lock-order"}] = 2;
+  const std::vector<lint::Violation> vs = {make_violation("a.cpp", 1, "lock-order"),
+                                           make_violation("a.cpp", 9, "lock-order")};
+  std::vector<std::string> notes;
+  EXPECT_TRUE(lint::apply_baseline(vs, baseline, &notes).empty());
+  EXPECT_TRUE(notes.empty());
+}
+
+TEST(Baseline, ReportsWholeGroupWhenOverAllowance) {
+  lint::Baseline baseline;
+  baseline[{"a.cpp", "lock-order"}] = 1;
+  const std::vector<lint::Violation> vs = {make_violation("a.cpp", 1, "lock-order"),
+                                           make_violation("a.cpp", 9, "lock-order")};
+  std::vector<std::string> notes;
+  // Growth is what the ratchet forbids: the whole group surfaces, not just
+  // the marginal violation, so the report shows every candidate site.
+  EXPECT_EQ(lint::apply_baseline(vs, baseline, &notes).size(), 2u);
+}
+
+TEST(Baseline, NotesShrunkAndStaleEntries) {
+  lint::Baseline baseline;
+  baseline[{"a.cpp", "lock-order"}] = 3;
+  baseline[{"gone.cpp", "raw-sync"}] = 1;
+  const std::vector<lint::Violation> vs = {make_violation("a.cpp", 1, "lock-order")};
+  std::vector<std::string> notes;
+  EXPECT_TRUE(lint::apply_baseline(vs, baseline, &notes).empty());
+  ASSERT_EQ(notes.size(), 2u);
+  EXPECT_NE(notes[0].find("tighten"), std::string::npos);
+  EXPECT_NE(notes[1].find("matches nothing"), std::string::npos);
+}
+
+TEST(Baseline, UnbaselinedViolationsAlwaysSurface) {
+  lint::Baseline baseline;
+  const std::vector<lint::Violation> vs = {make_violation("a.cpp", 1, "lock-order")};
+  EXPECT_EQ(lint::apply_baseline(vs, baseline, nullptr).size(), 1u);
+}
+
+TEST(Baseline, FormatRoundTripsThroughParse) {
+  const std::vector<lint::Violation> vs = {make_violation("a.cpp", 1, "lock-order"),
+                                           make_violation("a.cpp", 9, "lock-order"),
+                                           make_violation("b.cpp", 3, "raw-sync")};
+  std::istringstream in(lint::format_baseline(vs));
+  lint::Baseline baseline;
+  std::ostringstream err;
+  ASSERT_TRUE(lint::parse_baseline(in, &baseline, err));
+  EXPECT_EQ((baseline[{"a.cpp", "lock-order"}]), 2u);
+  EXPECT_EQ((baseline[{"b.cpp", "raw-sync"}]), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: analyze() over an in-memory file set
+// ---------------------------------------------------------------------------
+
+TEST(Analyze, LockOrderInversionAcrossFiles) {
+  const std::vector<lint::SourceFile> files = {
+      lint::make_source("src/common/ranks_x.hpp",
+                        "#pragma once\n"
+                        "enum class LockRank : int { kLow = 10, kHigh = 90 };\n"),
+      lint::make_source("src/core/decls_x.hpp",
+                        "#pragma once\n"
+                        "struct S {\n"
+                        "  Mutex a_mutex{LockRank::kLow};\n"
+                        "  Mutex b_mutex{LockRank::kHigh};\n"
+                        "  int v EVVO_GUARDED_BY(a_mutex);\n"
+                        "};\n"),
+      lint::make_source("src/core/use_x.cpp",
+                        "void f(S& s) {\n"
+                        "  MutexLock hi(s.b_mutex);\n"
+                        "  MutexLock lo(s.a_mutex);\n"
+                        "}\n"),
+  };
+  const auto vs = lint::analyze(files);
+  const auto hit = std::find_if(vs.begin(), vs.end(), [](const lint::Violation& v) {
+    return v.rule == "lock-order";
+  });
+  ASSERT_NE(hit, vs.end());
+  EXPECT_EQ(hit->file, "src/core/use_x.cpp");
+  EXPECT_EQ(hit->line, 3u);
+  // The message must name both locks and both ranks so the report is
+  // actionable without opening the files.
+  EXPECT_NE(hit->message.find("a_mutex"), std::string::npos);
+  EXPECT_NE(hit->message.find("b_mutex"), std::string::npos);
+  EXPECT_NE(hit->message.find("kLow"), std::string::npos);
+  EXPECT_NE(hit->message.find("kHigh"), std::string::npos);
+}
+
+TEST(Analyze, CleanFileSetProducesNoViolations) {
+  const std::vector<lint::SourceFile> files = {
+      lint::make_source("src/core/clean.cpp",
+                        "#include \"common/mutex.hpp\"\n"
+                        "int add(int a, int b) { return a + b; }\n"),
+  };
+  EXPECT_TRUE(lint::analyze(files).empty());
+}

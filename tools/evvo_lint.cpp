@@ -1,646 +1,16 @@
-// evvo_lint: project-specific static checks for the evvo tree.
+// evvo_lint: project-specific static analysis for the evvo tree.
 //
-// A dependency-free linter for the handful of conventions the compiler
-// cannot enforce by itself (or can only enforce on clang). It is fast
-// enough to run on every ctest invocation and in CI as a gate:
-//
-//   naked-unit-param   boundary headers must not declare `double` parameters
-//                      whose names read as speeds/times/flows — those are the
-//                      exact parameters the strong types in common/units.hpp
-//                      exist for (MetersPerSecond, Seconds, VehiclesPerSecond).
-//   banned-random      std::rand/srand/time(0) seeds are forbidden; the
-//                      library ships its own deterministic PRNG (common/random).
-//   nodiscard-result   solver/planner result structs (`...Solution`, `...Result`,
-//                      `...Report`, `...Stats`, `...Response`) must be declared
-//                      [[nodiscard]] — silently dropping a plan or a check
-//                      report is always a bug.
-//   raw-sync           std::mutex / std::condition_variable outside
-//                      common/mutex.hpp are forbidden: the annotated wrappers
-//                      keep clang -Wthread-safety able to see every lock.
-//   guarded-mutex      a file declaring a common::Mutex member must contain at
-//                      least one EVVO_GUARDED_BY/EVVO_REQUIRES annotation —
-//                      an unannotated mutex protects nothing the analyzer
-//                      can check.
-//   include-hygiene    headers carry #pragma once, no `#include "../"`
-//                      parent-relative includes, no `using namespace` at
-//                      header scope.
-//   raw-intrinsics     <immintrin.h>/<arm_neon.h> includes and _mm_*/vld1q*
-//                      intrinsic identifiers are forbidden outside
-//                      common/simd.hpp — every vector kernel goes through the
-//                      portable wrappers so the scalar fallback and the
-//                      bit-identity contract stay in one place.
+// The analyzer itself lives in tools/lint/ (tokenizer, scope tracker, symbol
+// tables, rules, driver) so the test suite can link it directly; this file
+// is only the executable entry point. See tools/lint/rules.hpp for the rule
+// catalogue and DESIGN.md section 13 for how the lock-order rule pairs with
+// the EVVO_DEADLOCK_CHECK runtime validator.
 //
 // Suppression: append `// evvo-lint: allow(<rule>)` to the offending line or
-// place it alone on the line above. Each suppression names one rule; the
-// comment documents the exception at the site it is made.
-//
-// Output is gcc-style `file:line: warning: [rule] message` (machine-parsable
-// by editors and CI annotators); `--json` switches to one JSON object per
-// line. Exit code 1 when any violation survives suppression.
-//
-// `--self-test` runs every rule against embedded snippets with seeded
-// violations and asserts each rule both fires and honors its suppression.
+// place it on the line directly above (a blank line in between breaks the
+// association). `--baseline <file>` grandfathers recorded violations and
+// forbids growth; `--self-test` proves every rule fires and suppresses.
 
-#include <algorithm>
-#include <cctype>
-#include <filesystem>
-#include <fstream>
-#include <iostream>
-#include <sstream>
-#include <string>
-#include <string_view>
-#include <vector>
+#include "lint/driver.hpp"
 
-namespace {
-
-namespace fs = std::filesystem;
-
-struct Violation {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-struct FileUnderLint {
-  std::string path;              // as reported in diagnostics
-  std::vector<std::string> lines;
-  bool is_header = false;
-  bool is_boundary_header = false;  // public API headers with typed boundaries
-  bool is_mutex_wrapper = false;    // common/mutex.hpp itself
-};
-
-/// Strips // and /* */ comments plus string literals, so rules only match
-/// code. Block-comment state carries across lines via `in_block`.
-std::string strip_noncode(const std::string& line, bool& in_block) {
-  std::string out;
-  out.reserve(line.size());
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    if (in_block) {
-      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-        in_block = false;
-        ++i;
-      }
-      continue;
-    }
-    if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
-    if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-      in_block = true;
-      ++i;
-      continue;
-    }
-    if (line[i] == '"') {
-      out.push_back('"');
-      for (++i; i < line.size() && line[i] != '"'; ++i) {
-        if (line[i] == '\\') ++i;
-      }
-      continue;
-    }
-    out.push_back(line[i]);
-  }
-  return out;
-}
-
-bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
-
-/// Whole-word search: `needle` not embedded in a longer identifier.
-bool contains_word(std::string_view haystack, std::string_view needle) {
-  for (std::size_t pos = haystack.find(needle); pos != std::string_view::npos;
-       pos = haystack.find(needle, pos + 1)) {
-    const bool left_ok = pos == 0 || !is_ident_char(haystack[pos - 1]);
-    const std::size_t end = pos + needle.size();
-    const bool right_ok = end >= haystack.size() || !is_ident_char(haystack[end]);
-    if (left_ok && right_ok) return true;
-  }
-  return false;
-}
-
-/// Is line `idx` (0-based) suppressed for `rule`? Same line or the line above.
-bool suppressed(const FileUnderLint& file, std::size_t idx, std::string_view rule) {
-  const std::string needle = std::string("evvo-lint: allow(") + std::string(rule) + ")";
-  if (file.lines[idx].find(needle) != std::string::npos) return true;
-  return idx > 0 && file.lines[idx - 1].find(needle) != std::string::npos;
-}
-
-// ---------------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------------
-
-/// Parameter names that read as dimensioned quantities. A `double` parameter
-/// with one of these names in a boundary header is exactly the mixup the
-/// strong types exist to reject.
-bool name_reads_as_unit(std::string_view name) {
-  static constexpr std::string_view kExact[] = {
-      "speed", "time", "flow", "velocity", "depart", "arrival", "dt", "tau",
-  };
-  for (const auto n : kExact) {
-    if (name == n) return true;
-  }
-  static constexpr std::string_view kSuffixes[] = {
-      "_s", "_ms", "_m", "_ms2", "_veh_h", "_veh_s", "_kmh", "_mph", "_ah", "_mah",
-  };
-  for (const auto suffix : kSuffixes) {
-    if (name.size() > suffix.size() &&
-        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0)
-      return true;
-  }
-  static constexpr std::string_view kStems[] = {"speed", "time", "flow"};
-  for (const auto stem : kStems) {
-    if (name.find(stem) != std::string_view::npos) return true;
-  }
-  return false;
-}
-
-/// Extracts `double <name>` parameter declarations inside parentheses.
-void check_naked_unit_param(const FileUnderLint& file, const std::string& code,
-                            std::size_t idx, std::vector<Violation>& out) {
-  if (!file.is_boundary_header) return;
-  // Member/global declarations (`double x_ = ...;` at class scope) are spec
-  // struct fields; only flag parameters, i.e. `double name` with a preceding
-  // '(' or ',' on the same line and no '=' default making it a member.
-  for (std::size_t pos = code.find("double"); pos != std::string::npos;
-       pos = code.find("double", pos + 6)) {
-    const bool left_ok = pos == 0 || !is_ident_char(code[pos - 1]);
-    if (!left_ok || is_ident_char(code[pos + 6])) continue;
-    // Walk back over whitespace/const to the separator.
-    std::size_t back = pos;
-    while (back > 0 && (std::isspace(static_cast<unsigned char>(code[back - 1])))) --back;
-    if (back >= 5 && code.compare(back - 5, 5, "const") == 0) {
-      back -= 5;
-      while (back > 0 && std::isspace(static_cast<unsigned char>(code[back - 1]))) --back;
-    }
-    if (back == 0 || (code[back - 1] != '(' && code[back - 1] != ',')) continue;
-    // Parse the identifier after `double`.
-    std::size_t p = pos + 6;
-    while (p < code.size() && std::isspace(static_cast<unsigned char>(code[p]))) ++p;
-    std::size_t name_end = p;
-    while (name_end < code.size() && is_ident_char(code[name_end])) ++name_end;
-    if (name_end == p) continue;
-    const std::string_view name(code.data() + p, name_end - p);
-    if (name_reads_as_unit(name)) {
-      out.push_back({file.path, idx + 1, "naked-unit-param",
-                     "parameter 'double " + std::string(name) +
-                         "' in a boundary header: use the dimension-checked type from "
-                         "common/units.hpp (Seconds, MetersPerSecond, VehiclesPerSecond, ...)"});
-    }
-  }
-}
-
-void check_banned_random(const FileUnderLint& file, const std::string& code,
-                         std::size_t idx, std::vector<Violation>& out) {
-  static constexpr std::string_view kBanned[] = {"std::rand", "srand", "std::srand"};
-  for (const auto b : kBanned) {
-    if (contains_word(code, b)) {
-      out.push_back({file.path, idx + 1, "banned-random",
-                     std::string(b) + " is banned: use common/random.hpp (deterministic, "
-                                      "seedable, reproducible failures)"});
-      return;
-    }
-  }
-  // time(0) / time(NULL) / time(nullptr): the classic nondeterministic seed.
-  for (std::size_t pos = code.find("time"); pos != std::string::npos;
-       pos = code.find("time", pos + 4)) {
-    if (pos > 0 && (is_ident_char(code[pos - 1]) || code[pos - 1] == '_')) continue;
-    std::size_t p = pos + 4;
-    while (p < code.size() && std::isspace(static_cast<unsigned char>(code[p]))) ++p;
-    if (p >= code.size() || code[p] != '(') continue;
-    ++p;
-    while (p < code.size() && std::isspace(static_cast<unsigned char>(code[p]))) ++p;
-    if (code.compare(p, 1, "0") == 0 || code.compare(p, 4, "NULL") == 0 ||
-        code.compare(p, 7, "nullptr") == 0) {
-      out.push_back({file.path, idx + 1, "banned-random",
-                     "wall-clock seed time(...) is banned: use common/random.hpp"});
-      return;
-    }
-  }
-}
-
-void check_nodiscard_result(const FileUnderLint& file, const std::string& code,
-                            std::size_t idx, std::vector<Violation>& out) {
-  if (!file.is_header) return;
-  static constexpr std::string_view kSuffixes[] = {"Solution", "Result", "Report", "Response",
-                                                   "Stats"};
-  for (const auto kw : {std::string_view("struct"), std::string_view("class")}) {
-    for (std::size_t pos = code.find(kw); pos != std::string::npos;
-         pos = code.find(kw, pos + kw.size())) {
-      const bool left_ok = pos == 0 || !is_ident_char(code[pos - 1]);
-      if (!left_ok || is_ident_char(code[pos + kw.size()])) continue;
-      std::size_t p = pos + kw.size();
-      while (p < code.size() && std::isspace(static_cast<unsigned char>(code[p]))) ++p;
-      std::size_t name_end = p;
-      while (name_end < code.size() && is_ident_char(code[name_end])) ++name_end;
-      if (name_end == p) continue;
-      const std::string_view name(code.data() + p, name_end - p);
-      // Forward declarations (`struct X;`) and uses (`struct X x;`) aside:
-      // only definitions introduce the attribute, so require a '{' or ':'
-      // (base clause) after the name on this line.
-      std::size_t after = name_end;
-      while (after < code.size() && std::isspace(static_cast<unsigned char>(code[after]))) ++after;
-      if (after >= code.size() || (code[after] != '{' && code[after] != ':')) continue;
-      const bool result_like = std::any_of(
-          std::begin(kSuffixes), std::end(kSuffixes), [&](std::string_view s) {
-            return name.size() > s.size() &&
-                   name.compare(name.size() - s.size(), s.size(), s) == 0;
-          });
-      if (!result_like) continue;
-      const bool annotated =
-          code.find("[[nodiscard]]") != std::string::npos ||
-          (idx > 0 && file.lines[idx - 1].find("[[nodiscard]]") != std::string::npos);
-      if (!annotated) {
-        out.push_back({file.path, idx + 1, "nodiscard-result",
-                       std::string(name) + " is a result type: declare it [[nodiscard]] so "
-                                           "dropped solver/planner output is a compile error"});
-      }
-    }
-  }
-}
-
-void check_raw_sync(const FileUnderLint& file, const std::string& code, std::size_t idx,
-                    std::vector<Violation>& out) {
-  if (file.is_mutex_wrapper) return;
-  for (const auto banned : {std::string_view("std::mutex"), std::string_view("std::condition_variable"),
-                            std::string_view("std::lock_guard"), std::string_view("std::scoped_lock"),
-                            std::string_view("std::unique_lock")}) {
-    if (contains_word(code, banned)) {
-      out.push_back({file.path, idx + 1, "raw-sync",
-                     std::string(banned) + " outside common/mutex.hpp: use common::Mutex / "
-                                           "common::MutexLock / common::CondVar so clang "
-                                           "-Wthread-safety sees the lock"});
-      return;
-    }
-  }
-}
-
-/// Raw SIMD intrinsics outside the portable wrapper layer. Fires on both the
-/// intrinsic headers and the identifier prefixes, so neither a stray include
-/// nor a copy-pasted kernel slips past; common/simd.hpp itself is the one
-/// legitimate home for them.
-void check_raw_intrinsics(const FileUnderLint& file, const std::string& code,
-                          std::size_t idx, std::vector<Violation>& out) {
-  if (file.path.ends_with("common/simd.hpp")) return;
-  // Include paths live in the raw line (strip_noncode blanks string literals
-  // and <...> survives, but match the raw text like include-hygiene does).
-  const std::string& raw = file.lines[idx];
-  if (raw.find("#include") != std::string::npos) {
-    static constexpr std::string_view kHeaders[] = {"immintrin.h", "x86intrin.h",
-                                                    "emmintrin.h", "arm_neon.h"};
-    for (const auto h : kHeaders) {
-      if (raw.find(h) != std::string::npos) {
-        out.push_back({file.path, idx + 1, "raw-intrinsics",
-                       std::string("#include <") + std::string(h) +
-                           "> outside common/simd.hpp: all vector code goes through the "
-                           "portable wrappers (scalar fallback + bit-identity live there)"});
-        return;
-      }
-    }
-  }
-  static constexpr std::string_view kPrefixes[] = {"_mm_", "_mm256_", "_mm512_", "vld1q",
-                                                   "vst1q"};
-  for (const auto p : kPrefixes) {
-    if (code.find(p) != std::string::npos) {
-      out.push_back({file.path, idx + 1, "raw-intrinsics",
-                     "raw SIMD intrinsic '" + std::string(p) +
-                         "...' outside common/simd.hpp: use the evvo::common::simd wrappers"});
-      return;
-    }
-  }
-}
-
-/// File-scope rule: a common::Mutex member without any EVVO_GUARDED_BY /
-/// EVVO_REQUIRES in the same file is a mutex the analyzer cannot check.
-void check_guarded_mutex(const FileUnderLint& file, const std::vector<std::string>& code_lines,
-                         std::vector<Violation>& out) {
-  if (file.is_mutex_wrapper) return;
-  bool has_annotation = false;
-  for (const auto& code : code_lines) {
-    if (code.find("EVVO_GUARDED_BY") != std::string::npos ||
-        code.find("EVVO_REQUIRES") != std::string::npos ||
-        code.find("EVVO_PT_GUARDED_BY") != std::string::npos) {
-      has_annotation = true;
-      break;
-    }
-  }
-  if (has_annotation) return;
-  for (std::size_t idx = 0; idx < code_lines.size(); ++idx) {
-    const std::string& code = code_lines[idx];
-    if (!contains_word(code, "common::Mutex") && !contains_word(code, "Mutex")) continue;
-    // Member declaration: `common::Mutex name;` or `Mutex name;` (inside
-    // namespace common) — not a reference parameter or alias.
-    const std::size_t pos = code.find("Mutex");
-    std::size_t p = pos + 5;
-    if (p < code.size() && (code[p] == '&' || code[p] == '*')) continue;  // param/ptr
-    while (p < code.size() && std::isspace(static_cast<unsigned char>(code[p]))) ++p;
-    std::size_t name_end = p;
-    while (name_end < code.size() && is_ident_char(code[name_end])) ++name_end;
-    if (name_end == p) continue;
-    std::size_t q = name_end;
-    while (q < code.size() && std::isspace(static_cast<unsigned char>(code[q]))) ++q;
-    if (q < code.size() && code[q] == ';') {
-      if (!suppressed(file, idx, "guarded-mutex")) {
-        out.push_back({file.path, idx + 1, "guarded-mutex",
-                       "file declares a Mutex member but contains no EVVO_GUARDED_BY/"
-                       "EVVO_REQUIRES annotation: the analyzer cannot check an unannotated lock"});
-      }
-      return;  // one report per file is enough
-    }
-  }
-}
-
-void check_include_hygiene(const FileUnderLint& file, const std::vector<std::string>& code_lines,
-                           std::vector<Violation>& out) {
-  if (file.is_header) {
-    bool has_pragma_once = false;
-    for (const auto& raw : file.lines) {
-      if (raw.find("#pragma once") != std::string::npos) {
-        has_pragma_once = true;
-        break;
-      }
-    }
-    if (!has_pragma_once) {
-      out.push_back({file.path, 1, "include-hygiene", "header is missing #pragma once"});
-    }
-  }
-  for (std::size_t idx = 0; idx < code_lines.size(); ++idx) {
-    // Include paths live inside string literals, which strip_noncode blanks;
-    // #include lines cannot contain comments that matter, so scan them raw.
-    const std::string& code =
-        file.lines[idx].find("#include") != std::string::npos ? file.lines[idx] : code_lines[idx];
-    if (code.find("#include \"../") != std::string::npos) {
-      if (!suppressed(file, idx, "include-hygiene"))
-        out.push_back({file.path, idx + 1, "include-hygiene",
-                       "parent-relative include: include project headers by their src/-rooted "
-                       "path"});
-    }
-    if (file.is_header && code.find("using namespace") != std::string::npos) {
-      if (!suppressed(file, idx, "include-hygiene"))
-        out.push_back({file.path, idx + 1, "include-hygiene",
-                       "`using namespace` at header scope leaks into every includer"});
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Driver
-// ---------------------------------------------------------------------------
-
-/// Headers whose function signatures form the library's typed API boundary.
-bool boundary_header(const std::string& path) {
-  static constexpr std::string_view kBoundaries[] = {
-      "core/planner.hpp",    "core/dp_solver.hpp",       "core/glosa.hpp",
-      "traffic/queue_model.hpp", "traffic/queue_predictor.hpp", "ev/energy_model.hpp",
-      "cloud/plan_service.hpp",
-  };
-  return std::any_of(std::begin(kBoundaries), std::end(kBoundaries),
-                     [&](std::string_view b) { return path.ends_with(b); });
-}
-
-std::vector<Violation> lint_file(const FileUnderLint& file) {
-  std::vector<Violation> out;
-  std::vector<std::string> code_lines;
-  code_lines.reserve(file.lines.size());
-  bool in_block = false;
-  for (const auto& raw : file.lines) code_lines.push_back(strip_noncode(raw, in_block));
-
-  for (std::size_t idx = 0; idx < code_lines.size(); ++idx) {
-    const std::string& code = code_lines[idx];
-    std::vector<Violation> line_hits;
-    check_naked_unit_param(file, code, idx, line_hits);
-    check_banned_random(file, code, idx, line_hits);
-    check_nodiscard_result(file, code, idx, line_hits);
-    check_raw_sync(file, code, idx, line_hits);
-    check_raw_intrinsics(file, code, idx, line_hits);
-    for (auto& v : line_hits) {
-      if (!suppressed(file, idx, v.rule)) out.push_back(std::move(v));
-    }
-  }
-  check_guarded_mutex(file, code_lines, out);
-  check_include_hygiene(file, code_lines, out);
-  return out;
-}
-
-FileUnderLint load_file(const fs::path& path, const std::string& display) {
-  FileUnderLint file;
-  file.path = display;
-  std::ifstream in(path);
-  std::string line;
-  while (std::getline(in, line)) file.lines.push_back(line);
-  file.is_header = display.ends_with(".hpp") || display.ends_with(".h");
-  file.is_boundary_header = boundary_header(display);
-  file.is_mutex_wrapper = display.ends_with("common/mutex.hpp") ||
-                          display.ends_with("common/thread_annotations.hpp");
-  return file;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (c == '\n') {
-      out += "\\n";
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
-
-void report(const std::vector<Violation>& violations, bool json) {
-  for (const auto& v : violations) {
-    if (json) {
-      std::cout << "{\"file\":\"" << json_escape(v.file) << "\",\"line\":" << v.line
-                << ",\"rule\":\"" << v.rule << "\",\"message\":\"" << json_escape(v.message)
-                << "\"}\n";
-    } else {
-      std::cout << v.file << ":" << v.line << ": warning: [" << v.rule << "] " << v.message
-                << "\n";
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Self-test: every rule must fire on a seeded violation and stay quiet when
-// the violation is suppressed or the code is clean.
-// ---------------------------------------------------------------------------
-
-FileUnderLint snippet(const std::string& display, const std::string& text) {
-  FileUnderLint file;
-  file.path = display;
-  std::istringstream in(text);
-  std::string line;
-  while (std::getline(in, line)) file.lines.push_back(line);
-  file.is_header = display.ends_with(".hpp");
-  file.is_boundary_header = boundary_header(display);
-  file.is_mutex_wrapper = display.ends_with("common/mutex.hpp");
-  return file;
-}
-
-int self_test() {
-  int failures = 0;
-  const auto expect = [&](bool cond, const std::string& what) {
-    if (!cond) {
-      std::cerr << "self-test FAILED: " << what << "\n";
-      ++failures;
-    }
-  };
-  const auto fires = [](const FileUnderLint& f, std::string_view rule) {
-    const auto vs = lint_file(f);
-    return std::any_of(vs.begin(), vs.end(), [&](const Violation& v) { return v.rule == rule; });
-  };
-
-  // naked-unit-param: fires in a boundary header, not in an internal header,
-  // not when suppressed, not on a typed parameter.
-  expect(fires(snippet("src/core/planner.hpp",
-                       "#pragma once\nvoid plan(double depart_time_s);\n"),
-               "naked-unit-param"),
-         "naked-unit-param fires on `double depart_time_s` in a boundary header");
-  expect(fires(snippet("src/core/planner.hpp", "#pragma once\nvoid go(double speed);\n"),
-               "naked-unit-param"),
-         "naked-unit-param fires on `double speed`");
-  expect(!fires(snippet("src/core/internal_detail.hpp",
-                        "#pragma once\nvoid plan(double depart_time_s);\n"),
-                "naked-unit-param"),
-         "naked-unit-param is silent outside boundary headers");
-  expect(!fires(snippet("src/core/planner.hpp",
-                        "#pragma once\nvoid plan(Seconds depart_time);\n"),
-                "naked-unit-param"),
-         "naked-unit-param is silent on a strong-typed parameter");
-  expect(!fires(snippet("src/core/planner.hpp",
-                        "#pragma once\nvoid plan(double depart_time_s);  // evvo-lint: allow(naked-unit-param)\n"),
-                "naked-unit-param"),
-         "naked-unit-param honors suppression");
-  expect(!fires(snippet("src/core/planner.hpp",
-                        "#pragma once\nvoid turn(double grade_rad);\n"),
-                "naked-unit-param"),
-         "naked-unit-param is silent on non-unit parameter names");
-
-  // banned-random
-  expect(fires(snippet("src/core/a.cpp", "int x = std::rand();\n"), "banned-random"),
-         "banned-random fires on std::rand");
-  expect(fires(snippet("src/core/a.cpp", "srand(time(0));\n"), "banned-random"),
-         "banned-random fires on srand/time(0)");
-  expect(!fires(snippet("src/core/a.cpp", "double run_time(Run r);\n"), "banned-random"),
-         "banned-random is silent on identifiers containing 'time'/'rand'");
-  expect(!fires(snippet("src/core/a.cpp", "// std::rand() would be wrong here\n"),
-                "banned-random"),
-         "banned-random ignores comments");
-
-  // nodiscard-result
-  expect(fires(snippet("src/core/b.hpp", "#pragma once\nstruct DpSolution {\n};\n"),
-               "nodiscard-result"),
-         "nodiscard-result fires on an unannotated Solution struct");
-  expect(!fires(snippet("src/core/b.hpp",
-                        "#pragma once\nstruct [[nodiscard]] DpSolution {\n};\n"),
-                "nodiscard-result"),
-         "nodiscard-result is silent when annotated");
-  expect(!fires(snippet("src/core/b.hpp", "#pragma once\nstruct DpSolution;\n"),
-                "nodiscard-result"),
-         "nodiscard-result is silent on forward declarations");
-
-  // raw-sync
-  expect(fires(snippet("src/core/c.hpp", "#pragma once\nstd::mutex m_;\n"), "raw-sync"),
-         "raw-sync fires on std::mutex outside the wrapper");
-  expect(!fires(snippet("src/common/mutex.hpp", "#pragma once\nstd::mutex inner_;\n"),
-                "raw-sync"),
-         "raw-sync is silent inside common/mutex.hpp");
-
-  // raw-intrinsics
-  expect(fires(snippet("src/core/k.cpp", "#include <immintrin.h>\n"), "raw-intrinsics"),
-         "raw-intrinsics fires on an intrinsic header include");
-  expect(fires(snippet("src/core/k.cpp", "auto v = _mm_add_ps(a, b);\n"), "raw-intrinsics"),
-         "raw-intrinsics fires on an _mm_ identifier");
-  expect(fires(snippet("src/core/k.cpp", "auto v = vld1q_f32(p);\n"), "raw-intrinsics"),
-         "raw-intrinsics fires on a NEON vld1q identifier");
-  expect(!fires(snippet("src/common/simd.hpp",
-                        "#pragma once\n#include <immintrin.h>\nauto v = _mm_add_ps(a, b);\n"),
-                "raw-intrinsics"),
-         "raw-intrinsics is silent inside common/simd.hpp");
-  expect(!fires(snippet("src/core/k.cpp",
-                        "#include <immintrin.h>  // evvo-lint: allow(raw-intrinsics)\n"),
-                "raw-intrinsics"),
-         "raw-intrinsics honors suppression");
-  expect(!fires(snippet("src/core/k.cpp", "// _mm_add_ps would be wrong here\n"),
-                "raw-intrinsics"),
-         "raw-intrinsics ignores comments");
-
-  // guarded-mutex
-  expect(fires(snippet("src/core/d.hpp",
-                       "#pragma once\nclass A {\n common::Mutex mutex_;\n};\n"),
-               "guarded-mutex"),
-         "guarded-mutex fires on a Mutex member with no annotations in file");
-  expect(!fires(snippet("src/core/d.hpp",
-                        "#pragma once\nclass A {\n common::Mutex mutex_;\n int x EVVO_GUARDED_BY(mutex_);\n};\n"),
-                "guarded-mutex"),
-         "guarded-mutex is silent when the file has annotations");
-
-  // include-hygiene
-  expect(fires(snippet("src/core/e.hpp", "int x;\n"), "include-hygiene"),
-         "include-hygiene fires on a header without #pragma once");
-  expect(fires(snippet("src/core/f.hpp", "#pragma once\n#include \"../road/route.hpp\"\n"),
-               "include-hygiene"),
-         "include-hygiene fires on parent-relative includes");
-  expect(fires(snippet("src/core/g.hpp", "#pragma once\nusing namespace std;\n"),
-               "include-hygiene"),
-         "include-hygiene fires on using namespace in a header");
-  expect(!fires(snippet("src/core/h.cpp", "using namespace std::chrono_literals;\n"),
-                "include-hygiene"),
-         "include-hygiene allows using namespace in a .cpp");
-
-  if (failures == 0) std::cout << "evvo_lint self-test: all rules fire and suppress correctly\n";
-  return failures == 0 ? 0 : 1;
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  bool json = false;
-  std::string root;
-  std::vector<std::string> files;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg == "--self-test") return self_test();
-    if (arg == "--json") {
-      json = true;
-    } else if (arg == "--root" && i + 1 < argc) {
-      root = argv[++i];
-    } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: evvo_lint [--json] [--root <dir>] [files...]\n"
-                   "       evvo_lint --self-test\n";
-      return 0;
-    } else {
-      files.emplace_back(arg);
-    }
-  }
-
-  std::vector<Violation> all;
-  std::size_t file_count = 0;
-  const auto lint_path = [&](const fs::path& p, const std::string& display) {
-    const auto vs = lint_file(load_file(p, display));
-    all.insert(all.end(), vs.begin(), vs.end());
-    ++file_count;
-  };
-
-  if (!root.empty()) {
-    std::vector<fs::path> paths;
-    for (const auto& entry : fs::recursive_directory_iterator(root)) {
-      if (!entry.is_regular_file()) continue;
-      const auto ext = entry.path().extension();
-      if (ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc") paths.push_back(entry.path());
-    }
-    std::sort(paths.begin(), paths.end());
-    for (const auto& p : paths) lint_path(p, p.generic_string());
-  }
-  for (const auto& f : files) lint_path(f, f);
-
-  if (file_count == 0) {
-    std::cerr << "evvo_lint: no input files (use --root <dir> or pass files)\n";
-    return 2;
-  }
-  report(all, json);
-  if (!json) {
-    std::cout << "evvo_lint: " << all.size() << " violation(s) across " << file_count
-              << " file(s)\n";
-  }
-  return all.empty() ? 0 : 1;
-}
+int main(int argc, char** argv) { return evvo::lint::run(argc, argv); }

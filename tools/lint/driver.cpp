@@ -1,0 +1,207 @@
+#include "lint/driver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace evvo::lint {
+
+namespace fs = std::filesystem;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+SourceFile load_source(const std::string& path, const std::string& display) {
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return make_source(display, text.str());
+}
+
+bool parse_baseline(std::istream& in, Baseline* out, std::ostream& err) {
+  std::string line;
+  std::size_t lineno = 0;
+  bool ok = true;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    std::size_t count = 0;
+    std::string rule, file;
+    if (!(fields >> count >> rule >> file) || count == 0) {
+      err << "baseline:" << lineno << ": malformed line (want `<count> <rule> <file>`): "
+          << line << "\n";
+      ok = false;
+      continue;
+    }
+    (*out)[{file, rule}] += count;
+  }
+  return ok;
+}
+
+std::vector<Violation> apply_baseline(const std::vector<Violation>& violations,
+                                      const Baseline& baseline,
+                                      std::vector<std::string>* notes) {
+  std::map<std::pair<std::string, std::string>, std::vector<Violation>> groups;
+  for (const auto& v : violations) groups[{v.file, v.rule}].push_back(v);
+
+  std::vector<Violation> surviving;
+  for (const auto& [key, group] : groups) {
+    const auto it = baseline.find(key);
+    const std::size_t allowance = it == baseline.end() ? 0 : it->second;
+    if (group.size() <= allowance) {
+      if (group.size() < allowance && notes != nullptr) {
+        notes->push_back("baseline for [" + key.second + "] " + key.first + " allows " +
+                         std::to_string(allowance) + " but only " +
+                         std::to_string(group.size()) +
+                         " remain: tighten it with --write-baseline");
+      }
+      continue;  // grandfathered
+    }
+    surviving.insert(surviving.end(), group.begin(), group.end());
+  }
+  if (notes != nullptr) {
+    for (const auto& [key, allowance] : baseline) {
+      if (groups.find(key) == groups.end() && allowance > 0) {
+        notes->push_back("baseline entry [" + key.second + "] " + key.first + " (" +
+                         std::to_string(allowance) +
+                         ") matches nothing: remove it with --write-baseline");
+      }
+    }
+  }
+  return surviving;
+}
+
+std::string format_baseline(const std::vector<Violation>& violations) {
+  std::map<std::pair<std::string, std::string>, std::size_t> counts;
+  for (const auto& v : violations) ++counts[{v.file, v.rule}];
+  std::ostringstream out;
+  out << "# evvo_lint baseline: grandfathered violations, `<count> <rule> <file>`.\n"
+         "# Counts may only shrink; regenerate with `evvo_lint --write-baseline <this file>`.\n";
+  for (const auto& [key, count] : counts) {
+    out << count << " " << key.second << " " << key.first << "\n";
+  }
+  return out.str();
+}
+
+void report(const std::vector<Violation>& violations, bool json, std::ostream& out) {
+  for (const auto& v : violations) {
+    if (json) {
+      out << "{\"file\":\"" << json_escape(v.file) << "\",\"line\":" << v.line
+          << ",\"rule\":\"" << json_escape(v.rule) << "\",\"message\":\""
+          << json_escape(v.message) << "\"}\n";
+    } else {
+      out << v.file << ":" << v.line << ": warning: [" << v.rule << "] " << v.message << "\n";
+    }
+  }
+}
+
+int run(int argc, char** argv) {
+  bool json = false;
+  std::string root;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--self-test") return selftest::run() == 0 ? 0 : 1;
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline" && i + 1 < argc) {
+      write_baseline_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: evvo_lint [--json] [--root <dir>] [--baseline <file>]\n"
+                   "                 [--write-baseline <file>] [files...]\n"
+                   "       evvo_lint --self-test\n";
+      return 0;
+    } else if (arg.starts_with("--")) {
+      std::cerr << "evvo_lint: unknown option " << arg << " (see --help)\n";
+      return 2;
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+
+  std::vector<SourceFile> sources;
+  if (!root.empty()) {
+    std::vector<fs::path> paths;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc")
+        paths.push_back(entry.path());
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const auto& p : paths) sources.push_back(load_source(p.string(), p.generic_string()));
+  }
+  for (const auto& f : files) sources.push_back(load_source(f, f));
+
+  if (sources.empty()) {
+    std::cerr << "evvo_lint: no input files (use --root <dir> or pass files)\n";
+    return 2;
+  }
+
+  std::vector<Violation> all = analyze(sources);
+
+  std::vector<std::string> notes;
+  if (!baseline_path.empty()) {
+    Baseline baseline;
+    std::ifstream in(baseline_path);
+    if (in) {
+      if (!parse_baseline(in, &baseline, std::cerr)) return 2;
+    }
+    // An absent baseline file is an empty baseline: the tree must be clean.
+    all = apply_baseline(all, baseline, &notes);
+  }
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    out << format_baseline(all);
+    if (!out) {
+      std::cerr << "evvo_lint: cannot write baseline " << write_baseline_path << "\n";
+      return 2;
+    }
+    std::cout << "evvo_lint: wrote baseline for " << all.size() << " violation(s) to "
+              << write_baseline_path << "\n";
+    return 0;
+  }
+
+  report(all, json, std::cout);
+  if (!json) {
+    for (const auto& note : notes) std::cout << "note: " << note << "\n";
+    std::cout << "evvo_lint: " << all.size() << " violation(s) across " << sources.size()
+              << " file(s)\n";
+  }
+  return all.empty() ? 0 : 1;
+}
+
+}  // namespace evvo::lint

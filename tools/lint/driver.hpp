@@ -1,0 +1,64 @@
+// CLI driver for evvo_lint: file loading, reporting (gcc-style or JSON),
+// and the baseline ratchet.
+//
+// The baseline file (LINT_BASELINE at the repo root) records grandfathered
+// violations as `<count> <rule> <file>` lines. A lint run with `--baseline`
+// drops any (file, rule) group whose violation count is at or below its
+// allowance and reports everything else; counts can only shrink — when a
+// group under-runs its allowance the run prints a note asking for the
+// baseline to be re-tightened with `--write-baseline`. An empty (or absent)
+// baseline means the tree must be clean.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/lexer.hpp"
+#include "lint/rules.hpp"
+
+namespace evvo::lint {
+
+/// JSON string-escape covering the full control range: `"` `\` `\b` `\f`
+/// `\n` `\r` `\t` plus \u00XX for every other control character, so rule
+/// messages and file paths always round-trip through a JSON parser.
+std::string json_escape(const std::string& s);
+
+/// Reads a file from disk into a SourceFile (strips, classifies).
+SourceFile load_source(const std::string& path, const std::string& display);
+
+/// Baseline allowances keyed by (file, rule).
+using Baseline = std::map<std::pair<std::string, std::string>, std::size_t>;
+
+/// Parses `<count> <rule> <file>` lines; '#' comments and blanks skipped.
+/// Returns false on a malformed line (reported to `err`).
+bool parse_baseline(std::istream& in, Baseline* out, std::ostream& err);
+
+/// Filters `violations` through the baseline. Groups within allowance are
+/// dropped; over-allowance groups are reported whole. Notes (shrunk groups,
+/// stale baseline entries) are appended to `notes`.
+std::vector<Violation> apply_baseline(const std::vector<Violation>& violations,
+                                      const Baseline& baseline,
+                                      std::vector<std::string>* notes);
+
+/// Serializes current violations in baseline format (sorted, commented).
+std::string format_baseline(const std::vector<Violation>& violations);
+
+/// Prints violations gcc-style (`file:line: warning: [rule] message`) or as
+/// one JSON object per line.
+void report(const std::vector<Violation>& violations, bool json, std::ostream& out);
+
+/// Full CLI: parses argv, lints, reports. Exit code 0 clean, 1 violations,
+/// 2 usage/IO error.
+int run(int argc, char** argv);
+
+}  // namespace evvo::lint
+
+namespace evvo::lint::selftest {
+
+/// Runs the embedded rule self-test; returns the number of failures.
+int run();
+
+}  // namespace evvo::lint::selftest

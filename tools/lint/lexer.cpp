@@ -1,0 +1,163 @@
+#include "lint/lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace evvo::lint {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool contains_word(std::string_view haystack, std::string_view needle) {
+  for (std::size_t pos = haystack.find(needle); pos != std::string_view::npos;
+       pos = haystack.find(needle, pos + 1)) {
+    const bool left_ok = pos == 0 || !is_ident_char(haystack[pos - 1]);
+    const std::size_t end = pos + needle.size();
+    const bool right_ok = end >= haystack.size() || !is_ident_char(haystack[end]);
+    if (left_ok && right_ok) return true;
+  }
+  return false;
+}
+
+std::string Tokenizer::strip(const std::string& line) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (in_block_) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block_ = false;
+        ++i;
+      }
+      continue;
+    }
+    if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block_ = true;
+      ++i;
+      continue;
+    }
+    if (line[i] == '"') {
+      out.push_back('"');
+      for (++i; i < line.size() && line[i] != '"'; ++i) {
+        if (line[i] == '\\') ++i;
+      }
+      continue;
+    }
+    if (line[i] == '\'') {
+      // A quote directly after an identifier character is a digit separator
+      // (1'000'000), not a char literal — pass it through unchanged.
+      if (!out.empty() && is_ident_char(out.back())) {
+        out.push_back('\'');
+        continue;
+      }
+      out.push_back('\'');
+      for (++i; i < line.size() && line[i] != '\''; ++i) {
+        if (line[i] == '\\') ++i;
+      }
+      continue;
+    }
+    out.push_back(line[i]);
+  }
+  return out;
+}
+
+std::string_view ident_ending_at(std::string_view s, std::size_t pos) {
+  if (pos == 0 || pos > s.size()) return {};
+  std::size_t begin = pos;
+  while (begin > 0 && is_ident_char(s[begin - 1])) --begin;
+  return s.substr(begin, pos - begin);
+}
+
+std::string_view ident_starting_at(std::string_view s, std::size_t pos) {
+  while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) ++pos;
+  std::size_t end = pos;
+  while (end < s.size() && is_ident_char(s[end])) ++end;
+  if (end == pos) return {};
+  return s.substr(pos, end - pos);
+}
+
+std::string_view trailing_ident(std::string_view expr) {
+  std::size_t end = expr.size();
+  while (end > 0 &&
+         (std::isspace(static_cast<unsigned char>(expr[end - 1])) || expr[end - 1] == ')')) {
+    --end;
+  }
+  return ident_ending_at(expr, end);
+}
+
+std::set<std::string> allowed_rules(const std::string& raw_line) {
+  std::set<std::string> out;
+  const std::string_view marker = "evvo-lint:";
+  const std::size_t anchor = raw_line.find(marker);
+  if (anchor == std::string::npos) return out;
+  std::string_view rest(raw_line);
+  rest.remove_prefix(anchor + marker.size());
+  for (std::size_t pos = rest.find("allow("); pos != std::string_view::npos;
+       pos = rest.find("allow(", pos + 1)) {
+    const std::size_t close = rest.find(')', pos);
+    if (close == std::string_view::npos) break;
+    std::string inner(rest.substr(pos + 6, close - pos - 6));
+    std::istringstream items(inner);
+    std::string item;
+    while (std::getline(items, item, ',')) {
+      const auto first = item.find_first_not_of(" \t");
+      if (first == std::string::npos) continue;
+      const auto last = item.find_last_not_of(" \t");
+      out.insert(item.substr(first, last - first + 1));
+    }
+    pos = close;
+  }
+  return out;
+}
+
+namespace {
+
+bool blank_line(const std::string& raw) {
+  return std::all_of(raw.begin(), raw.end(),
+                     [](char c) { return std::isspace(static_cast<unsigned char>(c)); });
+}
+
+}  // namespace
+
+bool suppressed(const SourceFile& file, std::size_t idx, std::string_view rule) {
+  if (idx >= file.raw.size()) return false;
+  if (allowed_rules(file.raw[idx]).count(std::string(rule))) return true;
+  // The line directly above also counts, but a blank line in between breaks
+  // the association so suppressions cannot drift away from their site.
+  if (idx > 0 && !blank_line(file.raw[idx - 1]) &&
+      allowed_rules(file.raw[idx - 1]).count(std::string(rule))) {
+    return true;
+  }
+  return false;
+}
+
+SourceFile make_source(std::string path, const std::string& text) {
+  SourceFile file;
+  file.path = std::move(path);
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) file.raw.push_back(line);
+  Tokenizer tok;
+  file.code.reserve(file.raw.size());
+  for (const auto& raw : file.raw) file.code.push_back(tok.strip(raw));
+  file.is_header = file.path.ends_with(".hpp") || file.path.ends_with(".h");
+  static constexpr std::string_view kBoundaries[] = {
+      "core/planner.hpp",        "core/dp_solver.hpp",
+      "core/glosa.hpp",          "traffic/queue_model.hpp",
+      "traffic/queue_predictor.hpp", "ev/energy_model.hpp",
+      "cloud/plan_service.hpp",
+  };
+  file.is_boundary_header =
+      std::any_of(std::begin(kBoundaries), std::end(kBoundaries),
+                  [&](std::string_view b) { return file.path.ends_with(b); });
+  file.is_mutex_wrapper = file.path.ends_with("common/mutex.hpp") ||
+                          file.path.ends_with("common/thread_annotations.hpp") ||
+                          file.path.ends_with("common/lock_ranks.hpp") ||
+                          file.path.ends_with("common/deadlock.cpp");
+  file.is_simd_wrapper = file.path.ends_with("common/simd.hpp");
+  return file;
+}
+
+}  // namespace evvo::lint

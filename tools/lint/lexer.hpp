@@ -1,0 +1,77 @@
+// Lexical layer of the evvo_lint analyzer library.
+//
+// Everything downstream (scope tracking, symbol tables, rules) operates on
+// *code lines*: the raw source with comments and string/char literal
+// contents stripped, so a rule can match tokens without tripping over
+// prose. The Tokenizer carries block-comment state across lines; the
+// identifier helpers implement the whole-word and expression-tail matching
+// every rule shares; allowed_rules/suppressed implement the
+// `// evvo-lint: allow(rule-a, rule-b)` suppression grammar (same line or
+// the line directly above — a blank line in between breaks the association
+// on purpose, so a stale suppression cannot drift away from its site).
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace evvo::lint {
+
+/// One file under analysis: raw lines for suppression comments and
+/// #include scanning, stripped code lines for every token rule.
+struct SourceFile {
+  std::string path;                 // as reported in diagnostics
+  std::vector<std::string> raw;     // original text
+  std::vector<std::string> code;    // comment/string-stripped text
+  bool is_header = false;
+  bool is_boundary_header = false;  // public API headers with typed boundaries
+  bool is_mutex_wrapper = false;    // common/mutex.hpp + thread_annotations.hpp
+  bool is_simd_wrapper = false;     // common/simd.hpp
+};
+
+bool is_ident_char(char c);
+
+/// Whole-word search: `needle` not embedded in a longer identifier.
+bool contains_word(std::string_view haystack, std::string_view needle);
+
+/// Strips // and /* */ comments plus string/char literal contents so rules
+/// only match code. A `"` / `'` marker survives where a literal was; digit
+/// separators (1'000'000) pass through untouched. Block-comment state
+/// carries across lines.
+class Tokenizer {
+ public:
+  std::string strip(const std::string& line);
+  bool in_block_comment() const { return in_block_; }
+
+ private:
+  bool in_block_ = false;
+};
+
+/// The identifier ending at `pos` (exclusive), or "" if the character
+/// before `pos` is not an identifier character.
+std::string_view ident_ending_at(std::string_view s, std::size_t pos);
+
+/// The identifier starting at the first non-space character at/after `pos`,
+/// or "" if none starts there.
+std::string_view ident_starting_at(std::string_view s, std::size_t pos);
+
+/// Trailing identifier of a member/scope chain: "shard.shard_mutex" ->
+/// "shard_mutex", "flight->flight_mutex" -> "flight_mutex",
+/// "ns::g_mutex" -> "g_mutex". Trailing ')' / whitespace is ignored.
+std::string_view trailing_ident(std::string_view expr);
+
+/// Every rule named by `evvo-lint: allow(...)` comments on this raw line.
+/// Multiple allow() groups and comma-separated lists both work:
+///   // evvo-lint: allow(rule-a) allow(rule-b)
+///   // evvo-lint: allow(rule-a, rule-b)
+std::set<std::string> allowed_rules(const std::string& raw_line);
+
+/// Is (rule, line idx) suppressed? Same line, or the line directly above
+/// (which must not be blank — a blank separator breaks the association).
+bool suppressed(const SourceFile& file, std::size_t idx, std::string_view rule);
+
+/// Builds a SourceFile from in-memory text (self-test, unit tests).
+SourceFile make_source(std::string path, const std::string& text);
+
+}  // namespace evvo::lint

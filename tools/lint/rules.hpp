@@ -1,0 +1,60 @@
+// Rule set of the evvo_lint analyzer.
+//
+// analyze() runs two passes over the file set: a symbol pass (lint/symbols)
+// that learns every Mutex/atomic/CondVar declaration and the LockRank
+// enumerator values, then a rule pass combining single-line checks with
+// scope-walking checks (lint/scope). The rules:
+//
+//   naked-unit-param   boundary headers must not declare `double` parameters
+//                      whose names read as speeds/times/flows — those are the
+//                      exact parameters the strong types in common/units.hpp
+//                      exist for.
+//   banned-random      std::rand/srand/time(0) seeds are forbidden; the
+//                      library ships its own deterministic PRNG.
+//   nodiscard-result   solver/planner result structs (`...Solution`,
+//                      `...Result`, `...Report`, `...Stats`, `...Response`)
+//                      must be [[nodiscard]].
+//   raw-sync           std::mutex / std::condition_variable outside
+//                      common/mutex.hpp are forbidden.
+//   guarded-mutex      a file declaring a Mutex must contain at least one
+//                      EVVO_GUARDED_BY/EVVO_REQUIRES annotation.
+//   include-hygiene    #pragma once, no parent-relative includes, no
+//                      `using namespace` at header scope.
+//   raw-intrinsics     intrinsic headers/identifiers only in common/simd.hpp.
+//   lock-order         every locked Mutex carries a LockRank; nested MutexLock
+//                      acquisitions in one function must be rank-increasing.
+//                      Static mirror of the EVVO_DEADLOCK_CHECK runtime
+//                      validator (same-function nesting caught here, cross-
+//                      function nesting at runtime).
+//   atomics-misuse     atomic ops on declared std::atomic members need an
+//                      explicit memory order; a *consumed* relaxed RMW is a
+//                      synchronization bug; seq_cst is banned (state intent);
+//                      atomic load-check-then-store is a racy check-then-act.
+//   fp-determinism     std::accumulate/std::reduce family in src/core +
+//                      src/learn, fast-math/contract pragmas, explicit
+//                      std::fma outside simd.hpp, and OpenMP pragmas all
+//                      break the bit-identity contract.
+//   wait-predicate     CondVar::wait must sit inside a predicate loop
+//                      (`while (!pred) cv.wait(m);`) — a bare or if-guarded
+//                      wait drops spurious wakeups.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+#include "lint/symbols.hpp"
+
+namespace evvo::lint {
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Runs every rule over the file set; suppressions already applied.
+std::vector<Violation> analyze(const std::vector<SourceFile>& files);
+
+}  // namespace evvo::lint

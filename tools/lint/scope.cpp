@@ -1,0 +1,93 @@
+#include "lint/scope.hpp"
+
+#include <algorithm>
+
+namespace evvo::lint {
+
+namespace {
+
+bool control_keyword(std::string_view ident) {
+  static constexpr std::string_view kKeywords[] = {
+      "if",    "else",   "while", "for",  "do",    "switch", "struct",
+      "class", "namespace", "enum", "union", "try", "catch",
+  };
+  return std::any_of(std::begin(kKeywords), std::end(kKeywords),
+                     [&](std::string_view k) { return ident == k; });
+}
+
+}  // namespace
+
+void walk_scopes(const std::vector<std::string>& code_lines, ScopeSink& sink) {
+  std::vector<ScopeInfo> scopes;
+  WalkState st;
+  st.scopes = &scopes;
+  // Last control keyword seen since the previous statement/scope boundary;
+  // it becomes the owner of the next '{' ("while" -> loop body, etc.).
+  std::string pending_keyword;
+  int paren_depth = 0;
+
+  for (std::size_t line = 0; line < code_lines.size(); ++line) {
+    const std::string& code = code_lines[line];
+    for (std::size_t col = 0; col < code.size(); ++col) {
+      const char c = code[col];
+      if (is_ident_char(c)) {
+        std::size_t end = col;
+        while (end < code.size() && is_ident_char(code[end])) ++end;
+        const std::string_view ident(code.data() + col, end - col);
+        if (control_keyword(ident)) {
+          pending_keyword = std::string(ident);
+          if (ident == "while" || ident == "for" || ident == "do") st.statement_has_loop = true;
+          if (ident == "if" || ident == "while") st.statement_has_branch = true;
+        }
+        sink.on_identifier(line, col, ident, st);
+        col = end - 1;
+        continue;
+      }
+      switch (c) {
+        case '(':
+          ++paren_depth;
+          break;
+        case ')':
+          if (paren_depth > 0) --paren_depth;
+          break;
+        case '{': {
+          ++st.depth;
+          scopes.push_back({st.depth, pending_keyword, line});
+          sink.on_scope_open(scopes.back(), st);
+          pending_keyword.clear();
+          // A brace body starts fresh statement state; the loop/branch nature
+          // of the opener lives on in the scope keyword.
+          st.statement_has_loop = false;
+          st.statement_has_branch = false;
+          break;
+        }
+        case '}': {
+          if (!scopes.empty()) {
+            const ScopeInfo closing = scopes.back();
+            scopes.pop_back();
+            --st.depth;
+            sink.on_scope_close(closing, line, st);
+          }
+          st.statement_has_loop = false;
+          st.statement_has_branch = false;
+          sink.on_statement_end(line, st);
+          pending_keyword.clear();
+          break;
+        }
+        case ';':
+          // A ';' inside parens is a for-loop separator, not a statement end.
+          if (paren_depth == 0) {
+            sink.on_statement_end(line, st);
+            st.statement_has_loop = false;
+            st.statement_has_branch = false;
+            pending_keyword.clear();
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace evvo::lint

@@ -1,0 +1,59 @@
+// Brace/scope tracking over stripped code lines.
+//
+// walk_scopes() performs a character walk across a whole file, maintaining a
+// stack of open braces plus enough per-statement state (did the current
+// statement start with `while`/`for`/`if`...?) that rules can answer
+// questions like "is this CondVar::wait inside a loop?" or "is this
+// MutexLock still in scope?" without a real parser. Rules implement
+// ScopeSink and get callbacks for scope opens/closes, identifiers, and
+// statement boundaries.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace evvo::lint {
+
+/// One open `{ ... }` region on the walk stack.
+struct ScopeInfo {
+  int depth = 0;              // 1 = outermost braces of the file
+  std::string keyword;        // control/decl keyword that owns the brace
+                              // ("while", "if", "class", ... or "" for bare)
+  std::size_t open_line = 0;  // 0-based line of the '{'
+};
+
+/// Live state exposed to sinks during the walk.
+struct WalkState {
+  const std::vector<ScopeInfo>* scopes = nullptr;  // innermost last
+  int depth = 0;
+  bool statement_has_loop = false;    // current statement started while/for/do
+  bool statement_has_branch = false;  // current statement started if/while
+
+  /// Is any enclosing scope a loop body?
+  bool in_loop_scope() const {
+    for (const auto& s : *scopes) {
+      if (s.keyword == "while" || s.keyword == "for" || s.keyword == "do") return true;
+    }
+    return false;
+  }
+};
+
+/// Callbacks a rule registers with walk_scopes. All line numbers 0-based.
+class ScopeSink {
+ public:
+  virtual ~ScopeSink() = default;
+  virtual void on_scope_open(const ScopeInfo&, const WalkState&) {}
+  virtual void on_scope_close(const ScopeInfo&, std::size_t /*line*/, const WalkState&) {}
+  virtual void on_identifier(std::size_t /*line*/, std::size_t /*col*/,
+                             std::string_view /*ident*/, const WalkState&) {}
+  virtual void on_statement_end(std::size_t /*line*/, const WalkState&) {}
+};
+
+/// Walks the stripped code lines of one file, driving the sink.
+void walk_scopes(const std::vector<std::string>& code_lines, ScopeSink& sink);
+
+}  // namespace evvo::lint

@@ -1,0 +1,434 @@
+// Embedded self-test: every rule must fire on a seeded violation and stay
+// quiet when the violation is suppressed or the code is clean. Runs as the
+// `lint_selftest` ctest and in the CI quick job, so a rule that silently
+// stops firing is caught before it stops gating anything.
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/driver.hpp"
+#include "lint/lexer.hpp"
+#include "lint/rules.hpp"
+
+namespace evvo::lint::selftest {
+
+namespace {
+
+/// Mini rank enum embedded alongside snippets that exercise lock-order.
+const std::string kRanks =
+    "#pragma once\n"
+    "enum class LockRank : int {\n"
+    "  kA = 10,\n"
+    "  kB = 20,\n"
+    "};\n";
+
+bool fires_in(const std::vector<SourceFile>& files, std::string_view rule) {
+  const auto vs = analyze(files);
+  return std::any_of(vs.begin(), vs.end(), [&](const Violation& v) { return v.rule == rule; });
+}
+
+bool fires(const SourceFile& file, std::string_view rule) {
+  return fires_in(std::vector<SourceFile>{file}, rule);
+}
+
+SourceFile ranks_file() { return make_source("src/common/lock_ranks2.hpp", kRanks); }
+
+}  // namespace
+
+int run() {
+  int failures = 0;
+  const auto expect = [&](bool cond, const std::string& what) {
+    if (!cond) {
+      std::cerr << "self-test FAILED: " << what << "\n";
+      ++failures;
+    }
+  };
+
+  // -------------------------------------------------------------------------
+  // v1 rules, unchanged behavior
+  // -------------------------------------------------------------------------
+
+  expect(fires(make_source("src/core/planner.hpp",
+                           "#pragma once\nvoid plan(double depart_time_s);\n"),
+               "naked-unit-param"),
+         "naked-unit-param fires on `double depart_time_s` in a boundary header");
+  expect(fires(make_source("src/core/planner.hpp", "#pragma once\nvoid go(double speed);\n"),
+               "naked-unit-param"),
+         "naked-unit-param fires on `double speed`");
+  expect(!fires(make_source("src/core/internal_detail.hpp",
+                            "#pragma once\nvoid plan(double depart_time_s);\n"),
+                "naked-unit-param"),
+         "naked-unit-param is silent outside boundary headers");
+  expect(!fires(make_source("src/core/planner.hpp",
+                            "#pragma once\nvoid plan(Seconds depart_time);\n"),
+                "naked-unit-param"),
+         "naked-unit-param is silent on a strong-typed parameter");
+  expect(!fires(make_source("src/core/planner.hpp",
+                            "#pragma once\nvoid plan(double depart_time_s);  "
+                            "// evvo-lint: allow(naked-unit-param)\n"),
+                "naked-unit-param"),
+         "naked-unit-param honors suppression");
+  expect(!fires(make_source("src/core/planner.hpp",
+                            "#pragma once\nvoid turn(double grade_rad);\n"),
+                "naked-unit-param"),
+         "naked-unit-param is silent on non-unit parameter names");
+
+  expect(fires(make_source("src/core/a.cpp", "int x = std::rand();\n"), "banned-random"),
+         "banned-random fires on std::rand");
+  expect(fires(make_source("src/core/a.cpp", "srand(time(0));\n"), "banned-random"),
+         "banned-random fires on srand/time(0)");
+  expect(!fires(make_source("src/core/a.cpp", "double run_time(Run r);\n"), "banned-random"),
+         "banned-random is silent on identifiers containing 'time'/'rand'");
+  expect(!fires(make_source("src/core/a.cpp", "// std::rand() would be wrong here\n"),
+                "banned-random"),
+         "banned-random ignores comments");
+
+  expect(fires(make_source("src/core/b.hpp", "#pragma once\nstruct DpSolution {\n};\n"),
+               "nodiscard-result"),
+         "nodiscard-result fires on an unannotated Solution struct");
+  expect(!fires(make_source("src/core/b.hpp",
+                            "#pragma once\nstruct [[nodiscard]] DpSolution {\n};\n"),
+                "nodiscard-result"),
+         "nodiscard-result is silent when annotated");
+  expect(!fires(make_source("src/core/b.hpp", "#pragma once\nstruct DpSolution;\n"),
+                "nodiscard-result"),
+         "nodiscard-result is silent on forward declarations");
+
+  expect(fires(make_source("src/core/c.hpp", "#pragma once\nstd::mutex m_;\n"), "raw-sync"),
+         "raw-sync fires on std::mutex outside the wrapper");
+  expect(!fires(make_source("src/common/mutex.hpp", "#pragma once\nstd::mutex inner_;\n"),
+                "raw-sync"),
+         "raw-sync is silent inside common/mutex.hpp");
+
+  expect(fires(make_source("src/core/k.cpp", "#include <immintrin.h>\n"), "raw-intrinsics"),
+         "raw-intrinsics fires on an intrinsic header include");
+  expect(fires(make_source("src/core/k.cpp", "auto v = _mm_add_ps(a, b);\n"),
+               "raw-intrinsics"),
+         "raw-intrinsics fires on an _mm_ identifier");
+  expect(fires(make_source("src/core/k.cpp", "auto v = vld1q_f32(p);\n"), "raw-intrinsics"),
+         "raw-intrinsics fires on a NEON vld1q identifier");
+  expect(!fires(make_source("src/common/simd.hpp",
+                            "#pragma once\n#include <immintrin.h>\nauto v = _mm_add_ps(a, b);\n"),
+                "raw-intrinsics"),
+         "raw-intrinsics is silent inside common/simd.hpp");
+  expect(!fires(make_source("src/core/k.cpp",
+                            "#include <immintrin.h>  // evvo-lint: allow(raw-intrinsics)\n"),
+                "raw-intrinsics"),
+         "raw-intrinsics honors suppression");
+  expect(!fires(make_source("src/core/k.cpp", "// _mm_add_ps would be wrong here\n"),
+                "raw-intrinsics"),
+         "raw-intrinsics ignores comments");
+
+  expect(fires(make_source("src/core/d.hpp",
+                           "#pragma once\nclass A {\n common::Mutex d_mutex_;\n};\n"),
+               "guarded-mutex"),
+         "guarded-mutex fires on a Mutex member with no annotations in file");
+  expect(fires(make_source("src/core/d2.hpp",
+                           "#pragma once\nclass A {\n common::Mutex d2_mutex_{LockRank::kA};\n};\n"),
+               "guarded-mutex"),
+         "guarded-mutex fires on a brace-initialized (ranked) Mutex too");
+  expect(!fires(make_source("src/core/d.hpp",
+                            "#pragma once\nclass A {\n common::Mutex d_mutex_;\n"
+                            " int x EVVO_GUARDED_BY(d_mutex_);\n};\n"),
+                "guarded-mutex"),
+         "guarded-mutex is silent when the file has annotations");
+
+  expect(fires(make_source("src/core/e.hpp", "int x;\n"), "include-hygiene"),
+         "include-hygiene fires on a header without #pragma once");
+  expect(fires(make_source("src/core/f.hpp",
+                           "#pragma once\n#include \"../road/route.hpp\"\n"),
+               "include-hygiene"),
+         "include-hygiene fires on parent-relative includes");
+  expect(fires(make_source("src/core/g.hpp", "#pragma once\nusing namespace std;\n"),
+               "include-hygiene"),
+         "include-hygiene fires on using namespace in a header");
+  expect(!fires(make_source("src/core/h.cpp", "using namespace std::chrono_literals;\n"),
+                "include-hygiene"),
+         "include-hygiene allows using namespace in a .cpp");
+
+  // -------------------------------------------------------------------------
+  // lock-order
+  // -------------------------------------------------------------------------
+
+  const std::string decls =
+      "#pragma once\n"
+      "struct S {\n"
+      "  Mutex low_mutex{LockRank::kA};\n"
+      "  Mutex high_mutex{LockRank::kB};\n"
+      "  Mutex plain_mutex;\n"
+      "  int x EVVO_GUARDED_BY(low_mutex);\n"
+      "};\n";
+  const auto with_ranks = [&](const std::string& path, const std::string& body) {
+    return std::vector<SourceFile>{ranks_file(), make_source("src/core/decls.hpp", decls),
+                                   make_source(path, body)};
+  };
+
+  expect(fires_in(with_ranks("src/core/lo.cpp",
+                             "void f(S& s) {\n"
+                             "  MutexLock a(s.high_mutex);\n"
+                             "  MutexLock b(s.low_mutex);\n"
+                             "}\n"),
+                  "lock-order"),
+         "lock-order fires on a rank inversion (high then low)");
+  expect(fires_in(with_ranks("src/core/lo_eq.cpp",
+                             "void f(S& s, S& t) {\n"
+                             "  MutexLock a(s.low_mutex);\n"
+                             "  MutexLock b(t.low_mutex);\n"
+                             "}\n"),
+                  "lock-order"),
+         "lock-order fires on equal-rank nesting (must be strictly increasing)");
+  expect(!fires_in(with_ranks("src/core/lo_ok.cpp",
+                              "void f(S& s) {\n"
+                              "  MutexLock a(s.low_mutex);\n"
+                              "  MutexLock b(s.high_mutex);\n"
+                              "}\n"),
+                   "lock-order"),
+         "lock-order is silent on rank-increasing nesting");
+  expect(!fires_in(with_ranks("src/core/lo_seq.cpp",
+                              "void f(S& s) {\n"
+                              "  {\n"
+                              "    MutexLock a(s.high_mutex);\n"
+                              "  }\n"
+                              "  MutexLock b(s.low_mutex);\n"
+                              "}\n"),
+                   "lock-order"),
+         "lock-order is silent when the first lock's scope closed (sequential)");
+  expect(fires_in(with_ranks("src/core/lo_plain.cpp",
+                             "void f(S& s) {\n"
+                             "  MutexLock a(s.plain_mutex);\n"
+                             "}\n"),
+                  "lock-order"),
+         "lock-order fires when locking a Mutex declared without a rank");
+  expect(fires_in(std::vector<SourceFile>{
+                      ranks_file(),
+                      make_source("src/core/decls2.hpp",
+                                  "#pragma once\n"
+                                  "struct T {\n"
+                                  "  Mutex typo_mutex{LockRank::kNoSuchRank};\n"
+                                  "  int x EVVO_GUARDED_BY(typo_mutex);\n"
+                                  "};\n"),
+                      make_source("src/core/lo_typo.cpp",
+                                  "void f(T& t) {\n"
+                                  "  MutexLock a(t.typo_mutex);\n"
+                                  "}\n")},
+                  "lock-order"),
+         "lock-order fires when a rank name is not a LockRank enumerator");
+  expect(!fires_in(with_ranks("src/core/lo_sup.cpp",
+                              "void f(S& s) {\n"
+                              "  MutexLock a(s.high_mutex);\n"
+                              "  // evvo-lint: allow(lock-order)\n"
+                              "  MutexLock b(s.low_mutex);\n"
+                              "}\n"),
+                   "lock-order"),
+         "lock-order honors suppression on the acquisition line");
+  expect(fires_in(std::vector<SourceFile>{
+                      ranks_file(),
+                      make_source("src/core/dup1.hpp",
+                                  "#pragma once\nstruct A { Mutex dup_mutex{LockRank::kA}; "
+                                  "int x EVVO_GUARDED_BY(dup_mutex); };\n"),
+                      make_source("src/core/dup2.hpp",
+                                  "#pragma once\nstruct B { Mutex dup_mutex{LockRank::kB}; "
+                                  "int x EVVO_GUARDED_BY(dup_mutex); };\n")},
+                  "lock-order"),
+         "lock-order fires on duplicate mutex names with conflicting ranks");
+
+  // -------------------------------------------------------------------------
+  // atomics-misuse
+  // -------------------------------------------------------------------------
+
+  const std::string atomic_decl =
+      "#pragma once\nstruct C {\n  std::atomic<unsigned> hits{0};\n};\n";
+  const auto with_atomic = [&](const std::string& body) {
+    return std::vector<SourceFile>{make_source("src/core/cdecl.hpp", atomic_decl),
+                                   make_source("src/core/am.cpp", body)};
+  };
+
+  expect(fires_in(with_atomic("void f(C& c) {\n  c.hits.fetch_add(1);\n}\n"),
+                  "atomics-misuse"),
+         "atomics-misuse fires on an atomic op without an explicit memory order");
+  expect(!fires_in(with_atomic("void f(C& c) {\n"
+                               "  c.hits.fetch_add(1, std::memory_order_relaxed);\n}\n"),
+                   "atomics-misuse"),
+         "atomics-misuse is silent on a discarded relaxed counter bump");
+  expect(fires_in(with_atomic("unsigned f(C& c) {\n"
+                              "  unsigned n = c.hits.fetch_add(1, std::memory_order_relaxed);\n"
+                              "  return n;\n}\n"),
+                  "atomics-misuse"),
+         "atomics-misuse fires on a consumed relaxed RMW");
+  expect(!fires_in(with_atomic("unsigned f(C& c) {\n"
+                               "  unsigned n = c.hits.fetch_add(1, std::memory_order_acq_rel);\n"
+                               "  return n;\n}\n"),
+                   "atomics-misuse"),
+         "atomics-misuse is silent on a consumed acq_rel RMW");
+  expect(!fires_in(with_atomic("unsigned f(C& c) {\n"
+                               "  // claims an index only, not a publication edge\n"
+                               "  // evvo-lint: allow(atomics-misuse)\n"
+                               "  unsigned n = c.hits.fetch_add(1, std::memory_order_relaxed);\n"
+                               "  return n;\n}\n"),
+                   "atomics-misuse"),
+         "atomics-misuse honors suppression on a consumed relaxed RMW");
+  expect(fires_in(with_atomic("void f(C& c) {\n"
+                              "  c.hits.store(0, std::memory_order_seq_cst);\n}\n"),
+                  "atomics-misuse"),
+         "atomics-misuse fires on memory_order_seq_cst");
+  expect(fires_in(with_atomic("void f(C& c) {\n"
+                              "  if (c.hits.load(std::memory_order_acquire) == 0) {\n"
+                              "    c.hits.store(1, std::memory_order_release);\n"
+                              "  }\n}\n"),
+                  "atomics-misuse"),
+         "atomics-misuse fires on atomic check-then-act (load in branch, then store)");
+  expect(fires_in(with_atomic("void f(C& c) {\n"
+                              "  if (c.hits.load(std::memory_order_acquire) == 0) "
+                              "c.hits.store(1, std::memory_order_release);\n}\n"),
+                  "atomics-misuse"),
+         "atomics-misuse fires on single-statement check-then-act");
+  expect(!fires_in(with_atomic("void f(C& c) {\n"
+                               "  unsigned want = 0;\n"
+                               "  while (!c.hits.compare_exchange_weak(want, 1,\n"
+                               "      std::memory_order_acq_rel, std::memory_order_acquire)) {\n"
+                               "  }\n}\n"),
+                   "atomics-misuse"),
+         "atomics-misuse is silent on a compare_exchange retry loop");
+  expect(!fires_in(with_atomic("void f(C& c) {\n"
+                               "  if (c.hits.load(std::memory_order_acquire) == 0) {\n"
+                               "    log();\n"
+                               "  }\n"
+                               "  c.hits.store(1, std::memory_order_release);\n}\n"),
+                   "atomics-misuse"),
+         "atomics-misuse is silent when the store is outside the guarded branch");
+  expect(!fires_in(std::vector<SourceFile>{
+                       make_source("src/core/vec.cpp",
+                                   "void f(VecF v, float* p) {\n  v.store(p);\n}\n")},
+                   "atomics-misuse"),
+         "atomics-misuse is silent on non-atomic receivers (simd VecF::store)");
+
+  // -------------------------------------------------------------------------
+  // fp-determinism
+  // -------------------------------------------------------------------------
+
+  expect(fires(make_source("src/core/fp.cpp",
+                           "double s = std::accumulate(v.begin(), v.end(), 0.0);\n"),
+               "fp-determinism"),
+         "fp-determinism fires on std::accumulate in src/core");
+  expect(fires(make_source("src/learn/fp.cpp",
+                           "double s = std::reduce(v.begin(), v.end());\n"),
+               "fp-determinism"),
+         "fp-determinism fires on std::reduce in src/learn");
+  expect(!fires(make_source("src/road/fp.cpp",
+                            "double s = std::accumulate(v.begin(), v.end(), 0.0);\n"),
+                "fp-determinism"),
+         "fp-determinism reduction ban is scoped to the deterministic zones");
+  expect(fires(make_source("src/road/fp2.cpp", "#pragma STDC FP_CONTRACT ON\n"),
+               "fp-determinism"),
+         "fp-determinism fires on FP_CONTRACT pragmas anywhere");
+  expect(fires(make_source("src/road/fp3.cpp", "#pragma clang fp contract(fast)\n"),
+               "fp-determinism"),
+         "fp-determinism fires on clang fp pragmas");
+  expect(fires(make_source("src/core/fp4.cpp", "#pragma omp parallel for\n"),
+               "fp-determinism"),
+         "fp-determinism fires on OpenMP pragmas");
+  expect(fires(make_source("src/core/fp5.cpp", "double y = std::fma(a, b, c);\n"),
+               "fp-determinism"),
+         "fp-determinism fires on std::fma outside simd.hpp");
+  expect(!fires(make_source("src/common/simd.hpp",
+                            "#pragma once\ndouble y = std::fma(a, b, c);\n"),
+                "fp-determinism"),
+         "fp-determinism allows std::fma inside common/simd.hpp");
+  expect(!fires(make_source("src/core/fp6.cpp",
+                            "double s = std::accumulate(v.begin(), v.end(), 0.0);  "
+                            "// evvo-lint: allow(fp-determinism)\n"),
+                "fp-determinism"),
+         "fp-determinism honors suppression");
+
+  // -------------------------------------------------------------------------
+  // wait-predicate
+  // -------------------------------------------------------------------------
+
+  const std::string cv_decl =
+      "#pragma once\nstruct W {\n  Mutex w_mutex;\n  CondVar ready;\n"
+      "  bool done EVVO_GUARDED_BY(w_mutex);\n};\n";
+  const auto with_cv = [&](const std::string& body) {
+    return std::vector<SourceFile>{make_source("src/core/wdecl.hpp", cv_decl),
+                                   make_source("src/core/wp.cpp", body)};
+  };
+
+  expect(fires_in(with_cv("void f(W& w) {\n  MutexLock lock(w.w_mutex);\n"
+                          "  w.ready.wait(w.w_mutex);\n}\n"),
+                  "wait-predicate"),
+         "wait-predicate fires on a bare wait");
+  expect(fires_in(with_cv("void f(W& w) {\n  MutexLock lock(w.w_mutex);\n"
+                          "  if (!w.done) w.ready.wait(w.w_mutex);\n}\n"),
+                  "wait-predicate"),
+         "wait-predicate fires on an if-guarded wait");
+  expect(!fires_in(with_cv("void f(W& w) {\n  MutexLock lock(w.w_mutex);\n"
+                           "  while (!w.done) w.ready.wait(w.w_mutex);\n}\n"),
+                   "wait-predicate"),
+         "wait-predicate is silent on a while-guarded wait");
+  expect(!fires_in(with_cv("void f(W& w) {\n  MutexLock lock(w.w_mutex);\n"
+                           "  while (!w.done) {\n    w.ready.wait(w.w_mutex);\n  }\n}\n"),
+                   "wait-predicate"),
+         "wait-predicate is silent on a braced while body");
+  expect(!fires_in(with_cv("void f(W& w) {\n  MutexLock lock(w.w_mutex);\n"
+                           "  do {\n    w.ready.wait(w.w_mutex);\n  } while (!w.done);\n}\n"),
+                   "wait-predicate"),
+         "wait-predicate is silent inside a do-while body");
+  expect(!fires_in(with_cv("void f(W& w, Future& fut) {\n  fut.wait();\n}\n"),
+                   "wait-predicate"),
+         "wait-predicate ignores wait() on non-CondVar receivers");
+  expect(!fires_in(with_cv("void f(W& w) {\n  MutexLock lock(w.w_mutex);\n"
+                           "  w.ready.wait(w.w_mutex);  // evvo-lint: allow(wait-predicate)\n}\n"),
+                   "wait-predicate"),
+         "wait-predicate honors suppression");
+
+  // -------------------------------------------------------------------------
+  // tokenizer / suppression corners
+  // -------------------------------------------------------------------------
+
+  expect(!fires(make_source("src/core/t1.cpp",
+                            "/* std::rand() in a block comment\n"
+                            "   spanning lines */ int x;\n"),
+                "banned-random"),
+         "tokenizer strips block comments spanning lines");
+  expect(!fires(make_source("src/core/t2.cpp",
+                            "const char* s = \"std::rand()\";\n"),
+                "banned-random"),
+         "tokenizer strips string literal contents");
+  expect(fires(make_source("src/core/t3.cpp",
+                           "int n = 1'000'000; int x = std::rand();\n"),
+               "banned-random"),
+         "tokenizer passes digit separators through (code after them still lints)");
+  expect(!fires(make_source("src/core/t4.cpp",
+                            "char c = ';'; int x = 0; // std::rand\n"),
+                "banned-random"),
+         "tokenizer strips char literals and trailing comments");
+  // Suppression across a blank line must NOT apply.
+  expect(fires(make_source("src/core/t5.cpp",
+                           "// evvo-lint: allow(banned-random)\n"
+                           "\n"
+                           "int x = std::rand();\n"),
+               "banned-random"),
+         "a blank line breaks the allow-above association");
+  expect(!fires(make_source("src/core/t6.cpp",
+                            "int x = std::rand(); int y = _mm_add_ps(a, b);  "
+                            "// evvo-lint: allow(banned-random) allow(raw-intrinsics)\n"),
+                "banned-random") &&
+             !fires(make_source("src/core/t6.cpp",
+                                "int x = std::rand(); int y = _mm_add_ps(a, b);  "
+                                "// evvo-lint: allow(banned-random) allow(raw-intrinsics)\n"),
+                    "raw-intrinsics"),
+         "multiple allow() groups on one line each apply");
+  expect(!fires(make_source("src/core/t7.cpp",
+                            "int x = std::rand(); int y = _mm_add_ps(a, b);  "
+                            "// evvo-lint: allow(banned-random, raw-intrinsics)\n"),
+                "raw-intrinsics"),
+         "comma-separated allow lists apply to every named rule");
+
+  if (failures == 0) {
+    std::cout << "evvo_lint self-test: all rules fire and suppress correctly\n";
+  }
+  return failures;
+}
+
+}  // namespace evvo::lint::selftest

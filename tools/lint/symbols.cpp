@@ -1,0 +1,211 @@
+#include "lint/symbols.hpp"
+
+#include <cctype>
+
+namespace evvo::lint {
+
+namespace {
+
+std::size_t skip_space(std::string_view s, std::size_t pos) {
+  while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) ++pos;
+  return pos;
+}
+
+/// Finds whole-word occurrences of `word` in `s` starting at `from`.
+std::size_t find_word(std::string_view s, std::string_view word, std::size_t from = 0) {
+  for (std::size_t pos = s.find(word, from); pos != std::string_view::npos;
+       pos = s.find(word, pos + 1)) {
+    const bool left_ok = pos == 0 || !is_ident_char(s[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= s.size() || !is_ident_char(s[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string_view::npos;
+}
+
+/// Parses the enumerators of an `enum class LockRank` block starting at
+/// `first_line`; stops at the closing '}'. Only the body between the braces
+/// is scanned, so the `enum class LockRank : int` introducer never reads as
+/// enumerators.
+void parse_rank_enum(const SourceFile& file, std::size_t first_line, FileSymbols& out) {
+  int implicit = 0;
+  bool in_body = false;
+  for (std::size_t idx = first_line; idx < file.code.size(); ++idx) {
+    const std::string& code = file.code[idx];
+    std::size_t pos = 0;
+    if (!in_body) {
+      pos = code.find('{');
+      if (pos == std::string::npos) continue;
+      in_body = true;
+      ++pos;
+    }
+    while (pos < code.size()) {
+      pos = skip_space(code, pos);
+      if (pos >= code.size()) break;
+      if (code[pos] == '}') return;
+      if (!is_ident_char(code[pos]) || std::isdigit(static_cast<unsigned char>(code[pos]))) {
+        ++pos;
+        continue;
+      }
+      const std::string_view name = ident_starting_at(code, pos);
+      pos += name.size();
+      std::size_t p = skip_space(code, pos);
+      int value = implicit;
+      if (p < code.size() && code[p] == '=') {
+        p = skip_space(code, p + 1);
+        value = 0;
+        bool any = false;
+        while (p < code.size() && std::isdigit(static_cast<unsigned char>(code[p]))) {
+          value = value * 10 + (code[p] - '0');
+          ++p;
+          any = true;
+        }
+        if (!any) value = implicit;
+      }
+      out.ranks.emplace(std::string(name), value);
+      implicit = value + 1;
+      while (p < code.size() && code[p] != ',' && code[p] != '}') ++p;
+      if (p < code.size() && code[p] == '}') return;
+      pos = p < code.size() ? p + 1 : p;
+    }
+  }
+}
+
+void collect_mutexes(const SourceFile& file, FileSymbols& out) {
+  for (std::size_t idx = 0; idx < file.code.size(); ++idx) {
+    const std::string& code = file.code[idx];
+    for (std::size_t pos = find_word(code, "Mutex"); pos != std::string_view::npos;
+         pos = find_word(code, "Mutex", pos + 1)) {
+      std::size_t p = pos + 5;
+      if (p < code.size() && (code[p] == '&' || code[p] == '*' || code[p] == '(' ||
+                              code[p] == ':' || code[p] == '{' || code[p] == ';')) {
+        continue;  // reference/pointer param, ctor, class definition, fwd decl
+      }
+      const std::string_view name = ident_starting_at(code, p);
+      if (name.empty()) continue;
+      p = skip_space(code, p);
+      p += name.size();
+      const std::size_t after = skip_space(code, p);
+      MutexDecl decl;
+      decl.name = std::string(name);
+      decl.file = file.path;
+      decl.line = idx;
+      if (after < code.size() && (code[after] == '{' || code[after] == '(')) {
+        // Brace/paren initializer: a rank if `LockRank::` appears in it.
+        const std::size_t rank_pos = code.find("LockRank::", after);
+        if (rank_pos != std::string::npos) {
+          decl.rank_name = std::string(ident_starting_at(code, rank_pos + 10));
+          decl.ranked = !decl.rank_name.empty();
+        }
+        out.mutexes.push_back(std::move(decl));
+      } else if (after < code.size() && code[after] == ';') {
+        out.mutexes.push_back(std::move(decl));  // default-constructed: unranked
+      }
+      // Anything else (e.g. `Mutex name EVVO_...`) — still a decl, unranked.
+      else if (after < code.size() && is_ident_char(code[after])) {
+        out.mutexes.push_back(std::move(decl));
+      }
+    }
+  }
+}
+
+void collect_atomics(const SourceFile& file, FileSymbols& out) {
+  for (std::size_t idx = 0; idx < file.code.size(); ++idx) {
+    const std::string& code = file.code[idx];
+    for (std::size_t pos = code.find("std::atomic<"); pos != std::string::npos;
+         pos = code.find("std::atomic<", pos + 1)) {
+      // Balance the template angle brackets (std::atomic<std::size_t> etc.).
+      std::size_t p = pos + 11;
+      int depth = 0;
+      for (; p < code.size(); ++p) {
+        if (code[p] == '<') ++depth;
+        if (code[p] == '>' && --depth == 0) {
+          ++p;
+          break;
+        }
+      }
+      if (depth != 0) break;  // spans lines: member decls in this tree do not
+      if (p < code.size() && (code[p] == '&' || code[p] == '*' || code[p] == '(')) continue;
+      const std::string_view name = ident_starting_at(code, p);
+      if (name.empty()) continue;
+      out.atomics.push_back({std::string(name), file.path, idx});
+    }
+  }
+}
+
+void collect_condvars(const SourceFile& file, FileSymbols& out) {
+  for (std::size_t idx = 0; idx < file.code.size(); ++idx) {
+    const std::string& code = file.code[idx];
+    for (std::size_t pos = find_word(code, "CondVar"); pos != std::string_view::npos;
+         pos = find_word(code, "CondVar", pos + 1)) {
+      std::size_t p = pos + 7;
+      if (p < code.size() && (code[p] == '&' || code[p] == '*' || code[p] == '(' ||
+                              code[p] == ':' || code[p] == '{' || code[p] == ';')) {
+        continue;
+      }
+      const std::string_view name = ident_starting_at(code, p);
+      if (name.empty()) continue;
+      out.condvars.push_back({std::string(name), file.path, idx});
+    }
+  }
+}
+
+}  // namespace
+
+FileSymbols collect_symbols(const SourceFile& file) {
+  FileSymbols out;
+  for (std::size_t idx = 0; idx < file.code.size(); ++idx) {
+    if (file.code[idx].find("enum class LockRank") != std::string::npos) {
+      parse_rank_enum(file, idx, out);
+      break;
+    }
+  }
+  // The wrapper headers define Mutex/CondVar themselves; their internal
+  // members are not lockable symbols of the codebase under analysis.
+  if (!file.is_mutex_wrapper) {
+    collect_mutexes(file, out);
+    collect_atomics(file, out);
+    collect_condvars(file, out);
+  }
+  return out;
+}
+
+void SymbolTable::absorb(const FileSymbols& symbols) {
+  for (const auto& m : symbols.mutexes) {
+    auto [it, inserted] = mutexes_.emplace(m.name, m);
+    if (!inserted && (it->second.ranked != m.ranked || it->second.rank_name != m.rank_name)) {
+      conflicts_.push_back(m);
+    }
+  }
+  for (const auto& a : symbols.atomics) atomics_.emplace(a.name, a);
+  for (const auto& c : symbols.condvars) condvars_.emplace(c.name, c);
+  for (const auto& [name, value] : symbols.ranks) ranks_.emplace(name, value);
+}
+
+const MutexDecl* SymbolTable::find_mutex(std::string_view name) const {
+  const auto it = mutexes_.find(name);
+  return it == mutexes_.end() ? nullptr : &it->second;
+}
+
+bool SymbolTable::is_atomic(std::string_view name) const {
+  return atomics_.find(name) != atomics_.end();
+}
+
+bool SymbolTable::is_condvar(std::string_view name) const {
+  return condvars_.find(name) != condvars_.end();
+}
+
+bool SymbolTable::rank_value(std::string_view rank_name, int* out) const {
+  const auto it = ranks_.find(rank_name);
+  if (it == ranks_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+SymbolTable build_symbol_table(const std::vector<SourceFile>& files) {
+  SymbolTable table;
+  for (const auto& file : files) table.absorb(collect_symbols(file));
+  return table;
+}
+
+}  // namespace evvo::lint

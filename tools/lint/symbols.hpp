@@ -1,0 +1,83 @@
+// Cross-file symbol tables for the scope-aware rules.
+//
+// A first pass over every file under analysis collects:
+//   - the LockRank enumerator values (from common/lock_ranks.hpp, or from an
+//     embedded enum in self-test snippets),
+//   - every `Mutex` member/variable declaration with the rank it was
+//     constructed with (or none),
+//   - every `std::atomic<...>` declaration,
+//   - every `CondVar` declaration.
+// The rules then resolve `MutexLock lock(shard.shard_mutex)` or
+// `stats_.hits.fetch_add(...)` against these tables by trailing identifier,
+// which is why the codebase keeps mutex member names globally unique.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace evvo::lint {
+
+struct MutexDecl {
+  std::string name;
+  std::string rank_name;  // "kPlanShard" etc., empty when unranked
+  bool ranked = false;
+  std::string file;
+  std::size_t line = 0;  // 0-based
+};
+
+struct AtomicDecl {
+  std::string name;
+  std::string file;
+  std::size_t line = 0;
+};
+
+struct CondVarDecl {
+  std::string name;
+  std::string file;
+  std::size_t line = 0;
+};
+
+/// Symbols declared in one file.
+struct FileSymbols {
+  std::vector<MutexDecl> mutexes;
+  std::vector<AtomicDecl> atomics;
+  std::vector<CondVarDecl> condvars;
+  std::map<std::string, int> ranks;  // enumerator name -> value
+};
+
+/// Merged view over every file; built before rules run.
+class SymbolTable {
+ public:
+  void absorb(const FileSymbols& symbols);
+
+  const MutexDecl* find_mutex(std::string_view name) const;
+  bool is_atomic(std::string_view name) const;
+  bool is_condvar(std::string_view name) const;
+
+  /// Numeric value of a rank enumerator; false when the name is unknown.
+  bool rank_value(std::string_view rank_name, int* out) const;
+
+  /// Mutex names declared twice with conflicting ranks (reported by the
+  /// lock-order rule: an ambiguous name defeats cross-file resolution).
+  const std::vector<MutexDecl>& conflicts() const { return conflicts_; }
+
+ private:
+  std::map<std::string, MutexDecl, std::less<>> mutexes_;
+  std::map<std::string, AtomicDecl, std::less<>> atomics_;
+  std::map<std::string, CondVarDecl, std::less<>> condvars_;
+  std::map<std::string, int, std::less<>> ranks_;
+  std::vector<MutexDecl> conflicts_;
+};
+
+/// Scans one file's stripped code for the declarations above.
+FileSymbols collect_symbols(const SourceFile& file);
+
+/// Convenience: collect + absorb over a whole file set.
+SymbolTable build_symbol_table(const std::vector<SourceFile>& files);
+
+}  // namespace evvo::lint
