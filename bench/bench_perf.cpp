@@ -10,6 +10,7 @@
 
 #include "cloud/plan_service.hpp"
 #include "common/simd.hpp"
+#include "common/telemetry.hpp"
 #include "core/dp_replan.hpp"
 #include "core/planner.hpp"
 #include "data/synthetic_volume.hpp"
@@ -382,6 +383,23 @@ void BM_PlanServiceConcurrentMisses(benchmark::State& state) {
                  std::to_string(kBatch) + " distinct-key misses");
 }
 BENCHMARK(BM_PlanServiceConcurrentMisses)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_TelemetryOverhead(benchmark::State& state) {
+  // Per-event cost of the instrumentation the hot paths carry: one sharded
+  // counter add plus one TraceSpan (two clock reads + histogram record) —
+  // what the DP solver pays per stripe. Gated in CI like the solver benches;
+  // in EVVO_TELEMETRY=OFF builds the span compiles away and this measures
+  // the counter alone.
+  static telemetry::Counter& ctr = telemetry::counter("bench.telemetry.events");
+  static telemetry::Histogram& hist = telemetry::histogram("bench.telemetry.span_ns");
+  for (auto _ : state) {
+    const telemetry::TraceSpan span(hist, "bench.telemetry");
+    ctr.add();
+  }
+  benchmark::DoNotOptimize(ctr.value());
+  benchmark::DoNotOptimize(hist.count());
+}
+BENCHMARK(BM_TelemetryOverhead);
 
 }  // namespace
 }  // namespace evvo

@@ -1,6 +1,7 @@
 #include "cloud/plan_service.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
@@ -10,6 +11,20 @@
 #include "common/thread_pool.hpp"
 
 namespace evvo::cloud {
+
+namespace {
+
+/// Distinct telemetry namespace per service instance: tests and multi-
+/// corridor fleets construct many services, and each one's counters must
+/// start at zero for its stats() to mean anything.
+int next_service_instance() {
+  static std::atomic<int> next{0};
+  // The ticket only names this instance's metrics; it orders no memory.
+  // evvo-lint: allow(atomics-misuse)
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 double signal_hyperperiod(const std::vector<road::TrafficLight>& lights) {
   long lcm_ds = 0;  // deciseconds
@@ -41,22 +56,39 @@ PlanService::PlanService(core::VelocityPlanner planner,
   if (planner_.config().policy == core::SignalPolicy::kQueueAware && !arrivals_)
     throw std::invalid_argument("PlanService: queue-aware planning needs arrival rates");
   shards_.reserve(cache_config_.shards);
-  for (unsigned s = 0; s < cache_config_.shards; ++s) shards_.push_back(std::make_unique<Shard>());
+  const std::string prefix = "plan_service." + std::to_string(next_service_instance()) + ".";
+  for (unsigned s = 0; s < cache_config_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    const std::string sp = prefix + "shard" + std::to_string(s) + ".";
+    shard->replans = &telemetry::counter(sp + "replans");
+    shard->cache_hits = &telemetry::counter(sp + "cache_hits");
+    shard->coalesced_hits = &telemetry::counter(sp + "coalesced_hits");
+    shard->flight_waits = &telemetry::counter(sp + "flight_waits");
+    shard->solver_runs = &telemetry::counter(sp + "solver_runs");
+    shard->evictions = &telemetry::counter(sp + "evictions");
+    shard->expirations = &telemetry::counter(sp + "expirations");
+    shard->rejections = &telemetry::counter(sp + "rejections");
+    shard->queue_depth = &telemetry::gauge(sp + "queue_depth");
+    shards_.push_back(std::move(shard));
+  }
+  ticket_latency_ns_ = &telemetry::histogram(prefix + "ticket_ns", telemetry::Unit::kNanoseconds);
+  batch_group_size_ = &telemetry::histogram(prefix + "batch_group_size", telemetry::Unit::kCount);
 }
 
 PlanService::~PlanService() = default;
 
 ServiceStats PlanService::Shard::snapshot() const {
   ServiceStats out;
-  out.requests = requests.load(std::memory_order_relaxed);
-  out.replans = replans.load(std::memory_order_relaxed);
-  out.cache_hits = cache_hits.load(std::memory_order_relaxed);
-  out.coalesced_hits = coalesced_hits.load(std::memory_order_relaxed);
-  out.solver_runs = solver_runs.load(std::memory_order_relaxed);
-  out.evictions = evictions.load(std::memory_order_relaxed);
-  out.expirations = expirations.load(std::memory_order_relaxed);
-  out.rejections = rejections.load(std::memory_order_relaxed);
-  out.queue_depth = queue_depth.load(std::memory_order_relaxed);
+  out.replans = replans->value();
+  out.cache_hits = cache_hits->value();
+  out.coalesced_hits = coalesced_hits->value();
+  out.solver_runs = solver_runs->value();
+  out.evictions = evictions->value();
+  out.expirations = expirations->value();
+  out.rejections = rejections->value();
+  out.queue_depth = queue_depth->value();
+  // Derived, never counted: exact under concurrent readers by construction.
+  out.requests = out.cache_hits + out.solver_runs + out.rejections;
   return out;
 }
 
@@ -127,7 +159,7 @@ void PlanService::insert_into_cache_locked(Shard& shard, const CacheKey& key,
     const CacheKey victim = shard.lru.back();
     shard.lru.pop_back();
     shard.cache.erase(victim);
-    shard.evictions.fetch_add(1, std::memory_order_relaxed);
+    shard.evictions->add(1);
     EVVO_LOG(kDebug, "plan-service") << "evicted phase bin " << victim.phase_bin;
   }
 }
@@ -136,8 +168,8 @@ PlanTicket PlanService::serve_ticket(const CacheKey& key, int vehicle_id, Second
                                      const std::function<core::PlannedProfile()>& solve) {
   Shard& shard = shard_for(key);
   const double request_time_s = request_time.value();  // .value() seam
-  shard.requests.fetch_add(1, std::memory_order_relaxed);
-  if (key.layer >= 0) shard.replans.fetch_add(1, std::memory_order_relaxed);
+  const telemetry::TraceSpan ticket_span(*ticket_latency_ns_, "plan_service.ticket");
+  if (key.layer >= 0) shard.replans->add(1);
 
   std::shared_ptr<InFlight> flight;
   bool leader = false;
@@ -151,10 +183,10 @@ PlanTicket PlanService::serve_ticket(const CacheKey& key, int vehicle_id, Second
         // so this request re-solves and becomes the bin's fresh reference.
         shard.lru.erase(it->second.lru_pos);
         shard.cache.erase(it);
-        shard.expirations.fetch_add(1, std::memory_order_relaxed);
+        shard.expirations->add(1);
         EVVO_LOG(kDebug, "plan-service") << "expired phase bin " << key.phase_bin;
       } else {
-        shard.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        shard.cache_hits->add(1);
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
         return PlanTicket{vehicle_id, it->second.profile, age, true};
       }
@@ -167,16 +199,16 @@ PlanTicket PlanService::serve_ticket(const CacheKey& key, int vehicle_id, Second
           shard.in_flight.size() >= cache_config_.max_pending_per_shard) {
         // Admission control: only would-be leaders are shed. Hits and
         // followers cost no solver time and are always served.
-        shard.rejections.fetch_add(1, std::memory_order_relaxed);
+        shard.rejections->add(1);
         throw ServiceOverload("PlanService: shard at max_pending_per_shard, request shed");
       }
       flight = std::make_shared<InFlight>();
       shard.in_flight.emplace(key, flight);
       leader = true;
-      // Counted at takeoff so requests == cache_hits + solver_runs +
-      // rejections holds at quiescence even if the solve throws.
-      shard.solver_runs.fetch_add(1, std::memory_order_relaxed);
-      shard.queue_depth.fetch_add(1, std::memory_order_relaxed);
+      // Counted at takeoff so the derived `requests` includes this request
+      // even if the solve throws.
+      shard.solver_runs->add(1);
+      shard.queue_depth->add(1);
     }
   }
 
@@ -190,7 +222,7 @@ PlanTicket PlanService::serve_ticket(const CacheKey& key, int vehicle_id, Second
         insert_into_cache_locked(shard, key, profile, request_time_s);
         shard.in_flight.erase(key);
       }
-      shard.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+      shard.queue_depth->sub(1);
       {
         common::MutexLock flight_lock(flight->flight_mutex);
         flight->profile = profile;
@@ -204,7 +236,7 @@ PlanTicket PlanService::serve_ticket(const CacheKey& key, int vehicle_id, Second
         common::MutexLock lock(shard.shard_mutex);
         shard.in_flight.erase(key);
       }
-      shard.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+      shard.queue_depth->sub(1);
       {
         common::MutexLock flight_lock(flight->flight_mutex);
         flight->error = std::current_exception();
@@ -216,6 +248,7 @@ PlanTicket PlanService::serve_ticket(const CacheKey& key, int vehicle_id, Second
   }
 
   // Follower: coalesce onto the leader's solve.
+  shard.flight_waits->add(1);
   std::optional<PlanTicket> ticket;
   {
     common::MutexLock flight_lock(flight->flight_mutex);
@@ -224,8 +257,8 @@ PlanTicket PlanService::serve_ticket(const CacheKey& key, int vehicle_id, Second
     ticket.emplace(
         PlanTicket{vehicle_id, flight->profile, request_time_s - flight->reference_time, true});
   }
-  shard.cache_hits.fetch_add(1, std::memory_order_relaxed);
-  shard.coalesced_hits.fetch_add(1, std::memory_order_relaxed);
+  shard.cache_hits->add(1);
+  shard.coalesced_hits->add(1);
   return std::move(*ticket);
 }
 
@@ -261,16 +294,16 @@ std::vector<PlanTicket> PlanService::serve_batch(const std::vector<BatchItem>& i
   std::vector<PlanTicket> out(items.size());
   const auto serve_group = [&](std::size_t g) {
     const std::vector<std::size_t>& members = groups[g];
+    batch_group_size_->record(members.size());
     const BatchItem& lead = items[members.front()];
     const PlanTicket lead_ticket = serve_item(lead);
     out[members.front()] = lead_ticket;
     Shard& shard = shard_for(lead.key);
     for (std::size_t m = 1; m < members.size(); ++m) {
       const BatchItem& item = items[members[m]];
-      shard.requests.fetch_add(1, std::memory_order_relaxed);
-      if (item.replan) shard.replans.fetch_add(1, std::memory_order_relaxed);
-      shard.cache_hits.fetch_add(1, std::memory_order_relaxed);
-      shard.coalesced_hits.fetch_add(1, std::memory_order_relaxed);
+      if (item.replan) shard.replans->add(1);
+      shard.cache_hits->add(1);
+      shard.coalesced_hits->add(1);
       out[members[m]] =
           PlanTicket{item.vehicle_id, lead_ticket.reference,
                      lead_ticket.time_shift_s + (item.time_s - lead.time_s), true};

@@ -34,9 +34,14 @@
 // wait on the leader's in-flight record and are served (as cache hits) from
 // its result; requesters of distinct keys solve fully in parallel. Cache
 // lookups only ever take the short shard lock, so hits never wait behind a
-// solve. Statistics are per-shard relaxed atomics (stats() aggregates
-// without stopping the service). At quiescence,
-// requests == cache_hits + solver_runs + rejections, per shard and overall.
+// solve. Statistics are per-shard registry-backed telemetry counters
+// (common/telemetry.hpp, names "plan_service.<instance>.shard<i>.*");
+// stats() aggregates relaxed reads without stopping the service. `requests`
+// is not tracked separately: it is derived as
+// cache_hits + solver_runs + rejections, so that identity holds at every
+// instant — under concurrent readers, not just at quiescence. A request
+// between arrival and outcome is counted nowhere yet (its in-flight window
+// is visible on the queue_depth gauge instead).
 //
 // Serving is zero-copy: the cache stores immutable reference profiles behind
 // shared_ptr, and the ticket APIs return {reference, time shift} without
@@ -46,7 +51,6 @@
 // never.
 #pragma once
 
-#include <atomic>
 #include <functional>
 #include <list>
 #include <map>
@@ -59,6 +63,7 @@
 #include "cloud/shard.hpp"
 #include "common/lock_ranks.hpp"
 #include "common/mutex.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_annotations.hpp"
 #include "core/planner.hpp"
 
@@ -121,7 +126,10 @@ struct [[nodiscard]] PlanTicket {
 };
 
 struct [[nodiscard]] ServiceStats {
-  long requests = 0;        ///< full-trip and replan requests combined
+  /// Full-trip and replan requests combined. Derived, not counted:
+  /// requests == cache_hits + solver_runs + rejections by construction, at
+  /// every instant (see the header comment).
+  long requests = 0;
   long replans = 0;         ///< subset of requests that were replans
   long cache_hits = 0;      ///< served from cache or a coalesced in-flight solve
   long coalesced_hits = 0;  ///< subset of cache_hits that waited on (or batch-
@@ -242,24 +250,32 @@ class PlanService {
     std::exception_ptr error EVVO_GUARDED_BY(flight_mutex);
   };
   /// One cache shard: its own lock, LRU+TTL cache, in-flight table, and
-  /// statistics. Counters are relaxed atomics so followers and the batch
-  /// grouping path account without taking the shard lock, and stats() reads
-  /// without stopping traffic.
+  /// statistics. Counters are registry-backed (common/telemetry.hpp,
+  /// registered by the service constructor under
+  /// "plan_service.<instance>.shard<i>."), so followers and the batch
+  /// grouping path account lock-free, stats() reads without stopping
+  /// traffic, and the same numbers surface in telemetry::snapshot().
+  /// `requests` has no counter: snapshot() derives it as
+  /// cache_hits + solver_runs + rejections, making the stats() identity
+  /// exact under concurrent readers.
   struct Shard {
     mutable common::Mutex shard_mutex{common::LockRank::kPlanShard};
     std::map<CacheKey, CacheEntry> cache EVVO_GUARDED_BY(shard_mutex);
     std::list<CacheKey> lru EVVO_GUARDED_BY(shard_mutex);  // front = most recent
     std::map<CacheKey, std::shared_ptr<InFlight>> in_flight EVVO_GUARDED_BY(shard_mutex);
 
-    std::atomic<long> requests{0};
-    std::atomic<long> replans{0};
-    std::atomic<long> cache_hits{0};
-    std::atomic<long> coalesced_hits{0};
-    std::atomic<long> solver_runs{0};
-    std::atomic<long> evictions{0};
-    std::atomic<long> expirations{0};
-    std::atomic<long> rejections{0};
-    std::atomic<long> queue_depth{0};
+    telemetry::Counter* replans = nullptr;
+    telemetry::Counter* cache_hits = nullptr;
+    telemetry::Counter* coalesced_hits = nullptr;
+    /// Followers that blocked on a leader's in-flight solve (a subset of
+    /// coalesced_hits: batch-grouped members never wait). Telemetry-only;
+    /// not part of ServiceStats.
+    telemetry::Counter* flight_waits = nullptr;
+    telemetry::Counter* solver_runs = nullptr;
+    telemetry::Counter* evictions = nullptr;
+    telemetry::Counter* expirations = nullptr;
+    telemetry::Counter* rejections = nullptr;
+    telemetry::Gauge* queue_depth = nullptr;
 
     ServiceStats snapshot() const;
   };
@@ -300,9 +316,15 @@ class PlanService {
   double grid_ds_m_;  ///< layer spacing the solver will use on this corridor
   std::uint64_t route_hash_;
 
-  /// Shards are heap-allocated because Mutex and the atomics pin them in
-  /// place; the vector itself is immutable after construction.
+  /// Shards are heap-allocated because Mutex pins them in place; the vector
+  /// itself is immutable after construction.
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Service-level telemetry, registered alongside the shard counters:
+  /// end-to-end serve_ticket latency (including the leader's solve) and the
+  /// same-key group sizes the batch path coalesces.
+  telemetry::Histogram* ticket_latency_ns_ = nullptr;
+  telemetry::Histogram* batch_group_size_ = nullptr;
 
   mutable common::Mutex pool_mutex_{common::LockRank::kServiceBatchPool};
   std::unique_ptr<common::ThreadPool> batch_pool_ EVVO_GUARDED_BY(pool_mutex_);

@@ -1,0 +1,72 @@
+// The process-wide monotonic clock seam.
+//
+// Every duration measurement in the tree funnels through now_ns(): the
+// telemetry spans (common/telemetry.hpp), the fuzz harness's shrink budget,
+// and the load harness's latency samples all read the same source. That
+// matters for two reasons:
+//
+//   1. Tests can fake time. ScopedFakeClock pins now_ns() to a settable
+//      value, so a span's recorded duration is exactly the ticks the test
+//      advanced — histogram bucket tests assert precise placements instead
+//      of sleeping and hoping.
+//   2. The linter can enforce the funnel. evvo_lint's `raw-clock` rule bans
+//      std::chrono::*_clock::now() everywhere except this header (and
+//      telemetry.cpp), so a new timing site cannot silently bypass the seam
+//      and become untestable.
+//
+// The seam costs one relaxed atomic load and a predictable branch on top of
+// the raw clock read; the fake path is test-only and never taken in
+// production processes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace evvo::common {
+
+namespace clock_detail {
+/// < 0 means "real clock"; >= 0 is the faked now_ns() value. A single global
+/// is enough: faking time is a test-fixture affair, never concurrent with
+/// another fixture.
+inline std::atomic<std::int64_t> g_fake_now_ns{-1};
+}  // namespace clock_detail
+
+/// Monotonic nanoseconds since an arbitrary process-local epoch. Only
+/// differences are meaningful.
+inline std::uint64_t now_ns() {
+  const std::int64_t fake = clock_detail::g_fake_now_ns.load(std::memory_order_relaxed);
+  if (fake >= 0) return static_cast<std::uint64_t>(fake);
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Seconds between two now_ns() readings (`b` after `a`).
+inline double seconds_between_ns(std::uint64_t a, std::uint64_t b) {
+  return static_cast<double>(b - a) * 1e-9;
+}
+
+/// Test fixture: pins now_ns() to a virtual clock for this scope. Not for
+/// use outside tests; the fake value is process-global.
+class ScopedFakeClock {
+ public:
+  explicit ScopedFakeClock(std::uint64_t start_ns = 0) {
+    clock_detail::g_fake_now_ns.store(static_cast<std::int64_t>(start_ns),
+                                      std::memory_order_relaxed);
+  }
+  ~ScopedFakeClock() { clock_detail::g_fake_now_ns.store(-1, std::memory_order_relaxed); }
+  ScopedFakeClock(const ScopedFakeClock&) = delete;
+  ScopedFakeClock& operator=(const ScopedFakeClock&) = delete;
+
+  void set_ns(std::uint64_t t) {
+    clock_detail::g_fake_now_ns.store(static_cast<std::int64_t>(t), std::memory_order_relaxed);
+  }
+  void advance_ns(std::uint64_t delta) {
+    clock_detail::g_fake_now_ns.fetch_add(static_cast<std::int64_t>(delta),
+                                          std::memory_order_relaxed);
+  }
+};
+
+}  // namespace evvo::common

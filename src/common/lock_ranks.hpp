@@ -54,6 +54,12 @@ enum class LockRank : int {
   /// common::ThreadPool::Batch::batch_mutex — per-batch completion handoff.
   kPoolBatch = 70,
 
+  /// The telemetry registry (common/telemetry.cpp registry_mutex_): metric
+  /// registration and snapshot only — hot-path metric updates are atomic and
+  /// never lock. Near-leaf so any subsystem may register its metrics while
+  /// holding its own locks; only logging nests inside it.
+  kTelemetryRegistry = 80,
+
   /// The logging sink (common/logging.cpp g_log_mutex): a leaf every
   /// subsystem may enter while holding any other lock.
   kLogging = 90,
@@ -70,6 +76,7 @@ constexpr const char* lock_rank_name(LockRank rank) {
     case LockRank::kPlannerRuntime: return "kPlannerRuntime";
     case LockRank::kThreadPoolQueue: return "kThreadPoolQueue";
     case LockRank::kPoolBatch: return "kPoolBatch";
+    case LockRank::kTelemetryRegistry: return "kTelemetryRegistry";
     case LockRank::kLogging: return "kLogging";
   }
   return "?";

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "common/simd.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "core/dp_common.hpp"
@@ -253,6 +254,15 @@ void DpEngine::reset_state() {
 }
 
 std::optional<DpSolution> DpEngine::run(std::size_t first_relax) {
+  // Cold solves (full sweep) and warm resumes (replan suffix) land in
+  // separate histograms: their latency distributions differ by orders of
+  // magnitude and a merged percentile would describe neither.
+  static telemetry::Histogram& cold_hist = telemetry::histogram("dp.solve_cold_ns");
+  static telemetry::Histogram& warm_hist = telemetry::histogram("dp.solve_warm_ns");
+  const bool cold = first_relax == 0;
+  const telemetry::TraceSpan solve_span(cold ? cold_hist : warm_hist,
+                                        cold ? "dp.solve_cold" : "dp.solve_warm");
+
   // Any engine run - warm, cold, throwing, or infeasible - invalidates every
   // previous-solve snapshot other solvers hold against this workspace.
   ++ws_.solve_serial_;
@@ -358,6 +368,17 @@ std::optional<DpSolution> DpEngine::run(std::size_t first_relax) {
   }
 
   for (const std::size_t count : stripe_relaxations_) stats_.relaxations += count;
+
+  // Fleet-level work counters (registry only, never DpStats: the stats struct
+  // is part of the SIMD-vs-scalar bit-identity contract). Pushed even for
+  // infeasible sweeps - the work was still done.
+  static telemetry::Counter& relax_ctr = telemetry::counter("dp.relaxations");
+  static telemetry::Counter& frontier_ctr = telemetry::counter("dp.frontier_states");
+  static telemetry::Counter& pruned_ctr = telemetry::counter("dp.pruned_states");
+  relax_ctr.add(static_cast<long>(stats_.relaxations));
+  frontier_ctr.add(static_cast<long>(stats_.frontier_states));
+  pruned_ctr.add(static_cast<long>(stats_.pruned_states));
+
   if (!feasible) return std::nullopt;
   if (problem_.checksum_tables) {
     // Every cell of every layer was initialized (layer 0 by the full fill,
@@ -515,6 +536,11 @@ bool DpEngine::relax_layer(std::size_t i) {
 
 void DpEngine::relax_stripe(std::size_t i, std::size_t j2_begin, std::size_t j2_end,
                             std::size_t stripe) {
+  // Per-stripe wall time; runs on pool workers, so the histogram sees one
+  // sample per (layer, stripe) and its spread exposes stripe imbalance.
+  static telemetry::Histogram& stripe_hist = telemetry::histogram("dp.stripe_relax_ns");
+  const telemetry::TraceSpan stripe_span(stripe_hist, "dp.stripe_relax");
+
   const LayerEvent* event = event_at_[i];
   const bool is_sign = event && event->type == LayerEvent::Type::kStopSign;
   const bool is_signal = event && event->type == LayerEvent::Type::kSignal;
@@ -536,6 +562,8 @@ void DpEngine::relax_stripe(std::size_t i, std::size_t j2_begin, std::size_t j2_
   float* time = ws_.time_.data() + next_base;
   std::uint32_t* back = ws_.back_.data() + next_base;
   std::size_t relaxations = 0;
+  std::size_t simd_chunks = 0;       // vector iterations taken this stripe
+  std::size_t simd_lanes_used = 0;   // lanes that survived the stop mask
 
   // Loop invariants of the vector kernel, hoisted: rows can be short, so
   // per-hop setup cost is visible. (Cheap no-ops on the scalar backend.)
@@ -616,6 +644,8 @@ void DpEngine::relax_stripe(std::size_t i, std::size_t j2_begin, std::size_t j2_
             }
           }
           relaxations += n_ok;
+          ++simd_chunks;
+          simd_lanes_used += n_ok;
           if (n_ok < W) break;
         }
         continue;
@@ -651,6 +681,15 @@ void DpEngine::relax_stripe(std::size_t i, std::size_t j2_begin, std::size_t j2_
     }
   }
   stripe_relaxations_[stripe] += relaxations;
+
+  // Lane utilization = used / capacity. Local accumulation above keeps the
+  // inner loop free of atomics; one add per stripe lands in the registry.
+  if (simd_chunks != 0) {
+    static telemetry::Counter& lanes_used_ctr = telemetry::counter("dp.simd_lanes_used");
+    static telemetry::Counter& lanes_cap_ctr = telemetry::counter("dp.simd_lanes_capacity");
+    lanes_used_ctr.add(static_cast<long>(simd_lanes_used));
+    lanes_cap_ctr.add(static_cast<long>(simd_chunks * W));
+  }
 }
 
 std::optional<DpSolution> DpEngine::extract_solution() {
@@ -782,6 +821,16 @@ std::optional<DpSolution> solve_dp_incremental(const DpProblem& problem, DpPrevS
   } else {
     delta = classify_replan(prev.key, prev.events, prev.dominance_pruning, problem);
   }
+
+  // Outcome mix of the replan classifier; the ratio of splices to cold
+  // fallbacks is the fleet-level health signal for warm-start effectiveness.
+  static telemetry::Counter& spliced_ctr = telemetry::counter("dp.replan.spliced");
+  static telemetry::Counter& stripes_ctr = telemetry::counter("dp.replan.stripes");
+  static telemetry::Counter& cold_ctr = telemetry::counter("dp.replan.cold");
+  (delta.path == ReplanDelta::Path::kSpliced ? spliced_ctr
+   : delta.path == ReplanDelta::Path::kStripes ? stripes_ctr
+                                               : cold_ctr)
+      .add(1);
 
   if (delta.path == ReplanDelta::Path::kSpliced) {
     // Nothing the DP reads has changed: the cached solution IS the cold

@@ -1,0 +1,50 @@
+// Reusable log-capture fixture for tests.
+//
+// Installs a vector-backed sink and opens the level filter for the duration
+// of a test, restoring the stderr sink and the quiet default (kWarn) on
+// teardown so later tests are unaffected. Sink callbacks run under the
+// logger's own mutex, so `lines()` is safe to populate from concurrent
+// emitters; read it only after the emitting threads have joined.
+//
+// Shared by test_logging.cpp and test_telemetry.cpp — any test that needs
+// to assert on (or silence) log output should derive from LogCaptureTest
+// rather than installing an ad-hoc sink.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace evvo::testing {
+
+class LogCaptureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lines_.clear();
+    set_log_sink([this](const std::string& line) { lines_.push_back(line); });
+    set_log_level(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kWarn);
+  }
+
+  const std::vector<std::string>& lines() const { return lines_; }
+
+  /// How many captured lines contain `needle` as a substring.
+  std::size_t count_containing(const std::string& needle) const {
+    std::size_t n = 0;
+    for (const std::string& line : lines_) {
+      if (line.find(needle) != std::string::npos) ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+}  // namespace evvo::testing

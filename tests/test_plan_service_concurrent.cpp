@@ -1,7 +1,8 @@
 // Single-flight PlanService under contention: same-key misses coalesce onto
 // one solver run, distinct-key misses proceed in parallel, profiles are
-// never torn, and the stats identity requests == cache_hits + solver_runs
-// holds at quiescence. Run under TSan in CI.
+// never torn, and the stats identity requests == cache_hits + solver_runs +
+// rejections holds exactly on every read, including reads that race the
+// serving threads (requests is derived per snapshot). Run under TSan in CI.
 #include "cloud/plan_service.hpp"
 
 #include <gtest/gtest.h>
@@ -169,8 +170,16 @@ TEST(PlanServiceConcurrent, MixedStormAcrossShardsNoDuplicateSolvesPerKey) {
   std::thread reader([&] {
     while (!done.load(std::memory_order_relaxed)) {
       const ServiceStats snapshot = service.stats();
-      EXPECT_GE(snapshot.requests, 0);
-      (void)service.shard_stats();
+      // `requests` is derived from the outcome counters inside each shard
+      // snapshot, so the accounting identity is exact on every concurrent
+      // read — not just at quiescence. A separately-incremented requests
+      // counter would race ahead of the outcome counters and fail here.
+      EXPECT_EQ(snapshot.requests,
+                snapshot.cache_hits + snapshot.solver_runs + snapshot.rejections);
+      for (const ServiceStats& shard : service.shard_stats()) {
+        EXPECT_EQ(shard.requests,
+                  shard.cache_hits + shard.solver_runs + shard.rejections);
+      }
     }
   });
   std::vector<std::thread> threads;

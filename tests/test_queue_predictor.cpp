@@ -137,7 +137,9 @@ TEST_P(DemandSweep, WindowsSortedDisjointAndGreen) {
   const road::TrafficLight light = paper_light();
   for (std::size_t i = 0; i < windows.size(); ++i) {
     EXPECT_TRUE(light.is_green(windows[i].start_s));
-    if (i > 0) EXPECT_GE(windows[i].start_s, windows[i - 1].end_s - 1e-9);
+    if (i > 0) {
+      EXPECT_GE(windows[i].start_s, windows[i - 1].end_s - 1e-9);
+    }
   }
 }
 INSTANTIATE_TEST_SUITE_P(Demands, DemandSweep, ::testing::Values(200.0, 765.0, 1530.0, 3000.0));

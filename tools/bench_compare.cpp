@@ -15,6 +15,12 @@
 // library_build_type tag is NOT consulted: it describes the google-benchmark
 // library's own build, not ours.
 //
+// Entries carry a unit class: the four time units normalize to ns, and
+// "count" (histogram-sourced telemetry metrics, e.g. batch group sizes from
+// evvo_load) is its own class. An unknown unit is a parse error and a
+// baseline/candidate class mismatch a config error - malformed telemetry
+// JSON must fail loudly, never gate as if it were nanoseconds.
+//
 // Dependency-free by design (like evvo_lint): a minimal JSON parser below
 // covers the subset google-benchmark emits, so the gate builds everywhere.
 #include <cctype>
@@ -201,8 +207,9 @@ class JsonParser {
 // --- benchmark report model -----------------------------------------------
 
 struct BenchEntry {
-  double time_ns = 0.0;
+  double time_ns = 0.0;  ///< normalized within its unit class (ns, or raw count)
   bool from_mean_aggregate = false;
+  bool is_count = false;  ///< unit class: "count" vs time
 };
 
 struct BenchReport {
@@ -210,12 +217,20 @@ struct BenchReport {
   std::map<std::string, BenchEntry> entries;  ///< base name -> preferred timing
 };
 
-double unit_to_ns(const std::string& unit) {
-  if (unit == "ns") return 1.0;
-  if (unit == "us") return 1e3;
-  if (unit == "ms") return 1e6;
-  if (unit == "s") return 1e9;
-  return 1.0;  // benchmark only emits the four above
+/// Unit class and in-class scale. Time units normalize to ns; "count" is its
+/// own class. Anything else is malformed input.
+struct UnitInfo {
+  double scale = 1.0;
+  bool is_count = false;
+};
+
+std::optional<UnitInfo> parse_unit(const std::string& unit) {
+  if (unit == "ns") return UnitInfo{1.0, false};
+  if (unit == "us") return UnitInfo{1e3, false};
+  if (unit == "ms") return UnitInfo{1e6, false};
+  if (unit == "s") return UnitInfo{1e9, false};
+  if (unit == "count") return UnitInfo{1.0, true};
+  return std::nullopt;
 }
 
 std::string strip_suffix(const std::string& name, const char* suffix) {
@@ -246,11 +261,21 @@ std::optional<BenchReport> extract_report(const Json& root, const std::string& m
     if (is_aggregate && agg->str != "mean") continue;  // median/stddev/cv/...
     const std::string base =
         is_aggregate ? strip_suffix(name->str, "_mean") : name->str;
-    const double ns = time->number * (unit ? unit_to_ns(unit->str) : 1.0);
+    UnitInfo ui;  // a missing time_unit means ns, benchmark's default
+    if (unit) {
+      const std::optional<UnitInfo> parsed = parse_unit(unit->str);
+      if (!parsed) {
+        std::fprintf(stderr, "bench_compare: %s has unrecognized time_unit \"%s\"\n",
+                     name->str.c_str(), unit->str.c_str());
+        return std::nullopt;
+      }
+      ui = *parsed;
+    }
     BenchEntry& slot = out.entries[base];
     if (slot.from_mean_aggregate && !is_aggregate) continue;  // keep the mean
-    slot.time_ns = ns;
+    slot.time_ns = time->number * ui.scale;
     slot.from_mean_aggregate = is_aggregate;
+    slot.is_count = ui.is_count;
   }
   return out;
 }
@@ -306,13 +331,22 @@ int run_compare(const BenchReport& baseline, const BenchReport& candidate,
     if (!opt.filter.empty() && name.find(opt.filter) == std::string::npos) continue;
     const auto it = candidate.entries.find(name);
     if (it == candidate.entries.end()) continue;  // candidate ran a subset
+    if (base.is_count != it->second.is_count) {
+      std::fprintf(stderr,
+                   "bench_compare: %s is unit class \"%s\" in the baseline but \"%s\" in the "
+                   "candidate - refusing to compare\n",
+                   name.c_str(), base.is_count ? "count" : "ns",
+                   it->second.is_count ? "count" : "ns");
+      return 2;
+    }
     ++compared;
     const double ratio = base.time_ns > 0.0 ? it->second.time_ns / base.time_ns : 1.0;
     const double delta_pct = (ratio - 1.0) * 100.0;
     const bool regressed = ratio > 1.0 + opt.max_regress;
     if (regressed) ++regressions;
-    std::printf("%-48s %12.1f -> %12.1f ns  %+7.1f%%%s\n", name.c_str(), base.time_ns,
-                it->second.time_ns, delta_pct, regressed ? "  REGRESSION" : "");
+    std::printf("%-48s %12.1f -> %12.1f %-5s %+7.1f%%%s\n", name.c_str(), base.time_ns,
+                it->second.time_ns, base.is_count ? "count" : "ns", delta_pct,
+                regressed ? "  REGRESSION" : "");
   }
   // Candidate benchmarks with no baseline entry are new (a benchmark added in
   // the same change that will record its baseline): reported for visibility,
@@ -322,8 +356,8 @@ int run_compare(const BenchReport& baseline, const BenchReport& candidate,
     if (!opt.filter.empty() && name.find(opt.filter) == std::string::npos) continue;
     if (baseline.entries.find(name) != baseline.entries.end()) continue;
     ++fresh;
-    std::printf("%-48s %12s -> %12.1f ns      NEW (no baseline)\n", name.c_str(), "-",
-                cand.time_ns);
+    std::printf("%-48s %12s -> %12.1f %-5s NEW (no baseline)\n", name.c_str(), "-",
+                cand.time_ns, cand.is_count ? "count" : "ns");
   }
   if (compared == 0 && fresh == 0) {
     std::fprintf(stderr,
@@ -386,6 +420,22 @@ int self_test() {
   // Units are normalized before comparing: 0.0001 ms == 100 ns.
   const auto ms = parse(report_json("release", "BM_X/10", 0.0001, "ms"), "cpu_time");
   expect(run_compare(*base, *ms, opt) == 0, "ms vs ns reports normalize");
+
+  // Count-class entries (histogram-sourced telemetry metrics, e.g. batch
+  // group sizes) gate like any other, within their own unit class.
+  const auto cbase = parse(report_json("release", "BM_Load/batch", 32.0, "count"), "cpu_time");
+  const auto csame = parse(report_json("release", "BM_Load/batch", 32.0, "count"), "cpu_time");
+  expect(run_compare(*cbase, *csame, opt) == 0, "count-unit entries pass");
+  const auto cgrow = parse(report_json("release", "BM_Load/batch", 40.0, "count"), "cpu_time");
+  expect(run_compare(*cbase, *cgrow, opt) == 1, "count regression trips the gate");
+
+  // A ns-vs-count class mismatch is a config error, not a silent ratio.
+  const auto mismatched = parse(report_json("release", "BM_X/10", 100.0, "count"), "cpu_time");
+  expect(run_compare(*base, *mismatched, opt) == 2, "unit-class mismatch refused");
+
+  // An unknown unit is a parse error: malformed telemetry JSON fails loudly.
+  const auto bogus = parse(report_json("release", "BM_X/10", 100.0, "furlongs"), "cpu_time");
+  expect(!bogus.has_value(), "unknown unit rejected at parse");
 
   // Mean aggregates beat raw iteration entries of the same benchmark.
   const std::string agg = R"({"context": {"evvo_build": "release"}, "benchmarks": [

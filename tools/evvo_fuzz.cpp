@@ -13,7 +13,6 @@
 //   evvo_fuzz --simd-only --count 100   # cheap vector-vs-scalar identity sweep
 //   evvo_fuzz --replan --count 100      # warm-vs-cold replan identity chains
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -26,6 +25,7 @@
 #include "check/replan_chain.hpp"
 #include "check/scenario.hpp"
 #include "check/shrink.hpp"
+#include "common/clock.hpp"
 #include "common/thread_pool.hpp"
 
 namespace {
@@ -141,7 +141,7 @@ int main(int argc, char** argv) {
     std::atomic<std::size_t> chain_failures{0};
     std::atomic<std::size_t> spliced{0}, striped{0}, cold{0}, relaxed{0}, total{0};
     std::mutex chain_io;
-    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t t0 = evvo::common::now_ns();
     chain_pool.parallel_for(opt.count, [&](std::size_t index) {
       const std::uint64_t seed = opt.seed_start + index;
       const evvo::check::ReplanChainReport report = evvo::check::check_replan_chain(seed, chain);
@@ -157,8 +157,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "replay: evvo_fuzz --replan --seed %llu\n",
                    static_cast<unsigned long long>(seed));
     });
-    const double chain_s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    const double chain_s = evvo::common::seconds_between_ns(t0, evvo::common::now_ns());
     std::printf(
         "%zu replan chain(s) checked in %.1f s (%zu spliced / %zu striped / %zu cold steps; "
         "warm relaxed %zu/%zu layers), %zu violation(s)\n",
@@ -214,7 +213,7 @@ int main(int argc, char** argv) {
     }
   };
 
-  const auto t_begin = std::chrono::steady_clock::now();
+  const std::uint64_t t_begin = evvo::common::now_ns();
 
   // --replay-spec / --seed: single scenario, verbose.
   if (!opt.replay_spec.empty() || opt.single_seed) {
@@ -257,8 +256,7 @@ int main(int argc, char** argv) {
     handle_failure(spec, report);
   });
 
-  const double elapsed_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_begin).count();
+  const double elapsed_s = evvo::common::seconds_between_ns(t_begin, evvo::common::now_ns());
   std::printf("%zu scenario(s) checked in %.1f s (%zu infeasible), %zu violation(s)\n", opt.count,
               elapsed_s, infeasible.load(), failures.load());
   return failures.load() == 0 ? 0 : 1;

@@ -17,7 +17,12 @@
 // --out writes the numbers as Google-Benchmark-style JSON
 // (BM_LoadPlanService/<mode>_{per_plan,p50,p99}) tagged with evvo_build, so
 // tools/bench_compare gates them against BENCH_dp.json like any solver
-// benchmark.
+// benchmark. Latency percentiles are histogram-derived (telemetry.hpp
+// log-linear layout, 6.25% bucket width) - no per-run sample sort.
+//
+// --telemetry-dump FILE writes the full telemetry registry snapshot (shard
+// counters, solver spans, load latency histograms) as JSON after the run;
+// tools/evvo_stat pretty-prints and diffs the format.
 //
 // --check replays a small workload single-threaded through the batched
 // ticket path and asserts every materialized response byte-equals the
@@ -29,7 +34,6 @@
 //
 // Exit codes: 0 ok, 1 check/speedup failure, 2 usage error.
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -45,7 +49,9 @@
 
 #include "cloud/plan_service.hpp"
 #include "cloud/shard.hpp"
+#include "common/clock.hpp"
 #include "common/random.hpp"
+#include "common/telemetry.hpp"
 #include "ev/energy_model.hpp"
 #include "road/corridor.hpp"
 
@@ -64,6 +70,7 @@ struct Options {
   std::string mode = "compare";  // legacy | sharded | compare
   double min_speedup = 0.0;
   std::string out_path;
+  std::string telemetry_dump_path;
   bool check = false;
   bool tamper = false;
 };
@@ -74,7 +81,7 @@ void usage() {
       "usage: evvo_load [--seed N] [--requests N] [--threads M] [--shards N]\n"
       "                 [--replan-frac F] [--zipf-s F] [--batch N]\n"
       "                 [--mode legacy|sharded|compare] [--min-speedup F]\n"
-      "                 [--out FILE] [--check] [--tamper]\n"
+      "                 [--out FILE] [--telemetry-dump FILE] [--check] [--tamper]\n"
       "  --check replays the workload against the cold-solve oracle "
       "(single-threaded);\n"
       "  --tamper corrupts one served node so the check must fail.\n");
@@ -130,6 +137,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next("--out");
       if (!v) return false;
       opt.out_path = v;
+    } else if (arg == "--telemetry-dump") {
+      const char* v = next("--telemetry-dump");
+      if (!v) return false;
+      opt.telemetry_dump_path = v;
     } else if (arg == "--check") {
       opt.check = true;
     } else if (arg == "--tamper") {
@@ -275,36 +286,30 @@ void warm_service(cloud::PlanService& service) {
 
 struct LoadResult {
   double wall_s = 0.0;
-  std::vector<double> latencies_ns;  // one sample per request
+  const telemetry::Histogram* latency_hist = nullptr;  // one sample per request
   long served = 0;
 
   double per_plan_ns() const { return wall_s * 1e9 / std::max(1L, served); }
   double plans_per_sec() const { return served / std::max(1e-12, wall_s); }
+  /// Histogram-derived percentile: the sample's bucket lower bound, within
+  /// one bucket width (6.25%) of the value a full sample sort would give.
+  /// Threads record straight into the shared lock-free histogram, so there
+  /// is no per-thread sample vector and no O(n log n) post-pass.
   double percentile(double p) const {
-    if (latencies_ns.empty()) return 0.0;
-    std::vector<double> sorted = latencies_ns;
-    std::sort(sorted.begin(), sorted.end());
-    const double idx = p * static_cast<double>(sorted.size() - 1);
-    return sorted[static_cast<std::size_t>(std::llround(idx))];
+    return latency_hist ? static_cast<double>(latency_hist->percentile(p)) : 0.0;
   }
 };
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_between(Clock::time_point a, Clock::time_point b) {
-  return std::chrono::duration<double>(b - a).count();
-}
 
 /// Legacy serving: one materializing PlanResponse call per request - what
 /// every caller of the pre-shard service did.
 void drive_legacy(cloud::PlanService& service, const std::vector<Request>& requests,
-                  std::vector<double>& latencies, std::size_t& sink) {
+                  telemetry::Histogram& lat_hist, std::size_t& sink) {
   for (const Request& r : requests) {
-    const auto start = Clock::now();
+    const std::uint64_t start = common::now_ns();
     const cloud::PlanResponse response =
         r.replan ? service.request_replan({r.vehicle, r.position_m, r.speed_ms, r.time_s})
                  : service.request_plan({r.vehicle, r.time_s});
-    latencies.push_back(seconds_between(start, Clock::now()) * 1e9);
+    lat_hist.record(common::now_ns() - start);
     sink += response.profile.nodes().size();
   }
 }
@@ -313,7 +318,7 @@ void drive_legacy(cloud::PlanService& service, const std::vector<Request>& reque
 /// per distinct key per tick, no node-vector copies). Each request's latency
 /// is its whole tick's serve time - the conservative attribution.
 void drive_sharded(cloud::PlanService& service, const std::vector<Request>& requests,
-                   std::size_t batch, std::vector<double>& latencies, std::size_t& sink) {
+                   std::size_t batch, telemetry::Histogram& lat_hist, std::size_t& sink) {
   std::vector<cloud::PlanRequest> plans;
   std::vector<cloud::ReplanRequest> replans;
   for (std::size_t begin = 0; begin < requests.size(); begin += batch) {
@@ -328,14 +333,14 @@ void drive_sharded(cloud::PlanService& service, const std::vector<Request>& requ
         plans.push_back({r.vehicle, r.time_s});
       }
     }
-    const auto start = Clock::now();
+    const std::uint64_t start = common::now_ns();
     const std::vector<cloud::PlanTicket> plan_tickets = service.request_plan_tickets(plans);
     const std::vector<cloud::PlanTicket> replan_tickets =
         service.request_replan_tickets(replans);
-    const double tick_ns = seconds_between(start, Clock::now()) * 1e9;
+    const std::uint64_t tick_ns = common::now_ns() - start;
     for (const cloud::PlanTicket& t : plan_tickets) sink += t.reference->nodes().size();
     for (const cloud::PlanTicket& t : replan_tickets) sink += t.reference->nodes().size();
-    for (std::size_t i = begin; i < end; ++i) latencies.push_back(tick_ns);
+    for (std::size_t i = begin; i < end; ++i) lat_hist.record(tick_ns);
   }
 }
 
@@ -345,6 +350,12 @@ LoadResult run_load(const Options& opt, bool sharded) {
   cache.batch_threads = 1;  // drivers are the concurrency; no inner pool
   cloud::PlanService service(make_planner(), demand(), cache);
   warm_service(service);
+
+  // Per-mode latency histogram; reset so compare mode's second run starts
+  // clean (the registry is process-global).
+  telemetry::Histogram& lat_hist = telemetry::histogram(
+      std::string("load.") + (sharded ? "sharded" : "legacy") + ".latency_ns");
+  lat_hist.reset();
 
   // Per-thread deterministic streams: thread t serves its own workload
   // slice, so the byte content of the traffic does not depend on --threads
@@ -358,35 +369,33 @@ LoadResult run_load(const Options& opt, bool sharded) {
     remaining -= n;
   }
 
-  std::vector<std::vector<double>> latencies(streams.size());
   std::vector<std::size_t> sinks(streams.size(), 0);
-  const auto start = Clock::now();
+  const std::uint64_t start = common::now_ns();
   if (streams.size() == 1) {
     if (sharded) {
-      drive_sharded(service, streams[0], opt.batch, latencies[0], sinks[0]);
+      drive_sharded(service, streams[0], opt.batch, lat_hist, sinks[0]);
     } else {
-      drive_legacy(service, streams[0], latencies[0], sinks[0]);
+      drive_legacy(service, streams[0], lat_hist, sinks[0]);
     }
   } else {
     std::vector<std::thread> drivers;
     for (std::size_t t = 0; t < streams.size(); ++t) {
       drivers.emplace_back([&, t] {
         if (sharded) {
-          drive_sharded(service, streams[t], opt.batch, latencies[t], sinks[t]);
+          drive_sharded(service, streams[t], opt.batch, lat_hist, sinks[t]);
         } else {
-          drive_legacy(service, streams[t], latencies[t], sinks[t]);
+          drive_legacy(service, streams[t], lat_hist, sinks[t]);
         }
       });
     }
     for (auto& d : drivers) d.join();
   }
-  const auto end = Clock::now();
+  const std::uint64_t end = common::now_ns();
 
   LoadResult result;
-  result.wall_s = seconds_between(start, end);
-  for (auto& l : latencies)
-    result.latencies_ns.insert(result.latencies_ns.end(), l.begin(), l.end());
-  result.served = static_cast<long>(result.latencies_ns.size());
+  result.wall_s = common::seconds_between_ns(start, end);
+  result.latency_hist = &lat_hist;
+  result.served = static_cast<long>(lat_hist.count());
 
   const cloud::ServiceStats stats = service.stats();
   std::fprintf(stderr,
@@ -552,6 +561,17 @@ int run_check(const Options& opt) {
   return failures == 0 ? 0 : 1;
 }
 
+/// Writes the full registry snapshot as JSON (the evvo_stat input format).
+bool dump_telemetry(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "evvo_load: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << telemetry::to_json(telemetry::snapshot()) << "\n";
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -564,7 +584,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "evvo_load: --tamper requires --check\n");
     return 2;
   }
-  if (opt.check) return run_check(opt);
+  if (opt.check) {
+    const int rc = run_check(opt);
+    if (!opt.telemetry_dump_path.empty() && !dump_telemetry(opt.telemetry_dump_path)) return 2;
+    return rc;
+  }
 
   std::vector<JsonEntry> entries;
   double speedup = 0.0;
@@ -584,6 +608,7 @@ int main(int argc, char** argv) {
     append_entries(entries, sharded_tag, run_load(opt, /*sharded=*/true));
   }
   if (!opt.out_path.empty()) write_bench_json(opt.out_path, opt, entries);
+  if (!opt.telemetry_dump_path.empty() && !dump_telemetry(opt.telemetry_dump_path)) return 2;
   if (opt.mode == "compare" && opt.min_speedup > 0.0 && speedup < opt.min_speedup) {
     std::fprintf(stderr, "evvo_load: speedup %.2fx below required %.2fx\n", speedup,
                  opt.min_speedup);

@@ -157,6 +157,8 @@ SourceFile make_source(std::string path, const std::string& text) {
                           file.path.ends_with("common/lock_ranks.hpp") ||
                           file.path.ends_with("common/deadlock.cpp");
   file.is_simd_wrapper = file.path.ends_with("common/simd.hpp");
+  file.is_clock_seam = file.path.ends_with("common/clock.hpp") ||
+                       file.path.ends_with("common/telemetry.cpp");
   return file;
 }
 

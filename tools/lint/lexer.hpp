@@ -28,6 +28,7 @@ struct SourceFile {
   bool is_boundary_header = false;  // public API headers with typed boundaries
   bool is_mutex_wrapper = false;    // common/mutex.hpp + thread_annotations.hpp
   bool is_simd_wrapper = false;     // common/simd.hpp
+  bool is_clock_seam = false;       // common/clock.hpp + common/telemetry.cpp
 };
 
 bool is_ident_char(char c);

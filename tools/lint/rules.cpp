@@ -148,6 +148,25 @@ void check_raw_sync(const SourceFile& file, const std::string& code, std::size_t
   }
 }
 
+void check_raw_clock(const SourceFile& file, const std::string& code, std::size_t idx,
+                     std::vector<Violation>& out) {
+  if (file.is_clock_seam) return;
+  // Any mention of a std::chrono clock type is flagged, not just ::now():
+  // `using Clock = std::chrono::steady_clock;` is exactly how a call site
+  // slips out of the common::now_ns() funnel (and away from ScopedFakeClock).
+  for (const auto banned :
+       {std::string_view("steady_clock"), std::string_view("system_clock"),
+        std::string_view("high_resolution_clock")}) {
+    if (contains_word(code, banned)) {
+      out.push_back({file.path, idx + 1, "raw-clock",
+                     std::string("std::chrono::") + std::string(banned) +
+                         " outside common/clock.hpp: read time through common::now_ns() "
+                         "so tests can fake the clock and spans stay on one source"});
+      return;
+    }
+  }
+}
+
 void check_raw_intrinsics(const SourceFile& file, const std::string& code,
                           std::size_t idx, std::vector<Violation>& out) {
   if (file.is_simd_wrapper) return;
@@ -355,7 +374,9 @@ void check_atomics_lines(const SourceFile& file, const SymbolTable& table,
       const bool is_rmw = std::any_of(std::begin(kAtomicRmwOps), std::end(kAtomicRmwOps),
                                       [&](std::string_view r) { return r == op; });
       if (is_rmw && args.find("memory_order_relaxed") != std::string_view::npos) {
-        // Start of the receiver chain: walk back over idents, ., ->, ::, this.
+        // Start of the receiver chain: walk back over idents, ., ->, ::,
+        // this, and balanced subscripts (cells[i].v.fetch_add is still a
+        // statement-position chain).
         std::size_t chain = pos;
         while (chain > 0) {
           const char c = code[chain - 1];
@@ -363,6 +384,16 @@ void check_atomics_lines(const SourceFile& file, const SymbolTable& table,
             --chain;
           } else if (chain >= 2 && c == '>' && code[chain - 2] == '-') {
             chain -= 2;
+          } else if (c == ']') {
+            int brackets = 0;
+            std::size_t scan = chain;
+            while (scan > 0) {
+              const char b = code[--scan];
+              if (b == ']') ++brackets;
+              if (b == '[' && --brackets == 0) break;
+            }
+            if (brackets != 0) break;  // subscript spans lines: stop walking
+            chain = scan;
           } else {
             break;
           }
@@ -618,6 +649,7 @@ std::vector<Violation> analyze(const std::vector<SourceFile>& files) {
       check_banned_random(file, code, idx, line_hits);
       check_nodiscard_result(file, code, idx, line_hits);
       check_raw_sync(file, code, idx, line_hits);
+      check_raw_clock(file, code, idx, line_hits);
       check_raw_intrinsics(file, code, idx, line_hits);
       check_fp_determinism(file, code, idx, line_hits);
       check_atomics_lines(file, table, code, idx, line_hits);

@@ -16,6 +16,10 @@
 //                      must be [[nodiscard]].
 //   raw-sync           std::mutex / std::condition_variable outside
 //                      common/mutex.hpp are forbidden.
+//   raw-clock          std::chrono clock types (steady/system/high_resolution,
+//                      aliases included) outside common/clock.hpp and
+//                      common/telemetry.cpp — every duration measurement goes
+//                      through the common::now_ns() seam so tests can fake it.
 //   guarded-mutex      a file declaring a Mutex must contain at least one
 //                      EVVO_GUARDED_BY/EVVO_REQUIRES annotation.
 //   include-hygiene    #pragma once, no parent-relative includes, no

@@ -102,6 +102,31 @@ int run() {
                 "raw-sync"),
          "raw-sync is silent inside common/mutex.hpp");
 
+  expect(fires(make_source("src/core/cl.cpp",
+                           "auto t = std::chrono::steady_clock::now();\n"),
+               "raw-clock"),
+         "raw-clock fires on steady_clock::now outside the seam");
+  expect(fires(make_source("src/core/cl2.cpp",
+                           "using Clock = std::chrono::high_resolution_clock;\n"),
+               "raw-clock"),
+         "raw-clock fires on a clock type alias (the funnel-evasion vector)");
+  expect(!fires(make_source("src/common/clock.hpp",
+                            "#pragma once\nauto t = std::chrono::steady_clock::now();\n"),
+                "raw-clock"),
+         "raw-clock is silent inside common/clock.hpp");
+  expect(!fires(make_source("src/common/telemetry.cpp",
+                            "auto t = std::chrono::steady_clock::now();\n"),
+                "raw-clock"),
+         "raw-clock is silent inside common/telemetry.cpp");
+  expect(!fires(make_source("src/core/cl3.cpp", "// steady_clock would be wrong here\n"),
+                "raw-clock"),
+         "raw-clock ignores comments");
+  expect(!fires(make_source("src/core/cl4.cpp",
+                            "auto t = std::chrono::steady_clock::now();  "
+                            "// evvo-lint: allow(raw-clock)\n"),
+                "raw-clock"),
+         "raw-clock honors suppression");
+
   expect(fires(make_source("src/core/k.cpp", "#include <immintrin.h>\n"), "raw-intrinsics"),
          "raw-intrinsics fires on an intrinsic header include");
   expect(fires(make_source("src/core/k.cpp", "auto v = _mm_add_ps(a, b);\n"),
@@ -303,6 +328,10 @@ int run() {
                                    "void f(VecF v, float* p) {\n  v.store(p);\n}\n")},
                    "atomics-misuse"),
          "atomics-misuse is silent on non-atomic receivers (simd VecF::store)");
+  expect(!fires_in(with_atomic("void f(D& d, int i) {\n"
+                               "  d.cells[i].hits.fetch_add(1, std::memory_order_relaxed);\n}\n"),
+                   "atomics-misuse"),
+         "atomics-misuse is silent on a discarded RMW behind an array subscript");
 
   // -------------------------------------------------------------------------
   // fp-determinism
