@@ -73,6 +73,8 @@ PlanService::PlanService(core::VelocityPlanner planner,
   }
   ticket_latency_ns_ = &telemetry::histogram(prefix + "ticket_ns", telemetry::Unit::kNanoseconds);
   batch_group_size_ = &telemetry::histogram(prefix + "batch_group_size", telemetry::Unit::kCount);
+  batch_solve_ns_ =
+      &telemetry::histogram(prefix + "batch_solve_ns", telemetry::Unit::kNanoseconds);
 }
 
 PlanService::~PlanService() = default;
@@ -164,125 +166,150 @@ void PlanService::insert_into_cache_locked(Shard& shard, const CacheKey& key,
   }
 }
 
-PlanTicket PlanService::serve_ticket(const CacheKey& key, int vehicle_id, Seconds request_time,
-                                     const std::function<core::PlannedProfile()>& solve) {
-  Shard& shard = shard_for(key);
+PlanService::ServeState PlanService::begin_serve(const CacheKey& key, int vehicle_id,
+                                                 Seconds request_time) {
   const double request_time_s = request_time.value();  // .value() seam
-  const telemetry::TraceSpan ticket_span(*ticket_latency_ns_, "plan_service.ticket");
+  ServeState state;
+  state.shard = &shard_for(key);
+  Shard& shard = *state.shard;
   if (key.layer >= 0) shard.replans->add(1);
 
-  std::shared_ptr<InFlight> flight;
-  bool leader = false;
+  common::MutexLock lock(shard.shard_mutex);
+  const auto it = shard.cache.find(key);
+  if (it != shard.cache.end()) {
+    const double age = request_time_s - it->second.reference_time;
+    if (cache_config_.ttl_s > 0.0 && age > cache_config_.ttl_s) {
+      // Logical-time TTL: the cached demand snapshot is too old to trust,
+      // so this request re-solves and becomes the bin's fresh reference.
+      shard.lru.erase(it->second.lru_pos);
+      shard.cache.erase(it);
+      shard.expirations->add(1);
+      EVVO_LOG(kDebug, "plan-service") << "expired phase bin " << key.phase_bin;
+    } else {
+      shard.cache_hits->add(1);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+      state.hit = PlanTicket{vehicle_id, it->second.profile, age, true};
+      return state;
+    }
+  }
+  const auto fit = shard.in_flight.find(key);
+  if (fit != shard.in_flight.end()) {
+    state.flight = fit->second;
+    return state;
+  }
+  if (cache_config_.max_pending_per_shard != 0 &&
+      shard.in_flight.size() >= cache_config_.max_pending_per_shard) {
+    // Admission control: only would-be leaders are shed. Hits and
+    // followers cost no solver time and are always served.
+    shard.rejections->add(1);
+    throw ServiceOverload("PlanService: shard at max_pending_per_shard, request shed");
+  }
+  state.flight = std::make_shared<InFlight>();
+  shard.in_flight.emplace(key, state.flight);
+  state.leader = true;
+  // Counted at takeoff so the derived `requests` includes this request
+  // even if the solve throws.
+  shard.solver_runs->add(1);
+  shard.queue_depth->add(1);
+  return state;
+}
+
+PlanTicket PlanService::publish_leader_result(const CacheKey& key, ServeState& state,
+                                              int vehicle_id, Seconds request_time,
+                                              std::shared_ptr<const core::PlannedProfile> profile) {
+  const double request_time_s = request_time.value();  // .value() seam
+  Shard& shard = *state.shard;
+  {
+    // Publish to the cache and retire the flight atomically: any request
+    // arriving from here on hits the cache instead of the flight.
+    common::MutexLock lock(shard.shard_mutex);
+    insert_into_cache_locked(shard, key, profile, request_time_s);
+    shard.in_flight.erase(key);
+  }
+  shard.queue_depth->sub(1);
+  {
+    common::MutexLock flight_lock(state.flight->flight_mutex);
+    state.flight->profile = profile;
+    state.flight->reference_time = request_time_s;
+    state.flight->done = true;
+  }
+  state.flight->completed.notify_all();
+  return PlanTicket{vehicle_id, std::move(profile), 0.0, false};
+}
+
+void PlanService::publish_leader_error(const CacheKey& key, ServeState& state,
+                                       std::exception_ptr error) {
+  Shard& shard = *state.shard;
   {
     common::MutexLock lock(shard.shard_mutex);
-    const auto it = shard.cache.find(key);
-    if (it != shard.cache.end()) {
-      const double age = request_time_s - it->second.reference_time;
-      if (cache_config_.ttl_s > 0.0 && age > cache_config_.ttl_s) {
-        // Logical-time TTL: the cached demand snapshot is too old to trust,
-        // so this request re-solves and becomes the bin's fresh reference.
-        shard.lru.erase(it->second.lru_pos);
-        shard.cache.erase(it);
-        shard.expirations->add(1);
-        EVVO_LOG(kDebug, "plan-service") << "expired phase bin " << key.phase_bin;
-      } else {
-        shard.cache_hits->add(1);
-        shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
-        return PlanTicket{vehicle_id, it->second.profile, age, true};
-      }
-    }
-    const auto fit = shard.in_flight.find(key);
-    if (fit != shard.in_flight.end()) {
-      flight = fit->second;
-    } else {
-      if (cache_config_.max_pending_per_shard != 0 &&
-          shard.in_flight.size() >= cache_config_.max_pending_per_shard) {
-        // Admission control: only would-be leaders are shed. Hits and
-        // followers cost no solver time and are always served.
-        shard.rejections->add(1);
-        throw ServiceOverload("PlanService: shard at max_pending_per_shard, request shed");
-      }
-      flight = std::make_shared<InFlight>();
-      shard.in_flight.emplace(key, flight);
-      leader = true;
-      // Counted at takeoff so the derived `requests` includes this request
-      // even if the solve throws.
-      shard.solver_runs->add(1);
-      shard.queue_depth->add(1);
-    }
+    shard.in_flight.erase(key);
   }
-
-  if (leader) {
-    try {
-      auto profile = std::make_shared<const core::PlannedProfile>(solve());
-      {
-        // Publish to the cache and retire the flight atomically: any request
-        // arriving from here on hits the cache instead of the flight.
-        common::MutexLock lock(shard.shard_mutex);
-        insert_into_cache_locked(shard, key, profile, request_time_s);
-        shard.in_flight.erase(key);
-      }
-      shard.queue_depth->sub(1);
-      {
-        common::MutexLock flight_lock(flight->flight_mutex);
-        flight->profile = profile;
-        flight->reference_time = request_time_s;
-        flight->done = true;
-      }
-      flight->completed.notify_all();
-      return PlanTicket{vehicle_id, std::move(profile), 0.0, false};
-    } catch (...) {
-      {
-        common::MutexLock lock(shard.shard_mutex);
-        shard.in_flight.erase(key);
-      }
-      shard.queue_depth->sub(1);
-      {
-        common::MutexLock flight_lock(flight->flight_mutex);
-        flight->error = std::current_exception();
-        flight->done = true;
-      }
-      flight->completed.notify_all();
-      throw;
-    }
+  shard.queue_depth->sub(1);
+  {
+    common::MutexLock flight_lock(state.flight->flight_mutex);
+    state.flight->error = std::move(error);
+    state.flight->done = true;
   }
+  state.flight->completed.notify_all();
+}
 
-  // Follower: coalesce onto the leader's solve.
+PlanTicket PlanService::wait_follower(ServeState& state, int vehicle_id, Seconds request_time) {
+  const double request_time_s = request_time.value();  // .value() seam
+  Shard& shard = *state.shard;
   shard.flight_waits->add(1);
   std::optional<PlanTicket> ticket;
   {
-    common::MutexLock flight_lock(flight->flight_mutex);
-    while (!flight->done) flight->completed.wait(flight->flight_mutex);
-    if (flight->error) std::rethrow_exception(flight->error);
-    ticket.emplace(
-        PlanTicket{vehicle_id, flight->profile, request_time_s - flight->reference_time, true});
+    common::MutexLock flight_lock(state.flight->flight_mutex);
+    while (!state.flight->done) state.flight->completed.wait(state.flight->flight_mutex);
+    if (state.flight->error) std::rethrow_exception(state.flight->error);
+    ticket.emplace(PlanTicket{vehicle_id, state.flight->profile,
+                              request_time_s - state.flight->reference_time, true});
   }
   shard.cache_hits->add(1);
   shard.coalesced_hits->add(1);
   return std::move(*ticket);
 }
 
-PlanTicket PlanService::serve_item(const BatchItem& item) {
-  if (!item.replan) {
-    return serve_ticket(item.key, item.vehicle_id, Seconds(item.time_s), [&] {
-      return planner_.plan(Seconds(item.time_s), arrivals_);
-    });
+PlanTicket PlanService::serve_ticket(const CacheKey& key, int vehicle_id, Seconds request_time,
+                                     const std::function<core::PlannedProfile()>& solve) {
+  const telemetry::TraceSpan ticket_span(*ticket_latency_ns_, "plan_service.ticket");
+  ServeState state = begin_serve(key, vehicle_id, request_time);
+  if (state.hit.has_value()) return std::move(*state.hit);
+
+  if (state.leader) {
+    try {
+      auto profile = std::make_shared<const core::PlannedProfile>(solve());
+      return publish_leader_result(key, state, vehicle_id, request_time, std::move(profile));
+    } catch (...) {
+      publish_leader_error(key, state, std::current_exception());
+      throw;
+    }
   }
+
+  // Follower: coalesce onto the leader's solve.
+  return wait_follower(state, vehicle_id, request_time);
+}
+
+core::PlannedProfile PlanService::solve_miss(const BatchItem& item) {
+  if (!item.replan) return planner_.plan(Seconds(item.time_s), arrivals_);
+  // The miss solves the bin's canonical grid state, not the raw request
+  // state, so every member of the bin is served a consistent tail.
   const double dv = planner_.config().resolution.dv_ms;
-  return serve_ticket(item.key, item.vehicle_id, Seconds(item.time_s), [&, dv] {
-    // The miss solves the bin's canonical grid state, not the raw request
-    // state, so every member of the bin is served a consistent tail.
-    return planner_.replan(Meters(static_cast<double>(item.key.layer) * grid_ds_m_),
-                           MetersPerSecond(static_cast<double>(item.key.vlevel) * dv),
-                           Seconds(item.time_s), arrivals_);
-  });
+  return planner_.replan(Meters(static_cast<double>(item.key.layer) * grid_ds_m_),
+                         MetersPerSecond(static_cast<double>(item.key.vlevel) * dv),
+                         Seconds(item.time_s), arrivals_);
+}
+
+PlanTicket PlanService::serve_item(const BatchItem& item) {
+  return serve_ticket(item.key, item.vehicle_id, Seconds(item.time_s),
+                      [&] { return solve_miss(item); });
 }
 
 std::vector<PlanTicket> PlanService::serve_batch(const std::vector<BatchItem>& items) {
   // Group same-key requests (first-occurrence order, so dispatch is
-  // deterministic) and serve each group with one cache transaction: the
-  // group's first member runs the full single-flight path, every other
-  // member reuses its reference profile with a per-request time shift.
+  // deterministic): each group takes one cache transaction, the group's
+  // first member runs the single-flight path, every other member reuses its
+  // reference profile with a per-request time shift.
   std::map<CacheKey, std::size_t> group_of;
   std::vector<std::vector<std::size_t>> groups;
   for (std::size_t i = 0; i < items.size(); ++i) {
@@ -291,13 +318,120 @@ std::vector<PlanTicket> PlanService::serve_batch(const std::vector<BatchItem>& i
     groups[it->second].push_back(i);
   }
 
+  // Phase A - admission: every group's lead goes through the cache/TTL/
+  // single-flight/admission-control step first, so the whole batch's misses
+  // are known before any solving starts. A shed lead (ServiceOverload) fails
+  // only its own group; the rest of the batch is still served and the first
+  // error is rethrown at the end.
   std::vector<PlanTicket> out(items.size());
-  const auto serve_group = [&](std::size_t g) {
+  std::vector<std::optional<PlanTicket>> lead_ticket(groups.size());
+  struct PendingGroup {
+    std::size_t group = 0;
+    ServeState state;
+  };
+  std::vector<PendingGroup> leaders;
+  std::vector<PendingGroup> followers;
+  std::exception_ptr first_error;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    batch_group_size_->record(static_cast<long>(groups[g].size()));
+    const BatchItem& lead = items[groups[g].front()];
+    try {
+      const telemetry::TraceSpan ticket_span(*ticket_latency_ns_, "plan_service.ticket");
+      ServeState state = begin_serve(lead.key, lead.vehicle_id, Seconds(lead.time_s));
+      if (state.hit.has_value()) {
+        lead_ticket[g] = std::move(*state.hit);
+      } else if (state.leader) {
+        leaders.push_back(PendingGroup{g, std::move(state)});
+      } else {
+        followers.push_back(PendingGroup{g, std::move(state)});
+      }
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+
+  // Phase B - leader solves. Two or more leaders dispatch as ONE batched
+  // run: distinct keys mean distinct solver inputs, and solve_dp_batch packs
+  // the compatible ones into SoA lanes (full-trip misses across phase bins
+  // share a grid; replan misses from the same layer do too). A single leader
+  // keeps the plain serve path, which warm-starts from the workspace pool.
+  // Every elected leader reaches an epilogue here - publish or error - so
+  // followers (ours in phase C, or in concurrent calls) can never hang.
+  if (leaders.size() >= 2) {
+    std::vector<core::PlanJob> jobs;
+    jobs.reserve(leaders.size());
+    const double dv = planner_.config().resolution.dv_ms;
+    for (const PendingGroup& pending : leaders) {
+      const BatchItem& lead = items[groups[pending.group].front()];
+      core::PlanJob job;
+      job.replan = lead.replan;
+      job.depart_time_s = lead.time_s;
+      if (lead.replan) {
+        // The canonical grid state, exactly as solve_miss submits it.
+        job.position_m = static_cast<double>(lead.key.layer) * grid_ds_m_;
+        job.speed_ms = static_cast<double>(lead.key.vlevel) * dv;
+      }
+      jobs.push_back(job);
+    }
+    std::vector<core::PlanBatchResult> results;
+    try {
+      const telemetry::TraceSpan solve_span(*batch_solve_ns_, "plan_service.batch_solve");
+      results = planner_.plan_batch(jobs, arrivals_);
+    } catch (...) {
+      // Batch infrastructure failure (not a per-job error): every leader's
+      // flight gets the error so no follower hangs, then it propagates.
+      for (PendingGroup& pending : leaders) {
+        const BatchItem& lead = items[groups[pending.group].front()];
+        publish_leader_error(lead.key, pending.state, std::current_exception());
+      }
+      throw;
+    }
+    for (std::size_t n = 0; n < leaders.size(); ++n) {
+      PendingGroup& pending = leaders[n];
+      const BatchItem& lead = items[groups[pending.group].front()];
+      if (results[n].error) {
+        publish_leader_error(lead.key, pending.state, results[n].error);
+        if (!first_error) first_error = results[n].error;
+      } else {
+        lead_ticket[pending.group] = publish_leader_result(
+            lead.key, pending.state, lead.vehicle_id, Seconds(lead.time_s),
+            std::make_shared<const core::PlannedProfile>(std::move(*results[n].profile)));
+      }
+    }
+  } else if (leaders.size() == 1) {
+    PendingGroup& pending = leaders.front();
+    const BatchItem& lead = items[groups[pending.group].front()];
+    try {
+      const telemetry::TraceSpan ticket_span(*ticket_latency_ns_, "plan_service.ticket");
+      auto profile = std::make_shared<const core::PlannedProfile>(solve_miss(lead));
+      lead_ticket[pending.group] = publish_leader_result(lead.key, pending.state,
+                                                         lead.vehicle_id, Seconds(lead.time_s),
+                                                         std::move(profile));
+    } catch (...) {
+      publish_leader_error(lead.key, pending.state, std::current_exception());
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+
+  // Phase C - followers: their leaders run in concurrent serve calls (our
+  // own leaders already completed in phase B, so waiting here cannot
+  // deadlock). A leader's failure fails just this group.
+  for (PendingGroup& pending : followers) {
+    const BatchItem& lead = items[groups[pending.group].front()];
+    try {
+      lead_ticket[pending.group] = wait_follower(pending.state, lead.vehicle_id, Seconds(lead.time_s));
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+
+  // Phase D - fan out: members derive their tickets from the group lead's.
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (!lead_ticket[g].has_value()) continue;
     const std::vector<std::size_t>& members = groups[g];
-    batch_group_size_->record(members.size());
     const BatchItem& lead = items[members.front()];
-    const PlanTicket lead_ticket = serve_item(lead);
-    out[members.front()] = lead_ticket;
+    const PlanTicket& ticket = *lead_ticket[g];
+    out[members.front()] = ticket;
     Shard& shard = shard_for(lead.key);
     for (std::size_t m = 1; m < members.size(); ++m) {
       const BatchItem& item = items[members[m]];
@@ -305,17 +439,11 @@ std::vector<PlanTicket> PlanService::serve_batch(const std::vector<BatchItem>& i
       shard.cache_hits->add(1);
       shard.coalesced_hits->add(1);
       out[members[m]] =
-          PlanTicket{item.vehicle_id, lead_ticket.reference,
-                     lead_ticket.time_shift_s + (item.time_s - lead.time_s), true};
+          PlanTicket{item.vehicle_id, ticket.reference,
+                     ticket.time_shift_s + (item.time_s - lead.time_s), true};
     }
-  };
-
-  common::ThreadPool* pool = batch_pool();
-  if (pool && groups.size() > 1) {
-    pool->parallel_for(groups.size(), serve_group);
-  } else {
-    for (std::size_t g = 0; g < groups.size(); ++g) serve_group(g);
   }
+  if (first_error) std::rethrow_exception(first_error);
   return out;
 }
 

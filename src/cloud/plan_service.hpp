@@ -223,6 +223,12 @@ class PlanService {
   /// Per-shard counters, indexed by shard. Fieldwise, their sum is stats().
   std::vector<ServiceStats> shard_stats() const;
 
+  /// Group sizes recorded by the batch dispatch path: one sample per
+  /// same-key group per request_*_tickets call (hit groups included).
+  /// Workload harnesses report its percentiles; empty until the first batch
+  /// call on this instance.
+  const telemetry::Histogram& batch_group_sizes() const { return *batch_group_size_; }
+
  private:
   struct CacheKey {
     long phase_bin;
@@ -284,6 +290,33 @@ class PlanService {
   CacheKey replan_key_for(const ReplanRequest& request) const;
   Shard& shard_for(const CacheKey& key) const;
   std::size_t shard_of(const CacheKey& key) const;
+  /// Outcome of the single-flight admission step (begin_serve): served from
+  /// cache (`hit`), elected leader of a fresh flight (`leader`, solve then
+  /// publish), or follower of an existing flight (wait on it).
+  struct ServeState {
+    Shard* shard = nullptr;
+    std::shared_ptr<InFlight> flight;
+    bool leader = false;
+    std::optional<PlanTicket> hit;
+  };
+  /// The lookup/registration half of serve_ticket: cache probe (with TTL),
+  /// flight join, admission control (throws ServiceOverload), or leader
+  /// election (counts solver_runs/queue_depth at takeoff). Factored out so
+  /// the batch path can admit a whole batch first and solve its leaders as
+  /// one batched run.
+  ServeState begin_serve(const CacheKey& key, int vehicle_id, Seconds request_time);
+  /// Leader epilogue: publishes `profile` to the cache, retires the flight,
+  /// wakes followers, and returns the leader's ticket.
+  PlanTicket publish_leader_result(const CacheKey& key, ServeState& state, int vehicle_id,
+                                   Seconds request_time,
+                                   std::shared_ptr<const core::PlannedProfile> profile);
+  /// Leader failure epilogue: retires the flight and wakes followers with
+  /// `error`. Every elected leader must reach exactly one of the two
+  /// epilogues or followers would wait forever.
+  void publish_leader_error(const CacheKey& key, ServeState& state, std::exception_ptr error);
+  /// Follower epilogue: waits out the leader's flight and derives a ticket
+  /// (rethrows the leader's error).
+  PlanTicket wait_follower(ServeState& state, int vehicle_id, Seconds request_time);
   /// Cache lookup + single-flight around an arbitrary solve (full plan or
   /// replan). `request_time` anchors the time shift cached hits are served
   /// with; `solve` runs outside every service lock on the leader.
@@ -301,10 +334,14 @@ class PlanService {
     bool replan = false;
   };
   PlanTicket serve_item(const BatchItem& item);
-  /// Cross-request batch dispatch: groups same-key items, serves each
-  /// group's first member through the single-flight path, and derives every
-  /// other member's ticket from the leader's (one cache transaction per
-  /// group). Groups fan across the batch pool.
+  /// The solve a miss of `item` runs (full plan or canonical-grid replan).
+  core::PlannedProfile solve_miss(const BatchItem& item);
+  /// Cross-request batch dispatch: groups same-key items, admits each
+  /// group's first member through the single-flight path, solves all
+  /// admitted leaders as ONE batched run (core/dp_batch.hpp packs
+  /// compatible solver runs into SoA lanes), then publishes results and
+  /// derives every other member's ticket from its group leader's (one cache
+  /// transaction per group).
   std::vector<PlanTicket> serve_batch(const std::vector<BatchItem>& items);
   std::vector<PlanResponse> materialize_all(std::vector<PlanTicket> tickets);
   common::ThreadPool* batch_pool();
@@ -325,6 +362,9 @@ class PlanService {
   /// same-key group sizes the batch path coalesces.
   telemetry::Histogram* ticket_latency_ns_ = nullptr;
   telemetry::Histogram* batch_group_size_ = nullptr;
+  /// Duration of the batched leader solve in serve_batch (covers the whole
+  /// plan_batch call: grouping, SoA sweeps, ragged fallbacks).
+  telemetry::Histogram* batch_solve_ns_ = nullptr;
 
   mutable common::Mutex pool_mutex_{common::LockRank::kServiceBatchPool};
   std::unique_ptr<common::ThreadPool> batch_pool_ EVVO_GUARDED_BY(pool_mutex_);

@@ -12,6 +12,7 @@
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "core/dp_common.hpp"
+#include "core/dp_extract.hpp"
 #include "core/dp_replan.hpp"
 
 namespace evvo::core {
@@ -43,6 +44,127 @@ void DpProblem::validate() const {
   if (!route || !energy) throw std::invalid_argument("DpProblem: route and energy model required");
   resolution.validate();
   penalty.validate();
+}
+
+void DpWorkspace::ensure_model_tables(const road::Route& route, const ev::EnergyModel& energy,
+                                      const DpResolution& res, double lambda, double smoothness,
+                                      double ds, std::size_t n_hops, std::size_t n_layers,
+                                      std::size_t n_v) {
+  ModelKey key;
+  key.valid = true;
+  key.energy = &energy;
+  key.route_hash = hash_route(route);
+  key.ds_m = res.ds_m;
+  key.dv_ms = res.dv_ms;
+  key.lambda = lambda;
+  key.smoothness = smoothness;
+  if (model_key_ == key) return;
+
+  const ev::VehicleParams& vp = energy.params();
+  const double a_min = vp.min_acceleration;
+  const double a_max = vp.max_acceleration;
+
+  // Feasible hops per source velocity level (kinematics are layer-independent).
+  fwd_hops_.clear();
+  fwd_begin_.assign(n_v + 1, 0);
+  for (std::size_t j = 0; j < n_v; ++j) {
+    fwd_begin_[j] = static_cast<std::uint32_t>(fwd_hops_.size());
+    const double v = static_cast<double>(j) * res.dv_ms;
+    for (std::size_t j2 = 0; j2 < n_v; ++j2) {
+      const double v2 = static_cast<double>(j2) * res.dv_ms;
+      const double v_mid = 0.5 * (v + v2);
+      if (v_mid <= 1e-9) continue;  // no movement; dwells handle waiting
+      const double a = (v2 * v2 - v * v) / (2.0 * ds);
+      if (a < a_min - 1e-9 || a > a_max + 1e-9) continue;
+      fwd_hops_.push_back(FwdHop{static_cast<std::uint32_t>(j2),
+                                 static_cast<float>(ds / v_mid), static_cast<float>(a)});
+    }
+  }
+  fwd_begin_[n_v] = static_cast<std::uint32_t>(fwd_hops_.size());
+
+  // Reverse adjacency: hops grouped by destination level, sources ascending
+  // (the gather loop must visit sources in the same order as the forward
+  // sweep so equal-cost ties resolve to the same predecessor).
+  std::vector<std::uint32_t> rev_count(n_v + 1, 0);
+  for (const FwdHop& hop : fwd_hops_) ++rev_count[hop.j_to + 1];
+  rev_begin_.assign(n_v + 1, 0);
+  for (std::size_t j2 = 0; j2 < n_v; ++j2) rev_begin_[j2 + 1] = rev_begin_[j2] + rev_count[j2 + 1];
+  rev_hops_.assign(fwd_hops_.size(), RevHop{});
+  {
+    std::vector<std::uint32_t> fill(rev_begin_.begin(), rev_begin_.end() - 1);
+    for (std::size_t j = 0; j < n_v; ++j) {
+      for (std::uint32_t h = fwd_begin_[j]; h < fwd_begin_[j + 1]; ++h) {
+        const FwdHop& hop = fwd_hops_[h];
+        rev_hops_[fill[hop.j_to]++] = RevHop{static_cast<std::uint32_t>(j), hop.dt};
+      }
+    }
+  }
+
+  // Flat, sorted grade-class table. Few grade values exist along a route, so
+  // per-class cost tables are shared by all layers of that class.
+  std::vector<long> layer_key(n_hops);
+  std::vector<double> first_grade;  // representative grade per class (first layer encountered)
+  std::vector<long> classes;
+  for (std::size_t i = 0; i < n_hops; ++i) {
+    const double s_mid = (static_cast<double>(i) + 0.5) * ds;
+    layer_key[i] = std::lround(route.grade_at(s_mid) * 1e9);
+  }
+  classes = layer_key;
+  std::sort(classes.begin(), classes.end());
+  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+  first_grade.assign(classes.size(), 0.0);
+  std::vector<bool> seen(classes.size(), false);
+  layer_class_.assign(n_hops, 0);
+  for (std::size_t i = 0; i < n_hops; ++i) {
+    const auto cls = static_cast<std::size_t>(
+        std::lower_bound(classes.begin(), classes.end(), layer_key[i]) - classes.begin());
+    layer_class_[i] = static_cast<std::uint32_t>(cls);
+    if (!seen[cls]) {
+      seen[cls] = true;
+      first_grade[cls] = route.grade_at((static_cast<double>(i) + 0.5) * ds);
+    }
+  }
+
+  // Transition energy [mAh] per (grade class, j, j2), plus the fused variant
+  // with lambda*dt and the smoothness regularizer pre-added. The fused table
+  // applies the same float-rounding sequence as the step-by-step inner loop,
+  // so results are bit-identical to computing the terms per relaxation.
+  const std::size_t table_size = n_v * n_v;
+  grade_energy_.assign(classes.size() * table_size, kInf);
+  grade_fused_.assign(classes.size() * table_size, kInf);
+  for (std::size_t cls = 0; cls < classes.size(); ++cls) {
+    const double grade = first_grade[cls];
+    float* energy_table = grade_energy_.data() + cls * table_size;
+    float* fused_table = grade_fused_.data() + cls * table_size;
+    for (std::size_t j = 0; j < n_v; ++j) {
+      const double v = static_cast<double>(j) * res.dv_ms;
+      for (std::uint32_t h = fwd_begin_[j]; h < fwd_begin_[j + 1]; ++h) {
+        const FwdHop& hop = fwd_hops_[h];
+        const double v2 = static_cast<double>(hop.j_to) * res.dv_ms;
+        const double v_mid = 0.5 * (v + v2);
+        const double mah =
+            ah_to_mah(as_to_ah(
+                energy.current_a(MetersPerSecond(v_mid), MetersPerSecondSquared(hop.accel), grade) *
+                hop.dt));
+        const auto raw = static_cast<float>(mah);
+        float fused = raw;
+        fused += static_cast<float>(lambda * hop.dt);
+        fused += static_cast<float>(smoothness *
+                                    std::abs(static_cast<double>(hop.j_to) - static_cast<double>(j)) *
+                                    res.dv_ms);
+        energy_table[j * n_v + hop.j_to] = raw;
+        fused_table[j * n_v + hop.j_to] = fused;
+      }
+    }
+  }
+
+  // Per-layer speed cap (posted limit at the layer's position).
+  layer_limit_.resize(n_layers);
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    layer_limit_[i] = route.speed_limit_at(static_cast<double>(i) * ds);
+  }
+
+  model_key_ = key;
 }
 
 namespace detail {
@@ -79,7 +201,6 @@ class DpEngine {
   using Fwd = DpWorkspace::FwdHop;
   using Rev = DpWorkspace::RevHop;
 
-  void ensure_model_tables();
   void reset_state();
   bool relax_layer(std::size_t i);  // false: layer empty, solve infeasible
   void relax_stripe(std::size_t i, std::size_t j2_begin, std::size_t j2_end, std::size_t stripe);
@@ -122,126 +243,6 @@ class DpEngine {
   std::vector<std::size_t> stripe_relaxations_;
   DpStats stats_;
 };
-
-void DpEngine::ensure_model_tables() {
-  DpWorkspace::ModelKey key;
-  key.valid = true;
-  key.energy = &energy_;
-  key.route_hash = hash_route(route_);
-  key.ds_m = res_.ds_m;
-  key.dv_ms = res_.dv_ms;
-  key.lambda = problem_.time_weight_mah_per_s;
-  key.smoothness = problem_.smoothness_weight_mah_per_ms;
-  if (ws_.model_key_ == key) return;
-
-  const ev::VehicleParams& vp = energy_.params();
-  const double a_min = vp.min_acceleration;
-  const double a_max = vp.max_acceleration;
-
-  // Feasible hops per source velocity level (kinematics are layer-independent).
-  ws_.fwd_hops_.clear();
-  ws_.fwd_begin_.assign(n_v_ + 1, 0);
-  for (std::size_t j = 0; j < n_v_; ++j) {
-    ws_.fwd_begin_[j] = static_cast<std::uint32_t>(ws_.fwd_hops_.size());
-    const double v = static_cast<double>(j) * res_.dv_ms;
-    for (std::size_t j2 = 0; j2 < n_v_; ++j2) {
-      const double v2 = static_cast<double>(j2) * res_.dv_ms;
-      const double v_mid = 0.5 * (v + v2);
-      if (v_mid <= 1e-9) continue;  // no movement; dwells handle waiting
-      const double a = (v2 * v2 - v * v) / (2.0 * ds_);
-      if (a < a_min - 1e-9 || a > a_max + 1e-9) continue;
-      ws_.fwd_hops_.push_back(Fwd{static_cast<std::uint32_t>(j2),
-                                  static_cast<float>(ds_ / v_mid), static_cast<float>(a)});
-    }
-  }
-  ws_.fwd_begin_[n_v_] = static_cast<std::uint32_t>(ws_.fwd_hops_.size());
-
-  // Reverse adjacency: hops grouped by destination level, sources ascending
-  // (the gather loop must visit sources in the same order as the forward
-  // sweep so equal-cost ties resolve to the same predecessor).
-  std::vector<std::uint32_t> rev_count(n_v_ + 1, 0);
-  for (const Fwd& hop : ws_.fwd_hops_) ++rev_count[hop.j_to + 1];
-  ws_.rev_begin_.assign(n_v_ + 1, 0);
-  for (std::size_t j2 = 0; j2 < n_v_; ++j2) ws_.rev_begin_[j2 + 1] = ws_.rev_begin_[j2] + rev_count[j2 + 1];
-  ws_.rev_hops_.assign(ws_.fwd_hops_.size(), Rev{});
-  {
-    std::vector<std::uint32_t> fill(ws_.rev_begin_.begin(), ws_.rev_begin_.end() - 1);
-    for (std::size_t j = 0; j < n_v_; ++j) {
-      for (std::uint32_t h = ws_.fwd_begin_[j]; h < ws_.fwd_begin_[j + 1]; ++h) {
-        const Fwd& hop = ws_.fwd_hops_[h];
-        ws_.rev_hops_[fill[hop.j_to]++] = Rev{static_cast<std::uint32_t>(j), hop.dt};
-      }
-    }
-  }
-
-  // Flat, sorted grade-class table. Few grade values exist along a route, so
-  // per-class cost tables are shared by all layers of that class.
-  std::vector<long> layer_key(n_hops_);
-  std::vector<double> first_grade;  // representative grade per class (first layer encountered)
-  std::vector<long> classes;
-  for (std::size_t i = 0; i < n_hops_; ++i) {
-    const double s_mid = (static_cast<double>(i) + 0.5) * ds_;
-    layer_key[i] = std::lround(route_.grade_at(s_mid) * 1e9);
-  }
-  classes = layer_key;
-  std::sort(classes.begin(), classes.end());
-  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
-  first_grade.assign(classes.size(), 0.0);
-  std::vector<bool> seen(classes.size(), false);
-  ws_.layer_class_.assign(n_hops_, 0);
-  for (std::size_t i = 0; i < n_hops_; ++i) {
-    const auto cls = static_cast<std::size_t>(
-        std::lower_bound(classes.begin(), classes.end(), layer_key[i]) - classes.begin());
-    ws_.layer_class_[i] = static_cast<std::uint32_t>(cls);
-    if (!seen[cls]) {
-      seen[cls] = true;
-      first_grade[cls] = route_.grade_at((static_cast<double>(i) + 0.5) * ds_);
-    }
-  }
-
-  // Transition energy [mAh] per (grade class, j, j2), plus the fused variant
-  // with lambda*dt and the smoothness regularizer pre-added. The fused table
-  // applies the same float-rounding sequence as the step-by-step inner loop,
-  // so results are bit-identical to computing the terms per relaxation.
-  const double lambda = problem_.time_weight_mah_per_s;
-  const double smooth = problem_.smoothness_weight_mah_per_ms;
-  const std::size_t table_size = n_v_ * n_v_;
-  ws_.grade_energy_.assign(classes.size() * table_size, kInf);
-  ws_.grade_fused_.assign(classes.size() * table_size, kInf);
-  for (std::size_t cls = 0; cls < classes.size(); ++cls) {
-    const double grade = first_grade[cls];
-    float* energy_table = ws_.grade_energy_.data() + cls * table_size;
-    float* fused_table = ws_.grade_fused_.data() + cls * table_size;
-    for (std::size_t j = 0; j < n_v_; ++j) {
-      const double v = static_cast<double>(j) * res_.dv_ms;
-      for (std::uint32_t h = ws_.fwd_begin_[j]; h < ws_.fwd_begin_[j + 1]; ++h) {
-        const Fwd& hop = ws_.fwd_hops_[h];
-        const double v2 = static_cast<double>(hop.j_to) * res_.dv_ms;
-        const double v_mid = 0.5 * (v + v2);
-        const double mah =
-            ah_to_mah(as_to_ah(
-                energy_.current_a(MetersPerSecond(v_mid), MetersPerSecondSquared(hop.accel), grade) *
-                hop.dt));
-        const auto raw = static_cast<float>(mah);
-        float fused = raw;
-        fused += static_cast<float>(lambda * hop.dt);
-        fused += static_cast<float>(smooth *
-                                    std::abs(static_cast<double>(hop.j_to) - static_cast<double>(j)) *
-                                    res_.dv_ms);
-        energy_table[j * n_v_ + hop.j_to] = raw;
-        fused_table[j * n_v_ + hop.j_to] = fused;
-      }
-    }
-  }
-
-  // Per-layer speed cap (posted limit at the layer's position).
-  ws_.layer_limit_.resize(n_layers_);
-  for (std::size_t i = 0; i < n_layers_; ++i) {
-    ws_.layer_limit_[i] = route_.speed_limit_at(static_cast<double>(i) * ds_);
-  }
-
-  ws_.model_key_ = key;
-}
 
 void DpEngine::reset_state() {
   // No grid-wide clear: each destination row is reset to +inf by the stripe
@@ -333,7 +334,8 @@ std::optional<DpSolution> DpEngine::run(std::size_t first_relax) {
   j_source_ = snap_level(problem_.initial_speed.value());
   j_dest_ = snap_level(problem_.final_speed.value());
 
-  ensure_model_tables();
+  ws_.ensure_model_tables(route_, energy_, res_, problem_.time_weight_mah_per_s,
+                          problem_.smoothness_weight_mah_per_ms, ds_, n_hops_, n_layers_, n_v_);
   reset_state();
 
   if (first_relax >= n_layers_) throw std::invalid_argument("solve_dp: first_relax out of range");
@@ -693,96 +695,13 @@ void DpEngine::relax_stripe(std::size_t i, std::size_t j2_begin, std::size_t j2_
 }
 
 std::optional<DpSolution> DpEngine::extract_solution() {
-  // Destination at the terminal speed; among optima prefer the earliest
-  // arrival. (Restructured from the original: skip unreached/infinite cells
-  // up front so the tie-break can never consult an unset best state.)
-  const std::size_t dest_base = (n_layers_ - 1) * layer_size_ + j_dest_ * n_t_;
-  std::size_t best_k = n_t_;
-  float best_cost = kInf;
-  float best_time = 0.0f;
-  for (std::size_t k = 0; k < n_t_; ++k) {
-    const std::size_t id = dest_base + k;
-    const float c = ws_.cost_[id];
-    if (c >= kInf) continue;
-    if (best_k == n_t_ || c < best_cost - 1e-9f ||
-        (std::abs(c - best_cost) <= 1e-9f && ws_.time_[id] < best_time)) {
-      best_cost = c;
-      best_k = k;
-      best_time = ws_.time_[id];
-    }
-  }
-  if (best_k == n_t_) return std::nullopt;
-  stats_.best_cost_mah = static_cast<double>(best_cost);
-
-  // Backtrack.
-  struct RawNode {
-    std::size_t i, j, k;
-  };
-  std::vector<RawNode> chain;
-  std::size_t ci = n_layers_ - 1;
-  std::size_t cj = j_dest_;
-  std::size_t ck = best_k;
-  while (true) {
-    chain.push_back(RawNode{ci, cj, ck});
-    const std::uint32_t p = ws_.back_[ci * layer_size_ + cell_of(cj, ck)];
-    if (p == kNoPred) break;
-    const bool dwell = pred_is_dwell(p);
-    const std::size_t pj = pred_j(p);
-    const std::size_t pk = pred_k(p);
-    if (!dwell) {
-      if (ci == 0) break;
-      --ci;
-    }
-    cj = pj;
-    ck = pk;
-  }
-  std::reverse(chain.begin(), chain.end());
-
-  std::vector<PlanNode> nodes;
-  nodes.reserve(chain.size() + problem_.events.size());
-  for (std::size_t n = 0; n < chain.size(); ++n) {
-    const RawNode& r = chain[n];
-    PlanNode node;
-    node.position_m = static_cast<double>(r.i) * ds_;
-    node.speed_ms = static_cast<double>(r.j) * res_.dv_ms;
-    node.time_s = static_cast<double>(ws_.time_[r.i * layer_size_ + cell_of(r.j, r.k)]);
-    // Materialize the mandatory stop-sign dwell as an explicit node so the
-    // time-domain expansion shows the standstill.
-    if (n > 0 && !nodes.empty()) {
-      const RawNode& prev = chain[n - 1];
-      const LayerEvent* pe = event_at_[prev.i];
-      if (pe && pe->type == LayerEvent::Type::kStopSign && prev.i != r.i && pe->dwell_s > 0.0) {
-        PlanNode wait = nodes.back();
-        wait.time_s += pe->dwell_s;
-        nodes.push_back(wait);
-      }
-    }
-    nodes.push_back(node);
-  }
-
-  // Annotate cumulative *physical* charge along the plan (the solver's state
-  // cost additionally carries the time-value term and penalties, which are
-  // optimizer-internal).
-  const double phys_idle_mah_s = ah_to_mah(as_to_ah(energy_.accessory_current_a()));
-  for (std::size_t n = 1; n < nodes.size(); ++n) {
-    PlanNode& cur = nodes[n];
-    const PlanNode& prev = nodes[n - 1];
-    const double dt = cur.time_s - prev.time_s;
-    const double dist = cur.position_m - prev.position_m;
-    double delta = 0.0;
-    if (dist < 1e-9) {
-      delta = phys_idle_mah_s * dt;  // dwell
-    } else {
-      const double v_mid = 0.5 * (prev.speed_ms + cur.speed_ms);
-      const double a = (cur.speed_ms * cur.speed_ms - prev.speed_ms * prev.speed_ms) / (2.0 * dist);
-      const double grade = route_.grade_at(prev.position_m + 0.5 * dist);
-      delta = ah_to_mah(
-          as_to_ah(energy_.current_a(MetersPerSecond(v_mid), MetersPerSecondSquared(a), grade) * dt));
-    }
-    cur.energy_mah = prev.energy_mah + delta;
-  }
-
-  return DpSolution{PlannedProfile(std::move(nodes)), stats_};
+  const float* cost = ws_.cost_.data();
+  const float* time = ws_.time_.data();
+  const std::uint32_t* back = ws_.back_.data();
+  return detail::extract_dp_solution(
+      route_, energy_, event_at_, problem_.events.size(), ds_, res_.dv_ms, n_layers_, n_t_,
+      layer_size_, j_dest_, stats_, [cost](std::size_t id) { return cost[id]; },
+      [time](std::size_t id) { return time[id]; }, [back](std::size_t id) { return back[id]; });
 }
 
 }  // namespace detail

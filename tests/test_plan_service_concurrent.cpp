@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <thread>
@@ -224,6 +225,87 @@ TEST(PlanServiceConcurrent, MixedStormAcrossShardsNoDuplicateSolvesPerKey) {
     if (s.requests > 0) ++populated;
   }
   EXPECT_GE(populated, 2);
+}
+
+TEST(PlanServiceConcurrent, TicketBatchMissStormSolvesBatchedPerCaller) {
+  // Four threads fire one ticket-batch each into a cold 8-shard service:
+  // three plan batches (six distinct phase bins apiece, one in-batch repeat)
+  // and one replan batch (six distinct quantized states). Every batch is all
+  // misses, so each caller drives serve_batch's grouped admission and the
+  // batched SoA solver run concurrently with the others - the pooled
+  // workspaces, batch telemetry histograms, and shard counters all see
+  // cross-thread traffic under TSan. Single-flight still bounds the solves
+  // to one per distinct key, and the in-batch repeat must coalesce onto its
+  // group leader, never a second solve.
+  CacheConfig cache;
+  cache.shards = 8;
+  cache.batch_threads = 1;
+  PlanService service(make_planner(), demand(500.0), cache);
+
+  constexpr int kPlanThreads = 3;
+  constexpr int kPhasesPerThread = 6;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kPlanThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<PlanRequest> batch;
+      for (int j = 0; j < kPhasesPerThread; ++j) {
+        batch.push_back({t * 100 + j, 0.5 + 2.0 * (t * kPhasesPerThread + j)});
+      }
+      // Same phase bin as the batch's first entry, one hyperperiod later:
+      // a same-key group of two inside one tick.
+      batch.push_back({t * 100 + 99, batch.front().depart_time_s + 60.0});
+      const std::vector<PlanTicket> tickets = service.request_plan_tickets(batch);
+      if (tickets.size() != batch.size()) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      for (std::size_t i = 0; i < tickets.size(); ++i) {
+        if (tickets[i].vehicle_id != batch[i].vehicle_id || !tickets[i].reference) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const core::PlannedProfile profile = tickets[i].materialize();
+        if (profile.nodes().empty() ||
+            profile.nodes().front().time_s != batch[i].depart_time_s) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    std::vector<ReplanRequest> batch;
+    for (int j = 0; j < kPhasesPerThread; ++j) {
+      batch.push_back({400 + j, 100.0 + 50.0 * j, 8.0, 30.0 + 1.0 * j});
+    }
+    const std::vector<PlanTicket> tickets = service.request_replan_tickets(batch);
+    if (tickets.size() != batch.size()) {
+      failures.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    for (const PlanTicket& ticket : tickets) {
+      if (!ticket.reference) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const core::PlannedProfile profile = ticket.materialize();
+      const auto& nodes = profile.nodes();
+      if (nodes.empty() || std::abs(nodes.back().position_m - 600.0) > 1e-6) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const ServiceStats stats = service.stats();
+  constexpr long kDistinctKeys = (kPlanThreads + 1) * kPhasesPerThread;
+  EXPECT_EQ(stats.requests, kPlanThreads * (kPhasesPerThread + 1) + kPhasesPerThread);
+  EXPECT_EQ(stats.solver_runs, kDistinctKeys);
+  EXPECT_EQ(stats.cache_hits, kPlanThreads);  // the in-batch repeats, coalesced
+  EXPECT_EQ(stats.requests, stats.cache_hits + stats.solver_runs + stats.rejections);
+  EXPECT_EQ(stats.queue_depth, 0);
+  EXPECT_GE(service.batch_group_sizes().count(), static_cast<std::uint64_t>(kDistinctKeys));
 }
 
 TEST(PlanServiceConcurrent, OneVsEightShardsAreByteIdentical) {

@@ -66,6 +66,10 @@ struct Options {
   unsigned shards = 8;
   double replan_frac = 0.3;
   double zipf_s = 1.1;
+  /// Fraction of requests redirected to never-warmed replan keys (cold
+  /// solver misses). Misses share one canonical mid-route layer so the
+  /// batched solver can pack them into SoA lanes.
+  double miss_rate = 0.0;
   std::size_t batch = 256;
   std::string mode = "compare";  // legacy | sharded | compare
   double min_speedup = 0.0;
@@ -79,7 +83,7 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: evvo_load [--seed N] [--requests N] [--threads M] [--shards N]\n"
-      "                 [--replan-frac F] [--zipf-s F] [--batch N]\n"
+      "                 [--replan-frac F] [--zipf-s F] [--miss-rate F] [--batch N]\n"
       "                 [--mode legacy|sharded|compare] [--min-speedup F]\n"
       "                 [--out FILE] [--telemetry-dump FILE] [--check] [--tamper]\n"
       "  --check replays the workload against the cold-solve oracle "
@@ -121,6 +125,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next("--zipf-s");
       if (!v) return false;
       opt.zipf_s = std::strtod(v, nullptr);
+    } else if (arg == "--miss-rate") {
+      const char* v = next("--miss-rate");
+      if (!v) return false;
+      opt.miss_rate = std::strtod(v, nullptr);
     } else if (arg == "--batch") {
       const char* v = next("--batch");
       if (!v) return false;
@@ -155,6 +163,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
   }
   if (opt.requests == 0 || opt.threads == 0 || opt.shards == 0 || opt.batch == 0) {
     std::fprintf(stderr, "evvo_load: counts must be positive\n");
+    return false;
+  }
+  if (opt.miss_rate < 0.0 || opt.miss_rate > 1.0) {
+    std::fprintf(stderr, "evvo_load: --miss-rate must be in [0, 1]\n");
     return false;
   }
   if (opt.mode != "legacy" && opt.mode != "sharded" && opt.mode != "compare") {
@@ -203,6 +215,24 @@ std::vector<Slot> plan_slots() {
   std::vector<Slot> slots;
   for (int p = 0; p < 12; ++p) slots.push_back(Slot{false, 2.0 + 5.0 * p, 0.0, 0.0});
   return slots;
+}
+
+/// Cold-miss key space: one canonical mid-route layer (position 1230 m, on
+/// the 10 m solver grid, inside the 12 m/s segment) crossed with every
+/// (phase bin, velocity level) pair the grid admits. Misses drawn from here
+/// were never warmed, and sharing the layer means a tick's misses present
+/// the batched solver with SoA-compatible lanes. The space holds
+/// 60 phases x 23 levels = 1380 distinct keys; a workload drawing more
+/// wraps around (later draws become hits), which keeps long runs bounded.
+constexpr double kMissPositionM = 1230.0;
+constexpr std::size_t kMissPhases = 60;
+constexpr std::size_t kMissVlevels = 23;  // 0.5 .. 11.5 m/s on the 0.5 grid
+
+Slot miss_slot(std::size_t idx) {
+  const std::size_t combo = idx % (kMissPhases * kMissVlevels);
+  const auto phase = static_cast<double>(combo % kMissPhases);
+  const double speed = 0.5 + 0.5 * static_cast<double>(combo / kMissPhases);
+  return Slot{true, phase + 0.5, kMissPositionM, speed};
 }
 
 std::vector<Slot> replan_slots() {
@@ -261,12 +291,22 @@ std::vector<Request> make_workload(const Options& opt, std::size_t count,
   std::vector<Request> requests;
   requests.reserve(count);
   double clock = 120.0;
+  std::size_t misses = 0;
   for (std::size_t i = 0; i < count; ++i) {
     clock += rng.exponential(20.0);  // Poisson arrivals, mean gap 0.05 s
+    const double epoch = std::floor(clock / 60.0);
+    if (rng.bernoulli(opt.miss_rate)) {
+      // Cold traffic: walk the miss key space in stream-striped order so
+      // concurrent driver threads never draw the same key.
+      const Slot slot = miss_slot(misses++ * std::max(1u, opt.threads) + stream);
+      const double time = 60.0 * epoch + slot.phase_s;
+      requests.push_back(
+          Request{true, static_cast<int>(i), time, slot.position_m, slot.speed_ms});
+      continue;
+    }
     const bool replan = rng.bernoulli(opt.replan_frac);
     const Slot& slot =
         replan ? replans[sample_cdf(replan_cdf, rng)] : plans[sample_cdf(plan_cdf, rng)];
-    const double epoch = std::floor(clock / 60.0);
     const double time = 60.0 * epoch + slot.phase_s + rng.uniform(-0.4, 0.4);
     requests.push_back(Request{slot.replan, static_cast<int>(i), time, slot.position_m,
                                slot.speed_ms});
@@ -288,6 +328,11 @@ struct LoadResult {
   double wall_s = 0.0;
   const telemetry::Histogram* latency_hist = nullptr;  // one sample per request
   long served = 0;
+  /// Batch-path group sizes (sharded mode only): same-key groups per tick,
+  /// from the service's batch_group_size histogram.
+  std::uint64_t groups = 0;
+  double group_p50 = 0.0;
+  double group_p99 = 0.0;
 
   double per_plan_ns() const { return wall_s * 1e9 / std::max(1L, served); }
   double plans_per_sec() const { return served / std::max(1e-12, wall_s); }
@@ -405,6 +450,18 @@ LoadResult run_load(const Options& opt, bool sharded) {
                result.plans_per_sec(), result.per_plan_ns(), result.percentile(0.50),
                result.percentile(0.99), stats.cache_hits, stats.solver_runs,
                service.shard_count());
+  if (sharded) {
+    const telemetry::Histogram& groups = service.batch_group_sizes();
+    result.groups = groups.count();
+    if (result.groups > 0) {
+      result.group_p50 = static_cast<double>(groups.percentile(0.50));
+      result.group_p99 = static_cast<double>(groups.percentile(0.99));
+      std::fprintf(stderr,
+                   "  [%s] batch groups: %llu over the run, size p50 %.0f, p99 %.0f\n",
+                   "sharded", static_cast<unsigned long long>(result.groups),
+                   result.group_p50, result.group_p99);
+    }
+  }
   return result;
 }
 
@@ -412,7 +469,8 @@ LoadResult run_load(const Options& opt, bool sharded) {
 
 struct JsonEntry {
   std::string name;
-  double time_ns = 0.0;
+  double value = 0.0;
+  const char* unit = "ns";  ///< "ns" (time) or "count" (histogram metrics)
 };
 
 void write_bench_json(const std::string& path, const Options& opt,
@@ -432,8 +490,9 @@ void write_bench_json(const std::string& path, const Options& opt,
   for (std::size_t i = 0; i < entries.size(); ++i) {
     out << "    {\"name\": \"" << entries[i].name
         << "\", \"run_type\": \"iteration\", \"iterations\": 1, \"real_time\": "
-        << entries[i].time_ns << ", \"cpu_time\": " << entries[i].time_ns
-        << ", \"time_unit\": \"ns\"}" << (i + 1 < entries.size() ? "," : "") << "\n";
+        << entries[i].value << ", \"cpu_time\": " << entries[i].value
+        << ", \"time_unit\": \"" << entries[i].unit << "\"}"
+        << (i + 1 < entries.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
 }
@@ -443,6 +502,12 @@ void append_entries(std::vector<JsonEntry>& entries, const std::string& tag,
   entries.push_back({"BM_LoadPlanService/" + tag + "_per_plan", result.per_plan_ns()});
   entries.push_back({"BM_LoadPlanService/" + tag + "_p50", result.percentile(0.50)});
   entries.push_back({"BM_LoadPlanService/" + tag + "_p99", result.percentile(0.99)});
+  if (result.groups > 0) {
+    entries.push_back(
+        {"BM_LoadPlanService/" + tag + "_batch_group_p50", result.group_p50, "count"});
+    entries.push_back(
+        {"BM_LoadPlanService/" + tag + "_batch_group_p99", result.group_p99, "count"});
+  }
 }
 
 // --- Differential check --------------------------------------------------
